@@ -1,0 +1,52 @@
+// Reproduces Fig. 9: scalability of the three algorithm families on random
+// 20%-100% vertex-induced (vary n) and edge-induced (vary m) subgraphs of
+// the Flixster stand-in, at the dataset defaults (k=3, delta=3).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "graph/generators.h"
+
+namespace fairclique {
+namespace {
+
+void RunSeries(const AttributedGraph& g, bool vary_vertices,
+               const DatasetSpec& spec) {
+  std::printf("-- vary %s (k=%d delta=%d), times in µs --\n",
+              vary_vertices ? "n" : "m", spec.default_k, spec.default_delta);
+  std::printf("%-6s %10s %10s %14s %14s %20s\n", "frac", "|V|", "|E|",
+              "MaxRFC", "MaxRFC+ub", "MaxRFC+ub+HeurRFC");
+  ExtraBound best = bench::BestBoundFor(spec.name);
+  for (int pct = 20; pct <= 100; pct += 20) {
+    // A fixed seed per fraction keeps rows reproducible run to run.
+    Rng rng(0x5CA1E + pct);
+    AttributedGraph sample =
+        vary_vertices ? SampleVertices(g, pct / 100.0, rng)
+                      : SampleEdges(g, pct / 100.0, rng);
+    SearchResult base = bench::TimedSearch(
+        sample, BaselineOptions(spec.default_k, spec.default_delta));
+    SearchResult ub = bench::TimedSearch(
+        sample, BoundedOptions(spec.default_k, spec.default_delta, best));
+    SearchResult full = bench::TimedSearch(
+        sample, FullOptions(spec.default_k, spec.default_delta, best));
+    std::printf("%-6d %10u %10u %14s %14s %20s\n", pct, sample.num_vertices(),
+                sample.num_edges(), bench::TimeCell(base).c_str(),
+                bench::TimeCell(ub).c_str(), bench::TimeCell(full).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace fairclique
+
+int main() {
+  using namespace fairclique;
+  SetLogLevel(LogLevel::kWarning);
+  std::printf("=== Fig. 9: scalability on flixster-s subsamples ===\n\n");
+  DatasetSpec spec = DatasetByName("flixster-s");
+  AttributedGraph g = LoadDataset(spec.name, bench::BenchScale());
+  RunSeries(g, /*vary_vertices=*/false, spec);
+  std::printf("\n");
+  RunSeries(g, /*vary_vertices=*/true, spec);
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Google-benchmark microbenchmarks for the library's primitives: coloring,
+// core decompositions, reductions, upper bounds and heuristics. Not tied to
+// a specific paper figure; used to watch for regressions in the building
+// blocks the headline experiments are made of.
+
+#include <benchmark/benchmark.h>
+
+#include "bounds/upper_bounds.h"
+#include "common/logging.h"
+#include "core/heuristics.h"
+#include "core/max_fair_clique.h"
+#include "graph/coloring.h"
+#include "graph/cores.h"
+#include "graph/generators.h"
+#include "graph/triangles.h"
+#include "reduction/colorful_core.h"
+#include "reduction/colorful_support.h"
+#include "reduction/support_decomposition.h"
+
+namespace fairclique {
+namespace {
+
+AttributedGraph MakeBenchGraph(int64_t n, double avg_degree) {
+  Rng rng(0xBE7C);
+  AttributedGraph g =
+      ChungLuPowerLaw(static_cast<VertexId>(n), avg_degree, 2.4, rng);
+  return AssignAttributesBernoulli(g, 0.5, rng);
+}
+
+void BM_GreedyColoring(benchmark::State& state) {
+  AttributedGraph g = MakeBenchGraph(state.range(0), 12.0);
+  for (auto _ : state) {
+    Coloring c = GreedyColoring(g);
+    benchmark::DoNotOptimize(c.num_colors);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_GreedyColoring)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_CoreDecomposition(benchmark::State& state) {
+  AttributedGraph g = MakeBenchGraph(state.range(0), 12.0);
+  for (auto _ : state) {
+    CoreDecomposition d = ComputeCores(g);
+    benchmark::DoNotOptimize(d.degeneracy);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_CoreDecomposition)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_ColorfulCoreDecomposition(benchmark::State& state) {
+  AttributedGraph g = MakeBenchGraph(state.range(0), 12.0);
+  Coloring c = GreedyColoring(g);
+  for (auto _ : state) {
+    ColorfulCoreDecomposition d = ComputeColorfulCores(g, c);
+    benchmark::DoNotOptimize(d.colorful_degeneracy);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_ColorfulCoreDecomposition)->Arg(1000)->Arg(4000);
+
+void BM_TriangleCount(benchmark::State& state) {
+  AttributedGraph g = MakeBenchGraph(state.range(0), 12.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountTriangles(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_TriangleCount)->Arg(1000)->Arg(4000);
+
+void BM_ColorfulSupReduction(benchmark::State& state) {
+  AttributedGraph g = MakeBenchGraph(state.range(0), 12.0);
+  Coloring c = GreedyColoring(g);
+  for (auto _ : state) {
+    EdgeReductionResult r = ColorfulSupReduction(g, c, 3);
+    benchmark::DoNotOptimize(r.edges_left);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_ColorfulSupReduction)->Arg(1000)->Arg(4000);
+
+void BM_EnColorfulSupReduction(benchmark::State& state) {
+  AttributedGraph g = MakeBenchGraph(state.range(0), 12.0);
+  Coloring c = GreedyColoring(g);
+  for (auto _ : state) {
+    EdgeReductionResult r = EnColorfulSupReduction(g, c, 3);
+    benchmark::DoNotOptimize(r.edges_left);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_EnColorfulSupReduction)->Arg(1000)->Arg(4000);
+
+void BM_AdvancedBound(benchmark::State& state) {
+  AttributedGraph g = MakeBenchGraph(state.range(0), 12.0);
+  Coloring c = GreedyColoring(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AdvancedBound(g, c, 2));
+  }
+}
+BENCHMARK(BM_AdvancedBound)->Arg(1000)->Arg(4000);
+
+void BM_ColorfulPathBound(benchmark::State& state) {
+  AttributedGraph g = MakeBenchGraph(state.range(0), 12.0);
+  Coloring c = GreedyColoring(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ColorfulPathBound(g, c));
+  }
+}
+BENCHMARK(BM_ColorfulPathBound)->Arg(1000)->Arg(4000);
+
+void BM_SupportDecomposition(benchmark::State& state) {
+  AttributedGraph g = MakeBenchGraph(state.range(0), 12.0);
+  Coloring c = GreedyColoring(g);
+  for (auto _ : state) {
+    SupportDecomposition d = ComputeColorfulSupportNumbers(g, c);
+    benchmark::DoNotOptimize(d.max_k);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_SupportDecomposition)->Arg(1000)->Arg(4000);
+
+void BM_SearchVectorEngine(benchmark::State& state) {
+  Rng rng(0x5EA);
+  AttributedGraph g = MakeBenchGraph(state.range(0), 14.0);
+  g = PlantClique(g, 16, /*balanced=*/true, rng, nullptr);
+  SearchOptions opts = BoundedOptions(4, 2, ExtraBound::kColorfulDegeneracy);
+  opts.engine = SearchEngine::kVector;
+  for (auto _ : state) {
+    SearchResult r = FindMaximumFairClique(g, opts);
+    benchmark::DoNotOptimize(r.clique.size());
+  }
+}
+BENCHMARK(BM_SearchVectorEngine)->Arg(1000)->Arg(3000);
+
+void BM_SearchBitsetEngine(benchmark::State& state) {
+  Rng rng(0x5EA);
+  AttributedGraph g = MakeBenchGraph(state.range(0), 14.0);
+  g = PlantClique(g, 16, /*balanced=*/true, rng, nullptr);
+  SearchOptions opts = BoundedOptions(4, 2, ExtraBound::kColorfulDegeneracy);
+  opts.engine = SearchEngine::kBitset;
+  for (auto _ : state) {
+    SearchResult r = FindMaximumFairClique(g, opts);
+    benchmark::DoNotOptimize(r.clique.size());
+  }
+}
+BENCHMARK(BM_SearchBitsetEngine)->Arg(1000)->Arg(3000);
+
+void BM_HeurRFC(benchmark::State& state) {
+  AttributedGraph g = MakeBenchGraph(state.range(0), 12.0);
+  for (auto _ : state) {
+    HeuristicResult r = HeurRFC(g, {{3, 2}, 1});
+    benchmark::DoNotOptimize(r.clique.size());
+  }
+}
+BENCHMARK(BM_HeurRFC)->Arg(1000)->Arg(4000);
+
+}  // namespace
+}  // namespace fairclique
+
+int main(int argc, char** argv) {
+  fairclique::SetLogLevel(fairclique::LogLevel::kWarning);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

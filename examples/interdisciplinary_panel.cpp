@@ -1,0 +1,61 @@
+// Interdisciplinary panel selection with more than two attribute values —
+// the d-ary generalization of the paper's model (src/multiattr/). Scenario:
+// assemble the largest fully-connected review panel drawing at least k
+// members from each of three research areas (databases, machine learning,
+// systems) with the per-area head-counts spread by at most delta.
+//
+//   $ ./build/examples/interdisciplinary_panel
+
+#include <cstdio>
+
+#include "core/fairclique.h"
+#include "multiattr/multi_fair_clique.h"
+
+int main() {
+  using namespace fairclique;
+  SetLogLevel(LogLevel::kWarning);
+
+  // Collaboration network with planted cross-area groups.
+  Rng rng(7);
+  PlantedCliqueOptions opts;
+  opts.num_vertices = 1500;
+  opts.background_edge_prob = 0.0015;
+  opts.num_cliques = 120;
+  opts.min_clique_size = 3;
+  opts.max_clique_size = 8;
+  AttributedGraph base = PlantedCliqueGraph(opts, rng);
+  MultiAttrGraph network = AssignLabelsUniform(base, /*num_labels=*/3, rng);
+  std::vector<VertexId> planted;
+  network = PlantBalancedMultiClique(network, 15, rng, &planted);
+
+  const char* kAreaNames[3] = {"databases", "ML", "systems"};
+  std::printf("network: %u researchers, %u collaboration edges\n",
+              network.graph().num_vertices(), network.graph().num_edges());
+  std::printf("area sizes:");
+  for (int l = 0; l < 3; ++l) {
+    std::printf(" %s=%lld", kAreaNames[l],
+                static_cast<long long>(network.label_counts()[l]));
+  }
+  std::printf("\nplanted cross-area panel: %zu members (5/5/5)\n\n",
+              planted.size());
+
+  std::printf("%-34s %6s %6s %6s %6s\n", "requirement", "panel", "DB", "ML",
+              "SYS");
+  for (int k = 2; k <= 5; ++k) {
+    MultiFairnessParams params{k, 1};
+    MultiSearchResult r = FindMaximumMultiFairClique(network, params);
+    std::printf(">=%d per area, spread<=1 %12zu %6lld %6lld %6lld\n", k,
+                r.clique.size(), static_cast<long long>(r.label_counts[0]),
+                static_cast<long long>(r.label_counts[1]),
+                static_cast<long long>(r.label_counts[2]));
+  }
+
+  MultiFairnessParams params{5, 1};
+  MultiSearchResult r = FindMaximumMultiFairClique(network, params);
+  bool ok = r.clique.size() >= planted.size() &&
+            IsMultiFairClique(network, r.clique, params);
+  std::printf("\nbest panel at k=5: %zu members — %s\n", r.clique.size(),
+              ok ? "planted panel recovered or beaten, fairness verified"
+                 : "FAILED to recover the planted panel");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+#ifndef FAIRCLIQUE_COMMON_LOGGING_H_
+#define FAIRCLIQUE_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace fairclique {
+
+/// Log severity levels. kFatal aborts the process after logging.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Process-wide minimum severity; messages below it are dropped. Benchmarks
+/// raise this to kWarning so tables are not interleaved with chatter.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log sink: collects the message and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace fairclique
+
+#define FC_LOG(level)                                              \
+  ::fairclique::internal::LogMessage(::fairclique::LogLevel::level, \
+                                     __FILE__, __LINE__)
+
+/// FC_CHECK aborts with a message when `cond` is false, in all build modes.
+/// Used for internal invariants whose violation means a library bug.
+#define FC_CHECK(cond)                                      \
+  if (!(cond))                                              \
+  ::fairclique::internal::LogMessage(                       \
+      ::fairclique::LogLevel::kFatal, __FILE__, __LINE__)   \
+      << "Check failed: " #cond " "
+
+#endif  // FAIRCLIQUE_COMMON_LOGGING_H_

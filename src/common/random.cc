@@ -1,0 +1,33 @@
+#include "common/random.h"
+
+#include <unordered_set>
+
+namespace fairclique {
+
+std::vector<uint64_t> Rng::SampleDistinct(uint64_t n, uint64_t count) {
+  assert(count <= n);
+  std::vector<uint64_t> result;
+  result.reserve(count);
+  if (count == 0) return result;
+  // For dense samples a partial Fisher-Yates over an explicit index array is
+  // cheaper; for sparse samples, rejection from a hash set is O(count).
+  if (count * 3 >= n) {
+    std::vector<uint64_t> all(n);
+    for (uint64_t i = 0; i < n; ++i) all[i] = i;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t j = i + NextBounded(n - i);
+      std::swap(all[i], all[j]);
+      result.push_back(all[i]);
+    }
+    return result;
+  }
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(count * 2);
+  while (result.size() < count) {
+    uint64_t x = NextBounded(n);
+    if (seen.insert(x).second) result.push_back(x);
+  }
+  return result;
+}
+
+}  // namespace fairclique

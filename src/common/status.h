@@ -1,0 +1,92 @@
+#ifndef FAIRCLIQUE_COMMON_STATUS_H_
+#define FAIRCLIQUE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace fairclique {
+
+/// A lightweight, RocksDB-style status object used for recoverable errors on
+/// all fallible public APIs (primarily IO and input validation). Algorithmic
+/// invariant violations use assertions instead; exceptions are not used.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument = 1,
+    kNotFound = 2,
+    kIOError = 3,
+    kCorruption = 4,
+    kOutOfRange = 5,
+    kAborted = 6,
+  };
+
+  /// Default-constructed status is OK.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "<code>: <message>" string, "OK" for success.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string name;
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kInvalidArgument: name = "InvalidArgument"; break;
+      case Code::kNotFound: name = "NotFound"; break;
+      case Code::kIOError: name = "IOError"; break;
+      case Code::kCorruption: name = "Corruption"; break;
+      case Code::kOutOfRange: name = "OutOfRange"; break;
+      case Code::kAborted: name = "Aborted"; break;
+    }
+    if (message_.empty()) return name;
+    return name + ": " + message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define FAIRCLIQUE_RETURN_NOT_OK(expr)          \
+  do {                                          \
+    ::fairclique::Status _st = (expr);          \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_COMMON_STATUS_H_

@@ -1,0 +1,140 @@
+#include "core/alternating_search.h"
+
+#include <algorithm>
+
+#include "graph/coloring.h"
+#include "reduction/colorful_core.h"
+
+namespace fairclique {
+
+namespace {
+
+// Mirrors Algorithm 3's state machine. Vertex sets are plain id vectors;
+// attribute partitions are recomputed per call as in the pseudo-code
+// (lines 2-3).
+class AlternatingBranch {
+ public:
+  AlternatingBranch(const AttributedGraph& g, const FairnessParams& params,
+                    const std::vector<uint32_t>& position, uint64_t node_limit)
+      : g_(g), params_(params), position_(position), node_limit_(node_limit) {}
+
+  AlternatingSearchResult Run() {
+    // Algorithm 2 line 11: Branch(∅, component, O, a, -1). We run on the
+    // whole graph; disconnected parts simply never mix in one clique.
+    std::vector<VertexId> all(g_.num_vertices());
+    for (VertexId v = 0; v < g_.num_vertices(); ++v) all[v] = v;
+    std::vector<VertexId> r;
+    Branch(r, all, Attribute::kA, -1);
+    AlternatingSearchResult out;
+    out.clique = best_;
+    out.nodes = nodes_;
+    out.completed = !aborted_;
+    return out;
+  }
+
+ private:
+  void Branch(std::vector<VertexId>& r, std::vector<VertexId> c,
+              Attribute attr_choose, int64_t amax) {
+    if (aborted_) return;
+    ++nodes_;
+    if (node_limit_ != 0 && nodes_ > node_limit_) {
+      aborted_ = true;
+      return;
+    }
+    // Lines 2-3: partition candidates and R by attribute.
+    AttrCounts r_cnt;
+    for (VertexId v : r) r_cnt[g_.attribute(v)]++;
+    AttrCounts c_cnt;
+    for (VertexId v : c) c_cnt[g_.attribute(v)]++;
+    // Lines 4-6: engage the cap when the chosen side is exhausted.
+    if (c_cnt[attr_choose] == 0 && amax == -1) {
+      amax = r_cnt[attr_choose] + params_.delta;
+    }
+    // Lines 7-8: a side that reached the cap takes no more candidates.
+    if (amax != -1) {
+      bool drop[2] = {r_cnt[Attribute::kA] >= amax,
+                      r_cnt[Attribute::kB] >= amax};
+      if (drop[0] || drop[1]) {
+        std::erase_if(c, [&](VertexId v) {
+          return drop[AttrIndex(g_.attribute(v))];
+        });
+        c_cnt[Attribute::kA] = 0;
+        c_cnt[Attribute::kB] = 0;
+        for (VertexId v : c) c_cnt[g_.attribute(v)]++;
+      }
+    }
+    // Lines 9-11 with the fairness correction: record only genuine fair
+    // cliques (the printed pseudo-code compares sizes unconditionally).
+    if (c.empty()) {
+      if (r.size() > best_.size() && params_.Satisfied(r_cnt)) {
+        best_.vertices = r;
+        best_.attr_counts = r_cnt;
+      }
+      return;
+    }
+    // Lines 12-13: flip when the chosen attribute has no candidates.
+    if (c_cnt[attr_choose] == 0) {
+      Branch(r, std::move(c), Other(attr_choose), amax);
+      return;
+    }
+    // Lines 14-24: extend by each candidate of the chosen attribute.
+    for (VertexId u : c) {
+      if (g_.attribute(u) != attr_choose) continue;
+      if (aborted_) return;
+      std::vector<VertexId> next;
+      AttrCounts next_cnt;
+      for (VertexId v : c) {
+        // Line 17: neighbor with strictly higher order only.
+        if (v != u && position_[v] > position_[u] && g_.HasEdge(u, v)) {
+          next.push_back(v);
+          next_cnt[g_.attribute(v)]++;
+        }
+      }
+      // Line 19: incumbent size prune.
+      if (next.size() + r.size() + 1 < best_.size()) continue;
+      // Line 20: minimum fair clique size.
+      if (next.size() + r.size() + 1 < 2 * static_cast<size_t>(params_.k)) {
+        continue;
+      }
+      // Lines 21-23: attribute feasibility.
+      AttrCounts rhat_cnt = r_cnt;
+      rhat_cnt[g_.attribute(u)]++;
+      if (rhat_cnt.a() + next_cnt.a() < params_.k ||
+          rhat_cnt.b() + next_cnt.b() < params_.k) {
+        continue;
+      }
+      r.push_back(u);
+      Branch(r, std::move(next), Other(attr_choose), amax);
+      r.pop_back();
+    }
+  }
+
+  const AttributedGraph& g_;
+  const FairnessParams params_;
+  const std::vector<uint32_t>& position_;
+  const uint64_t node_limit_;
+  uint64_t nodes_ = 0;
+  bool aborted_ = false;
+  CliqueResult best_;
+};
+
+}  // namespace
+
+AlternatingSearchResult AlternatingMaxFairClique(
+    const AttributedGraph& g, const FairnessParams& params,
+    const std::vector<uint32_t>& position, uint64_t node_limit) {
+  AlternatingBranch branch(g, params, position, node_limit);
+  AlternatingSearchResult result = branch.Run();
+  std::sort(result.clique.vertices.begin(), result.clique.vertices.end());
+  return result;
+}
+
+AlternatingSearchResult AlternatingMaxFairClique(const AttributedGraph& g,
+                                                 const FairnessParams& params,
+                                                 uint64_t node_limit) {
+  Coloring coloring = GreedyColoring(g);
+  ColorfulCoreDecomposition dec = ComputeColorfulCores(g, coloring);
+  return AlternatingMaxFairClique(g, params, dec.position, node_limit);
+}
+
+}  // namespace fairclique

@@ -1,0 +1,49 @@
+#ifndef FAIRCLIQUE_CORE_ALTERNATING_SEARCH_H_
+#define FAIRCLIQUE_CORE_ALTERNATING_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace fairclique {
+
+/// A faithful implementation of the paper's Branch procedure (Algorithm 3)
+/// *exactly as printed*: strict attribute alternation, one global
+/// `O(v) > O(u)` order filter, and the amax cap engaged the first time the
+/// chosen attribute's candidate set empties.
+///
+/// As DESIGN.md §2.2 analyzes (and
+/// tests/alternating_search_test.cpp demonstrates with a concrete
+/// counterexample), this pseudo-code is *incomplete*: cliques whose
+/// attribute pattern cannot be realized as an alternating, order-increasing
+/// pick sequence are never generated, so the returned clique can be smaller
+/// than the true maximum. The exact engine in max_fair_clique.h fixes this;
+/// this module exists (i) to document the gap executably, and (ii) as a
+/// fast alternating-greedy *search heuristic* — it explores far fewer nodes
+/// than the complete search and its result is always a genuine fair clique.
+struct AlternatingSearchResult {
+  CliqueResult clique;   // A fair clique (possibly sub-optimal); may be empty.
+  uint64_t nodes = 0;
+  bool completed = true;
+};
+
+/// Runs Algorithm 3 on the whole graph with the given vertex ordering
+/// (position[v] = rank of v; the paper uses the colorful-core peeling order,
+/// which callers obtain from ComputeColorfulCores). One difference from the
+/// printed pseudo-code: a candidate answer is verified against fairness
+/// before it replaces the incumbent (the printed line 10-11 updates
+/// unconditionally, which can return non-fair cliques when k is not met).
+AlternatingSearchResult AlternatingMaxFairClique(
+    const AttributedGraph& g, const FairnessParams& params,
+    const std::vector<uint32_t>& position, uint64_t node_limit = 0);
+
+/// Convenience overload: computes the CalColorOD ordering internally.
+AlternatingSearchResult AlternatingMaxFairClique(const AttributedGraph& g,
+                                                 const FairnessParams& params,
+                                                 uint64_t node_limit = 0);
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_CORE_ALTERNATING_SEARCH_H_

@@ -1,0 +1,156 @@
+#include "core/enumeration.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "graph/cores.h"
+
+namespace fairclique {
+
+namespace {
+
+// Recursive Bron-Kerbosch with pivoting over sorted candidate vectors.
+// P and X are sorted by vertex id; R is the current clique.
+struct BkState {
+  const AttributedGraph& g;
+  const std::function<void(const std::vector<VertexId>&)>& callback;
+  uint64_t max_cliques;
+  uint64_t found = 0;
+  bool aborted = false;
+  std::vector<VertexId> r;
+
+  void Recurse(std::vector<VertexId>& p, std::vector<VertexId>& x) {
+    if (aborted) return;
+    if (p.empty() && x.empty()) {
+      callback(r);
+      ++found;
+      if (max_cliques != 0 && found >= max_cliques) aborted = true;
+      return;
+    }
+    // Pivot: vertex of P ∪ X maximizing |N(pivot) ∩ P|.
+    VertexId pivot = kInvalidVertex;
+    size_t best = 0;
+    for (const std::vector<VertexId>* side : {&p, &x}) {
+      for (VertexId u : *side) {
+        size_t cnt = CountSortedIntersection(g.neighbors(u), p);
+        if (pivot == kInvalidVertex || cnt > best) {
+          pivot = u;
+          best = cnt;
+        }
+      }
+    }
+    // Branch on P \ N(pivot).
+    std::vector<VertexId> branch;
+    {
+      auto nbrs = g.neighbors(pivot);
+      std::set_difference(p.begin(), p.end(), nbrs.begin(), nbrs.end(),
+                          std::back_inserter(branch));
+    }
+    for (VertexId v : branch) {
+      if (aborted) return;
+      auto nbrs = g.neighbors(v);
+      std::vector<VertexId> np, nx;
+      std::set_intersection(p.begin(), p.end(), nbrs.begin(), nbrs.end(),
+                            std::back_inserter(np));
+      std::set_intersection(x.begin(), x.end(), nbrs.begin(), nbrs.end(),
+                            std::back_inserter(nx));
+      r.push_back(v);
+      Recurse(np, nx);
+      r.pop_back();
+      // Move v from P to X.
+      p.erase(std::lower_bound(p.begin(), p.end(), v));
+      x.insert(std::lower_bound(x.begin(), x.end(), v), v);
+    }
+  }
+
+  static size_t CountSortedIntersection(std::span<const VertexId> a,
+                                        const std::vector<VertexId>& b) {
+    size_t i = 0, j = 0, c = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] < b[j]) {
+        ++i;
+      } else if (a[i] > b[j]) {
+        ++j;
+      } else {
+        ++c;
+        ++i;
+        ++j;
+      }
+    }
+    return c;
+  }
+};
+
+}  // namespace
+
+uint64_t EnumerateMaximalCliques(
+    const AttributedGraph& g,
+    const std::function<void(const std::vector<VertexId>&)>& callback,
+    uint64_t max_cliques) {
+  BkState state{g, callback, max_cliques, 0, false, {}};
+  // Degeneracy-order outer loop (Eppstein-Löffler-Strash): process each
+  // vertex v with P restricted to later neighbors and X to earlier ones.
+  // Keeps the recursion's candidate sets at most degeneracy-sized, which is
+  // what makes the oracle usable on the dataset stand-ins.
+  CoreDecomposition cores = ComputeCores(g);
+  for (VertexId v : cores.peel_order) {
+    if (state.aborted) break;
+    std::vector<VertexId> p, x;
+    for (VertexId w : g.neighbors(v)) {
+      if (cores.position[w] > cores.position[v]) {
+        p.push_back(w);
+      } else {
+        x.push_back(w);
+      }
+    }
+    std::sort(p.begin(), p.end());
+    std::sort(x.begin(), x.end());
+    state.r.push_back(v);
+    state.Recurse(p, x);
+    state.r.pop_back();
+  }
+  return state.found;
+}
+
+CliqueResult MaxFairCliqueByEnumeration(const AttributedGraph& g,
+                                        const FairnessParams& params) {
+  CliqueResult best;
+  EnumerateMaximalCliques(g, [&](const std::vector<VertexId>& m) {
+    AttrCounts cnt;
+    for (VertexId v : m) cnt[g.attribute(v)]++;
+    int64_t size = params.BestFairSubsetSize(cnt);
+    if (size <= static_cast<int64_t>(best.size())) return;
+    // Recover a witness: minority count p, majority count size - p, with
+    // p as large as allowed subject to p <= cnt[minor], size - p <=
+    // cnt[major] and (size - p) - p <= delta.
+    Attribute minor = cnt.a() <= cnt.b() ? Attribute::kA : Attribute::kB;
+    int64_t p = std::max<int64_t>((size - params.delta + 1) / 2,
+                                  size - cnt[Other(minor)]);
+    p = std::min<int64_t>(p, cnt[minor]);
+    CliqueResult candidate;
+    int64_t took_minor = 0, took_major = 0;
+    for (VertexId v : m) {
+      if (g.attribute(v) == minor) {
+        if (took_minor < p) {
+          candidate.vertices.push_back(v);
+          ++took_minor;
+        }
+      } else {
+        if (took_major < size - p) {
+          candidate.vertices.push_back(v);
+          ++took_major;
+        }
+      }
+    }
+    candidate.attr_counts[minor] = took_minor;
+    candidate.attr_counts[Other(minor)] = took_major;
+    FC_CHECK(static_cast<int64_t>(candidate.vertices.size()) == size)
+        << "witness recovery failed";
+    FC_CHECK(params.Satisfied(candidate.attr_counts))
+        << "witness violates fairness";
+    best = std::move(candidate);
+  });
+  return best;
+}
+
+}  // namespace fairclique

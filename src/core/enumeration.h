@@ -1,0 +1,39 @@
+#ifndef FAIRCLIQUE_CORE_ENUMERATION_H_
+#define FAIRCLIQUE_CORE_ENUMERATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace fairclique {
+
+/// Bron-Kerbosch maximal clique enumeration with pivoting (Tomita-style
+/// pivot: the vertex of P ∪ X with the most neighbors in P). Invokes
+/// `callback` once per maximal clique. Intended as an *independent
+/// correctness oracle* for the fair-clique search (different algorithm,
+/// different code path) and as the naive baseline the paper's introduction
+/// describes; exponential in the worst case.
+///
+/// Returns the number of maximal cliques. `max_cliques` (0 = unlimited)
+/// aborts the enumeration early when exceeded, returning what was seen.
+uint64_t EnumerateMaximalCliques(
+    const AttributedGraph& g,
+    const std::function<void(const std::vector<VertexId>&)>& callback,
+    uint64_t max_cliques = 0);
+
+/// Exact maximum relative fair clique by exhaustive reasoning over maximal
+/// cliques: every clique is a subset of some maximal clique, and any subset
+/// of a clique is a clique, so the optimum equals
+///   max over maximal cliques M of BestFairSubsetSize(cnt_M)
+/// and a witness is recovered by dropping surplus majority vertices from the
+/// best M. Exponential; use on small/medium graphs (tests, Fig. 8 ground
+/// truth on stand-ins).
+CliqueResult MaxFairCliqueByEnumeration(const AttributedGraph& g,
+                                        const FairnessParams& params);
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_CORE_ENUMERATION_H_

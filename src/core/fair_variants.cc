@@ -1,0 +1,148 @@
+#include "core/fair_variants.h"
+
+#include <algorithm>
+
+#include "core/enumeration.h"
+#include "core/verifier.h"
+
+namespace fairclique {
+
+SearchResult FindMaximumWeakFairClique(const AttributedGraph& g, int k,
+                                       ExtraBound extra) {
+  // Weak fairness is the relative model with the balance constraint
+  // disabled; any delta >= n is unbounded in effect.
+  SearchOptions options =
+      FullOptions(k, static_cast<int>(g.num_vertices()) + 1, extra);
+  return FindMaximumFairClique(g, options);
+}
+
+SearchResult FindMaximumStrongFairClique(const AttributedGraph& g, int k,
+                                         ExtraBound extra) {
+  // Strong fairness = exact balance = delta 0.
+  SearchOptions options = FullOptions(k, 0, extra);
+  return FindMaximumFairClique(g, options);
+}
+
+uint64_t EnumerateWeakFairCliques(
+    const AttributedGraph& g, int k,
+    const std::function<void(const std::vector<VertexId>&)>& callback,
+    uint64_t max_results) {
+  // Weak fairness (cnt >= k on both sides) is upward-closed within cliques,
+  // so maximal weak fair cliques are exactly the maximal cliques passing the
+  // count filter.
+  uint64_t found = 0;
+  bool done = false;
+  EnumerateMaximalCliques(g, [&](const std::vector<VertexId>& m) {
+    if (done) return;
+    AttrCounts cnt;
+    for (VertexId v : m) cnt[g.attribute(v)]++;
+    if (cnt.a() >= k && cnt.b() >= k) {
+      callback(m);
+      ++found;
+      if (max_results != 0 && found >= max_results) done = true;
+    }
+  });
+  return found;
+}
+
+namespace {
+
+// True when some non-empty clique S inside `ext` (the common neighborhood of
+// the fair clique R) brings the attribute difference d = cnt_a - cnt_b of
+// R ∪ S into [-delta, delta]. DFS with an interval-reachability prune.
+// `diff` is cnt_R(a) - cnt_R(b).
+bool CanExtendFairly(const AttributedGraph& g,
+                     const std::vector<VertexId>& ext, size_t from,
+                     int64_t diff, int64_t delta, bool extended) {
+  if (extended && diff >= -delta && diff <= delta) return true;
+  // Remaining per-attribute capacity from ext[from..].
+  int64_t rem_a = 0, rem_b = 0;
+  for (size_t i = from; i < ext.size(); ++i) {
+    (g.attribute(ext[i]) == Attribute::kA ? rem_a : rem_b)++;
+  }
+  // Reachable difference interval is [diff - rem_b, diff + rem_a]; if it
+  // misses [-delta, delta] entirely no extension can restore balance. (The
+  // already-fair case returned true above.)
+  (void)extended;
+  if (diff - rem_b > delta || diff + rem_a < -delta) return false;
+  for (size_t i = from; i < ext.size(); ++i) {
+    VertexId w = ext[i];
+    // Shrink ext to w's neighbors beyond i.
+    std::vector<VertexId> next;
+    for (size_t j = i + 1; j < ext.size(); ++j) {
+      if (g.HasEdge(w, ext[j])) next.push_back(ext[j]);
+    }
+    int64_t d2 = diff + (g.attribute(w) == Attribute::kA ? 1 : -1);
+    if (CanExtendFairly(g, next, 0, d2, delta, /*extended=*/true)) return true;
+  }
+  return false;
+}
+
+// Ordered enumeration of all cliques with fairness-feasibility pruning.
+struct RfcEnumState {
+  const AttributedGraph& g;
+  FairnessParams params;
+  const std::function<void(const std::vector<VertexId>&)>& callback;
+  uint64_t max_results;
+  uint64_t found = 0;
+  bool done = false;
+  std::vector<VertexId> r;
+  AttrCounts r_cnt;
+
+  void Recurse(const std::vector<VertexId>& cand) {
+    if (done) return;
+    if (params.Satisfied(r_cnt)) {
+      // Maximal among fair cliques iff no clique inside the common
+      // neighborhood re-balances a strict superset. The common neighborhood
+      // of R is exactly the candidate closure over *all* vertices, not only
+      // the ordered suffix, so recompute it.
+      std::vector<VertexId> ext;
+      for (VertexId w = 0; w < g.num_vertices(); ++w) {
+        bool all = true;
+        for (VertexId v : r) {
+          if (v == w || !g.HasEdge(v, w)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) ext.push_back(w);
+      }
+      if (!CanExtendFairly(g, ext, 0, r_cnt.a() - r_cnt.b(), params.delta,
+                           /*extended=*/false)) {
+        callback(r);
+        if (++found >= max_results && max_results != 0) done = true;
+      }
+    }
+    // Feasibility prune: both attributes must still be able to reach k.
+    AttrCounts avail = r_cnt;
+    for (VertexId w : cand) avail[g.attribute(w)]++;
+    if (avail.a() < params.k || avail.b() < params.k) return;
+    for (size_t i = 0; i < cand.size() && !done; ++i) {
+      VertexId u = cand[i];
+      std::vector<VertexId> next;
+      for (size_t j = i + 1; j < cand.size(); ++j) {
+        if (g.HasEdge(u, cand[j])) next.push_back(cand[j]);
+      }
+      r.push_back(u);
+      r_cnt[g.attribute(u)]++;
+      Recurse(next);
+      r.pop_back();
+      r_cnt[g.attribute(u)]--;
+    }
+  }
+};
+
+}  // namespace
+
+uint64_t EnumerateRelativeFairCliques(
+    const AttributedGraph& g, const FairnessParams& params,
+    const std::function<void(const std::vector<VertexId>&)>& callback,
+    uint64_t max_results) {
+  RfcEnumState state{g, params, callback, max_results, 0, false, {}, {}};
+  std::vector<VertexId> all(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+  state.Recurse(all);
+  return state.found;
+}
+
+}  // namespace fairclique

@@ -1,0 +1,56 @@
+#ifndef FAIRCLIQUE_CORE_FAIR_VARIANTS_H_
+#define FAIRCLIQUE_CORE_FAIR_VARIANTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/max_fair_clique.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace fairclique {
+
+/// Companion fairness models from the line of work the paper builds on
+/// (Pan et al., ICDE'22 [23]; Zhang et al., TKDE'23 [24]): the *weak* fair
+/// clique only lower-bounds each attribute's count; the *strong* fair clique
+/// additionally forces exact equality. Both are special cases of the
+/// relative model: weak = (k, delta -> infinity), strong = (k, delta = 0)
+/// with even size. This module exposes them as first-class APIs on top of
+/// the MaxRFC engine, plus maximal weak fair clique enumeration.
+
+/// Maximum weak fair clique: the largest clique with >= k vertices of each
+/// attribute (no balance constraint). Exact.
+SearchResult FindMaximumWeakFairClique(const AttributedGraph& g, int k,
+                                       ExtraBound extra = ExtraBound::kNone);
+
+/// Maximum strong fair clique: the largest clique with an equal number
+/// (>= k) of vertices of each attribute. Exact; the result size is even.
+SearchResult FindMaximumStrongFairClique(const AttributedGraph& g, int k,
+                                         ExtraBound extra = ExtraBound::kNone);
+
+/// Enumerates all *maximal weak fair cliques*: maximal cliques whose
+/// attribute counts are both >= k. (For weak fairness the condition is
+/// upward-closed within cliques — attribute counts only grow — so the
+/// maximal weak fair cliques are exactly the maximal cliques passing the
+/// count filter, as exploited by the WFCEnum algorithm of [23].)
+/// Returns the number enumerated; `max_results` (0 = unlimited) stops early.
+uint64_t EnumerateWeakFairCliques(
+    const AttributedGraph& g, int k,
+    const std::function<void(const std::vector<VertexId>&)>& callback,
+    uint64_t max_results = 0);
+
+/// Enumerates all *relative fair cliques* per Definition 1 — fairness-
+/// satisfying cliques that are maximal among fairness-satisfying cliques.
+/// A clique C qualifies iff no proper clique superset C' also satisfies
+/// fairness. Exhaustive (intended for analysis and ground truth at moderate
+/// scale): walks maximal cliques and tests candidate subsets against the
+/// upward closure. Returns the count; `max_results` stops early.
+uint64_t EnumerateRelativeFairCliques(
+    const AttributedGraph& g, const FairnessParams& params,
+    const std::function<void(const std::vector<VertexId>&)>& callback,
+    uint64_t max_results = 0);
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_CORE_FAIR_VARIANTS_H_

@@ -1,0 +1,153 @@
+#include "core/max_clique.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/cores.h"
+
+namespace fairclique {
+
+namespace {
+
+// Branch-and-bound engine over rank-space adjacency (degeneracy order).
+class CliqueSearch {
+ public:
+  CliqueSearch(const AttributedGraph& g, uint64_t node_limit)
+      : node_limit_(node_limit) {
+    CoreDecomposition cores = ComputeCores(g);
+    rank_of_ = cores.position;
+    vertex_at_.resize(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      vertex_at_[rank_of_[v]] = v;
+    }
+    adj_.resize(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      auto& row = adj_[rank_of_[v]];
+      row.reserve(g.degree(v));
+      for (VertexId w : g.neighbors(v)) row.push_back(rank_of_[w]);
+      std::sort(row.begin(), row.end());
+    }
+  }
+
+  MaxCliqueResult Run() {
+    const uint32_t n = static_cast<uint32_t>(adj_.size());
+    std::vector<uint32_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    Branch(all);
+    MaxCliqueResult result;
+    result.nodes = nodes_;
+    result.completed = !aborted_;
+    result.clique.reserve(best_.size());
+    for (uint32_t r : best_) result.clique.push_back(vertex_at_[r]);
+    std::sort(result.clique.begin(), result.clique.end());
+    return result;
+  }
+
+ private:
+  // Greedy-colors `cand` (in place ordering preserved) and returns for each
+  // index the number of colors used by cand[0..i] — the classic coloring
+  // bound: a clique inside cand[0..i] has size <= colors(i).
+  std::vector<uint32_t> ColorBoundPrefix(const std::vector<uint32_t>& cand) {
+    // color_of uses small ints; candidates are few at deep nodes.
+    std::vector<uint32_t> bound(cand.size());
+    std::vector<int> color_of(cand.size(), -1);
+    int num_colors = 0;
+    for (size_t i = 0; i < cand.size(); ++i) {
+      // Smallest color not used by earlier adjacent candidates.
+      uint64_t used = 0;  // Bitmask over first 64 colors; overflow -> linear.
+      for (size_t j = 0; j < i; ++j) {
+        if (color_of[j] >= 0 && color_of[j] < 64 &&
+            Adjacent(cand[i], cand[j])) {
+          used |= 1ULL << color_of[j];
+        }
+      }
+      int c = 0;
+      while (c < 64 && (used >> c) & 1ULL) ++c;
+      if (c == 64) {
+        // Rare: fall back to scanning for a free color linearly.
+        std::vector<uint8_t> taken(num_colors + 1, 0);
+        for (size_t j = 0; j < i; ++j) {
+          if (Adjacent(cand[i], cand[j])) taken[color_of[j]] = 1;
+        }
+        c = 0;
+        while (taken[c]) ++c;
+      }
+      color_of[i] = c;
+      num_colors = std::max(num_colors, c + 1);
+      bound[i] = static_cast<uint32_t>(num_colors);
+    }
+    return bound;
+  }
+
+  bool Adjacent(uint32_t a, uint32_t b) const {
+    const auto& row = adj_[a];
+    return std::binary_search(row.begin(), row.end(), b);
+  }
+
+  void Branch(const std::vector<uint32_t>& cand) {
+    if (aborted_) return;
+    ++nodes_;
+    if (node_limit_ != 0 && nodes_ > node_limit_) {
+      aborted_ = true;
+      return;
+    }
+    if (r_.size() > best_.size()) best_ = r_;
+    if (cand.empty()) return;
+    std::vector<uint32_t> bound = ColorBoundPrefix(cand);
+    // Iterate candidates from the back: the prefix coloring bound applies to
+    // cand[0..i], so the i-th branch can contain at most bound[i] more
+    // vertices.
+    for (size_t i = cand.size(); i-- > 0;) {
+      if (r_.size() + bound[i] <= best_.size()) return;  // All further pruned.
+      uint32_t u = cand[i];
+      std::vector<uint32_t> next;
+      for (size_t j = 0; j < i; ++j) {
+        if (Adjacent(u, cand[j])) next.push_back(cand[j]);
+      }
+      r_.push_back(u);
+      Branch(next);
+      r_.pop_back();
+      if (aborted_) return;
+    }
+  }
+
+  uint64_t node_limit_;
+  uint64_t nodes_ = 0;
+  bool aborted_ = false;
+  std::vector<uint32_t> rank_of_;
+  std::vector<VertexId> vertex_at_;
+  std::vector<std::vector<uint32_t>> adj_;
+  std::vector<uint32_t> r_;
+  std::vector<uint32_t> best_;
+};
+
+}  // namespace
+
+MaxCliqueResult FindMaximumClique(const AttributedGraph& g,
+                                  uint64_t node_limit) {
+  if (g.num_vertices() == 0) return {};
+  CliqueSearch search(g, node_limit);
+  return search.Run();
+}
+
+std::vector<VertexId> GreedyCliqueLowerBound(const AttributedGraph& g) {
+  // Walk the reverse degeneracy order; keep vertices adjacent to all kept.
+  CoreDecomposition cores = ComputeCores(g);
+  std::vector<VertexId> clique;
+  for (auto it = cores.peel_order.rbegin(); it != cores.peel_order.rend();
+       ++it) {
+    VertexId v = *it;
+    bool ok = true;
+    for (VertexId c : clique) {
+      if (!g.HasEdge(v, c)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) clique.push_back(v);
+  }
+  std::sort(clique.begin(), clique.end());
+  return clique;
+}
+
+}  // namespace fairclique

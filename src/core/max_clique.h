@@ -1,0 +1,36 @@
+#ifndef FAIRCLIQUE_CORE_MAX_CLIQUE_H_
+#define FAIRCLIQUE_CORE_MAX_CLIQUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace fairclique {
+
+/// Result of a (plain, fairness-free) maximum clique search.
+struct MaxCliqueResult {
+  std::vector<VertexId> clique;
+  uint64_t nodes = 0;      // Branch nodes explored
+  bool completed = true;   // false when node_limit stopped the search
+};
+
+/// Exact maximum clique via Tomita-style branch and bound: vertices are
+/// ordered by degeneracy, candidate sets are greedily colored at every node
+/// and branches with |R| + colors(C) <= |best| are pruned.
+///
+/// This is the classical problem the paper's related-work section builds on
+/// (Chang KDD'19 etc.); it serves as (i) an upper bound oracle for the fair
+/// variant (the fair clique can never be larger), and (ii) the baseline for
+/// measuring how much the fairness constraints cost (bench_variants).
+/// `node_limit` (0 = unlimited) stops long searches.
+MaxCliqueResult FindMaximumClique(const AttributedGraph& g,
+                                  uint64_t node_limit = 0);
+
+/// Lower bound companion: greedy degeneracy-order clique (linear time).
+std::vector<VertexId> GreedyCliqueLowerBound(const AttributedGraph& g);
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_CORE_MAX_CLIQUE_H_

@@ -1,0 +1,116 @@
+#ifndef FAIRCLIQUE_CORE_MAX_FAIR_CLIQUE_H_
+#define FAIRCLIQUE_CORE_MAX_FAIR_CLIQUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bounds/upper_bounds.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "reduction/reduce.h"
+
+namespace fairclique {
+
+/// Which branch kernel runs inside a connected component. Both are exact
+/// and produce identical answers (differentially tested); they differ only
+/// in candidate-set representation.
+enum class SearchEngine {
+  kAuto,    // Bitset for components up to ~4096 vertices, vectors beyond.
+  kVector,  // Sorted candidate vectors; O(|C| + deg) child construction.
+  kBitset,  // Word-parallel candidate bitsets; fastest on dense residues.
+};
+
+/// Vertex ordering used by the ordered branch enumeration. The paper's
+/// CalColorOD (colorful-core peeling order) is the default; the others are
+/// ablation alternatives (bench_ablation section f).
+enum class BranchOrder {
+  kColorfulCore,  // CalColorOD: colorful-core peel order (paper default).
+  kDegeneracy,    // Plain k-core peel order.
+  kDegree,        // Ascending degree; no peeling information.
+};
+
+/// Configuration of the maximum relative fair clique search (Algorithm 2
+/// with the pruning arsenal of Sections III-V).
+struct SearchOptions {
+  FairnessParams params;
+
+  /// Branch kernel selection (see SearchEngine).
+  SearchEngine engine = SearchEngine::kAuto;
+
+  /// Vertex ordering for the branch enumeration (see BranchOrder).
+  BranchOrder order = BranchOrder::kColorfulCore;
+
+  /// Graph reduction stages run before the search (Alg. 2 lines 1-3). All
+  /// three on = the paper's MaxRFC; toggled off for ablation.
+  ReductionOptions reductions;
+
+  /// Upper bounds applied at shallow branch nodes. `use_advanced = false`
+  /// and `extra = kNone` reproduces the MaxRFC baseline (only the trivial
+  /// |R| + |C| prune of Alg. 3 line 19, which is always on).
+  UpperBoundConfig bounds{.use_advanced = false, .extra = ExtraBound::kNone};
+
+  /// Prime the incumbent with HeurRFC before branching ("MaxRFC+ub+HeurRFC"
+  /// in the paper's Fig. 6/7).
+  bool use_heuristic = false;
+
+  /// Apply the configured (expensive) upper bounds at branch depths strictly
+  /// below this value. Depth 0 is each connected component's root; depth 1
+  /// re-checks after the first vertex is chosen ("when selecting vertices to
+  /// be added to R for the first time", Section VI-A).
+  int bound_depth = 2;
+
+  /// Safety valves: stop and mark the result incomplete after this many
+  /// branch nodes / seconds (0 = unlimited). The node limit is per
+  /// component when searching in parallel.
+  uint64_t node_limit = 0;
+  double time_limit_seconds = 0.0;
+
+  /// Worker threads searching connected components concurrently. Components
+  /// share the incumbent *size* through an atomic floor, so pruning strength
+  /// matches the sequential search; the answer (and its size) is identical
+  /// — only node counts may differ run to run. 0 = hardware concurrency.
+  int num_threads = 1;
+};
+
+/// Search telemetry reported by the benchmark harnesses.
+struct SearchStats {
+  uint64_t nodes = 0;            // Branch invocations
+  uint64_t bound_prunes = 0;     // Branches cut by configured upper bounds
+  uint64_t size_prunes = 0;      // Branches cut by |R| + |C| (Lemma 5)
+  uint64_t attr_prunes = 0;      // Branches cut by attribute infeasibility
+  uint64_t cap_removals = 0;     // Candidates dropped by the delta cap
+  int64_t reduce_micros = 0;
+  int64_t heuristic_micros = 0;
+  int64_t search_micros = 0;
+  int64_t total_micros = 0;
+  bool completed = true;         // false when a limit stopped the search
+  int64_t heuristic_size = 0;    // |HeurRFC clique| when priming is enabled
+  std::vector<ReductionStageStats> reduction_stages;
+};
+
+/// Result: the maximum relative fair clique in original vertex ids (empty
+/// when none exists) and the run's statistics.
+struct SearchResult {
+  CliqueResult clique;
+  SearchStats stats;
+};
+
+/// Finds a maximum relative fair clique of `g` under `options.params`.
+///
+/// Implementation: reduction pipeline -> per-connected-component ordered
+/// branch-and-bound in colorful-core peeling order (CalColorOD), checking
+/// fairness at every node and applying the paper's prunes in their sound
+/// forms (DESIGN.md §2.2). Exact: verified against the independent
+/// Bron-Kerbosch oracle in tests/max_fair_clique_test.cpp.
+SearchResult FindMaximumFairClique(const AttributedGraph& g,
+                                   const SearchOptions& options);
+
+/// Convenience presets matching the paper's three algorithm families.
+SearchOptions BaselineOptions(int k, int delta);              // MaxRFC
+SearchOptions BoundedOptions(int k, int delta,
+                             ExtraBound extra);               // MaxRFC+ub
+SearchOptions FullOptions(int k, int delta, ExtraBound extra);// +HeurRFC
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_CORE_MAX_FAIR_CLIQUE_H_

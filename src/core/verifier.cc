@@ -1,0 +1,71 @@
+#include "core/verifier.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace fairclique {
+
+bool IsClique(const AttributedGraph& g, std::span<const VertexId> vertices) {
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (size_t j = i + 1; j < vertices.size(); ++j) {
+      if (!g.HasEdge(vertices[i], vertices[j])) return false;
+    }
+  }
+  return true;
+}
+
+AttrCounts CountAttributes(const AttributedGraph& g,
+                           std::span<const VertexId> vertices) {
+  AttrCounts cnt;
+  for (VertexId v : vertices) cnt[g.attribute(v)]++;
+  return cnt;
+}
+
+bool IsFairClique(const AttributedGraph& g,
+                  std::span<const VertexId> vertices,
+                  const FairnessParams& params) {
+  return params.Satisfied(CountAttributes(g, vertices)) &&
+         IsClique(g, vertices);
+}
+
+Status VerifyFairClique(const AttributedGraph& g,
+                        std::span<const VertexId> vertices,
+                        const FairnessParams& params) {
+  std::vector<VertexId> sorted(vertices.begin(), vertices.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] >= g.num_vertices()) {
+      return Status::OutOfRange("vertex " + std::to_string(sorted[i]) +
+                                " out of range");
+    }
+    if (i > 0 && sorted[i] == sorted[i - 1]) {
+      return Status::InvalidArgument("duplicate vertex " +
+                                     std::to_string(sorted[i]));
+    }
+  }
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    for (size_t j = i + 1; j < sorted.size(); ++j) {
+      if (!g.HasEdge(sorted[i], sorted[j])) {
+        return Status::InvalidArgument(
+            "not a clique: missing edge (" + std::to_string(sorted[i]) + ", " +
+            std::to_string(sorted[j]) + ")");
+      }
+    }
+  }
+  AttrCounts cnt = CountAttributes(g, vertices);
+  if (cnt.a() < params.k || cnt.b() < params.k) {
+    return Status::InvalidArgument(
+        "fairness violated: attribute counts (" + std::to_string(cnt.a()) +
+        ", " + std::to_string(cnt.b()) + ") below k=" +
+        std::to_string(params.k));
+  }
+  if (cnt.Diff() > params.delta) {
+    return Status::InvalidArgument(
+        "fairness violated: |" + std::to_string(cnt.a()) + " - " +
+        std::to_string(cnt.b()) + "| > delta=" + std::to_string(params.delta));
+  }
+  return Status::OK();
+}
+
+}  // namespace fairclique

@@ -1,0 +1,163 @@
+#include "graph/binary_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace fairclique {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'C', 'G', '1'};
+
+void PutU32(std::string* buf, uint32_t v) {
+  char bytes[4] = {static_cast<char>(v & 0xff),
+                   static_cast<char>((v >> 8) & 0xff),
+                   static_cast<char>((v >> 16) & 0xff),
+                   static_cast<char>((v >> 24) & 0xff)};
+  buf->append(bytes, 4);
+}
+
+bool GetU32(const std::string& buf, size_t* pos, uint32_t* out) {
+  if (*pos + 4 > buf.size()) return false;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(buf.data() + *pos);
+  *out = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+  *pos += 4;
+  return true;
+}
+
+}  // namespace
+
+Status SaveBinaryGraph(const AttributedGraph& g, const std::string& path) {
+  std::string buf;
+  buf.reserve(12 + 8ull * g.num_edges() + g.num_vertices());
+  buf.append(kMagic, 4);
+  PutU32(&buf, g.num_vertices());
+  PutU32(&buf, g.num_edges());
+  for (const Edge& e : g.edges()) {
+    PutU32(&buf, e.u);
+    PutU32(&buf, e.v);
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    buf.push_back(static_cast<char>(AttrIndex(g.attribute(v))));
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadBinaryGraph(const std::string& path, AttributedGraph* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string buf = ss.str();
+
+  if (buf.size() < 12 || std::memcmp(buf.data(), kMagic, 4) != 0) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  size_t pos = 4;
+  uint32_t n = 0, m = 0;
+  if (!GetU32(buf, &pos, &n) || !GetU32(buf, &pos, &m)) {
+    return Status::Corruption("truncated header in " + path);
+  }
+  const size_t expected = 12 + 8ull * m + n;
+  if (buf.size() != expected) {
+    return Status::Corruption("size mismatch in " + path + ": have " +
+                              std::to_string(buf.size()) + ", want " +
+                              std::to_string(expected));
+  }
+  GraphBuilder builder(n);
+  for (uint32_t e = 0; e < m; ++e) {
+    uint32_t u = 0, v = 0;
+    GetU32(buf, &pos, &u);
+    GetU32(buf, &pos, &v);
+    if (u >= n || v >= n) {
+      return Status::Corruption("edge endpoint out of range in " + path);
+    }
+    builder.AddEdge(u, v);
+  }
+  for (uint32_t v = 0; v < n; ++v) {
+    unsigned char a = static_cast<unsigned char>(buf[pos++]);
+    if (a > 1) {
+      return Status::Corruption("bad attribute byte in " + path);
+    }
+    builder.SetAttribute(v, static_cast<Attribute>(a));
+  }
+  *out = builder.Build();
+  return Status::OK();
+}
+
+Status LoadMetisGraph(const std::string& path, AttributedGraph* out) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open: " + path);
+  std::string line;
+  size_t line_no = 0;
+  // Header.
+  uint64_t n = 0, m = 0;
+  int fmt = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line[0] == '%') continue;
+    std::istringstream hs(line);
+    if (!(hs >> n >> m)) {
+      return Status::InvalidArgument("bad METIS header at " + path + ":" +
+                                     std::to_string(line_no));
+    }
+    if (hs >> fmt && fmt != 0) {
+      return Status::InvalidArgument("weighted METIS graphs not supported (" +
+                                     path + ")");
+    }
+    break;
+  }
+  GraphBuilder builder(static_cast<VertexId>(n));
+  uint64_t vertex = 0;
+  while (vertex < n && std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line[0] == '%') continue;
+    std::istringstream ls(line);
+    uint64_t nbr;
+    while (ls >> nbr) {
+      if (nbr < 1 || nbr > n) {
+        return Status::OutOfRange("METIS neighbor id " + std::to_string(nbr) +
+                                  " out of [1, n] at " + path + ":" +
+                                  std::to_string(line_no));
+      }
+      builder.AddEdge(static_cast<VertexId>(vertex),
+                      static_cast<VertexId>(nbr - 1));
+    }
+    if (!ls.eof()) {
+      return Status::InvalidArgument("non-numeric METIS token at " + path +
+                                     ":" + std::to_string(line_no));
+    }
+    ++vertex;
+  }
+  if (vertex != n) {
+    return Status::Corruption("METIS file ended after " +
+                              std::to_string(vertex) + " of " +
+                              std::to_string(n) + " vertex lines (" + path +
+                              ")");
+  }
+  AttributedGraph g = builder.Build();
+  if (g.num_edges() != m) {
+    // METIS counts each undirected edge once; tolerate mismatches caused by
+    // duplicate listings but flag truly inconsistent headers.
+    if (g.num_edges() > m) {
+      return Status::Corruption("METIS header declares " + std::to_string(m) +
+                                " edges but file contains " +
+                                std::to_string(g.num_edges()) + " (" + path +
+                                ")");
+    }
+  }
+  *out = std::move(g);
+  return Status::OK();
+}
+
+}  // namespace fairclique

@@ -1,0 +1,36 @@
+#ifndef FAIRCLIQUE_GRAPH_BINARY_IO_H_
+#define FAIRCLIQUE_GRAPH_BINARY_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace fairclique {
+
+/// Compact binary container for attributed graphs ("FCG1"): magic, counts,
+/// the sorted edge array and the attribute bytes, each section preceded by
+/// fixed-width little-endian lengths. Loads ~10x faster than text edge lists
+/// and round-trips attributes in one file.
+///
+/// Layout:
+///   bytes 0-3   magic "FCG1"
+///   bytes 4-7   uint32 num_vertices
+///   bytes 8-11  uint32 num_edges
+///   then num_edges * (uint32 u, uint32 v) with u < v, sorted
+///   then num_vertices * uint8 attribute (0 = a, 1 = b)
+Status SaveBinaryGraph(const AttributedGraph& g, const std::string& path);
+
+/// Loads an FCG1 file. Fails with Corruption on bad magic, truncated
+/// sections, out-of-range endpoints, or attribute bytes > 1.
+Status LoadBinaryGraph(const std::string& path, AttributedGraph* out);
+
+/// Loads a METIS-format graph (one header line "n m [fmt]", then one line
+/// per vertex listing its 1-based neighbors). Vertex attributes default to
+/// kA. Tolerates comment lines starting with '%'. Edge weights are not
+/// supported (fmt must be 0 or absent).
+Status LoadMetisGraph(const std::string& path, AttributedGraph* out);
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_GRAPH_BINARY_IO_H_

@@ -1,0 +1,141 @@
+#include "graph/coloring.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "graph/cores.h"
+
+namespace fairclique {
+
+namespace {
+
+std::vector<VertexId> OrderVertices(const AttributedGraph& g,
+                                    ColoringOrder order) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> verts(n);
+  std::iota(verts.begin(), verts.end(), 0);
+  switch (order) {
+    case ColoringOrder::kNatural:
+      break;
+    case ColoringOrder::kDegreeDescending: {
+      // Counting sort by degree, descending; ties by id for determinism.
+      uint32_t dmax = g.max_degree();
+      std::vector<std::vector<VertexId>> buckets(dmax + 1);
+      for (VertexId v = 0; v < n; ++v) buckets[g.degree(v)].push_back(v);
+      verts.clear();
+      for (size_t d = buckets.size(); d-- > 0;) {
+        for (VertexId v : buckets[d]) verts.push_back(v);
+      }
+      break;
+    }
+    case ColoringOrder::kDegeneracy: {
+      // Smallest-last: color in reverse peeling order, which bounds the
+      // number of colors by degeneracy + 1.
+      CoreDecomposition cores = ComputeCores(g);
+      verts.assign(cores.peel_order.rbegin(), cores.peel_order.rend());
+      break;
+    }
+  }
+  return verts;
+}
+
+}  // namespace
+
+Coloring GreedyColoring(const AttributedGraph& g, ColoringOrder order) {
+  const VertexId n = g.num_vertices();
+  Coloring result;
+  result.color.assign(n, -1);
+  std::vector<VertexId> verts = OrderVertices(g, order);
+
+  // `used[c] == v` marks color c as used by a neighbor of the vertex v being
+  // colored; avoids clearing a bitmap between vertices.
+  std::vector<VertexId> used(static_cast<size_t>(g.max_degree()) + 2,
+                             kInvalidVertex);
+  int num_colors = 0;
+  for (VertexId v : verts) {
+    for (VertexId w : g.neighbors(v)) {
+      ColorId c = result.color[w];
+      if (c >= 0) used[static_cast<size_t>(c)] = v;
+    }
+    ColorId c = 0;
+    while (used[static_cast<size_t>(c)] == v) ++c;
+    result.color[v] = c;
+    num_colors = std::max(num_colors, c + 1);
+  }
+  result.num_colors = num_colors;
+  return result;
+}
+
+bool IsProperColoring(const AttributedGraph& g, const Coloring& coloring) {
+  if (coloring.color.size() != g.num_vertices()) return false;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ColorId c = coloring.color[v];
+    if (c < 0 || c >= coloring.num_colors) return false;
+    for (VertexId w : g.neighbors(v)) {
+      if (coloring.color[w] == c) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<AttrCounts> ColorfulDegrees(const AttributedGraph& g,
+                                        const Coloring& coloring) {
+  const VertexId n = g.num_vertices();
+  std::vector<AttrCounts> result(n);
+  // seen[attr][color] == v marks (attr, color) as counted for vertex v.
+  std::vector<VertexId> seen[2];
+  seen[0].assign(static_cast<size_t>(coloring.num_colors), kInvalidVertex);
+  seen[1].assign(static_cast<size_t>(coloring.num_colors), kInvalidVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId w : g.neighbors(v)) {
+      int ai = AttrIndex(g.attribute(w));
+      size_t c = static_cast<size_t>(coloring.color[w]);
+      if (seen[ai][c] != v) {
+        seen[ai][c] = v;
+        result[v].counts[ai]++;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<int64_t> EnhancedColorfulDegrees(const AttributedGraph& g,
+                                             const Coloring& coloring) {
+  const VertexId n = g.num_vertices();
+  std::vector<int64_t> result(n, 0);
+  // For each vertex, classify each neighbor color as a-only / b-only / mixed.
+  std::vector<VertexId> seen[2];
+  seen[0].assign(static_cast<size_t>(coloring.num_colors), kInvalidVertex);
+  seen[1].assign(static_cast<size_t>(coloring.num_colors), kInvalidVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    int64_t ca = 0, cb = 0, cm = 0;
+    for (VertexId w : g.neighbors(v)) {
+      int ai = AttrIndex(g.attribute(w));
+      int oi = 1 - ai;
+      size_t c = static_cast<size_t>(coloring.color[w]);
+      if (seen[ai][c] == v) continue;  // (attr, color) already seen.
+      seen[ai][c] = v;
+      bool other_present = seen[oi][c] == v;
+      if (other_present) {
+        // Color moves from the other-only class to mixed.
+        if (oi == 0) {
+          --ca;
+        } else {
+          --cb;
+        }
+        ++cm;
+      } else {
+        if (ai == 0) {
+          ++ca;
+        } else {
+          ++cb;
+        }
+      }
+    }
+    result[v] = BalancedAssignMin(ca, cb, cm);
+  }
+  return result;
+}
+
+}  // namespace fairclique

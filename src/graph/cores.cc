@@ -1,0 +1,118 @@
+#include "graph/cores.h"
+
+#include <algorithm>
+
+namespace fairclique {
+
+CoreDecomposition ComputeCores(const AttributedGraph& g) {
+  const VertexId n = g.num_vertices();
+  CoreDecomposition result;
+  result.core.assign(n, 0);
+  result.peel_order.reserve(n);
+  result.position.assign(n, 0);
+  if (n == 0) return result;
+
+  // Bucket sort vertices by degree.
+  const uint32_t dmax = g.max_degree();
+  std::vector<uint32_t> deg(n);
+  std::vector<uint32_t> bucket_start(dmax + 2, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    bucket_start[deg[v] + 1]++;
+  }
+  for (uint32_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  // vert: vertices sorted by current degree; pos: inverse permutation;
+  // bucket_cursor[d]: start of bucket d within vert.
+  std::vector<VertexId> vert(n);
+  std::vector<uint32_t> pos(n);
+  std::vector<uint32_t> bucket_cursor(bucket_start.begin(),
+                                      bucket_start.end() - 1);
+  {
+    std::vector<uint32_t> cursor = bucket_cursor;
+    for (VertexId v = 0; v < n; ++v) {
+      pos[v] = cursor[deg[v]]++;
+      vert[pos[v]] = v;
+    }
+  }
+
+  uint32_t degeneracy = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    VertexId v = vert[i];
+    degeneracy = std::max(degeneracy, deg[v]);
+    result.core[v] = degeneracy;
+    result.peel_order.push_back(v);
+    result.position[v] = i;
+    for (VertexId w : g.neighbors(v)) {
+      if (deg[w] > deg[v]) {
+        // Move w one bucket down: swap it with the first vertex of its
+        // bucket, then advance that bucket's start.
+        uint32_t dw = deg[w];
+        uint32_t pw = pos[w];
+        uint32_t pfirst = bucket_cursor[dw];
+        VertexId first = vert[pfirst];
+        if (w != first) {
+          std::swap(vert[pw], vert[pfirst]);
+          pos[w] = pfirst;
+          pos[first] = pw;
+        }
+        bucket_cursor[dw]++;
+        deg[w]--;
+      }
+    }
+  }
+  result.degeneracy = degeneracy;
+  return result;
+}
+
+std::vector<uint8_t> KCoreAliveFlags(const AttributedGraph& g, uint32_t k) {
+  const VertexId n = g.num_vertices();
+  std::vector<uint8_t> alive(n, 1);
+  std::vector<uint32_t> deg(n);
+  std::vector<VertexId> queue;
+  for (VertexId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    if (deg[v] < k) {
+      alive[v] = 0;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    VertexId v = queue.back();
+    queue.pop_back();
+    for (VertexId w : g.neighbors(v)) {
+      if (alive[w] && --deg[w] < k) {
+        alive[w] = 0;
+        queue.push_back(w);
+      }
+    }
+  }
+  return alive;
+}
+
+uint32_t GraphHIndex(const AttributedGraph& g) {
+  std::vector<int64_t> degrees(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) degrees[v] = g.degree(v);
+  return HIndexOfValues(degrees);
+}
+
+uint32_t HIndexOfValues(const std::vector<int64_t>& values) {
+  // Counting approach: cnt[h] = number of entries with value >= h, capped at
+  // n (h can never exceed n).
+  const size_t n = values.size();
+  std::vector<uint32_t> count(n + 1, 0);
+  for (int64_t v : values) {
+    if (v <= 0) continue;
+    size_t capped = std::min<int64_t>(v, static_cast<int64_t>(n));
+    count[capped]++;
+  }
+  uint32_t running = 0;
+  for (size_t h = n; h > 0; --h) {
+    running += count[h];
+    if (running >= h) return static_cast<uint32_t>(h);
+  }
+  return 0;
+}
+
+}  // namespace fairclique

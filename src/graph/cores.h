@@ -1,0 +1,43 @@
+#ifndef FAIRCLIQUE_GRAPH_CORES_H_
+#define FAIRCLIQUE_GRAPH_CORES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace fairclique {
+
+/// Result of k-core decomposition by bucket peeling.
+struct CoreDecomposition {
+  /// core[v]: largest k such that v belongs to the k-core.
+  std::vector<uint32_t> core;
+  /// Vertices in peeling order (non-decreasing core number).
+  std::vector<VertexId> peel_order;
+  /// position[v]: index of v in peel_order. The suffix of peel_order starting
+  /// at v, restricted to v's neighbors, has size >= core[v] (degeneracy
+  /// ordering property).
+  std::vector<uint32_t> position;
+  /// Graph degeneracy = max core number (0 for an empty graph).
+  uint32_t degeneracy = 0;
+};
+
+/// O(V + E) bucket-based core decomposition (Matula-Beck / Batagelj-Zaversnik).
+CoreDecomposition ComputeCores(const AttributedGraph& g);
+
+/// Alive-flags (1/0 per vertex) of the maximal subgraph with minimum degree
+/// >= k. Equivalent to `ComputeCores(g).core[v] >= k` but cheaper when only
+/// one threshold is needed.
+std::vector<uint8_t> KCoreAliveFlags(const AttributedGraph& g, uint32_t k);
+
+/// The graph h-index (Lemma 11 substrate): the largest h such that at least
+/// h vertices have degree >= h. O(V).
+uint32_t GraphHIndex(const AttributedGraph& g);
+
+/// Generic h-index of a value sequence: largest h with >= h entries >= h.
+uint32_t HIndexOfValues(const std::vector<int64_t>& values);
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_GRAPH_CORES_H_

@@ -1,0 +1,347 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace fairclique {
+
+AttributedGraph ErdosRenyi(VertexId n, double p, Rng& rng) {
+  GraphBuilder builder(n);
+  if (p <= 0.0 || n < 2) return builder.Build();
+  if (p >= 1.0) {
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+    }
+    return builder.Build();
+  }
+  // Geometric skipping over the linearized strict upper triangle: the gap
+  // between consecutive edges is geometric with parameter p, so skip
+  // floor(log(1-r)/log(1-p)) candidates before each emission.
+  const double log_q = std::log1p(-p);
+  uint64_t total = static_cast<uint64_t>(n) * (n - 1) / 2;
+  uint64_t idx = 0;
+  while (true) {
+    double r = rng.NextDouble();
+    double skip = std::floor(std::log1p(-r) / log_q);
+    if (skip > static_cast<double>(total)) break;
+    idx += static_cast<uint64_t>(skip);
+    if (idx >= total) break;
+    // Unrank idx -> (u, v) in the upper triangle.
+    // Row u starts at offset u*n - u*(u+1)/2 - u ... use incremental search
+    // via the quadratic formula for robustness.
+    double nn = static_cast<double>(n);
+    double ui = nn - 0.5 -
+                std::sqrt((nn - 0.5) * (nn - 0.5) - 2.0 * static_cast<double>(idx));
+    VertexId u = static_cast<VertexId>(ui);
+    // Fix up floating point error.
+    auto row_start = [n](VertexId row) {
+      return static_cast<uint64_t>(row) * n - static_cast<uint64_t>(row) * (row + 1) / 2;
+    };
+    while (u + 1 < n && row_start(u + 1) <= idx) ++u;
+    while (u > 0 && row_start(u) > idx) --u;
+    VertexId v = static_cast<VertexId>(u + 1 + (idx - row_start(u)));
+    builder.AddEdge(u, v);
+    ++idx;
+  }
+  return builder.Build();
+}
+
+AttributedGraph GnM(VertexId n, uint64_t m, Rng& rng) {
+  GraphBuilder builder(n);
+  if (n < 2) return builder.Build();
+  uint64_t total = static_cast<uint64_t>(n) * (n - 1) / 2;
+  m = std::min(m, total);
+  std::vector<uint64_t> picks = rng.SampleDistinct(total, m);
+  auto row_start = [n](VertexId row) {
+    return static_cast<uint64_t>(row) * n -
+           static_cast<uint64_t>(row) * (row + 1) / 2;
+  };
+  for (uint64_t idx : picks) {
+    double nn = static_cast<double>(n);
+    double ui = nn - 0.5 -
+                std::sqrt((nn - 0.5) * (nn - 0.5) - 2.0 * static_cast<double>(idx));
+    VertexId u = static_cast<VertexId>(std::max(0.0, ui));
+    while (u + 1 < n && row_start(u + 1) <= idx) ++u;
+    while (u > 0 && row_start(u) > idx) --u;
+    VertexId v = static_cast<VertexId>(u + 1 + (idx - row_start(u)));
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+AttributedGraph ChungLuPowerLaw(VertexId n, double avg_degree, double exponent,
+                                Rng& rng) {
+  GraphBuilder builder(n);
+  if (n < 2 || avg_degree <= 0.0) return builder.Build();
+  FC_CHECK(exponent > 2.0) << "Chung-Lu requires exponent > 2";
+  // Expected degree sequence w_i ~ (i + i0)^(-1/(exponent-1)), rescaled to
+  // average avg_degree.
+  const double alpha = 1.0 / (exponent - 1.0);
+  std::vector<double> w(n);
+  double sum = 0.0;
+  for (VertexId i = 0; i < n; ++i) {
+    w[i] = std::pow(static_cast<double>(i) + 1.0, -alpha);
+    sum += w[i];
+  }
+  const double scale = avg_degree * n / sum;
+  double wsum = 0.0;
+  for (VertexId i = 0; i < n; ++i) {
+    w[i] *= scale;
+    // Cap weights at sqrt(W) to keep probabilities <= 1 later.
+    wsum += w[i];
+  }
+  const double cap = std::sqrt(wsum);
+  for (VertexId i = 0; i < n; ++i) w[i] = std::min(w[i], cap);
+  wsum = std::accumulate(w.begin(), w.end(), 0.0);
+
+  // Efficient Chung-Lu sampling (Miller-Hagberg): vertices sorted by weight
+  // descending (already true by construction), skip-sample per row.
+  for (VertexId u = 0; u + 1 < n; ++u) {
+    double p = std::min(1.0, w[u] * w[u + 1] / wsum);
+    VertexId v = u + 1;
+    while (v < n && p > 0.0) {
+      if (p < 1.0) {
+        double r = rng.NextDouble();
+        double skip = std::floor(std::log(1.0 - r) / std::log1p(-p));
+        if (skip >= static_cast<double>(n - v)) break;
+        v += static_cast<VertexId>(skip);
+      }
+      if (v >= n) break;
+      double q = std::min(1.0, w[u] * w[v] / wsum);
+      if (rng.NextDouble() < q / p) {
+        builder.AddEdge(u, v);
+      }
+      p = q;
+      ++v;
+    }
+  }
+  return builder.Build();
+}
+
+AttributedGraph BarabasiAlbert(VertexId n, uint32_t edges_per_vertex,
+                               Rng& rng) {
+  GraphBuilder builder(n);
+  if (n < 2) return builder.Build();
+  const uint32_t m = std::max(1u, edges_per_vertex);
+  // Repeated-endpoint list: sampling a uniform element of `targets` is
+  // sampling proportionally to degree.
+  std::vector<VertexId> targets;
+  targets.reserve(2ull * m * n);
+  // Seed: a small clique on min(m+1, n) vertices.
+  VertexId seed = std::min<VertexId>(m + 1, n);
+  for (VertexId u = 0; u < seed; ++u) {
+    for (VertexId v = u + 1; v < seed; ++v) {
+      builder.AddEdge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  for (VertexId v = seed; v < n; ++v) {
+    std::vector<VertexId> chosen;
+    chosen.reserve(m);
+    // Rejection: resample duplicates; degree-proportional via targets list.
+    uint32_t guard = 0;
+    while (chosen.size() < m && guard < 16 * m + 64) {
+      ++guard;
+      VertexId t = targets[rng.NextBounded(targets.size())];
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+      }
+    }
+    for (VertexId t : chosen) {
+      builder.AddEdge(v, t);
+      targets.push_back(v);
+      targets.push_back(t);
+    }
+  }
+  return builder.Build();
+}
+
+AttributedGraph PlantedCliqueGraph(const PlantedCliqueOptions& options,
+                                   Rng& rng) {
+  AttributedGraph base =
+      ErdosRenyi(options.num_vertices, options.background_edge_prob, rng);
+  GraphBuilder builder(options.num_vertices);
+  for (const Edge& e : base.edges()) builder.AddEdge(e.u, e.v);
+  for (uint32_t c = 0; c < options.num_cliques; ++c) {
+    uint32_t size = static_cast<uint32_t>(rng.NextInRange(
+        options.min_clique_size, options.max_clique_size));
+    size = std::min<uint32_t>(size, options.num_vertices);
+    std::vector<uint64_t> picked =
+        rng.SampleDistinct(options.num_vertices, size);
+    for (size_t i = 0; i < picked.size(); ++i) {
+      for (size_t j = i + 1; j < picked.size(); ++j) {
+        builder.AddEdge(static_cast<VertexId>(picked[i]),
+                        static_cast<VertexId>(picked[j]));
+      }
+    }
+  }
+  return builder.Build();
+}
+
+AttributedGraph PlantClique(const AttributedGraph& g, uint32_t size,
+                            bool balanced, Rng& rng,
+                            std::vector<VertexId>* members) {
+  FC_CHECK(size <= g.num_vertices())
+      << "cannot plant a clique larger than the graph";
+  std::vector<VertexId> chosen;
+  if (!balanced) {
+    for (uint64_t x : rng.SampleDistinct(g.num_vertices(), size)) {
+      chosen.push_back(static_cast<VertexId>(x));
+    }
+  } else {
+    // Pick ceil(size/2) from one attribute and floor(size/2) from the other,
+    // falling back to arbitrary vertices if an attribute class is too small.
+    std::vector<VertexId> pool[2];
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      pool[AttrIndex(g.attribute(v))].push_back(v);
+    }
+    uint32_t want_a = (size + 1) / 2;
+    uint32_t want_b = size / 2;
+    if (pool[0].size() < want_a || pool[1].size() < want_b) {
+      std::swap(want_a, want_b);
+    }
+    FC_CHECK(pool[0].size() >= want_a && pool[1].size() >= want_b)
+        << "graph lacks enough vertices per attribute for a balanced clique";
+    rng.Shuffle(pool[0]);
+    rng.Shuffle(pool[1]);
+    chosen.assign(pool[0].begin(), pool[0].begin() + want_a);
+    chosen.insert(chosen.end(), pool[1].begin(), pool[1].begin() + want_b);
+  }
+  GraphBuilder builder(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    builder.SetAttribute(v, g.attribute(v));
+  }
+  for (const Edge& e : g.edges()) builder.AddEdge(e.u, e.v);
+  for (size_t i = 0; i < chosen.size(); ++i) {
+    for (size_t j = i + 1; j < chosen.size(); ++j) {
+      builder.AddEdge(chosen[i], chosen[j]);
+    }
+  }
+  if (members != nullptr) {
+    std::sort(chosen.begin(), chosen.end());
+    *members = std::move(chosen);
+  }
+  return builder.Build();
+}
+
+AttributedGraph PaperFigure1Graph() {
+  // Vertices v1..v15 -> ids 0..14. Attributes chosen to satisfy the paper's
+  // Examples 1 and 2: the left community has A(v2)=A(v9)=b and v1,v3..v6 = a
+  // (Example 2: common neighbors of (v2,v5) are v1,v6 with a and v9 with b);
+  // the right 8-clique {v7,v8,v10..v15} splits 3 a's (v7,v8,v10) vs 5 b's
+  // (v11..v15), so with k=3, delta=1 the maximum fair clique is the 8-clique
+  // minus any one of v11..v15 (Example 1).
+  GraphBuilder builder(15);
+  auto set = [&builder](int paper_id, Attribute attr) {
+    builder.SetAttribute(static_cast<VertexId>(paper_id - 1), attr);
+  };
+  for (int v : {1, 3, 4, 5, 6, 7, 8, 10}) set(v, Attribute::kA);
+  for (int v : {2, 9, 11, 12, 13, 14, 15}) set(v, Attribute::kB);
+  auto edge = [&builder](int pu, int pv) {
+    builder.AddEdge(static_cast<VertexId>(pu - 1),
+                    static_cast<VertexId>(pv - 1));
+  };
+  // Left community around v1..v6, v9 (wired so that G is a colorful 2-core
+  // as discussed in Example 2: every vertex sees >= 2 colors per attribute).
+  edge(1, 2); edge(1, 3); edge(1, 4); edge(1, 5); edge(1, 9);
+  edge(2, 3); edge(2, 5); edge(2, 6); edge(2, 9);
+  edge(3, 4); edge(3, 9);
+  edge(4, 5); edge(4, 9);
+  edge(5, 6); edge(5, 9);
+  edge(6, 9); edge(6, 1);
+  // Bridge vertices v7, v8 connect to the dense right community.
+  edge(7, 8); edge(7, 9); edge(8, 9);
+  // Right community: {v7, v8, v10..v15} forms an 8-clique; its best fair
+  // sub-clique for k=3, delta=1 has 7 vertices, matching Example 1.
+  int right[] = {7, 8, 10, 11, 12, 13, 14, 15};
+  for (size_t i = 0; i < 8; ++i) {
+    for (size_t j = i + 1; j < 8; ++j) edge(right[i], right[j]);
+  }
+  return builder.Build();
+}
+
+AttributedGraph AssignAttributesBernoulli(const AttributedGraph& g, double p_a,
+                                          Rng& rng) {
+  GraphBuilder builder(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    builder.SetAttribute(v,
+                         rng.NextBool(p_a) ? Attribute::kA : Attribute::kB);
+  }
+  for (const Edge& e : g.edges()) builder.AddEdge(e.u, e.v);
+  return builder.Build();
+}
+
+AttributedGraph AssignAttributesHomophily(const AttributedGraph& g,
+                                          double frac_a, double homophily,
+                                          Rng& rng) {
+  const VertexId n = g.num_vertices();
+  // Seed labels independently from the global prior, then raise edge-level
+  // agreement by count-preserving label swaps: repeatedly pick two vertices
+  // with different labels and exchange them when that increases the number
+  // of same-attribute edges. This reproduces the assortative structure real
+  // attributes (e.g. gender in collaboration networks) exhibit, with the
+  // global mix pinned exactly at the seeded fraction — unlike majority
+  // dynamics, which drifts toward consensus on dense graphs. The `homophily`
+  // knob scales the optimization effort (0 = independent labels, 1 = a
+  // thorough pass of ~40 swap attempts per vertex).
+  std::vector<int> attr(n);
+  for (VertexId v = 0; v < n; ++v) attr[v] = rng.NextBool(frac_a) ? 0 : 1;
+  if (n >= 2 && homophily > 0.0) {
+    auto local_agreement = [&](VertexId x) {
+      int64_t c = 0;
+      for (VertexId w : g.neighbors(x)) c += attr[w] == attr[x] ? 1 : 0;
+      return c;
+    };
+    const uint64_t attempts = static_cast<uint64_t>(
+        homophily * 40.0 * static_cast<double>(n));
+    for (uint64_t i = 0; i < attempts; ++i) {
+      VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+      VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+      if (attr[u] == attr[v]) continue;
+      int64_t before = local_agreement(u) + local_agreement(v);
+      std::swap(attr[u], attr[v]);
+      int64_t after = local_agreement(u) + local_agreement(v);
+      if (after < before) std::swap(attr[u], attr[v]);  // Revert.
+    }
+  }
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v < n; ++v) {
+    builder.SetAttribute(v, static_cast<Attribute>(attr[v]));
+  }
+  for (const Edge& e : g.edges()) builder.AddEdge(e.u, e.v);
+  return builder.Build();
+}
+
+AttributedGraph SampleVertices(const AttributedGraph& g, double fraction,
+                               Rng& rng) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  uint64_t keep = static_cast<uint64_t>(
+      std::llround(fraction * static_cast<double>(g.num_vertices())));
+  std::vector<uint64_t> picked = rng.SampleDistinct(g.num_vertices(), keep);
+  std::vector<VertexId> verts(picked.begin(), picked.end());
+  std::sort(verts.begin(), verts.end());
+  return g.InducedSubgraph(verts);
+}
+
+AttributedGraph SampleEdges(const AttributedGraph& g, double fraction,
+                            Rng& rng) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  uint64_t keep = static_cast<uint64_t>(
+      std::llround(fraction * static_cast<double>(g.num_edges())));
+  std::vector<uint64_t> picked = rng.SampleDistinct(g.num_edges(), keep);
+  GraphBuilder builder(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    builder.SetAttribute(v, g.attribute(v));
+  }
+  for (uint64_t e : picked) {
+    const Edge& edge = g.edges()[e];
+    builder.AddEdge(edge.u, edge.v);
+  }
+  return builder.Build();
+}
+
+}  // namespace fairclique

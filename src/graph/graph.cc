@@ -1,0 +1,233 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "common/logging.h"
+
+namespace fairclique {
+
+bool AttributedGraph::HasEdge(VertexId u, VertexId v) const {
+  return FindEdge(u, v) != kInvalidEdge;
+}
+
+EdgeId AttributedGraph::FindEdge(VertexId u, VertexId v) const {
+  if (u == v) return kInvalidEdge;
+  // Search the shorter adjacency row.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  auto nbrs = neighbors(u);
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return kInvalidEdge;
+  return edge_ids(u)[static_cast<size_t>(it - nbrs.begin())];
+}
+
+AttributedGraph AttributedGraph::InducedSubgraph(
+    std::span<const VertexId> vertices,
+    std::vector<VertexId>* original_ids) const {
+  std::vector<VertexId> local(num_vertices(), kInvalidVertex);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    FC_CHECK(local[vertices[i]] == kInvalidVertex)
+        << "duplicate vertex " << vertices[i] << " in InducedSubgraph";
+    local[vertices[i]] = static_cast<VertexId>(i);
+  }
+  GraphBuilder builder(static_cast<VertexId>(vertices.size()));
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    builder.SetAttribute(static_cast<VertexId>(i), attribute(vertices[i]));
+  }
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    VertexId u = vertices[i];
+    for (VertexId w : neighbors(u)) {
+      // Emit each edge once, from the endpoint with the larger original id.
+      if (w < u && local[w] != kInvalidVertex) {
+        builder.AddEdge(static_cast<VertexId>(i), local[w]);
+      }
+    }
+  }
+  if (original_ids != nullptr) {
+    original_ids->assign(vertices.begin(), vertices.end());
+  }
+  return builder.Build();
+}
+
+AttributedGraph AttributedGraph::FilteredSubgraph(
+    std::span<const uint8_t> vertex_alive, std::span<const uint8_t> edge_alive,
+    std::vector<VertexId>* original_ids) const {
+  FC_CHECK(vertex_alive.size() == num_vertices());
+  FC_CHECK(edge_alive.empty() || edge_alive.size() == num_edges());
+  std::vector<VertexId> kept;
+  kept.reserve(num_vertices());
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    if (vertex_alive[v]) kept.push_back(v);
+  }
+  std::vector<VertexId> local(num_vertices(), kInvalidVertex);
+  for (size_t i = 0; i < kept.size(); ++i) {
+    local[kept[i]] = static_cast<VertexId>(i);
+  }
+  GraphBuilder builder(static_cast<VertexId>(kept.size()));
+  for (size_t i = 0; i < kept.size(); ++i) {
+    builder.SetAttribute(static_cast<VertexId>(i), attribute(kept[i]));
+  }
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    if (!edge_alive.empty() && !edge_alive[e]) continue;
+    const Edge& edge = edges_[e];
+    if (vertex_alive[edge.u] && vertex_alive[edge.v]) {
+      builder.AddEdge(local[edge.u], local[edge.v]);
+    }
+  }
+  if (original_ids != nullptr) *original_ids = std::move(kept);
+  return builder.Build();
+}
+
+std::vector<std::vector<VertexId>> AttributedGraph::ConnectedComponents()
+    const {
+  std::vector<std::vector<VertexId>> components;
+  std::vector<uint8_t> visited(num_vertices(), 0);
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < num_vertices(); ++s) {
+    if (visited[s]) continue;
+    std::vector<VertexId> component;
+    stack.push_back(s);
+    visited[s] = 1;
+    while (!stack.empty()) {
+      VertexId v = stack.back();
+      stack.pop_back();
+      component.push_back(v);
+      for (VertexId w : neighbors(v)) {
+        if (!visited[w]) {
+          visited[w] = 1;
+          stack.push_back(w);
+        }
+      }
+    }
+    std::sort(component.begin(), component.end());
+    components.push_back(std::move(component));
+  }
+  return components;
+}
+
+Status AttributedGraph::Validate() const {
+  if (offsets_.empty()) {
+    return Status::Corruption("graph has no offset array");
+  }
+  if (attributes_.size() != num_vertices()) {
+    return Status::Corruption("attribute array size mismatch");
+  }
+  if (adjacency_.size() != 2 * static_cast<size_t>(num_edges())) {
+    return Status::Corruption("adjacency size != 2 * num_edges");
+  }
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    auto nbrs = neighbors(v);
+    auto eids = edge_ids(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] == v) {
+        return Status::Corruption("self-loop at vertex " + std::to_string(v));
+      }
+      if (i > 0 && nbrs[i] <= nbrs[i - 1]) {
+        return Status::Corruption("adjacency of vertex " + std::to_string(v) +
+                                  " not strictly sorted");
+      }
+      const Edge& e = edges_[eids[i]];
+      VertexId lo = std::min(v, nbrs[i]);
+      VertexId hi = std::max(v, nbrs[i]);
+      if (e.u != lo || e.v != hi) {
+        return Status::Corruption("edge id wiring broken at vertex " +
+                                  std::to_string(v));
+      }
+    }
+  }
+  for (EdgeId e = 0; e + 1 < num_edges(); ++e) {
+    if (!(edges_[e] < edges_[e + 1])) {
+      return Status::Corruption("edge list not strictly sorted");
+    }
+  }
+  return Status::OK();
+}
+
+GraphBuilder::GraphBuilder(VertexId num_vertices)
+    : num_vertices_(num_vertices), attributes_(num_vertices, 0) {}
+
+void GraphBuilder::SetAttribute(VertexId v, Attribute attr) {
+  FC_CHECK(v < num_vertices_) << "SetAttribute: vertex out of range";
+  attributes_[v] = static_cast<uint8_t>(attr);
+}
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  FC_CHECK(u < num_vertices_ && v < num_vertices_)
+      << "AddEdge: endpoint out of range (" << u << ", " << v << ")";
+  if (u == v) return;  // Self-loops are silently dropped.
+  if (u > v) std::swap(u, v);
+  raw_edges_.push_back({u, v});
+}
+
+AttributedGraph GraphBuilder::Build() const {
+  std::vector<Edge> edges = raw_edges_;
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  AttributedGraph g;
+  g.attributes_ = attributes_;
+  g.edges_ = std::move(edges);
+  g.attr_counts_ = AttrCounts{};
+  for (uint8_t a : g.attributes_) {
+    g.attr_counts_[static_cast<Attribute>(a)]++;
+  }
+
+  const size_t n = num_vertices_;
+  std::vector<uint32_t> deg(n, 0);
+  for (const Edge& e : g.edges_) {
+    deg[e.u]++;
+    deg[e.v]++;
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + deg[v];
+  g.adjacency_.resize(2 * g.edges_.size());
+  g.adjacency_edge_ids_.resize(2 * g.edges_.size());
+
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  // Edges are sorted by (u, v); filling forward keeps every row sorted for
+  // the u side. The v side receives u values in increasing u order, also
+  // sorted.
+  for (EdgeId e = 0; e < g.edges_.size(); ++e) {
+    const Edge& edge = g.edges_[e];
+    g.adjacency_[cursor[edge.u]] = edge.v;
+    g.adjacency_edge_ids_[cursor[edge.u]] = e;
+    cursor[edge.u]++;
+    g.adjacency_[cursor[edge.v]] = edge.u;
+    g.adjacency_edge_ids_[cursor[edge.v]] = e;
+    cursor[edge.v]++;
+  }
+  // The v-side insertions interleave with u-side ones, so rows are not yet
+  // globally sorted; sort each row (pairing neighbor with edge id).
+  for (size_t v = 0; v < n; ++v) {
+    uint64_t begin = g.offsets_[v];
+    uint64_t end = g.offsets_[v + 1];
+    // Sort a permutation to keep neighbor/edge-id arrays parallel.
+    std::vector<std::pair<VertexId, EdgeId>> row;
+    row.reserve(end - begin);
+    for (uint64_t i = begin; i < end; ++i) {
+      row.emplace_back(g.adjacency_[i], g.adjacency_edge_ids_[i]);
+    }
+    std::sort(row.begin(), row.end());
+    for (uint64_t i = begin; i < end; ++i) {
+      g.adjacency_[i] = row[i - begin].first;
+      g.adjacency_edge_ids_[i] = row[i - begin].second;
+    }
+    g.max_degree_ = std::max(g.max_degree_, static_cast<uint32_t>(end - begin));
+  }
+  return g;
+}
+
+AttributedGraph BuildGraph(VertexId num_vertices,
+                           std::span<const Edge> edge_list,
+                           std::span<const Attribute> attributes) {
+  FC_CHECK(attributes.size() == num_vertices);
+  GraphBuilder builder(num_vertices);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    builder.SetAttribute(v, attributes[v]);
+  }
+  for (const Edge& e : edge_list) builder.AddEdge(e.u, e.v);
+  return builder.Build();
+}
+
+}  // namespace fairclique

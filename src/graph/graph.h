@@ -1,0 +1,139 @@
+#ifndef FAIRCLIQUE_GRAPH_GRAPH_H_
+#define FAIRCLIQUE_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace fairclique {
+
+/// An immutable, undirected, vertex-attributed graph in CSR (compressed
+/// sparse row) form.
+///
+/// Invariants (established by GraphBuilder and preserved by all views):
+///  - no self-loops, no parallel edges;
+///  - every adjacency list is sorted by neighbor id (enables O(deg_min)
+///    common-neighbor intersection, the workhorse of the support reductions);
+///  - `edges()` lists each undirected edge exactly once with u < v, sorted;
+///  - `edge_ids(u)[i]` is the EdgeId of the edge {u, neighbors(u)[i]}, so
+///    edge-indexed algorithms (truss-style peeling) can walk CSR rows and
+///    address per-edge state in O(1).
+class AttributedGraph {
+ public:
+  AttributedGraph() = default;
+
+  VertexId num_vertices() const { return static_cast<VertexId>(offsets_.size() - 1); }
+  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+
+  /// Sorted neighbor list of `v`.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// Edge ids parallel to neighbors(v).
+  std::span<const EdgeId> edge_ids(VertexId v) const {
+    return {adjacency_edge_ids_.data() + offsets_[v],
+            adjacency_edge_ids_.data() + offsets_[v + 1]};
+  }
+
+  uint32_t degree(VertexId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Maximum vertex degree (0 for an empty graph).
+  uint32_t max_degree() const { return max_degree_; }
+
+  Attribute attribute(VertexId v) const {
+    return static_cast<Attribute>(attributes_[v]);
+  }
+
+  /// Number of vertices per attribute over the whole graph.
+  AttrCounts attribute_counts() const { return attr_counts_; }
+
+  /// The undirected edge list; edges_[e] has u < v and the list is sorted.
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// True if {u, v} is an edge. O(log(min deg)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// EdgeId of {u, v}, or kInvalidEdge when not adjacent. O(log(min deg)).
+  EdgeId FindEdge(VertexId u, VertexId v) const;
+
+  /// Extracts the subgraph induced by `vertices` (need not be sorted;
+  /// duplicates are an error). Vertex i of the result corresponds to
+  /// vertices[i] of this graph; the mapping back is returned through
+  /// `original_ids` when non-null.
+  AttributedGraph InducedSubgraph(std::span<const VertexId> vertices,
+                                  std::vector<VertexId>* original_ids = nullptr) const;
+
+  /// Extracts the subgraph on the vertices with alive[v] == true, dropping
+  /// additionally every edge with edge_alive[e] == false (pass an empty span
+  /// to keep all surviving-endpoint edges). Used to materialize reduction
+  /// results.
+  AttributedGraph FilteredSubgraph(std::span<const uint8_t> vertex_alive,
+                                   std::span<const uint8_t> edge_alive,
+                                   std::vector<VertexId>* original_ids = nullptr) const;
+
+  /// Splits the graph into connected components; each entry is the vertex set
+  /// of one component (sorted, in discovery order of the lowest vertex).
+  std::vector<std::vector<VertexId>> ConnectedComponents() const;
+
+  /// Internal consistency check (sorted adjacency, symmetric edges, edge id
+  /// wiring). Intended for tests; O(V + E log E).
+  Status Validate() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<uint64_t> offsets_;            // size V+1
+  std::vector<VertexId> adjacency_;          // size 2E, sorted per row
+  std::vector<EdgeId> adjacency_edge_ids_;   // parallel to adjacency_
+  std::vector<Edge> edges_;                  // size E, u < v, sorted
+  std::vector<uint8_t> attributes_;          // size V
+  AttrCounts attr_counts_;
+  uint32_t max_degree_ = 0;
+};
+
+/// Accumulates edges and attributes, then produces a normalized
+/// AttributedGraph: self-loops dropped, duplicate edges collapsed, adjacency
+/// sorted, edge ids assigned.
+class GraphBuilder {
+ public:
+  /// Creates a builder for `num_vertices` vertices, all with attribute kA.
+  explicit GraphBuilder(VertexId num_vertices);
+
+  VertexId num_vertices() const { return num_vertices_; }
+
+  /// Sets the attribute of vertex `v`.
+  void SetAttribute(VertexId v, Attribute attr);
+
+  /// Adds the undirected edge {u, v}. Self-loops and duplicates are tolerated
+  /// and normalized away at Build() time. Ids must be < num_vertices.
+  void AddEdge(VertexId u, VertexId v);
+
+  /// Number of raw (pre-normalization) edge insertions so far.
+  size_t raw_edge_count() const { return raw_edges_.size(); }
+
+  /// Builds the normalized immutable graph. The builder may be reused
+  /// afterwards (its state is unchanged).
+  AttributedGraph Build() const;
+
+ private:
+  VertexId num_vertices_;
+  std::vector<Edge> raw_edges_;
+  std::vector<uint8_t> attributes_;
+};
+
+/// Convenience: builds a graph from an explicit edge list and attribute
+/// vector (attributes.size() == num_vertices).
+AttributedGraph BuildGraph(VertexId num_vertices,
+                           std::span<const Edge> edge_list,
+                           std::span<const Attribute> attributes);
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_GRAPH_GRAPH_H_

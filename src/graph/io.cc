@@ -1,0 +1,191 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace fairclique {
+
+namespace {
+
+// Parses a non-negative integer token; returns false on any non-digit.
+bool ParseU64(const std::string& token, uint64_t* out) {
+  if (token.empty()) return false;
+  uint64_t value = 0;
+  for (char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool IsCommentLine(const std::string& line, const std::string& prefixes) {
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    return prefixes.find(c) != std::string::npos;
+  }
+  return true;  // Blank line: treat as skippable.
+}
+
+}  // namespace
+
+Status LoadEdgeList(const std::string& path, const EdgeListOptions& options,
+                    AttributedGraph* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open edge list file: " + path);
+  }
+  std::vector<Edge> raw;
+  std::unordered_map<uint64_t, VertexId> remap;
+  uint64_t max_id = 0;
+  bool any_edge = false;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentLine(line, options.comment_prefixes)) continue;
+    std::istringstream ls(line);
+    std::string tu, tv;
+    if (!(ls >> tu >> tv)) {
+      return Status::InvalidArgument("malformed edge at " + path + ":" +
+                                     std::to_string(line_no) +
+                                     " (need two endpoints)");
+    }
+    uint64_t u64, v64;
+    if (!ParseU64(tu, &u64) || !ParseU64(tv, &v64)) {
+      return Status::InvalidArgument("non-numeric vertex id at " + path + ":" +
+                                     std::to_string(line_no));
+    }
+    VertexId u, v;
+    if (options.remap_ids) {
+      auto iu = remap.emplace(u64, static_cast<VertexId>(remap.size()));
+      auto iv = remap.emplace(v64, static_cast<VertexId>(remap.size()));
+      u = iu.first->second;
+      v = iv.first->second;
+    } else {
+      if (u64 > 0xfffffffeULL || v64 > 0xfffffffeULL) {
+        return Status::OutOfRange("vertex id exceeds 32 bits at " + path + ":" +
+                                  std::to_string(line_no));
+      }
+      u = static_cast<VertexId>(u64);
+      v = static_cast<VertexId>(v64);
+      max_id = std::max({max_id, u64, v64});
+    }
+    raw.push_back({u, v});
+    any_edge = true;
+  }
+  VertexId n;
+  if (options.remap_ids) {
+    n = static_cast<VertexId>(remap.size());
+  } else {
+    n = any_edge ? static_cast<VertexId>(max_id + 1) : 0;
+  }
+  GraphBuilder builder(n);
+  for (const Edge& e : raw) builder.AddEdge(e.u, e.v);
+  *out = builder.Build();
+  return Status::OK();
+}
+
+Status LoadAttributes(const std::string& path, VertexId num_vertices,
+                      std::vector<Attribute>* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open attribute file: " + path);
+  }
+  out->assign(num_vertices, Attribute::kA);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentLine(line, "#%")) continue;
+    std::istringstream ls(line);
+    std::string tv, ta;
+    if (!(ls >> tv >> ta)) {
+      return Status::InvalidArgument("malformed attribute line at " + path +
+                                     ":" + std::to_string(line_no));
+    }
+    uint64_t v64;
+    if (!ParseU64(tv, &v64)) {
+      return Status::InvalidArgument("non-numeric vertex id at " + path + ":" +
+                                     std::to_string(line_no));
+    }
+    if (v64 >= num_vertices) {
+      return Status::OutOfRange("attribute for out-of-range vertex " +
+                                std::to_string(v64) + " at " + path + ":" +
+                                std::to_string(line_no));
+    }
+    Attribute attr;
+    if (ta == "0" || ta == "a" || ta == "A") {
+      attr = Attribute::kA;
+    } else if (ta == "1" || ta == "b" || ta == "B") {
+      attr = Attribute::kB;
+    } else {
+      return Status::InvalidArgument("unparsable attribute token '" + ta +
+                                     "' at " + path + ":" +
+                                     std::to_string(line_no));
+    }
+    (*out)[static_cast<VertexId>(v64)] = attr;
+  }
+  return Status::OK();
+}
+
+Status LoadAttributedGraph(const std::string& edge_path,
+                           const std::string& attribute_path,
+                           const EdgeListOptions& options,
+                           AttributedGraph* out) {
+  AttributedGraph g;
+  FAIRCLIQUE_RETURN_NOT_OK(LoadEdgeList(edge_path, options, &g));
+  if (attribute_path.empty()) {
+    *out = std::move(g);
+    return Status::OK();
+  }
+  std::vector<Attribute> attrs;
+  FAIRCLIQUE_RETURN_NOT_OK(
+      LoadAttributes(attribute_path, g.num_vertices(), &attrs));
+  // Rebuild with attributes (the CSR arrays stay identical; only the
+  // attribute vector changes).
+  GraphBuilder builder(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    builder.SetAttribute(v, attrs[v]);
+  }
+  for (const Edge& e : g.edges()) builder.AddEdge(e.u, e.v);
+  *out = builder.Build();
+  return Status::OK();
+}
+
+Status SaveEdgeList(const AttributedGraph& g, const std::string& path) {
+  std::ofstream outf(path);
+  if (!outf) {
+    return Status::IOError("cannot open file for writing: " + path);
+  }
+  outf << "# fairclique edge list: " << g.num_vertices() << " vertices, "
+       << g.num_edges() << " edges\n";
+  for (const Edge& e : g.edges()) {
+    outf << e.u << ' ' << e.v << '\n';
+  }
+  if (!outf) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status SaveAttributes(const AttributedGraph& g, const std::string& path) {
+  std::ofstream outf(path);
+  if (!outf) {
+    return Status::IOError("cannot open file for writing: " + path);
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    outf << v << ' ' << AttrIndex(g.attribute(v)) << '\n';
+  }
+  if (!outf) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace fairclique

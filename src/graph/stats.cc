@@ -1,0 +1,97 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/cores.h"
+#include "graph/triangles.h"
+
+namespace fairclique {
+
+GraphStats ComputeGraphStats(const AttributedGraph& g) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  s.max_degree = g.max_degree();
+  s.attribute_counts = g.attribute_counts();
+  if (g.num_vertices() == 0) return s;
+
+  s.avg_degree = 2.0 * g.num_edges() / g.num_vertices();
+  std::vector<uint32_t> degrees(g.num_vertices());
+  uint64_t wedges = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    degrees[v] = g.degree(v);
+    wedges += static_cast<uint64_t>(degrees[v]) * (degrees[v] - 1) / 2;
+  }
+  std::sort(degrees.begin(), degrees.end());
+  auto pct = [&degrees](double p) {
+    size_t idx = static_cast<size_t>(p * (degrees.size() - 1));
+    return degrees[idx];
+  };
+  s.degree_p50 = pct(0.50);
+  s.degree_p90 = pct(0.90);
+  s.degree_p99 = pct(0.99);
+
+  s.degeneracy = ComputeCores(g).degeneracy;
+  s.triangle_count = CountTriangles(g);
+  s.global_clustering =
+      wedges == 0 ? 0.0
+                  : 3.0 * static_cast<double>(s.triangle_count) /
+                        static_cast<double>(wedges);
+
+  auto components = g.ConnectedComponents();
+  s.num_components = components.size();
+  for (const auto& comp : components) {
+    s.largest_component =
+        std::max(s.largest_component, static_cast<VertexId>(comp.size()));
+  }
+
+  if (g.num_edges() > 0) {
+    // Same-attribute fraction and Newman assortativity from the 2x2 mixing
+    // matrix e[i][j] = fraction of edge *endpoints* pairs (i, j).
+    double e[2][2] = {{0, 0}, {0, 0}};
+    uint64_t same = 0;
+    for (const Edge& edge : g.edges()) {
+      int i = AttrIndex(g.attribute(edge.u));
+      int j = AttrIndex(g.attribute(edge.v));
+      // Symmetric contribution, normalized by 2E endpoint pairs.
+      e[i][j] += 0.5;
+      e[j][i] += 0.5;
+      if (i == j) ++same;
+    }
+    const double total = static_cast<double>(g.num_edges());
+    for (auto& row : e) {
+      for (double& cell : row) cell /= total;
+    }
+    s.same_attribute_edge_fraction = static_cast<double>(same) / total;
+    double trace = e[0][0] + e[1][1];
+    double a0 = e[0][0] + e[0][1];
+    double a1 = e[1][0] + e[1][1];
+    double sum_ab = a0 * a0 + a1 * a1;
+    s.attribute_assortativity =
+        sum_ab >= 1.0 ? 1.0 : (trace - sum_ab) / (1.0 - sum_ab);
+  }
+  return s;
+}
+
+std::string FormatGraphStats(const GraphStats& s) {
+  std::ostringstream out;
+  out << "vertices:            " << s.num_vertices << "\n"
+      << "edges:               " << s.num_edges << "\n"
+      << "avg degree:          " << s.avg_degree << "\n"
+      << "degree p50/p90/p99:  " << s.degree_p50 << " / " << s.degree_p90
+      << " / " << s.degree_p99 << "\n"
+      << "max degree:          " << s.max_degree << "\n"
+      << "degeneracy:          " << s.degeneracy << "\n"
+      << "triangles:           " << s.triangle_count << "\n"
+      << "global clustering:   " << s.global_clustering << "\n"
+      << "components:          " << s.num_components << " (largest "
+      << s.largest_component << ")\n"
+      << "attributes a/b:      " << s.attribute_counts.a() << " / "
+      << s.attribute_counts.b() << "\n"
+      << "same-attr edges:     " << s.same_attribute_edge_fraction << "\n"
+      << "assortativity:       " << s.attribute_assortativity << "\n";
+  return out.str();
+}
+
+}  // namespace fairclique

@@ -1,0 +1,47 @@
+#ifndef FAIRCLIQUE_GRAPH_STATS_H_
+#define FAIRCLIQUE_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace fairclique {
+
+/// Structural summary of an attributed graph, as reported by the CLI's
+/// `stats` subcommand and used to validate the dataset stand-ins against
+/// their intended roles (degree skew, clustering, attribute mixing).
+struct GraphStats {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  uint32_t max_degree = 0;
+  double avg_degree = 0.0;
+  /// Degree distribution percentiles: p50, p90, p99.
+  uint32_t degree_p50 = 0;
+  uint32_t degree_p90 = 0;
+  uint32_t degree_p99 = 0;
+  uint32_t degeneracy = 0;
+  uint64_t triangle_count = 0;
+  /// Global clustering coefficient: 3*triangles / #wedges (0 when no wedge).
+  double global_clustering = 0.0;
+  size_t num_components = 0;
+  VertexId largest_component = 0;
+  AttrCounts attribute_counts;
+  /// Fraction of edges whose endpoints share an attribute (0.5 for
+  /// independent balanced labels; higher = homophilous).
+  double same_attribute_edge_fraction = 0.0;
+  /// Newman attribute assortativity coefficient in [-1, 1].
+  double attribute_assortativity = 0.0;
+};
+
+/// Computes all of the above in O(alpha * E + V log V).
+GraphStats ComputeGraphStats(const AttributedGraph& g);
+
+/// Multi-line human-readable rendering.
+std::string FormatGraphStats(const GraphStats& stats);
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_GRAPH_STATS_H_

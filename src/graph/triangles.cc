@@ -1,0 +1,14 @@
+#include "graph/triangles.h"
+
+namespace fairclique {
+
+uint64_t CountTriangles(const AttributedGraph& g) {
+  // Sum over edges of |N(u) ∩ N(v)| counts each triangle three times.
+  uint64_t total = 0;
+  for (const Edge& e : g.edges()) {
+    total += CountCommonNeighbors(g, e.u, e.v);
+  }
+  return total / 3;
+}
+
+}  // namespace fairclique

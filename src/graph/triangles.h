@@ -1,0 +1,81 @@
+#ifndef FAIRCLIQUE_GRAPH_TRIANGLES_H_
+#define FAIRCLIQUE_GRAPH_TRIANGLES_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace fairclique {
+
+/// Calls `fn(w, euw, evw)` for every common neighbor w of u and v, where
+/// euw/evw are the edge ids of {u,w} and {v,w}. Merge-intersects the two
+/// sorted adjacency rows: O(deg(u) + deg(v)).
+template <typename Fn>
+void ForEachCommonNeighbor(const AttributedGraph& g, VertexId u, VertexId v,
+                           Fn&& fn) {
+  auto nu = g.neighbors(u);
+  auto nv = g.neighbors(v);
+  auto eu = g.edge_ids(u);
+  auto ev = g.edge_ids(v);
+  size_t i = 0, j = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i] < nv[j]) {
+      ++i;
+    } else if (nu[i] > nv[j]) {
+      ++j;
+    } else {
+      fn(nu[i], eu[i], ev[j]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+/// Same as ForEachCommonNeighbor but skips vertices/edges marked dead. Used
+/// inside peeling loops where the graph shrinks logically. Empty spans mean
+/// "all alive".
+template <typename Fn>
+void ForEachAliveCommonNeighbor(const AttributedGraph& g, VertexId u,
+                                VertexId v,
+                                std::span<const uint8_t> vertex_alive,
+                                std::span<const uint8_t> edge_alive, Fn&& fn) {
+  auto nu = g.neighbors(u);
+  auto nv = g.neighbors(v);
+  auto eu = g.edge_ids(u);
+  auto ev = g.edge_ids(v);
+  size_t i = 0, j = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i] < nv[j]) {
+      ++i;
+    } else if (nu[i] > nv[j]) {
+      ++j;
+    } else {
+      VertexId w = nu[i];
+      bool ok = vertex_alive.empty() || vertex_alive[w];
+      if (ok && !edge_alive.empty()) {
+        ok = edge_alive[eu[i]] && edge_alive[ev[j]];
+      }
+      if (ok) fn(w, eu[i], ev[j]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+/// Number of common neighbors of u and v.
+inline uint32_t CountCommonNeighbors(const AttributedGraph& g, VertexId u,
+                                     VertexId v) {
+  uint32_t c = 0;
+  ForEachCommonNeighbor(g, u, v, [&](VertexId, EdgeId, EdgeId) { ++c; });
+  return c;
+}
+
+/// Total number of triangles in the graph (each counted once).
+uint64_t CountTriangles(const AttributedGraph& g);
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_GRAPH_TRIANGLES_H_

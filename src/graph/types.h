@@ -1,0 +1,111 @@
+#ifndef FAIRCLIQUE_GRAPH_TYPES_H_
+#define FAIRCLIQUE_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fairclique {
+
+/// Vertex identifier. Graphs are limited to < 2^32 vertices, matching the
+/// paper's evaluation scale (largest dataset: 2.5M vertices).
+using VertexId = uint32_t;
+
+/// Edge identifier, indexing the undirected edge array of a graph.
+using EdgeId = uint32_t;
+
+/// Color identifier assigned by greedy coloring; colors are dense in
+/// [0, num_colors).
+using ColorId = int32_t;
+
+constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// Binary vertex attribute. The paper (and this library) studies the
+/// two-dimensional attribute setting A = {a, b}; e.g. gender in Aminer,
+/// research area in DBAI, nationality in NBA.
+enum class Attribute : uint8_t {
+  kA = 0,
+  kB = 1,
+};
+
+/// The attribute different from `x`.
+inline Attribute Other(Attribute x) {
+  return x == Attribute::kA ? Attribute::kB : Attribute::kA;
+}
+
+/// Array index of an attribute (kA -> 0, kB -> 1).
+inline int AttrIndex(Attribute x) { return static_cast<int>(x); }
+
+/// A pair of per-attribute counters, indexed by Attribute. Used for
+/// cnt_S(a)/cnt_S(b), colorful degrees, color-group sizes, etc.
+struct AttrCounts {
+  int64_t counts[2] = {0, 0};
+
+  int64_t& operator[](Attribute x) { return counts[AttrIndex(x)]; }
+  int64_t operator[](Attribute x) const { return counts[AttrIndex(x)]; }
+
+  int64_t a() const { return counts[0]; }
+  int64_t b() const { return counts[1]; }
+  int64_t Total() const { return counts[0] + counts[1]; }
+  int64_t Min() const { return counts[0] < counts[1] ? counts[0] : counts[1]; }
+  int64_t Max() const { return counts[0] > counts[1] ? counts[0] : counts[1]; }
+  int64_t Diff() const {
+    int64_t d = counts[0] - counts[1];
+    return d < 0 ? -d : d;
+  }
+
+  bool operator==(const AttrCounts& o) const {
+    return counts[0] == o.counts[0] && counts[1] == o.counts[1];
+  }
+};
+
+/// An undirected edge as an unordered pair (stored with u < v).
+struct Edge {
+  VertexId u;
+  VertexId v;
+
+  bool operator==(const Edge& o) const { return u == o.u && v == o.v; }
+  bool operator<(const Edge& o) const {
+    return u != o.u ? u < o.u : v < o.v;
+  }
+};
+
+/// Fairness parameters of the relative fair clique model (Definition 1):
+/// each attribute must appear at least `k` times and the attribute counts
+/// may differ by at most `delta`.
+struct FairnessParams {
+  int k = 1;
+  int delta = 0;
+
+  /// True when a vertex multiset with the given per-attribute counts
+  /// satisfies fairness condition (i) of Definition 1.
+  bool Satisfied(const AttrCounts& cnt) const {
+    return cnt.a() >= k && cnt.b() >= k && cnt.Diff() <= delta;
+  }
+
+  /// The best (largest) total size achievable by choosing p <= avail.a()
+  /// vertices of attribute a and q <= avail.b() of b subject to fairness;
+  /// 0 if infeasible. Because every subset of a clique is a clique, this is
+  /// exactly the best fair sub-clique size inside a clique with the given
+  /// attribute counts.
+  int64_t BestFairSubsetSize(const AttrCounts& avail) const {
+    if (avail.a() < k || avail.b() < k) return 0;
+    int64_t total = avail.Total();
+    int64_t balanced = 2 * avail.Min() + delta;
+    return total < balanced ? total : balanced;
+  }
+};
+
+/// A vertex set representing a (candidate) clique, plus cached attribute
+/// counts.
+struct CliqueResult {
+  std::vector<VertexId> vertices;
+  AttrCounts attr_counts;
+
+  size_t size() const { return vertices.size(); }
+  bool empty() const { return vertices.empty(); }
+};
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_GRAPH_TYPES_H_

@@ -1,0 +1,108 @@
+#ifndef FAIRCLIQUE_MULTIATTR_MULTI_FAIR_CLIQUE_H_
+#define FAIRCLIQUE_MULTIATTR_MULTI_FAIR_CLIQUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/coloring.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace fairclique {
+
+/// Generalization of the relative fair clique model to d-valued attributes
+/// (the paper fixes |A| = 2; its foundational weak/strong models of Pan et
+/// al. are defined for arbitrary attribute arity, and the natural relative
+/// generalization requires every attribute value to appear at least k times
+/// with the spread max_i cnt_i - min_i cnt_i at most delta).
+///
+/// The module is self-contained on top of the binary substrate: a
+/// MultiAttrGraph pairs the CSR graph with a per-vertex label in
+/// [0, num_labels); the search, reduction and bounds generalize the binary
+/// engine's rules label-wise. For num_labels == 2 the answers coincide with
+/// FindMaximumFairClique (cross-checked in tests).
+
+/// An attributed graph whose vertices carry one of `num_labels` values.
+/// Wraps an AttributedGraph for its CSR topology; the binary attribute of
+/// the wrapped graph is ignored.
+class MultiAttrGraph {
+ public:
+  MultiAttrGraph() = default;
+
+  /// `labels[v]` in [0, num_labels). Aborts on out-of-range labels.
+  MultiAttrGraph(AttributedGraph graph, std::vector<uint8_t> labels,
+                 int num_labels);
+
+  const AttributedGraph& graph() const { return graph_; }
+  int num_labels() const { return num_labels_; }
+  uint8_t label(VertexId v) const { return labels_[v]; }
+  const std::vector<uint8_t>& labels() const { return labels_; }
+
+  /// Per-label vertex counts over the whole graph.
+  const std::vector<int64_t>& label_counts() const { return label_counts_; }
+
+ private:
+  AttributedGraph graph_;
+  std::vector<uint8_t> labels_;
+  int num_labels_ = 0;
+  std::vector<int64_t> label_counts_;
+};
+
+/// Fairness parameters for d-ary attributes: every label's count >= k and
+/// the spread (max - min of counts) <= delta.
+struct MultiFairnessParams {
+  int k = 1;
+  int delta = 0;
+
+  bool Satisfied(const std::vector<int64_t>& counts) const;
+
+  /// Largest fair subset obtainable from a clique with per-label counts
+  /// `avail`: 0 when min(avail) < k, else sum_i min(avail_i, min(avail) +
+  /// delta) — the closed form behind the enumeration oracle and the
+  /// label-capacity upper bound.
+  int64_t BestFairSubsetSize(const std::vector<int64_t>& avail) const;
+};
+
+/// Result of the multi-attribute search.
+struct MultiSearchResult {
+  std::vector<VertexId> clique;        // sorted original ids; empty if none
+  std::vector<int64_t> label_counts;   // size num_labels
+  uint64_t nodes = 0;
+  bool completed = true;
+};
+
+/// Exact maximum multi-fair clique: label-wise colorful-core reduction
+/// (peel vertices whose per-label distinct-color degree cannot support a
+/// fair clique), then ordered branch-and-bound with generalized size /
+/// label-feasibility / spread-cap prunes and a label-capacity color bound.
+/// `node_limit` 0 = unlimited.
+MultiSearchResult FindMaximumMultiFairClique(const MultiAttrGraph& g,
+                                             const MultiFairnessParams& params,
+                                             uint64_t node_limit = 0);
+
+/// Exhaustive oracle via maximal clique enumeration + BestFairSubsetSize;
+/// exponential, for tests and ground truth.
+int64_t MaxMultiFairCliqueSizeByEnumeration(const MultiAttrGraph& g,
+                                            const MultiFairnessParams& params);
+
+/// True when `vertices` is a clique of g.graph() meeting the fairness
+/// conditions.
+bool IsMultiFairClique(const MultiAttrGraph& g,
+                       const std::vector<VertexId>& vertices,
+                       const MultiFairnessParams& params);
+
+/// Uniformly assigns labels in [0, num_labels) to every vertex of `g`.
+MultiAttrGraph AssignLabelsUniform(const AttributedGraph& g, int num_labels,
+                                   Rng& rng);
+
+/// Adds all pairwise edges among `size` vertices chosen to spread evenly
+/// across labels (|count_i - count_j| <= 1), returning the new graph and the
+/// members — ground truth for tests and examples.
+MultiAttrGraph PlantBalancedMultiClique(const MultiAttrGraph& g, uint32_t size,
+                                        Rng& rng,
+                                        std::vector<VertexId>* members);
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_MULTIATTR_MULTI_FAIR_CLIQUE_H_

@@ -1,0 +1,257 @@
+#include "reduction/colorful_support.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+#include "graph/triangles.h"
+
+namespace fairclique {
+
+namespace {
+
+// Per-edge multiset of common-neighbor (attribute, color) pairs — the data
+// structure M_(u,v) of Algorithm 1 — stored as a flat sorted key/count table
+// per edge, built in one triangle-enumeration pass.
+struct EdgeColorTable {
+  std::vector<uint32_t> keys;     // (color << 1) | attr, sorted per edge
+  std::vector<uint32_t> counts;   // parallel to keys
+  std::vector<uint64_t> offsets;  // size E+1
+
+  static uint32_t MakeKey(ColorId color, Attribute attr) {
+    return (static_cast<uint32_t>(color) << 1) | static_cast<uint32_t>(attr);
+  }
+
+  size_t Find(EdgeId e, uint32_t key) const {
+    const uint32_t* begin = keys.data() + offsets[e];
+    const uint32_t* end = keys.data() + offsets[e + 1];
+    const uint32_t* it = std::lower_bound(begin, end, key);
+    FC_CHECK(it != end && *it == key) << "edge color key missing";
+    return static_cast<size_t>(it - keys.data());
+  }
+
+  void Build(const AttributedGraph& g, const Coloring& coloring) {
+    const EdgeId m = g.num_edges();
+    offsets.assign(m + 1, 0);
+    keys.clear();
+    counts.clear();
+    std::vector<uint32_t> scratch;
+    for (EdgeId e = 0; e < m; ++e) {
+      const Edge& edge = g.edges()[e];
+      scratch.clear();
+      ForEachCommonNeighbor(g, edge.u, edge.v,
+                            [&](VertexId w, EdgeId, EdgeId) {
+                              scratch.push_back(MakeKey(coloring.color[w],
+                                                        g.attribute(w)));
+                            });
+      std::sort(scratch.begin(), scratch.end());
+      for (size_t i = 0; i < scratch.size();) {
+        size_t j = i;
+        while (j < scratch.size() && scratch[j] == scratch[i]) ++j;
+        keys.push_back(scratch[i]);
+        counts.push_back(static_cast<uint32_t>(j - i));
+        i = j;
+      }
+      offsets[e + 1] = keys.size();
+    }
+  }
+};
+
+// Shared edge-peeling driver. `Violates(e)` checks the per-edge survival
+// condition from the current support state; `OnNeighborLoss(e, w_attr, w)`
+// updates edge e's state after losing common neighbor w and returns true
+// when e must be re-checked.
+//
+// Triangle accounting: a triangle is torn down exactly once — when the first
+// of its edges to be *popped* from the queue is processed. At that moment the
+// other two side edges each lose their third vertex (decrements on already-
+// dead-but-unpopped edges are skipped; their state no longer matters). Edges
+// are marked removed at push time, matching Algorithm 1 line 10, so the
+// violation check never re-queues an edge. At fixpoint every dead edge has
+// been popped, hence every alive edge's support counts exactly the triangles
+// whose other two edges are alive — the maximal subgraph of Lemma 3/4.
+template <typename ViolatesFn, typename LossFn>
+EdgeReductionResult PeelEdges(const AttributedGraph& g,
+                              ViolatesFn&& violates, LossFn&& on_loss) {
+  const EdgeId m = g.num_edges();
+  EdgeReductionResult result;
+  result.edge_alive.assign(m, 1);
+  result.vertex_alive.assign(g.num_vertices(), 0);
+  // not_processed[e] == 1 until e has been popped and its triangles torn
+  // down. Doubles as the enumeration filter: a triangle with a processed
+  // side edge has already been handled.
+  std::vector<uint8_t> not_processed(m, 1);
+
+  std::deque<EdgeId> queue;
+  for (EdgeId e = 0; e < m; ++e) {
+    if (violates(e)) {
+      result.edge_alive[e] = 0;  // Removed immediately (Alg. 1 line 10).
+      queue.push_back(e);
+    }
+  }
+  while (!queue.empty()) {
+    EdgeId e = queue.front();
+    queue.pop_front();
+    const Edge& edge = g.edges()[e];
+    const VertexId u = edge.u;
+    const VertexId v = edge.v;
+    not_processed[e] = 0;
+    // Edge (u,w) loses common neighbor v; edge (v,w) loses u.
+    ForEachAliveCommonNeighbor(
+        g, u, v, {}, not_processed,
+        [&](VertexId w, EdgeId euw, EdgeId evw) {
+          (void)w;
+          if (result.edge_alive[euw] && on_loss(euw, g.attribute(v), v) &&
+              violates(euw)) {
+            result.edge_alive[euw] = 0;
+            queue.push_back(euw);
+          }
+          if (result.edge_alive[evw] && on_loss(evw, g.attribute(u), u) &&
+              violates(evw)) {
+            result.edge_alive[evw] = 0;
+            queue.push_back(evw);
+          }
+        });
+  }
+  for (EdgeId e = 0; e < m; ++e) {
+    if (result.edge_alive[e]) {
+      result.edges_left++;
+      result.vertex_alive[g.edges()[e].u] = 1;
+      result.vertex_alive[g.edges()[e].v] = 1;
+    }
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (result.vertex_alive[v]) result.vertices_left++;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<AttrCounts> ComputeColorfulSupports(const AttributedGraph& g,
+                                                const Coloring& coloring) {
+  EdgeColorTable table;
+  table.Build(g, coloring);
+  std::vector<AttrCounts> sup(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    for (uint64_t i = table.offsets[e]; i < table.offsets[e + 1]; ++i) {
+      sup[e][static_cast<Attribute>(table.keys[i] & 1)]++;
+    }
+  }
+  return sup;
+}
+
+EdgeReductionResult ColorfulSupReduction(const AttributedGraph& g,
+                                         const Coloring& coloring, int k) {
+  EdgeColorTable table;
+  table.Build(g, coloring);
+  std::vector<AttrCounts> sup(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    for (uint64_t i = table.offsets[e]; i < table.offsets[e + 1]; ++i) {
+      sup[e][static_cast<Attribute>(table.keys[i] & 1)]++;
+    }
+  }
+
+  auto violates = [&](EdgeId e) {
+    const Edge& edge = g.edges()[e];
+    int64_t ta, tb;
+    SupportThresholds(g.attribute(edge.u), g.attribute(edge.v), k, &ta, &tb);
+    return sup[e][Attribute::kA] < ta || sup[e][Attribute::kB] < tb;
+  };
+  // Losing common neighbor w (attribute attr_w, color color(w)) decrements
+  // M_e(attr_w, color_w); the support drops only when that count hits zero.
+  auto on_loss = [&](EdgeId e, Attribute attr_w, VertexId w) {
+    uint32_t key = EdgeColorTable::MakeKey(coloring.color[w], attr_w);
+    size_t idx = table.Find(e, key);
+    FC_CHECK(table.counts[idx] > 0) << "double decrement on edge color count";
+    if (--table.counts[idx] == 0) {
+      sup[e][attr_w]--;
+      return true;
+    }
+    return false;
+  };
+  return PeelEdges(g, violates, on_loss);
+}
+
+AttrCounts GreedyEnhancedSupport(int64_t ca, int64_t cb, int64_t cm,
+                                 int64_t ta, int64_t tb) {
+  // Definition 7: assign mixed colors to attribute a first (up to its
+  // deficit), then the remainder to b.
+  int64_t gamma_a = ca < ta ? std::min(ta - ca, cm) : 0;
+  int64_t rest = cm - gamma_a;
+  int64_t gamma_b = cb < tb ? std::min(tb - cb, rest) : 0;
+  AttrCounts gsup;
+  gsup[Attribute::kA] = ca + gamma_a;
+  gsup[Attribute::kB] = cb + gamma_b;
+  return gsup;
+}
+
+EdgeReductionResult EnColorfulSupReduction(const AttributedGraph& g,
+                                           const Coloring& coloring, int k) {
+  EdgeColorTable table;
+  table.Build(g, coloring);
+  // Per-edge color-class sizes (Group a / Group b / Mixed of Fig. 2(c)).
+  struct Classes {
+    int32_t ca = 0, cb = 0, cm = 0;
+  };
+  std::vector<Classes> cls(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    uint64_t i = table.offsets[e];
+    const uint64_t end = table.offsets[e + 1];
+    while (i < end) {
+      if (i + 1 < end && (table.keys[i] >> 1) == (table.keys[i + 1] >> 1)) {
+        cls[e].cm++;
+        i += 2;
+      } else if ((table.keys[i] & 1) == 0) {
+        cls[e].ca++;
+        i += 1;
+      } else {
+        cls[e].cb++;
+        i += 1;
+      }
+    }
+  }
+
+  auto violates = [&](EdgeId e) {
+    const Edge& edge = g.edges()[e];
+    int64_t ta, tb;
+    SupportThresholds(g.attribute(edge.u), g.attribute(edge.v), k, &ta, &tb);
+    // Feasibility of the mixed-color assignment: both deficits must be
+    // coverable by distinct mixed colors.
+    int64_t need_a = std::max<int64_t>(0, ta - cls[e].ca);
+    int64_t need_b = std::max<int64_t>(0, tb - cls[e].cb);
+    return need_a + need_b > cls[e].cm;
+  };
+  auto on_loss = [&](EdgeId e, Attribute attr_w, VertexId w) {
+    const ColorId color = coloring.color[w];
+    uint32_t key = EdgeColorTable::MakeKey(color, attr_w);
+    size_t idx = table.Find(e, key);
+    FC_CHECK(table.counts[idx] > 0) << "double decrement on edge color count";
+    if (--table.counts[idx] != 0) return false;
+    // Color lost its attr_w side on this edge; reclassify.
+    uint32_t other_key = EdgeColorTable::MakeKey(color, Other(attr_w));
+    const uint32_t* begin = table.keys.data() + table.offsets[e];
+    const uint32_t* end = table.keys.data() + table.offsets[e + 1];
+    const uint32_t* it = std::lower_bound(begin, end, other_key);
+    bool other_alive = it != end && *it == other_key &&
+                       table.counts[it - table.keys.data()] > 0;
+    if (other_alive) {
+      cls[e].cm--;
+      if (attr_w == Attribute::kA) {
+        cls[e].cb++;
+      } else {
+        cls[e].ca++;
+      }
+    } else {
+      if (attr_w == Attribute::kA) {
+        cls[e].ca--;
+      } else {
+        cls[e].cb--;
+      }
+    }
+    return true;
+  };
+  return PeelEdges(g, violates, on_loss);
+}
+
+}  // namespace fairclique

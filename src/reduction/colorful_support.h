@@ -1,0 +1,73 @@
+#ifndef FAIRCLIQUE_REDUCTION_COLORFUL_SUPPORT_H_
+#define FAIRCLIQUE_REDUCTION_COLORFUL_SUPPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/coloring.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace fairclique {
+
+/// Result of an edge-peeling (truss-style) reduction: flags per edge and per
+/// vertex (a vertex dies when all its edges die) plus summary counts.
+struct EdgeReductionResult {
+  std::vector<uint8_t> edge_alive;    // size E
+  std::vector<uint8_t> vertex_alive;  // size V
+  VertexId vertices_left = 0;
+  EdgeId edges_left = 0;
+};
+
+/// Colorful support of every edge (Definition 6): sup_ai(u,v) = number of
+/// distinct colors among common neighbors of u and v having attribute ai.
+/// Exposed for tests and diagnostics; O(alpha * E) triangle enumeration.
+std::vector<AttrCounts> ComputeColorfulSupports(const AttributedGraph& g,
+                                                const Coloring& coloring);
+
+/// ColorfulSup reduction (Algorithm 1 / Lemma 3): iteratively removes every
+/// edge whose colorful support violates the attribute-dependent thresholds
+///   A(u)=A(v)=a : sup_a >= k-2 and sup_b >= k
+///   A(u)=A(v)=b : sup_a >= k   and sup_b >= k-2
+///   mixed       : sup_a >= k-1 and sup_b >= k-1
+/// The surviving subgraph contains every relative fair clique with size
+/// parameter k. Time O(alpha * E + V), space O(sum over edges of distinct
+/// common-neighbor (attr, color) pairs).
+EdgeReductionResult ColorfulSupReduction(const AttributedGraph& g,
+                                         const Coloring& coloring, int k);
+
+/// Enhanced colorful support reduction (Definition 7 / Lemma 4): like
+/// ColorfulSup, but colors of the common neighborhood are partitioned into
+/// a-only / b-only / mixed classes and each mixed color counts toward only
+/// one attribute. An edge with endpoint-attribute thresholds (ta, tb)
+/// survives iff  max(0, ta-ca) + max(0, tb-cb) <= cm  (the greedy assignment
+/// of Definition 7 succeeds exactly in this case). Strictly stronger than
+/// ColorfulSup.
+EdgeReductionResult EnColorfulSupReduction(const AttributedGraph& g,
+                                           const Coloring& coloring, int k);
+
+/// Greedy mixed-color assignment of Definition 7, exposed for tests: given
+/// class sizes and thresholds, returns the per-attribute enhanced colorful
+/// supports (gsup_a, gsup_b) produced by assigning to attribute a first.
+AttrCounts GreedyEnhancedSupport(int64_t ca, int64_t cb, int64_t cm,
+                                 int64_t ta, int64_t tb);
+
+/// Thresholds (ta, tb) used by both reductions for an edge whose endpoints
+/// carry `au` and `av` (Lemma 3 / Lemma 4 case analysis).
+inline void SupportThresholds(Attribute au, Attribute av, int k, int64_t* ta,
+                              int64_t* tb) {
+  if (au == Attribute::kA && av == Attribute::kA) {
+    *ta = k - 2;
+    *tb = k;
+  } else if (au == Attribute::kB && av == Attribute::kB) {
+    *ta = k;
+    *tb = k - 2;
+  } else {
+    *ta = k - 1;
+    *tb = k - 1;
+  }
+}
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_REDUCTION_COLORFUL_SUPPORT_H_

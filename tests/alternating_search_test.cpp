@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "core/alternating_search.h"
+#include "core/enumeration.h"
+#include "core/verifier.h"
+#include "test_util.h"
+
+namespace fairclique {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::RandomAttributedGraph;
+
+TEST(AlternatingSearchTest, OutputIsAlwaysAFairClique) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    AttributedGraph g = RandomAttributedGraph(30, 0.35, seed);
+    for (int k = 1; k <= 3; ++k) {
+      for (int delta = 0; delta <= 2; ++delta) {
+        FairnessParams params{k, delta};
+        AlternatingSearchResult r = AlternatingMaxFairClique(g, params);
+        if (!r.clique.empty()) {
+          EXPECT_TRUE(IsFairClique(g, r.clique.vertices, params))
+              << "seed=" << seed << " k=" << k << " delta=" << delta;
+        }
+      }
+    }
+  }
+}
+
+TEST(AlternatingSearchTest, NeverExceedsExactOptimum) {
+  for (uint64_t seed = 11; seed <= 22; ++seed) {
+    AttributedGraph g = RandomAttributedGraph(25, 0.4, seed);
+    FairnessParams params{2, 1};
+    CliqueResult exact = MaxFairCliqueByEnumeration(g, params);
+    AlternatingSearchResult r = AlternatingMaxFairClique(g, params);
+    EXPECT_LE(r.clique.size(), exact.size()) << "seed " << seed;
+  }
+}
+
+// The executable counterexample behind DESIGN.md §2.2: on K4 with
+// attribute-sorted ordering O(a1) < O(a2) < O(b1) < O(b2), Algorithm 3 as
+// printed cannot produce the (2, 2) clique. After picking a1, the attribute
+// flips to b; picking b1 filters out a2 (lower order); when the a-side
+// candidate set empties the amax cap locks cnt(a) at 1 — the full K4 is
+// unreachable from every branch.
+TEST(AlternatingSearchTest, PrintedAlgorithmMissesK4Counterexample) {
+  AttributedGraph g = MakeGraph(
+      "aabb", {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  FairnessParams params{2, 0};
+  // Attribute-sorted order: a-vertices first.
+  std::vector<uint32_t> position{0, 1, 2, 3};
+
+  CliqueResult exact = MaxFairCliqueByEnumeration(g, params);
+  ASSERT_EQ(exact.size(), 4u);  // The whole K4 is a (2,0)-fair clique.
+
+  AlternatingSearchResult printed =
+      AlternatingMaxFairClique(g, params, position);
+  EXPECT_LT(printed.clique.size(), exact.size())
+      << "the printed Algorithm 3 unexpectedly found the optimum; the "
+         "incompleteness analysis in DESIGN.md would need revisiting";
+}
+
+TEST(AlternatingSearchTest, OftenFindsTheOptimumInPractice) {
+  // As a heuristic it should land on the optimum reasonably often.
+  int optimal = 0, total = 0;
+  for (uint64_t seed = 31; seed <= 50; ++seed) {
+    AttributedGraph g = RandomAttributedGraph(20, 0.45, seed);
+    FairnessParams params{1, 2};
+    CliqueResult exact = MaxFairCliqueByEnumeration(g, params);
+    if (exact.empty()) continue;
+    AlternatingSearchResult r = AlternatingMaxFairClique(g, params);
+    ++total;
+    if (r.clique.size() == exact.size()) ++optimal;
+  }
+  ASSERT_GT(total, 5);
+  EXPECT_GE(optimal * 2, total)  // At least half the instances.
+      << optimal << "/" << total;
+}
+
+TEST(AlternatingSearchTest, NodeLimitMarksIncomplete) {
+  AttributedGraph g = RandomAttributedGraph(40, 0.5, 51);
+  AlternatingSearchResult r = AlternatingMaxFairClique(g, {1, 3}, 2);
+  EXPECT_FALSE(r.completed);
+}
+
+TEST(AlternatingSearchTest, EmptyGraph) {
+  AttributedGraph g = MakeGraph("", {});
+  AlternatingSearchResult r = AlternatingMaxFairClique(g, {1, 1});
+  EXPECT_TRUE(r.clique.empty());
+  EXPECT_TRUE(r.completed);
+}
+
+}  // namespace
+}  // namespace fairclique

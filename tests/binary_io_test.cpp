@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "graph/binary_io.h"
+#include "test_util.h"
+
+namespace fairclique {
+namespace {
+
+using testing_util::RandomAttributedGraph;
+
+class BinaryIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fairclique_bin_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::string WriteRaw(const std::string& name, const std::string& bytes) {
+    std::string path = Path(name);
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(BinaryIoTest, RoundTripPreservesEverything) {
+  AttributedGraph g = RandomAttributedGraph(120, 0.08, 42);
+  std::string path = Path("g.fcg");
+  ASSERT_TRUE(SaveBinaryGraph(g, path).ok());
+  AttributedGraph loaded;
+  ASSERT_TRUE(LoadBinaryGraph(path, &loaded).ok());
+  EXPECT_EQ(loaded.num_vertices(), g.num_vertices());
+  EXPECT_EQ(loaded.edges(), g.edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(loaded.attribute(v), g.attribute(v));
+  }
+  EXPECT_TRUE(loaded.Validate().ok());
+}
+
+TEST_F(BinaryIoTest, RoundTripEmptyGraph) {
+  GraphBuilder builder(0);
+  AttributedGraph g = builder.Build();
+  std::string path = Path("empty.fcg");
+  ASSERT_TRUE(SaveBinaryGraph(g, path).ok());
+  AttributedGraph loaded;
+  ASSERT_TRUE(LoadBinaryGraph(path, &loaded).ok());
+  EXPECT_EQ(loaded.num_vertices(), 0u);
+}
+
+TEST_F(BinaryIoTest, MissingFileIsIOError) {
+  AttributedGraph g;
+  EXPECT_TRUE(LoadBinaryGraph(Path("nope.fcg"), &g).IsIOError());
+}
+
+TEST_F(BinaryIoTest, BadMagicIsCorruption) {
+  std::string path = WriteRaw("bad.fcg", "XXXX\0\0\0\0\0\0\0\0");
+  AttributedGraph g;
+  EXPECT_TRUE(LoadBinaryGraph(path, &g).IsCorruption());
+}
+
+TEST_F(BinaryIoTest, TruncatedFileIsCorruption) {
+  AttributedGraph g = RandomAttributedGraph(20, 0.3, 1);
+  std::string path = Path("trunc.fcg");
+  ASSERT_TRUE(SaveBinaryGraph(g, path).ok());
+  // Chop the last 5 bytes.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  WriteRaw("trunc.fcg", bytes.substr(0, bytes.size() - 5));
+  AttributedGraph loaded;
+  EXPECT_TRUE(LoadBinaryGraph(path, &loaded).IsCorruption());
+}
+
+TEST_F(BinaryIoTest, OutOfRangeEndpointIsCorruption) {
+  // Hand-craft: n=2, m=1, edge (0, 9).
+  std::string bytes = "FCG1";
+  auto put = [&bytes](uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  put(2);
+  put(1);
+  put(0);
+  put(9);
+  bytes.push_back(0);
+  bytes.push_back(1);
+  std::string path = WriteRaw("range.fcg", bytes);
+  AttributedGraph g;
+  EXPECT_TRUE(LoadBinaryGraph(path, &g).IsCorruption());
+}
+
+TEST_F(BinaryIoTest, BadAttributeByteIsCorruption) {
+  std::string bytes = "FCG1";
+  auto put = [&bytes](uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  put(2);
+  put(1);
+  put(0);
+  put(1);
+  bytes.push_back(0);
+  bytes.push_back(7);  // invalid attribute
+  std::string path = WriteRaw("attr.fcg", bytes);
+  AttributedGraph g;
+  EXPECT_TRUE(LoadBinaryGraph(path, &g).IsCorruption());
+}
+
+// ----------------------------------------------------------------- METIS --
+
+TEST_F(BinaryIoTest, MetisBasicTriangle) {
+  // 3 vertices, 3 edges; 1-based adjacency lines.
+  std::string path = WriteRaw("tri.metis", "3 3\n2 3\n1 3\n1 2\n");
+  AttributedGraph g;
+  ASSERT_TRUE(LoadMetisGraph(path, &g).ok());
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+}
+
+TEST_F(BinaryIoTest, MetisSkipsCommentLines) {
+  std::string path =
+      WriteRaw("c.metis", "% a comment\n2 1\n% another\n2\n1\n");
+  AttributedGraph g;
+  ASSERT_TRUE(LoadMetisGraph(path, &g).ok());
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST_F(BinaryIoTest, MetisIsolatedVertexLine) {
+  // Vertex 2 has no neighbors: empty line.
+  std::string path = WriteRaw("iso.metis", "3 1\n3\n\n1\n");
+  AttributedGraph g;
+  ASSERT_TRUE(LoadMetisGraph(path, &g).ok());
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(1), 0u);
+}
+
+TEST_F(BinaryIoTest, MetisRejectsWeightedFormat) {
+  std::string path = WriteRaw("w.metis", "2 1 1\n2 5\n1 5\n");
+  AttributedGraph g;
+  EXPECT_TRUE(LoadMetisGraph(path, &g).IsInvalidArgument());
+}
+
+TEST_F(BinaryIoTest, MetisRejectsOutOfRangeNeighbor) {
+  std::string path = WriteRaw("r.metis", "2 1\n5\n1\n");
+  AttributedGraph g;
+  EXPECT_TRUE(LoadMetisGraph(path, &g).IsOutOfRange());
+}
+
+TEST_F(BinaryIoTest, MetisRejectsTruncatedFile) {
+  std::string path = WriteRaw("t.metis", "3 2\n2\n");
+  AttributedGraph g;
+  EXPECT_TRUE(LoadMetisGraph(path, &g).IsCorruption());
+}
+
+TEST_F(BinaryIoTest, MetisRejectsNonNumericToken) {
+  std::string path = WriteRaw("n.metis", "2 1\n2 x\n1\n");
+  AttributedGraph g;
+  EXPECT_TRUE(LoadMetisGraph(path, &g).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace fairclique

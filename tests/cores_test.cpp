@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/cores.h"
+#include "test_util.h"
+
+namespace fairclique {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::RandomAttributedGraph;
+
+// Brute-force core numbers: repeatedly strip vertices of minimum degree.
+std::vector<uint32_t> BruteForceCores(const AttributedGraph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<uint32_t> core(n, 0);
+  std::vector<uint8_t> alive(n, 1);
+  std::vector<uint32_t> deg(n);
+  for (VertexId v = 0; v < n; ++v) deg[v] = g.degree(v);
+  uint32_t level = 0;
+  for (VertexId step = 0; step < n; ++step) {
+    VertexId best = kInvalidVertex;
+    for (VertexId v = 0; v < n; ++v) {
+      if (alive[v] && (best == kInvalidVertex || deg[v] < deg[best])) best = v;
+    }
+    level = std::max(level, deg[best]);
+    core[best] = level;
+    alive[best] = 0;
+    for (VertexId w : g.neighbors(best)) {
+      if (alive[w]) deg[w]--;
+    }
+  }
+  return core;
+}
+
+TEST(CoresTest, EmptyGraph) {
+  AttributedGraph g = MakeGraph("", {});
+  CoreDecomposition d = ComputeCores(g);
+  EXPECT_EQ(d.degeneracy, 0u);
+  EXPECT_TRUE(d.peel_order.empty());
+}
+
+TEST(CoresTest, CliqueCoreNumbers) {
+  // K5: every vertex has core number 4.
+  GraphBuilder b(5);
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) b.AddEdge(u, v);
+  }
+  AttributedGraph g = b.Build();
+  CoreDecomposition d = ComputeCores(g);
+  EXPECT_EQ(d.degeneracy, 4u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(d.core[v], 4u);
+}
+
+TEST(CoresTest, PathGraphIsDegenerate1) {
+  AttributedGraph g = MakeGraph("aaaa", {{0, 1}, {1, 2}, {2, 3}});
+  CoreDecomposition d = ComputeCores(g);
+  EXPECT_EQ(d.degeneracy, 1u);
+}
+
+TEST(CoresTest, MatchesBruteForceOnRandomGraphs) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    AttributedGraph g = RandomAttributedGraph(70, 0.08, seed);
+    CoreDecomposition fast = ComputeCores(g);
+    std::vector<uint32_t> brute = BruteForceCores(g);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(fast.core[v], brute[v]) << "vertex " << v << " seed " << seed;
+    }
+  }
+}
+
+TEST(CoresTest, PeelOrderIsValidDegeneracyOrder) {
+  AttributedGraph g = RandomAttributedGraph(80, 0.1, 9);
+  CoreDecomposition d = ComputeCores(g);
+  ASSERT_EQ(d.peel_order.size(), g.num_vertices());
+  // position is the inverse permutation.
+  for (uint32_t i = 0; i < d.peel_order.size(); ++i) {
+    EXPECT_EQ(d.position[d.peel_order[i]], i);
+  }
+  // Each vertex has <= degeneracy neighbors later in the order.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    uint32_t later = 0;
+    for (VertexId w : g.neighbors(v)) {
+      if (d.position[w] > d.position[v]) ++later;
+    }
+    EXPECT_LE(later, d.degeneracy);
+  }
+}
+
+TEST(KCoreAliveFlagsTest, AgreesWithDecomposition) {
+  AttributedGraph g = RandomAttributedGraph(60, 0.12, 11);
+  CoreDecomposition d = ComputeCores(g);
+  for (uint32_t k = 0; k <= d.degeneracy + 1; ++k) {
+    std::vector<uint8_t> alive = KCoreAliveFlags(g, k);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(alive[v] != 0, d.core[v] >= k)
+          << "k=" << k << " vertex " << v;
+    }
+  }
+}
+
+TEST(KCoreAliveFlagsTest, SurvivorsHaveEnoughDegree) {
+  AttributedGraph g = RandomAttributedGraph(100, 0.06, 13);
+  for (uint32_t k : {1u, 2u, 3u}) {
+    std::vector<uint8_t> alive = KCoreAliveFlags(g, k);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (!alive[v]) continue;
+      uint32_t alive_deg = 0;
+      for (VertexId w : g.neighbors(v)) {
+        if (alive[w]) ++alive_deg;
+      }
+      EXPECT_GE(alive_deg, k) << "k=" << k << " vertex " << v;
+    }
+  }
+}
+
+TEST(HIndexTest, KnownSequences) {
+  EXPECT_EQ(HIndexOfValues({}), 0u);
+  EXPECT_EQ(HIndexOfValues({0, 0, 0}), 0u);
+  EXPECT_EQ(HIndexOfValues({5}), 1u);
+  EXPECT_EQ(HIndexOfValues({1, 2, 3, 4, 5}), 3u);
+  EXPECT_EQ(HIndexOfValues({10, 10, 10}), 3u);
+  EXPECT_EQ(HIndexOfValues({-3, 2, 2}), 2u);
+}
+
+TEST(HIndexTest, GraphHIndexAtLeastDegeneracy) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    AttributedGraph g = RandomAttributedGraph(80, 0.1, seed);
+    CoreDecomposition d = ComputeCores(g);
+    // h-index of the degree sequence upper-bounds the degeneracy.
+    EXPECT_GE(GraphHIndex(g), d.degeneracy);
+  }
+}
+
+TEST(HIndexTest, GraphHIndexMatchesNaive) {
+  AttributedGraph g = RandomAttributedGraph(50, 0.15, 31);
+  uint32_t naive = 0;
+  for (uint32_t h = 1; h <= g.num_vertices(); ++h) {
+    uint32_t cnt = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (g.degree(v) >= h) ++cnt;
+    }
+    if (cnt >= h) naive = h;
+  }
+  EXPECT_EQ(GraphHIndex(g), naive);
+}
+
+}  // namespace
+}  // namespace fairclique

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/enumeration.h"
+#include "core/verifier.h"
+#include "test_util.h"
+
+namespace fairclique {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::RandomAttributedGraph;
+using testing_util::Sorted;
+
+// Exhaustive maximal-clique listing by subset enumeration (n <= ~16).
+std::set<std::vector<VertexId>> BruteMaximalCliques(const AttributedGraph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<std::vector<VertexId>> cliques;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<VertexId> verts;
+    for (VertexId v = 0; v < n; ++v) {
+      if (mask & (1u << v)) verts.push_back(v);
+    }
+    if (!IsClique(g, verts)) continue;
+    // Maximal: no vertex outside adjacent to all.
+    bool maximal = true;
+    for (VertexId w = 0; w < n && maximal; ++w) {
+      if (mask & (1u << w)) continue;
+      bool adjacent_to_all = true;
+      for (VertexId v : verts) {
+        if (!g.HasEdge(v, w)) {
+          adjacent_to_all = false;
+          break;
+        }
+      }
+      if (adjacent_to_all) maximal = false;
+    }
+    if (maximal) cliques.push_back(verts);
+  }
+  return {cliques.begin(), cliques.end()};
+}
+
+TEST(EnumerationTest, TriangleHasOneMaximalClique) {
+  AttributedGraph g = MakeGraph("aab", {{0, 1}, {1, 2}, {0, 2}});
+  std::set<std::vector<VertexId>> found;
+  uint64_t count = EnumerateMaximalCliques(
+      g, [&](const std::vector<VertexId>& m) { found.insert(Sorted(m)); });
+  EXPECT_EQ(count, 1u);
+  EXPECT_TRUE(found.count({0, 1, 2}));
+}
+
+TEST(EnumerationTest, IsolatedVerticesAreMaximalCliques) {
+  AttributedGraph g = MakeGraph("aab", {});
+  uint64_t count =
+      EnumerateMaximalCliques(g, [](const std::vector<VertexId>&) {});
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(EnumerationTest, MatchesBruteForceOnRandomGraphs) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    AttributedGraph g = RandomAttributedGraph(14, 0.4, seed);
+    std::set<std::vector<VertexId>> expected = BruteMaximalCliques(g);
+    std::set<std::vector<VertexId>> found;
+    uint64_t count = EnumerateMaximalCliques(
+        g, [&](const std::vector<VertexId>& m) { found.insert(Sorted(m)); });
+    EXPECT_EQ(count, expected.size()) << "seed " << seed;
+    EXPECT_EQ(found, expected) << "seed " << seed;
+  }
+}
+
+TEST(EnumerationTest, EveryReportedCliqueIsMaximal) {
+  AttributedGraph g = RandomAttributedGraph(25, 0.3, 7);
+  EnumerateMaximalCliques(g, [&](const std::vector<VertexId>& m) {
+    EXPECT_TRUE(IsClique(g, m));
+    for (VertexId w = 0; w < g.num_vertices(); ++w) {
+      if (std::find(m.begin(), m.end(), w) != m.end()) continue;
+      bool adjacent_to_all = true;
+      for (VertexId v : m) {
+        if (!g.HasEdge(v, w)) {
+          adjacent_to_all = false;
+          break;
+        }
+      }
+      EXPECT_FALSE(adjacent_to_all) << "clique extendable by " << w;
+    }
+  });
+}
+
+TEST(EnumerationTest, MaxCliquesLimitAborts) {
+  AttributedGraph g = RandomAttributedGraph(30, 0.4, 8);
+  uint64_t count = EnumerateMaximalCliques(
+      g, [](const std::vector<VertexId>&) {}, /*max_cliques=*/3);
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(MaxFairCliqueByEnumerationTest, WitnessIsAlwaysValid) {
+  for (uint64_t seed : {10u, 11u, 12u, 13u}) {
+    AttributedGraph g = RandomAttributedGraph(20, 0.45, seed);
+    for (int k = 1; k <= 3; ++k) {
+      for (int delta = 0; delta <= 2; ++delta) {
+        FairnessParams params{k, delta};
+        CliqueResult r = MaxFairCliqueByEnumeration(g, params);
+        if (!r.empty()) {
+          EXPECT_TRUE(VerifyFairClique(g, r.vertices, params).ok())
+              << "seed=" << seed << " k=" << k << " delta=" << delta;
+        }
+        // Against the primitive subset brute force.
+        std::vector<VertexId> brute =
+            testing_util::BruteForceMaxFairClique(g, k, delta);
+        EXPECT_EQ(r.size(), brute.size())
+            << "seed=" << seed << " k=" << k << " delta=" << delta;
+      }
+    }
+  }
+}
+
+TEST(MaxFairCliqueByEnumerationTest, InfeasibleReturnsEmpty) {
+  AttributedGraph g = MakeGraph("aaaa", {{0, 1}, {1, 2}, {2, 3}});
+  CliqueResult r = MaxFairCliqueByEnumeration(g, {1, 0});
+  EXPECT_TRUE(r.empty());
+}
+
+}  // namespace
+}  // namespace fairclique

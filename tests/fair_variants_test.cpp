@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/enumeration.h"
+#include "core/fair_variants.h"
+#include "core/verifier.h"
+#include "test_util.h"
+
+namespace fairclique {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::RandomAttributedGraph;
+using testing_util::Sorted;
+
+TEST(WeakFairCliqueTest, IgnoresBalance) {
+  // K5 with 1 a and 4 b: weak fair for k=1 takes everything; relative with
+  // delta=1 cannot.
+  GraphBuilder b(5);
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) b.AddEdge(u, v);
+  }
+  b.SetAttribute(0, Attribute::kA);
+  for (VertexId v = 1; v < 5; ++v) b.SetAttribute(v, Attribute::kB);
+  AttributedGraph g = b.Build();
+  SearchResult weak = FindMaximumWeakFairClique(g, 1);
+  EXPECT_EQ(weak.clique.size(), 5u);
+  SearchResult relative = FindMaximumFairClique(g, BaselineOptions(1, 1));
+  EXPECT_EQ(relative.clique.size(), 3u);  // 1 a + 2 b.
+}
+
+TEST(WeakFairCliqueTest, MatchesOracleWithUnboundedDelta) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    AttributedGraph g = RandomAttributedGraph(30, 0.35, seed);
+    for (int k = 1; k <= 3; ++k) {
+      FairnessParams unbounded{k, static_cast<int>(g.num_vertices()) + 1};
+      CliqueResult oracle = MaxFairCliqueByEnumeration(g, unbounded);
+      SearchResult weak = FindMaximumWeakFairClique(g, k);
+      EXPECT_EQ(weak.clique.size(), oracle.size())
+          << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+TEST(StrongFairCliqueTest, ResultIsExactlyBalanced) {
+  for (uint64_t seed : {5u, 6u, 7u}) {
+    AttributedGraph g = RandomAttributedGraph(30, 0.35, seed);
+    SearchResult strong = FindMaximumStrongFairClique(g, 2);
+    if (!strong.clique.empty()) {
+      EXPECT_EQ(strong.clique.attr_counts.a(), strong.clique.attr_counts.b());
+      EXPECT_GE(strong.clique.attr_counts.a(), 2);
+      EXPECT_EQ(strong.clique.size() % 2, 0u);
+    }
+  }
+}
+
+TEST(StrongFairCliqueTest, NeverLargerThanRelativeOrWeak) {
+  for (uint64_t seed : {8u, 9u, 10u}) {
+    AttributedGraph g = RandomAttributedGraph(30, 0.35, seed);
+    const int k = 2;
+    SearchResult strong = FindMaximumStrongFairClique(g, k);
+    SearchResult relative = FindMaximumFairClique(g, BaselineOptions(k, 2));
+    SearchResult weak = FindMaximumWeakFairClique(g, k);
+    EXPECT_LE(strong.clique.size(), relative.clique.size());
+    EXPECT_LE(relative.clique.size(), weak.clique.size());
+  }
+}
+
+TEST(WeakFairEnumerationTest, FiltersMaximalCliquesByCounts) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    AttributedGraph g = RandomAttributedGraph(20, 0.4, seed);
+    const int k = 2;
+    std::set<std::vector<VertexId>> weak_cliques;
+    EnumerateWeakFairCliques(g, k, [&](const std::vector<VertexId>& m) {
+      weak_cliques.insert(Sorted(m));
+    });
+    std::set<std::vector<VertexId>> expected;
+    EnumerateMaximalCliques(g, [&](const std::vector<VertexId>& m) {
+      AttrCounts cnt = CountAttributes(g, m);
+      if (cnt.a() >= k && cnt.b() >= k) expected.insert(Sorted(m));
+    });
+    EXPECT_EQ(weak_cliques, expected) << "seed " << seed;
+  }
+}
+
+TEST(WeakFairEnumerationTest, MaxResultsStopsEarly) {
+  AttributedGraph g = RandomAttributedGraph(25, 0.5, 14);
+  uint64_t total = EnumerateWeakFairCliques(
+      g, 1, [](const std::vector<VertexId>&) {});
+  if (total >= 2) {
+    uint64_t capped = EnumerateWeakFairCliques(
+        g, 1, [](const std::vector<VertexId>&) {}, 2);
+    EXPECT_EQ(capped, 2u);
+  }
+}
+
+// Brute-force maximal relative fair cliques by subset enumeration.
+std::set<std::vector<VertexId>> BruteRelativeFairCliques(
+    const AttributedGraph& g, const FairnessParams& params) {
+  const VertexId n = g.num_vertices();
+  std::vector<std::vector<VertexId>> fair;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<VertexId> verts;
+    for (VertexId v = 0; v < n; ++v) {
+      if (mask & (1u << v)) verts.push_back(v);
+    }
+    if (IsFairClique(g, verts, params)) fair.push_back(verts);
+  }
+  // Keep only those with no fair proper superset.
+  std::set<std::vector<VertexId>> maximal;
+  for (const auto& c : fair) {
+    bool is_maximal = true;
+    for (const auto& other : fair) {
+      if (other.size() <= c.size()) continue;
+      if (std::includes(other.begin(), other.end(), c.begin(), c.end())) {
+        is_maximal = false;
+        break;
+      }
+    }
+    if (is_maximal) maximal.insert(c);
+  }
+  return maximal;
+}
+
+TEST(RelativeFairEnumerationTest, MatchesBruteForceOnTinyGraphs) {
+  for (uint64_t seed : {15u, 16u, 17u, 18u, 19u}) {
+    AttributedGraph g = RandomAttributedGraph(11, 0.5, seed);
+    for (int k = 1; k <= 2; ++k) {
+      for (int delta = 0; delta <= 1; ++delta) {
+        FairnessParams params{k, delta};
+        std::set<std::vector<VertexId>> expected =
+            BruteRelativeFairCliques(g, params);
+        std::set<std::vector<VertexId>> found;
+        uint64_t count = EnumerateRelativeFairCliques(
+            g, params,
+            [&](const std::vector<VertexId>& c) { found.insert(Sorted(c)); });
+        EXPECT_EQ(count, expected.size())
+            << "seed=" << seed << " k=" << k << " delta=" << delta;
+        EXPECT_EQ(found, expected)
+            << "seed=" << seed << " k=" << k << " delta=" << delta;
+      }
+    }
+  }
+}
+
+TEST(RelativeFairEnumerationTest, PaperExample1Answers) {
+  // Fig. 1, k=3, delta=1: Example 1 lists S - v11 ... S - v15 as maximum
+  // answers; all five must appear among the maximal relative fair cliques.
+  AttributedGraph g = PaperFigure1Graph();
+  std::set<std::vector<VertexId>> found;
+  EnumerateRelativeFairCliques(
+      g, {3, 1}, [&](const std::vector<VertexId>& c) { found.insert(Sorted(c)); });
+  std::vector<VertexId> s{6, 7, 9, 10, 11, 12, 13, 14};  // v7,v8,v10..v15
+  for (VertexId drop : {10u, 11u, 12u, 13u, 14u}) {      // v11..v15
+    std::vector<VertexId> expected;
+    for (VertexId v : s) {
+      if (v != drop) expected.push_back(v);
+    }
+    EXPECT_TRUE(found.count(expected)) << "missing S - v" << drop + 1;
+  }
+}
+
+TEST(RelativeFairEnumerationTest, EveryResultIsMaximalFair) {
+  AttributedGraph g = RandomAttributedGraph(16, 0.45, 20);
+  FairnessParams params{1, 1};
+  EnumerateRelativeFairCliques(g, params, [&](const std::vector<VertexId>& c) {
+    EXPECT_TRUE(IsFairClique(g, c, params));
+    // No single vertex extends it into a fair clique... and more generally
+    // the brute check below.
+    std::set<std::vector<VertexId>> all = BruteRelativeFairCliques(g, params);
+    EXPECT_TRUE(all.count(Sorted(c)));
+  });
+}
+
+}  // namespace
+}  // namespace fairclique

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/verifier.h"
+#include "graph/generators.h"
+#include "graph/triangles.h"
+#include "test_util.h"
+
+namespace fairclique {
+namespace {
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  Rng rng(1);
+  const VertexId n = 400;
+  const double p = 0.05;
+  AttributedGraph g = ErdosRenyi(n, p, rng);
+  double expected = p * n * (n - 1) / 2.0;
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              5 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyiTest, ExtremeProbabilities) {
+  Rng rng(2);
+  EXPECT_EQ(ErdosRenyi(50, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(ErdosRenyi(10, 1.0, rng).num_edges(), 45u);
+  EXPECT_EQ(ErdosRenyi(0, 0.5, rng).num_vertices(), 0u);
+  EXPECT_EQ(ErdosRenyi(1, 0.5, rng).num_edges(), 0u);
+}
+
+TEST(ErdosRenyiTest, DeterministicGivenSeed) {
+  Rng r1(99), r2(99);
+  AttributedGraph a = ErdosRenyi(100, 0.1, r1);
+  AttributedGraph b = ErdosRenyi(100, 0.1, r2);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(GnMTest, ExactEdgeCount) {
+  Rng rng(3);
+  AttributedGraph g = GnM(100, 500, rng);
+  EXPECT_EQ(g.num_edges(), 500u);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GnMTest, CappedAtCompleteGraph) {
+  Rng rng(4);
+  AttributedGraph g = GnM(10, 1000, rng);
+  EXPECT_EQ(g.num_edges(), 45u);
+}
+
+TEST(ChungLuTest, AverageDegreeRoughlyCalibrated) {
+  Rng rng(5);
+  const VertexId n = 3000;
+  AttributedGraph g = ChungLuPowerLaw(n, 10.0, 2.5, rng);
+  double avg = 2.0 * g.num_edges() / n;
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_GT(avg, 5.0);
+  EXPECT_LT(avg, 20.0);
+}
+
+TEST(ChungLuTest, ProducesSkewedDegrees) {
+  Rng rng(6);
+  AttributedGraph g = ChungLuPowerLaw(3000, 8.0, 2.2, rng);
+  // Heavy tail: max degree far above average.
+  double avg = 2.0 * g.num_edges() / g.num_vertices();
+  EXPECT_GT(g.max_degree(), 4 * avg);
+}
+
+TEST(BarabasiAlbertTest, SizeAndConnectivity) {
+  Rng rng(7);
+  AttributedGraph g = BarabasiAlbert(500, 3, rng);
+  EXPECT_TRUE(g.Validate().ok());
+  // Each of the ~500 arrivals adds <= 3 edges plus the seed clique.
+  EXPECT_LE(g.num_edges(), 3u * 500u + 10u);
+  EXPECT_GE(g.num_edges(), 2u * 450u);
+  EXPECT_EQ(g.ConnectedComponents().size(), 1u);
+}
+
+TEST(PlantedCliqueGraphTest, ContainsRequestedCliques) {
+  Rng rng(8);
+  PlantedCliqueOptions opts;
+  opts.num_vertices = 300;
+  opts.background_edge_prob = 0.01;
+  opts.num_cliques = 10;
+  opts.min_clique_size = 5;
+  opts.max_clique_size = 8;
+  AttributedGraph g = PlantedCliqueGraph(opts, rng);
+  EXPECT_TRUE(g.Validate().ok());
+  // Density must exceed the pure background.
+  double bg = opts.background_edge_prob * 300 * 299 / 2;
+  EXPECT_GT(g.num_edges(), static_cast<EdgeId>(bg));
+}
+
+TEST(PlantCliqueTest, PlantedBalancedCliqueIsFair) {
+  Rng rng(9);
+  AttributedGraph base = ErdosRenyi(200, 0.02, rng);
+  base = AssignAttributesBernoulli(base, 0.5, rng);
+  std::vector<VertexId> members;
+  AttributedGraph g = PlantClique(base, 10, /*balanced=*/true, rng, &members);
+  ASSERT_EQ(members.size(), 10u);
+  EXPECT_TRUE(IsClique(g, members));
+  AttrCounts cnt = CountAttributes(g, members);
+  EXPECT_LE(cnt.Diff(), 1);
+  // Fair for k = 5, delta = 1.
+  EXPECT_TRUE(IsFairClique(g, members, {5, 1}));
+}
+
+TEST(PlantCliqueTest, UnbalancedPlantIsStillAClique) {
+  Rng rng(10);
+  AttributedGraph base = ErdosRenyi(100, 0.02, rng);
+  std::vector<VertexId> members;
+  AttributedGraph g = PlantClique(base, 7, /*balanced=*/false, rng, &members);
+  EXPECT_TRUE(IsClique(g, members));
+}
+
+TEST(PaperFigure1Test, MatchesPaperExamples) {
+  AttributedGraph g = PaperFigure1Graph();
+  EXPECT_EQ(g.num_vertices(), 15u);
+  EXPECT_TRUE(g.Validate().ok());
+  // Example 2 facts: (v2, v5) is an edge; common neighbors are v1, v6 (a)
+  // and v9 (b). Paper ids are 1-based.
+  EXPECT_TRUE(g.HasEdge(1, 4));
+  std::vector<VertexId> common;
+  ForEachCommonNeighbor(g, 1, 4,
+                        [&](VertexId w, EdgeId, EdgeId) { common.push_back(w); });
+  EXPECT_EQ(common, (std::vector<VertexId>{0, 5, 8}));  // v1, v6, v9
+  EXPECT_EQ(g.attribute(0), Attribute::kA);
+  EXPECT_EQ(g.attribute(5), Attribute::kA);
+  EXPECT_EQ(g.attribute(8), Attribute::kB);
+  // The right community is an 8-clique with 3 a's and 5 b's.
+  std::vector<VertexId> right{6, 7, 9, 10, 11, 12, 13, 14};
+  EXPECT_TRUE(IsClique(g, right));
+  AttrCounts cnt = CountAttributes(g, right);
+  EXPECT_EQ(cnt.a(), 3);
+  EXPECT_EQ(cnt.b(), 5);
+}
+
+TEST(AttributeAssignmentTest, BernoulliRoughlyBalanced) {
+  Rng rng(11);
+  AttributedGraph g = ErdosRenyi(2000, 0.005, rng);
+  g = AssignAttributesBernoulli(g, 0.5, rng);
+  AttrCounts cnt = g.attribute_counts();
+  EXPECT_NEAR(static_cast<double>(cnt.a()) / 2000.0, 0.5, 0.05);
+}
+
+TEST(AttributeAssignmentTest, HomophilyCreatesAssortativity) {
+  Rng rng(12);
+  AttributedGraph g = ChungLuPowerLaw(2000, 8.0, 2.5, rng);
+  AttributedGraph homo = AssignAttributesHomophily(g, 0.5, 0.9, rng);
+  AttributedGraph indep = AssignAttributesBernoulli(g, 0.5, rng);
+  auto same_attr_fraction = [](const AttributedGraph& h) {
+    if (h.num_edges() == 0) return 0.0;
+    uint64_t same = 0;
+    for (const Edge& e : h.edges()) {
+      if (h.attribute(e.u) == h.attribute(e.v)) ++same;
+    }
+    return static_cast<double>(same) / h.num_edges();
+  };
+  EXPECT_GT(same_attr_fraction(homo), same_attr_fraction(indep) + 0.15);
+}
+
+TEST(SamplingTest, VertexSampleSizes) {
+  Rng rng(13);
+  AttributedGraph g = ErdosRenyi(500, 0.05, rng);
+  AttributedGraph s = SampleVertices(g, 0.4, rng);
+  EXPECT_EQ(s.num_vertices(), 200u);
+  EXPECT_LE(s.num_edges(), g.num_edges());
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(SamplingTest, EdgeSampleSizes) {
+  Rng rng(14);
+  AttributedGraph g = ErdosRenyi(500, 0.05, rng);
+  AttributedGraph s = SampleEdges(g, 0.25, rng);
+  EXPECT_EQ(s.num_vertices(), g.num_vertices());
+  EXPECT_EQ(s.num_edges(),
+            static_cast<EdgeId>(std::llround(0.25 * g.num_edges())));
+}
+
+TEST(SamplingTest, FullAndEmptyFractions) {
+  Rng rng(15);
+  AttributedGraph g = ErdosRenyi(100, 0.1, rng);
+  EXPECT_EQ(SampleVertices(g, 1.0, rng).num_vertices(), g.num_vertices());
+  EXPECT_EQ(SampleVertices(g, 0.0, rng).num_vertices(), 0u);
+  EXPECT_EQ(SampleEdges(g, 1.0, rng).num_edges(), g.num_edges());
+  EXPECT_EQ(SampleEdges(g, 0.0, rng).num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace fairclique

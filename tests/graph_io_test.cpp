@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "graph/io.h"
+#include "test_util.h"
+
+namespace fairclique {
+namespace {
+
+using testing_util::RandomAttributedGraph;
+
+// Writes `content` into a fresh temp file and returns its path.
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fairclique_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string WriteFile(const std::string& name, const std::string& content) {
+    std::string path = (dir_ / name).string();
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, LoadsSimpleEdgeList) {
+  std::string path = WriteFile("g.txt", "0 1\n1 2\n2 0\n");
+  AttributedGraph g;
+  EdgeListOptions opts;
+  opts.remap_ids = false;
+  ASSERT_TRUE(LoadEdgeList(path, opts, &g).ok());
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST_F(IoTest, SkipsCommentsAndBlankLines) {
+  std::string path = WriteFile(
+      "g.txt", "# SNAP style header\n% network-repository style\n\n0 1\n\n1 2\n");
+  AttributedGraph g;
+  EdgeListOptions opts;
+  opts.remap_ids = false;
+  ASSERT_TRUE(LoadEdgeList(path, opts, &g).ok());
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST_F(IoTest, RemapsSparseIds) {
+  std::string path = WriteFile("g.txt", "1000000 5\n5 70000\n");
+  AttributedGraph g;
+  EdgeListOptions opts;  // remap on by default
+  ASSERT_TRUE(LoadEdgeList(path, opts, &g).ok());
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST_F(IoTest, DuplicateAndSelfLoopEdgesNormalized) {
+  std::string path = WriteFile("g.txt", "0 1\n1 0\n2 2\n0 1\n");
+  AttributedGraph g;
+  EdgeListOptions opts;
+  opts.remap_ids = false;
+  ASSERT_TRUE(LoadEdgeList(path, opts, &g).ok());
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST_F(IoTest, MissingFileIsIOError) {
+  AttributedGraph g;
+  Status s = LoadEdgeList((dir_ / "nope.txt").string(), {}, &g);
+  EXPECT_TRUE(s.IsIOError());
+}
+
+TEST_F(IoTest, MalformedLineIsInvalidArgument) {
+  std::string path = WriteFile("g.txt", "0 1\n2\n");
+  AttributedGraph g;
+  Status s = LoadEdgeList(path, {}, &g);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find(":2"), std::string::npos) << s.ToString();
+}
+
+TEST_F(IoTest, NonNumericTokenIsInvalidArgument) {
+  std::string path = WriteFile("g.txt", "0 x\n");
+  AttributedGraph g;
+  EXPECT_TRUE(LoadEdgeList(path, {}, &g).IsInvalidArgument());
+}
+
+TEST_F(IoTest, NegativeIdIsInvalidArgument) {
+  std::string path = WriteFile("g.txt", "0 -3\n");
+  AttributedGraph g;
+  EXPECT_TRUE(LoadEdgeList(path, {}, &g).IsInvalidArgument());
+}
+
+TEST_F(IoTest, AttributesParseBothTokenStyles) {
+  std::string gpath = WriteFile("g.txt", "0 1\n1 2\n");
+  std::string apath = WriteFile("a.txt", "0 a\n1 1\n2 B\n");
+  AttributedGraph g;
+  EdgeListOptions opts;
+  opts.remap_ids = false;
+  ASSERT_TRUE(LoadAttributedGraph(gpath, apath, opts, &g).ok());
+  EXPECT_EQ(g.attribute(0), Attribute::kA);
+  EXPECT_EQ(g.attribute(1), Attribute::kB);
+  EXPECT_EQ(g.attribute(2), Attribute::kB);
+}
+
+TEST_F(IoTest, AttributeForUnknownVertexIsOutOfRange) {
+  std::string apath = WriteFile("a.txt", "7 a\n");
+  std::vector<Attribute> attrs;
+  EXPECT_TRUE(LoadAttributes(apath, 3, &attrs).IsOutOfRange());
+}
+
+TEST_F(IoTest, AttributeBadTokenIsInvalidArgument) {
+  std::string apath = WriteFile("a.txt", "0 q\n");
+  std::vector<Attribute> attrs;
+  EXPECT_TRUE(LoadAttributes(apath, 3, &attrs).IsInvalidArgument());
+}
+
+TEST_F(IoTest, MissingAttributesDefaultToA) {
+  std::string apath = WriteFile("a.txt", "1 b\n");
+  std::vector<Attribute> attrs;
+  ASSERT_TRUE(LoadAttributes(apath, 3, &attrs).ok());
+  EXPECT_EQ(attrs[0], Attribute::kA);
+  EXPECT_EQ(attrs[1], Attribute::kB);
+  EXPECT_EQ(attrs[2], Attribute::kA);
+}
+
+TEST_F(IoTest, SaveLoadRoundTripPreservesGraph) {
+  AttributedGraph g = RandomAttributedGraph(50, 0.1, 42);
+  std::string gpath = (dir_ / "round.txt").string();
+  std::string apath = (dir_ / "round_attr.txt").string();
+  ASSERT_TRUE(SaveEdgeList(g, gpath).ok());
+  ASSERT_TRUE(SaveAttributes(g, apath).ok());
+
+  AttributedGraph loaded;
+  EdgeListOptions opts;
+  opts.remap_ids = false;
+  ASSERT_TRUE(LoadAttributedGraph(gpath, apath, opts, &loaded).ok());
+  // Vertex count can differ when trailing vertices are isolated; compare
+  // edges and attributes over the loaded prefix.
+  EXPECT_EQ(loaded.num_edges(), g.num_edges());
+  EXPECT_EQ(loaded.edges(), g.edges());
+  for (VertexId v = 0; v < loaded.num_vertices(); ++v) {
+    EXPECT_EQ(loaded.attribute(v), g.attribute(v));
+  }
+}
+
+TEST_F(IoTest, SaveToUnwritablePathFails) {
+  AttributedGraph g = RandomAttributedGraph(5, 0.5, 1);
+  EXPECT_TRUE(SaveEdgeList(g, "/nonexistent_dir_xyz/out.txt").IsIOError());
+}
+
+}  // namespace
+}  // namespace fairclique

@@ -1,0 +1,36 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace fairclique {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, SuppressedLevelsDoNotCrash) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  FC_LOG(kDebug) << "below threshold " << 42;
+  FC_LOG(kInfo) << "also below " << 3.14;
+  FC_LOG(kWarning) << "still below";
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  FC_CHECK(1 + 1 == 2) << "arithmetic broke";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalseCondition) {
+  EXPECT_DEATH({ FC_CHECK(false) << "expected failure"; }, "Check failed");
+}
+
+}  // namespace
+}  // namespace fairclique

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/enumeration.h"
+#include "core/max_clique.h"
+#include "core/verifier.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace fairclique {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::RandomAttributedGraph;
+
+// Oracle: maximum clique size via maximal clique enumeration.
+size_t OracleMaxClique(const AttributedGraph& g) {
+  size_t best = 0;
+  EnumerateMaximalCliques(g, [&](const std::vector<VertexId>& m) {
+    best = std::max(best, m.size());
+  });
+  return best;
+}
+
+TEST(MaxCliqueTest, EmptyAndTrivialGraphs) {
+  AttributedGraph empty = MakeGraph("", {});
+  EXPECT_TRUE(FindMaximumClique(empty).clique.empty());
+  AttributedGraph one = MakeGraph("a", {});
+  EXPECT_EQ(FindMaximumClique(one).clique.size(), 1u);
+  AttributedGraph edge = MakeGraph("ab", {{0, 1}});
+  EXPECT_EQ(FindMaximumClique(edge).clique.size(), 2u);
+}
+
+TEST(MaxCliqueTest, CompleteGraph) {
+  GraphBuilder b(7);
+  for (VertexId u = 0; u < 7; ++u) {
+    for (VertexId v = u + 1; v < 7; ++v) b.AddEdge(u, v);
+  }
+  AttributedGraph g = b.Build();
+  MaxCliqueResult r = FindMaximumClique(g);
+  EXPECT_EQ(r.clique.size(), 7u);
+}
+
+TEST(MaxCliqueTest, MatchesOracleOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    AttributedGraph g = RandomAttributedGraph(40, 0.3 + 0.02 * seed, seed);
+    MaxCliqueResult r = FindMaximumClique(g);
+    EXPECT_EQ(r.clique.size(), OracleMaxClique(g)) << "seed " << seed;
+    EXPECT_TRUE(IsClique(g, r.clique));
+    EXPECT_TRUE(r.completed);
+  }
+}
+
+TEST(MaxCliqueTest, FindsPlantedClique) {
+  Rng rng(5);
+  AttributedGraph base = ErdosRenyi(300, 0.05, rng);
+  std::vector<VertexId> members;
+  AttributedGraph g = PlantClique(base, 15, /*balanced=*/false, rng, &members);
+  MaxCliqueResult r = FindMaximumClique(g);
+  EXPECT_GE(r.clique.size(), 15u);
+}
+
+TEST(MaxCliqueTest, NodeLimitMarksIncomplete) {
+  AttributedGraph g = RandomAttributedGraph(80, 0.5, 9);
+  MaxCliqueResult r = FindMaximumClique(g, /*node_limit=*/3);
+  EXPECT_FALSE(r.completed);
+}
+
+TEST(MaxCliqueTest, DominatesMaximumFairClique) {
+  // omega(G) upper-bounds any fair clique size.
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    AttributedGraph g = RandomAttributedGraph(30, 0.4, seed);
+    MaxCliqueResult mc = FindMaximumClique(g);
+    CliqueResult fair = MaxFairCliqueByEnumeration(g, {1, 2});
+    EXPECT_GE(mc.clique.size(), fair.size()) << "seed " << seed;
+  }
+}
+
+TEST(GreedyCliqueLowerBoundTest, IsACliqueAndNeverExceedsOptimum) {
+  for (uint64_t seed = 31; seed <= 40; ++seed) {
+    AttributedGraph g = RandomAttributedGraph(50, 0.25, seed);
+    std::vector<VertexId> lb = GreedyCliqueLowerBound(g);
+    EXPECT_TRUE(IsClique(g, lb));
+    EXPECT_LE(lb.size(), FindMaximumClique(g).clique.size());
+    EXPECT_GE(lb.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace fairclique

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "core/max_fair_clique.h"
+#include "graph/generators.h"
+#include "multiattr/multi_fair_clique.h"
+#include "test_util.h"
+
+namespace fairclique {
+namespace {
+
+using testing_util::RandomAttributedGraph;
+
+MultiAttrGraph RandomMultiGraph(VertexId n, double p, int d, uint64_t seed) {
+  Rng rng(seed);
+  AttributedGraph g = ErdosRenyi(n, p, rng);
+  return AssignLabelsUniform(g, d, rng);
+}
+
+TEST(MultiFairnessParamsTest, SatisfiedConditions) {
+  MultiFairnessParams p{2, 1};
+  EXPECT_TRUE(p.Satisfied({2, 3, 2}));
+  EXPECT_FALSE(p.Satisfied({1, 3, 2}));  // below k
+  EXPECT_FALSE(p.Satisfied({2, 4, 2}));  // spread 2 > delta
+}
+
+TEST(MultiFairnessParamsTest, BestFairSubsetSizeClosedForm) {
+  MultiFairnessParams p{2, 1};
+  // min = 2; every label capped at min + delta = 3: 2 + 3 + 3 = 8.
+  EXPECT_EQ(p.BestFairSubsetSize({2, 5, 9}), 8);
+  EXPECT_EQ(p.BestFairSubsetSize({1, 5, 9}), 0);  // infeasible
+  EXPECT_EQ(p.BestFairSubsetSize({4, 4, 4}), 12);
+}
+
+TEST(MultiFairnessParamsTest, ClosedFormMatchesBruteForce) {
+  MultiFairnessParams p{1, 2};
+  for (int64_t c0 = 0; c0 <= 4; ++c0) {
+    for (int64_t c1 = 0; c1 <= 4; ++c1) {
+      for (int64_t c2 = 0; c2 <= 4; ++c2) {
+        int64_t brute = 0;
+        for (int64_t n0 = 0; n0 <= c0; ++n0) {
+          for (int64_t n1 = 0; n1 <= c1; ++n1) {
+            for (int64_t n2 = 0; n2 <= c2; ++n2) {
+              std::vector<int64_t> counts{n0, n1, n2};
+              if (p.Satisfied(counts)) {
+                brute = std::max(brute, n0 + n1 + n2);
+              }
+            }
+          }
+        }
+        EXPECT_EQ(p.BestFairSubsetSize({c0, c1, c2}), brute)
+            << c0 << "," << c1 << "," << c2;
+      }
+    }
+  }
+}
+
+TEST(MultiAttrGraphTest, LabelBookkeeping) {
+  MultiAttrGraph mg = RandomMultiGraph(50, 0.2, 4, 1);
+  int64_t total = 0;
+  for (int64_t c : mg.label_counts()) total += c;
+  EXPECT_EQ(total, 50);
+  for (VertexId v = 0; v < 50; ++v) {
+    EXPECT_LT(mg.label(v), 4);
+  }
+}
+
+TEST(MultiFairCliqueTest, MatchesOracleAcrossArities) {
+  for (int d : {2, 3, 4}) {
+    for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+      MultiAttrGraph mg = RandomMultiGraph(28, 0.45, d, seed * 10 + d);
+      for (int k = 1; k <= 2; ++k) {
+        for (int delta = 0; delta <= 2; ++delta) {
+          MultiFairnessParams params{k, delta};
+          int64_t oracle = MaxMultiFairCliqueSizeByEnumeration(mg, params);
+          MultiSearchResult r = FindMaximumMultiFairClique(mg, params);
+          EXPECT_EQ(static_cast<int64_t>(r.clique.size()), oracle)
+              << "d=" << d << " seed=" << seed << " k=" << k
+              << " delta=" << delta;
+          if (!r.clique.empty()) {
+            EXPECT_TRUE(IsMultiFairClique(mg, r.clique, params));
+          }
+          EXPECT_TRUE(r.completed);
+        }
+      }
+    }
+  }
+}
+
+TEST(MultiFairCliqueTest, BinaryCaseAgreesWithMainEngine) {
+  // For d = 2 the generalized model must coincide with the paper's model.
+  for (uint64_t seed : {11u, 12u, 13u, 14u, 15u}) {
+    AttributedGraph g = RandomAttributedGraph(30, 0.35, seed);
+    std::vector<uint8_t> labels(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      labels[v] = static_cast<uint8_t>(AttrIndex(g.attribute(v)));
+    }
+    MultiAttrGraph mg(g, labels, 2);
+    for (int k = 1; k <= 2; ++k) {
+      for (int delta = 0; delta <= 2; ++delta) {
+        SearchResult binary =
+            FindMaximumFairClique(g, BaselineOptions(k, delta));
+        MultiSearchResult multi =
+            FindMaximumMultiFairClique(mg, {k, delta});
+        EXPECT_EQ(binary.clique.size(), multi.clique.size())
+            << "seed=" << seed << " k=" << k << " delta=" << delta;
+      }
+    }
+  }
+}
+
+TEST(MultiFairCliqueTest, PlantedTriLabelCliqueIsFound) {
+  Rng rng(77);
+  AttributedGraph base = ChungLuPowerLaw(300, 6.0, 2.5, rng);
+  MultiAttrGraph mg = AssignLabelsUniform(base, 3, rng);
+  std::vector<VertexId> members;
+  mg = PlantBalancedMultiClique(mg, 12, rng, &members);
+  MultiFairnessParams params{4, 1};
+  MultiSearchResult r = FindMaximumMultiFairClique(mg, params);
+  EXPECT_GE(r.clique.size(), 12u);
+  EXPECT_TRUE(IsMultiFairClique(mg, r.clique, params));
+}
+
+TEST(MultiFairCliqueTest, MissingLabelMeansNoFairClique) {
+  // Three labels requested but only two present in the graph.
+  Rng rng(5);
+  AttributedGraph g = ErdosRenyi(20, 0.6, rng);
+  std::vector<uint8_t> labels(20);
+  for (VertexId v = 0; v < 20; ++v) labels[v] = v % 2;
+  MultiAttrGraph mg(g, labels, 3);
+  MultiSearchResult r = FindMaximumMultiFairClique(mg, {1, 5});
+  EXPECT_TRUE(r.clique.empty());
+}
+
+TEST(MultiFairCliqueTest, NodeLimitMarksIncomplete) {
+  MultiAttrGraph mg = RandomMultiGraph(50, 0.5, 3, 21);
+  MultiSearchResult r = FindMaximumMultiFairClique(mg, {1, 3}, 2);
+  EXPECT_FALSE(r.completed);
+}
+
+TEST(MultiFairCliqueTest, EmptyGraph) {
+  GraphBuilder b(0);
+  MultiAttrGraph mg(b.Build(), {}, 2);
+  MultiSearchResult r = FindMaximumMultiFairClique(mg, {1, 1});
+  EXPECT_TRUE(r.clique.empty());
+  EXPECT_TRUE(r.completed);
+}
+
+}  // namespace
+}  // namespace fairclique

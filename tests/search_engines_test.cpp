@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "common/bitset.h"
+#include "core/enumeration.h"
+#include "core/max_fair_clique.h"
+#include "core/verifier.h"
+#include "test_util.h"
+
+namespace fairclique {
+namespace {
+
+using testing_util::RandomAttributedGraph;
+
+TEST(BitsetResetBelowTest, ClearsExactPrefix) {
+  for (size_t n : {1u, 63u, 64u, 65u, 130u}) {
+    for (size_t cut : {0u, 1u, 63u, 64u, 65u, 129u, 200u}) {
+      Bitset bs(n);
+      bs.SetAll();
+      bs.ResetBelow(cut);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(bs.Test(i), i >= cut) << "n=" << n << " cut=" << cut;
+      }
+    }
+  }
+}
+
+// Differential sweep: both kernels are exact, so they must agree with each
+// other and the oracle on every instance, with every prune configuration.
+struct EngineCase {
+  uint64_t seed;
+  VertexId n;
+  double density;
+  int k;
+  int delta;
+};
+
+class EngineAgreementTest : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineAgreementTest, VectorAndBitsetKernelsAgree) {
+  const EngineCase p = GetParam();
+  AttributedGraph g = RandomAttributedGraph(p.n, p.density, p.seed);
+  CliqueResult oracle = MaxFairCliqueByEnumeration(g, {p.k, p.delta});
+
+  for (ExtraBound extra : {ExtraBound::kNone, ExtraBound::kColorfulPath}) {
+    SearchOptions vec = FullOptions(p.k, p.delta, extra);
+    vec.engine = SearchEngine::kVector;
+    SearchOptions bit = vec;
+    bit.engine = SearchEngine::kBitset;
+
+    SearchResult rv = FindMaximumFairClique(g, vec);
+    SearchResult rb = FindMaximumFairClique(g, bit);
+    EXPECT_EQ(rv.clique.size(), oracle.size()) << "vector engine";
+    EXPECT_EQ(rb.clique.size(), oracle.size()) << "bitset engine";
+    // Same pruning rules -> identical node counts.
+    EXPECT_EQ(rv.stats.nodes, rb.stats.nodes);
+    if (!rb.clique.empty()) {
+      EXPECT_TRUE(
+          VerifyFairClique(g, rb.clique.vertices, {p.k, p.delta}).ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSweep, EngineAgreementTest,
+    ::testing::Values(EngineCase{1, 25, 0.35, 2, 1},
+                      EngineCase{2, 30, 0.30, 2, 0},
+                      EngineCase{3, 35, 0.30, 3, 2},
+                      EngineCase{4, 40, 0.25, 2, 2},
+                      EngineCase{5, 45, 0.35, 3, 1},
+                      EngineCase{6, 50, 0.20, 2, 3},
+                      EngineCase{7, 60, 0.15, 2, 1},
+                      EngineCase{8, 70, 0.50, 3, 0}));
+
+TEST(EngineSelectionTest, AutoPicksBitsetForSmallComponents) {
+  AttributedGraph g = RandomAttributedGraph(60, 0.3, 10);
+  SearchOptions opts = BaselineOptions(2, 1);
+  opts.engine = SearchEngine::kAuto;
+  SearchResult r_auto = FindMaximumFairClique(g, opts);
+  opts.engine = SearchEngine::kBitset;
+  SearchResult r_bitset = FindMaximumFairClique(g, opts);
+  EXPECT_EQ(r_auto.clique.size(), r_bitset.clique.size());
+  EXPECT_EQ(r_auto.stats.nodes, r_bitset.stats.nodes);
+}
+
+TEST(EngineSelectionTest, VectorEngineHandlesLargeSparseGraphs) {
+  AttributedGraph g = RandomAttributedGraph(400, 0.02, 11);
+  SearchOptions opts = BaselineOptions(1, 2);
+  opts.engine = SearchEngine::kVector;
+  SearchResult r = FindMaximumFairClique(g, opts);
+  CliqueResult oracle = MaxFairCliqueByEnumeration(g, {1, 2});
+  EXPECT_EQ(r.clique.size(), oracle.size());
+}
+
+}  // namespace
+}  // namespace fairclique

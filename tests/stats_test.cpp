@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+#include "test_util.h"
+
+namespace fairclique {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::RandomAttributedGraph;
+
+TEST(GraphStatsTest, EmptyGraph) {
+  AttributedGraph g = MakeGraph("", {});
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_EQ(s.num_vertices, 0u);
+  EXPECT_EQ(s.num_edges, 0u);
+  EXPECT_EQ(s.triangle_count, 0u);
+}
+
+TEST(GraphStatsTest, TriangleHasClusteringOne) {
+  AttributedGraph g = MakeGraph("aab", {{0, 1}, {1, 2}, {0, 2}});
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_EQ(s.triangle_count, 1u);
+  EXPECT_DOUBLE_EQ(s.global_clustering, 1.0);
+  EXPECT_EQ(s.num_components, 1u);
+  EXPECT_EQ(s.largest_component, 3u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 2.0);
+}
+
+TEST(GraphStatsTest, StarHasClusteringZero) {
+  AttributedGraph g = MakeGraph("aaaab", {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_EQ(s.triangle_count, 0u);
+  EXPECT_DOUBLE_EQ(s.global_clustering, 0.0);
+  EXPECT_EQ(s.max_degree, 4u);
+  EXPECT_EQ(s.degree_p50, 1u);
+}
+
+TEST(GraphStatsTest, PerfectlyAssortativeGraph) {
+  // Two disjoint same-attribute triangles: assortativity 1.
+  AttributedGraph g =
+      MakeGraph("aaabbb", {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_DOUBLE_EQ(s.same_attribute_edge_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(s.attribute_assortativity, 1.0);
+  EXPECT_EQ(s.num_components, 2u);
+}
+
+TEST(GraphStatsTest, PerfectlyDisassortativeGraph) {
+  // Complete bipartite K2,2 across attributes: assortativity -1.
+  AttributedGraph g = MakeGraph("aabb", {{0, 2}, {0, 3}, {1, 2}, {1, 3}});
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_DOUBLE_EQ(s.same_attribute_edge_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(s.attribute_assortativity, -1.0);
+}
+
+TEST(GraphStatsTest, IndependentLabelsNearZeroAssortativity) {
+  AttributedGraph g = RandomAttributedGraph(500, 0.05, 9);
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_NEAR(s.attribute_assortativity, 0.0, 0.05);
+  EXPECT_NEAR(s.same_attribute_edge_fraction, 0.5, 0.05);
+}
+
+TEST(GraphStatsTest, PercentilesOrdered) {
+  AttributedGraph g = RandomAttributedGraph(200, 0.05, 11);
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_LE(s.degree_p50, s.degree_p90);
+  EXPECT_LE(s.degree_p90, s.degree_p99);
+  EXPECT_LE(s.degree_p99, s.max_degree);
+}
+
+TEST(GraphStatsTest, FormatContainsKeyLines) {
+  AttributedGraph g = MakeGraph("ab", {{0, 1}});
+  std::string text = FormatGraphStats(ComputeGraphStats(g));
+  EXPECT_NE(text.find("vertices:"), std::string::npos);
+  EXPECT_NE(text.find("assortativity:"), std::string::npos);
+  EXPECT_NE(text.find("triangles:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairclique

@@ -1,0 +1,182 @@
+// Tests on graph families with analytically known answers: complete
+// multipartite graphs, bipartite graphs, cycles, trees, and unions of
+// cliques. These pin down exact expected values (not just consistency),
+// complementing the randomized differential suites.
+
+#include <gtest/gtest.h>
+
+#include "bounds/upper_bounds.h"
+#include "core/max_clique.h"
+#include "core/max_fair_clique.h"
+#include "core/verifier.h"
+#include "graph/coloring.h"
+#include "test_util.h"
+
+namespace fairclique {
+namespace {
+
+using testing_util::MakeGraph;
+
+// Complete multipartite graph with the given part sizes; parts alternate
+// attributes (part i has attribute i % 2).
+AttributedGraph CompleteMultipartite(const std::vector<int>& parts) {
+  int n = 0;
+  for (int p : parts) n += p;
+  GraphBuilder b(static_cast<VertexId>(n));
+  int offset = 0;
+  std::vector<std::pair<int, int>> ranges;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    ranges.push_back({offset, offset + parts[i]});
+    for (int v = offset; v < offset + parts[i]; ++v) {
+      b.SetAttribute(static_cast<VertexId>(v),
+                     i % 2 == 0 ? Attribute::kA : Attribute::kB);
+    }
+    offset += parts[i];
+  }
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    for (size_t j = i + 1; j < ranges.size(); ++j) {
+      for (int u = ranges[i].first; u < ranges[i].second; ++u) {
+        for (int v = ranges[j].first; v < ranges[j].second; ++v) {
+          b.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+        }
+      }
+    }
+  }
+  return b.Build();
+}
+
+TEST(StructuredFamiliesTest, CompleteMultipartiteCliqueNumberIsPartCount) {
+  // Max clique takes one vertex per part.
+  AttributedGraph g = CompleteMultipartite({3, 3, 3, 3});
+  EXPECT_EQ(FindMaximumClique(g).clique.size(), 4u);
+  // Parts alternate attributes: 2 a-parts, 2 b-parts -> max fair clique
+  // with k=2, delta=0 uses all four parts.
+  SearchResult r = FindMaximumFairClique(g, BaselineOptions(2, 0));
+  EXPECT_EQ(r.clique.size(), 4u);
+}
+
+TEST(StructuredFamiliesTest, CompleteMultipartiteUnbalancedParts) {
+  // 5 parts: attributes a,b,a,b,a -> 3 a's and 2 b's available per clique.
+  AttributedGraph g = CompleteMultipartite({2, 2, 2, 2, 2});
+  // k=2, delta=0: best is 2+2.
+  SearchResult strict = FindMaximumFairClique(g, BaselineOptions(2, 0));
+  EXPECT_EQ(strict.clique.size(), 4u);
+  // k=2, delta=1: 3 a's + 2 b's.
+  SearchResult loose = FindMaximumFairClique(g, BaselineOptions(2, 1));
+  EXPECT_EQ(loose.clique.size(), 5u);
+}
+
+TEST(StructuredFamiliesTest, BipartiteGraphsFairCliqueIsAnEdge) {
+  // Complete bipartite with a on one side, b on the other: cliques are
+  // edges; the only fair cliques at k=1 are mixed pairs.
+  GraphBuilder b(8);
+  for (VertexId u = 0; u < 4; ++u) {
+    b.SetAttribute(u, Attribute::kA);
+    for (VertexId v = 4; v < 8; ++v) b.AddEdge(u, v);
+  }
+  for (VertexId v = 4; v < 8; ++v) b.SetAttribute(v, Attribute::kB);
+  AttributedGraph g = b.Build();
+  SearchResult r = FindMaximumFairClique(g, BaselineOptions(1, 0));
+  EXPECT_EQ(r.clique.size(), 2u);
+  SearchResult r2 = FindMaximumFairClique(g, BaselineOptions(2, 0));
+  EXPECT_TRUE(r2.clique.empty());
+}
+
+TEST(StructuredFamiliesTest, OddCycleNeedsMixedAdjacentPair) {
+  // C5 with attributes a,b,a,b,a: adjacent mixed pairs exist.
+  AttributedGraph g =
+      MakeGraph("ababa", {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  SearchResult r = FindMaximumFairClique(g, BaselineOptions(1, 0));
+  EXPECT_EQ(r.clique.size(), 2u);
+  // All-same-attribute cycle: nothing.
+  AttributedGraph same =
+      MakeGraph("aaaaa", {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  EXPECT_TRUE(
+      FindMaximumFairClique(same, BaselineOptions(1, 0)).clique.empty());
+}
+
+TEST(StructuredFamiliesTest, StarOfCliquesPicksTheBestBalancedOne) {
+  // Three cliques sharing vertex 0: sizes 4 (3a+1b), 4 (2a+2b), 5 (1a+4b).
+  GraphBuilder b(12);
+  auto add_clique = [&b](std::vector<VertexId> vs) {
+    for (size_t i = 0; i < vs.size(); ++i) {
+      for (size_t j = i + 1; j < vs.size(); ++j) b.AddEdge(vs[i], vs[j]);
+    }
+  };
+  // Clique 1: {0,1,2,3} attrs a,a,a,b.
+  add_clique({0, 1, 2, 3});
+  b.SetAttribute(3, Attribute::kB);
+  // Clique 2: {0,4,5,6} attrs a,a,b,b.
+  add_clique({0, 4, 5, 6});
+  b.SetAttribute(5, Attribute::kB);
+  b.SetAttribute(6, Attribute::kB);
+  // Clique 3: {0,7,8,9,10} attrs a,b,b,b,b.
+  add_clique({0, 7, 8, 9, 10});
+  for (VertexId v = 7; v <= 10; ++v) b.SetAttribute(v, Attribute::kB);
+  AttributedGraph g = b.Build();
+  // k=2, delta=0: only clique 2 gives (2,2).
+  SearchResult r = FindMaximumFairClique(g, BaselineOptions(2, 0));
+  EXPECT_EQ(r.clique.size(), 4u);
+  EXPECT_EQ(r.clique.attr_counts.a(), 2);
+  // k=1, delta=3: clique 3 gives (1,4) -> 5 vertices.
+  SearchResult r2 = FindMaximumFairClique(g, BaselineOptions(1, 3));
+  EXPECT_EQ(r2.clique.size(), 5u);
+}
+
+TEST(StructuredFamiliesTest, BoundsAreTightOnCompleteMultipartite) {
+  // On complete multipartite graphs the coloring bound equals the part
+  // count (each part is an independent set = one color under any optimal
+  // greedy run on degree order).
+  AttributedGraph g = CompleteMultipartite({4, 4, 4});
+  Coloring c = GreedyColoring(g);
+  EXPECT_EQ(ColorBound(c), 3);
+  EXPECT_EQ(DegeneracyBound(g), 9);  // degeneracy 8 (K4,4,4) + 1.
+  EXPECT_EQ(ColorfulPathBound(g, c), 3);
+}
+
+TEST(StructuredFamiliesTest, TreesHaveNoFairCliquesBeyondEdges) {
+  // A balanced binary tree with alternating attributes by depth.
+  GraphBuilder b(15);
+  for (VertexId v = 1; v < 15; ++v) b.AddEdge(v, (v - 1) / 2);
+  for (VertexId v = 0; v < 15; ++v) {
+    int depth = 0;
+    VertexId x = v;
+    while (x > 0) {
+      x = (x - 1) / 2;
+      ++depth;
+    }
+    b.SetAttribute(v, depth % 2 == 0 ? Attribute::kA : Attribute::kB);
+  }
+  AttributedGraph g = b.Build();
+  SearchResult r = FindMaximumFairClique(g, BaselineOptions(1, 0));
+  EXPECT_EQ(r.clique.size(), 2u);  // Parent-child mixed pair.
+  EXPECT_TRUE(FindMaximumFairClique(g, BaselineOptions(2, 2)).clique.empty());
+}
+
+TEST(StructuredFamiliesTest, DisjointCliquesPickTheLargestFairOne) {
+  // Cliques of sizes 10 (5/5), 12 (2/10), 8 (4/4) in one graph.
+  GraphBuilder b(30);
+  auto add_range_clique = [&b](VertexId lo, VertexId hi, int num_a) {
+    for (VertexId u = lo; u < hi; ++u) {
+      b.SetAttribute(u, static_cast<int>(u - lo) < num_a ? Attribute::kA
+                                                         : Attribute::kB);
+      for (VertexId v = u + 1; v < hi; ++v) b.AddEdge(u, v);
+    }
+  };
+  add_range_clique(0, 10, 5);    // 5a + 5b
+  add_range_clique(10, 22, 2);   // 2a + 10b
+  add_range_clique(22, 30, 4);   // 4a + 4b
+  AttributedGraph g = b.Build();
+  // k=2, delta=1: the (5,5) clique -> 10.
+  EXPECT_EQ(FindMaximumFairClique(g, BaselineOptions(2, 1)).clique.size(),
+            10u);
+  // k=2, delta=8: from the 12-clique take (2,10) -> 12.
+  EXPECT_EQ(FindMaximumFairClique(g, BaselineOptions(2, 8)).clique.size(),
+            12u);
+  // k=5, delta=0: only the (5,5) clique qualifies.
+  SearchResult r = FindMaximumFairClique(g, BaselineOptions(5, 0));
+  EXPECT_EQ(r.clique.size(), 10u);
+}
+
+}  // namespace
+}  // namespace fairclique

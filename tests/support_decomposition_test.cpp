@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "graph/coloring.h"
+#include "reduction/colorful_support.h"
+#include "reduction/support_decomposition.h"
+#include "test_util.h"
+
+namespace fairclique {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::RandomAttributedGraph;
+
+TEST(SupportDecompositionTest, EmptyGraph) {
+  AttributedGraph g = MakeGraph("", {});
+  Coloring c = GreedyColoring(g);
+  SupportDecomposition d = ComputeColorfulSupportNumbers(g, c);
+  EXPECT_TRUE(d.ksup.empty());
+  EXPECT_EQ(d.max_k, 0);
+}
+
+TEST(SupportDecompositionTest, TriangleFreeGraphDiesAtKOne) {
+  // A path: no common neighbors anywhere, so the mixed/same-attribute
+  // thresholds already fail at k = 1 for same-attribute pairs and k = 1
+  // mixed pairs (need sup >= 0 ... compute directly).
+  AttributedGraph g = MakeGraph("abab", {{0, 1}, {1, 2}, {2, 3}});
+  Coloring c = GreedyColoring(g);
+  SupportDecomposition d = ComputeColorfulSupportNumbers(g, c);
+  // Mixed edges with no common neighbors survive k=1 (thresholds k-1=0)
+  // but die at k=2.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_LE(d.ksup[e], 1) << "edge " << e;
+  }
+}
+
+TEST(SupportDecompositionTest, MatchesDirectReductionAtEveryK) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    AttributedGraph g = RandomAttributedGraph(45, 0.25, seed);
+    Coloring c = GreedyColoring(g);
+    SupportDecomposition d = ComputeColorfulSupportNumbers(g, c);
+    for (int k = 1; k <= d.max_k + 1; ++k) {
+      EdgeReductionResult direct = ColorfulSupReduction(g, c, k);
+      std::vector<uint8_t> from_decomposition = EdgeAliveAtK(d, k);
+      EXPECT_EQ(from_decomposition, direct.edge_alive)
+          << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+TEST(SupportDecompositionTest, EnhancedMatchesDirectReduction) {
+  for (uint64_t seed : {5u, 6u, 7u}) {
+    AttributedGraph g = RandomAttributedGraph(40, 0.3, seed);
+    Coloring c = GreedyColoring(g);
+    SupportDecomposition d = ComputeEnhancedSupportNumbers(g, c);
+    for (int k = 1; k <= d.max_k + 1; ++k) {
+      EdgeReductionResult direct = EnColorfulSupReduction(g, c, k);
+      EXPECT_EQ(EdgeAliveAtK(d, k), direct.edge_alive)
+          << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+TEST(SupportDecompositionTest, EnhancedNumbersNeverExceedPlain) {
+  for (uint64_t seed : {8u, 9u}) {
+    AttributedGraph g = RandomAttributedGraph(50, 0.25, seed);
+    Coloring c = GreedyColoring(g);
+    SupportDecomposition plain = ComputeColorfulSupportNumbers(g, c);
+    SupportDecomposition enhanced = ComputeEnhancedSupportNumbers(g, c);
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      EXPECT_LE(enhanced.ksup[e], plain.ksup[e]) << "edge " << e;
+    }
+    EXPECT_LE(enhanced.max_k, plain.max_k);
+  }
+}
+
+TEST(SupportDecompositionTest, MaxKConsistent) {
+  AttributedGraph g = RandomAttributedGraph(60, 0.3, 10);
+  Coloring c = GreedyColoring(g);
+  SupportDecomposition d = ComputeColorfulSupportNumbers(g, c);
+  int observed_max = 0;
+  for (int v : d.ksup) observed_max = std::max(observed_max, v);
+  EXPECT_EQ(d.max_k, observed_max);
+  // Beyond max_k nothing survives.
+  EdgeReductionResult beyond = ColorfulSupReduction(g, c, d.max_k + 1);
+  EXPECT_EQ(beyond.edges_left, 0u);
+}
+
+TEST(SupportDecompositionTest, PlantedCliqueEdgesHaveHighNumbers) {
+  Rng rng(11);
+  AttributedGraph base = ErdosRenyi(150, 0.02, rng);
+  base = AssignAttributesBernoulli(base, 0.5, rng);
+  std::vector<VertexId> members;
+  AttributedGraph g = PlantClique(base, 12, /*balanced=*/true, rng, &members);
+  Coloring c = GreedyColoring(g);
+  SupportDecomposition d = ComputeColorfulSupportNumbers(g, c);
+  // A balanced 12-clique (6/6) keeps its internal edges alive up to k ~ 5-6;
+  // assert a conservative floor of 4.
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      EdgeId e = g.FindEdge(members[i], members[j]);
+      ASSERT_NE(e, kInvalidEdge);
+      EXPECT_GE(d.ksup[e], 4) << "clique edge " << members[i] << "-"
+                              << members[j];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairclique

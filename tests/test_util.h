@@ -1,0 +1,80 @@
+#ifndef FAIRCLIQUE_TESTS_TEST_UTIL_H_
+#define FAIRCLIQUE_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace fairclique {
+namespace testing_util {
+
+/// Builds a small attributed graph from explicit edges and an attribute
+/// string like "aabba" (index = vertex id).
+inline AttributedGraph MakeGraph(const std::string& attrs,
+                                 const std::vector<std::pair<int, int>>& edges) {
+  GraphBuilder builder(static_cast<VertexId>(attrs.size()));
+  for (size_t v = 0; v < attrs.size(); ++v) {
+    builder.SetAttribute(static_cast<VertexId>(v), attrs[v] == 'a'
+                                                       ? Attribute::kA
+                                                       : Attribute::kB);
+  }
+  for (auto [u, v] : edges) {
+    builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return builder.Build();
+}
+
+/// A random attributed G(n, p) with Bernoulli(1/2) attributes, seeded.
+inline AttributedGraph RandomAttributedGraph(VertexId n, double p,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  AttributedGraph g = ErdosRenyi(n, p, rng);
+  return AssignAttributesBernoulli(g, 0.5, rng);
+}
+
+/// Sorted copy of a vertex vector (canonical form for comparisons).
+inline std::vector<VertexId> Sorted(std::vector<VertexId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+/// Brute-force max fair clique by subset enumeration; usable for n <= ~20.
+/// Completely independent of the library's search/enumeration code.
+inline std::vector<VertexId> BruteForceMaxFairClique(const AttributedGraph& g,
+                                                     int k, int delta) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> best;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<VertexId> verts;
+    for (VertexId v = 0; v < n; ++v) {
+      if (mask & (1u << v)) verts.push_back(v);
+    }
+    if (verts.size() <= best.size()) continue;
+    int cnt[2] = {0, 0};
+    bool clique = true;
+    for (size_t i = 0; i < verts.size() && clique; ++i) {
+      cnt[AttrIndex(g.attribute(verts[i]))]++;
+      for (size_t j = i + 1; j < verts.size(); ++j) {
+        if (!g.HasEdge(verts[i], verts[j])) {
+          clique = false;
+          break;
+        }
+      }
+    }
+    if (!clique) continue;
+    if (cnt[0] < k || cnt[1] < k) continue;
+    if (std::abs(cnt[0] - cnt[1]) > delta) continue;
+    best = verts;
+  }
+  return best;
+}
+
+}  // namespace testing_util
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "core/verifier.h"
+#include "test_util.h"
+
+namespace fairclique {
+namespace {
+
+using testing_util::MakeGraph;
+
+TEST(VerifierTest, EmptySetIsACliqueButNotFair) {
+  AttributedGraph g = MakeGraph("ab", {{0, 1}});
+  std::vector<VertexId> empty;
+  EXPECT_TRUE(IsClique(g, empty));
+  EXPECT_FALSE(IsFairClique(g, empty, {1, 0}));
+}
+
+TEST(VerifierTest, SingletonIsAClique) {
+  AttributedGraph g = MakeGraph("ab", {{0, 1}});
+  std::vector<VertexId> one{0};
+  EXPECT_TRUE(IsClique(g, one));
+}
+
+TEST(VerifierTest, DetectsMissingEdge) {
+  AttributedGraph g = MakeGraph("aab", {{0, 1}, {1, 2}});
+  std::vector<VertexId> path{0, 1, 2};
+  EXPECT_FALSE(IsClique(g, path));
+  Status s = VerifyFairClique(g, path, {1, 1});
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("missing edge"), std::string::npos);
+}
+
+TEST(VerifierTest, CountAttributes) {
+  AttributedGraph g = MakeGraph("aabb", {{0, 1}, {2, 3}});
+  std::vector<VertexId> all{0, 1, 2, 3};
+  AttrCounts cnt = CountAttributes(g, all);
+  EXPECT_EQ(cnt.a(), 2);
+  EXPECT_EQ(cnt.b(), 2);
+}
+
+TEST(VerifierTest, FairnessEdgeCases) {
+  AttributedGraph g =
+      MakeGraph("aabb", {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  std::vector<VertexId> all{0, 1, 2, 3};
+  EXPECT_TRUE(IsFairClique(g, all, {2, 0}));
+  EXPECT_TRUE(IsFairClique(g, all, {1, 0}));
+  EXPECT_FALSE(IsFairClique(g, all, {3, 0}));  // k too large
+  std::vector<VertexId> three{0, 1, 2};
+  EXPECT_FALSE(IsFairClique(g, three, {2, 1}));  // cnt(b)=1 < 2
+  EXPECT_TRUE(IsFairClique(g, three, {1, 1}));
+  EXPECT_FALSE(IsFairClique(g, three, {1, 0}));  // diff 1 > 0
+}
+
+TEST(VerifierTest, VerifyRejectsOutOfRangeVertex) {
+  AttributedGraph g = MakeGraph("ab", {{0, 1}});
+  std::vector<VertexId> bad{0, 7};
+  EXPECT_TRUE(VerifyFairClique(g, bad, {1, 1}).IsOutOfRange());
+}
+
+TEST(VerifierTest, VerifyRejectsDuplicates) {
+  AttributedGraph g = MakeGraph("ab", {{0, 1}});
+  std::vector<VertexId> dup{0, 0, 1};
+  EXPECT_TRUE(VerifyFairClique(g, dup, {1, 1}).IsInvalidArgument());
+}
+
+TEST(VerifierTest, VerifyReportsFairnessViolations) {
+  AttributedGraph g = MakeGraph("ab", {{0, 1}});
+  std::vector<VertexId> pair{0, 1};
+  EXPECT_TRUE(VerifyFairClique(g, pair, {1, 0}).ok());
+  Status below_k = VerifyFairClique(g, pair, {2, 0});
+  EXPECT_TRUE(below_k.IsInvalidArgument());
+  EXPECT_NE(below_k.message().find("below k"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairclique

@@ -1,0 +1,154 @@
+// bench_service: throughput of the concurrent query service (src/service)
+// on a dataset graph, cold (every query searches) vs. cached (repeat
+// queries hit the LRU), at 1/4/8 executor workers.
+//
+// Also differentially checks the service against the library: every
+// response size must equal the sequential FindMaximumFairClique answer for
+// the same options. Exits non-zero when sizes mismatch or the cached
+// speedup falls below 10x, so CI can assert the serving win.
+//
+// Env: FAIRCLIQUE_BENCH_SCALE (dataset scale), FAIRCLIQUE_BENCH_TIMEOUT
+// (per-search budget, default 5 s).
+
+#include <cstdio>
+#include <future>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/max_fair_clique.h"
+#include "datasets/datasets.h"
+#include "service/graph_registry.h"
+#include "service/query_executor.h"
+#include "service/result_cache.h"
+
+namespace fairclique {
+namespace {
+
+using bench::BenchScale;
+using bench::BenchTimeout;
+
+struct QuerySpec {
+  std::string label;
+  SearchOptions options;
+};
+
+std::vector<QuerySpec> QueryMix() {
+  std::vector<QuerySpec> mix;
+  auto add = [&mix](std::string label, SearchOptions options) {
+    options.time_limit_seconds = BenchTimeout();
+    mix.push_back({std::move(label), options});
+  };
+  add("baseline k=2 d=2", BaselineOptions(2, 2));
+  add("baseline k=3 d=1", BaselineOptions(3, 1));
+  add("bounded  k=3 d=2", BoundedOptions(3, 2, ExtraBound::kColorfulPath));
+  add("bounded  k=4 d=2", BoundedOptions(4, 2, ExtraBound::kColorfulDegeneracy));
+  add("full     k=3 d=1", FullOptions(3, 1, ExtraBound::kColorfulPath));
+  add("full     k=4 d=3", FullOptions(4, 3, ExtraBound::kColorfulPath));
+  return mix;
+}
+
+/// Submits `rounds` copies of the mix and returns queries/second.
+double RunRounds(QueryExecutor& executor,
+                 const std::shared_ptr<const RegisteredGraph>& graph,
+                 const std::vector<QuerySpec>& mix, int rounds,
+                 bool bypass_cache,
+                 const std::vector<size_t>& expected_sizes,
+                 bool* sizes_match) {
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(mix.size() * static_cast<size_t>(rounds));
+  WallTimer timer;
+  for (int r = 0; r < rounds; ++r) {
+    for (const QuerySpec& spec : mix) {
+      QueryRequest request;
+      request.graph = graph;
+      request.options = spec.options;
+      request.bypass_cache = bypass_cache;
+      futures.push_back(executor.Submit(std::move(request)));
+    }
+  }
+  size_t i = 0;
+  for (auto& future : futures) {
+    QueryResponse response = future.get();
+    const size_t expected = expected_sizes[i++ % mix.size()];
+    if (!response.status.ok() || response.result == nullptr ||
+        response.result->clique.size() != expected) {
+      *sizes_match = false;
+    }
+  }
+  double seconds = timer.ElapsedSeconds();
+  return seconds > 0 ? static_cast<double>(futures.size()) / seconds : 0.0;
+}
+
+}  // namespace
+}  // namespace fairclique
+
+int main() {
+  using namespace fairclique;
+  SetLogLevel(LogLevel::kWarning);
+
+  const std::string dataset = "dblp-s";
+  GraphRegistry registry;
+  Status status = registry.Add(dataset, LoadDataset(dataset, BenchScale()),
+                               "dataset:" + dataset);
+  if (!status.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  auto graph = registry.Get(dataset);
+  std::vector<QuerySpec> mix = QueryMix();
+
+  std::printf("bench_service: %s (%u vertices, %u edges), %zu-query mix\n",
+              dataset.c_str(), graph->graph->num_vertices(),
+              graph->graph->num_edges(), mix.size());
+
+  // Sequential ground truth, once per distinct query.
+  std::vector<size_t> expected_sizes;
+  for (const QuerySpec& spec : mix) {
+    SearchResult r = FindMaximumFairClique(*graph->graph, spec.options);
+    expected_sizes.push_back(r.clique.size());
+    std::printf("  %s -> size %zu (%.1f ms sequential)\n", spec.label.c_str(),
+                r.clique.size(),
+                static_cast<double>(r.stats.total_micros) / 1000.0);
+  }
+
+  const int kColdRounds = 3;
+  const int kWarmRounds = 50;
+  bool sizes_match = true;
+  bool speedup_ok = false;
+
+  std::printf("\n%8s %14s %14s %10s\n", "workers", "cold q/s", "cached q/s",
+              "speedup");
+  for (int workers : {1, 4, 8}) {
+    ResultCache cache(128);
+    QueryExecutor executor(ExecutorOptions{workers, 4096}, &cache);
+    double cold_qps = RunRounds(executor, graph, mix, kColdRounds,
+                                /*bypass_cache=*/true, expected_sizes,
+                                &sizes_match);
+    // Prime the cache, then measure pure repeat-query throughput.
+    RunRounds(executor, graph, mix, 1, /*bypass_cache=*/false, expected_sizes,
+              &sizes_match);
+    double warm_qps = RunRounds(executor, graph, mix, kWarmRounds,
+                                /*bypass_cache=*/false, expected_sizes,
+                                &sizes_match);
+    double speedup = cold_qps > 0 ? warm_qps / cold_qps : 0.0;
+    if (speedup >= 10.0) speedup_ok = true;
+    std::printf("%8d %14.1f %14.1f %9.1fx\n", workers, cold_qps, warm_qps,
+                speedup);
+    ExecutorMetrics m = executor.metrics();
+    std::printf("         served=%llu cache_hits=%llu rejected=%llu "
+                "peak_queue=%zu\n",
+                static_cast<unsigned long long>(m.served),
+                static_cast<unsigned long long>(m.cache_hits),
+                static_cast<unsigned long long>(m.rejected),
+                m.peak_queue_depth);
+  }
+
+  std::printf("\nconcurrent sizes match sequential: %s\n",
+              sizes_match ? "yes" : "NO");
+  std::printf("cached speedup >= 10x: %s\n", speedup_ok ? "yes" : "NO");
+  return (sizes_match && speedup_ok) ? 0 : 1;
+}

@@ -1,0 +1,487 @@
+// fairclique_server: a JSON-lines front end to the concurrent query service
+// (src/service). One command object per input line, one JSON response per
+// line on stdout, so batch workloads can be driven from a file or a pipe:
+//
+//   ./fairclique_server < workload.jsonl
+//   ./fairclique_server --workers 4 --cache 256 workload.jsonl
+//
+// Commands:
+//   {"cmd":"load","name":"g","dataset":"dblp-s","scale":1.0}
+//   {"cmd":"load","name":"g","path":"edges.txt","attrs":"attr.txt"}
+//   {"cmd":"load","name":"g","path":"graph.fcg","format":"binary"}
+//   {"cmd":"query","graph":"g","k":3,"delta":1}             synchronous
+//   {"cmd":"query","graph":"g","k":3,"delta":1,"preset":"baseline",
+//    "extra":"cp","deadline":5.0,"threads":2,"async":true}  queued
+//   {"cmd":"drain"}      print pending async responses in submission order
+//   {"cmd":"stats"}      registry + cache + executor counters
+//   {"cmd":"evict","graph":"g"}      drop one graph
+//   {"cmd":"evict","cache":true}     clear the result cache
+//   {"cmd":"quit"}
+//
+// query fields: preset = baseline|bounded|full (default full), extra = none|
+// degeneracy|hindex|cd|ch|cp (default cp), deadline in seconds (0 = none),
+// threads = per-search component workers, "bypass_cache":true for cold runs.
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/fairclique.h"
+#include "datasets/datasets.h"
+
+namespace {
+
+using namespace fairclique;
+
+// ----------------------------------------------------------------- JSON in
+// Minimal parser for the flat objects this protocol uses: string keys and
+// string / number / bool values. No nesting, no arrays, no null.
+
+struct JsonValue {
+  enum class Type { kString, kNumber, kBool };
+  Type type = Type::kString;
+  std::string str;
+  double num = 0.0;
+  bool b = false;
+};
+
+using JsonObject = std::map<std::string, JsonValue>;
+
+bool SkipSpace(const std::string& s, size_t* i) {
+  while (*i < s.size() && std::isspace(static_cast<unsigned char>(s[*i]))) {
+    ++*i;
+  }
+  return *i < s.size();
+}
+
+bool ParseJsonString(const std::string& s, size_t* i, std::string* out) {
+  if (s[*i] != '"') return false;
+  ++*i;
+  out->clear();
+  while (*i < s.size() && s[*i] != '"') {
+    char c = s[*i];
+    if (c == '\\') {
+      if (*i + 1 >= s.size()) return false;
+      char esc = s[*i + 1];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        default: return false;  // \uXXXX etc. not needed by this protocol
+      }
+      *i += 2;
+    } else {
+      out->push_back(c);
+      ++*i;
+    }
+  }
+  if (*i >= s.size()) return false;
+  ++*i;  // closing quote
+  return true;
+}
+
+bool ParseJsonObject(const std::string& line, JsonObject* out,
+                     std::string* error) {
+  *error = "";
+  out->clear();
+  size_t i = 0;
+  if (!SkipSpace(line, &i) || line[i] != '{') {
+    *error = "expected '{'";
+    return false;
+  }
+  ++i;
+  if (!SkipSpace(line, &i)) {
+    *error = "unterminated object";
+    return false;
+  }
+  if (line[i] == '}') return true;  // empty object
+  while (true) {
+    if (!SkipSpace(line, &i)) break;
+    std::string key;
+    if (!ParseJsonString(line, &i, &key)) {
+      *error = "expected string key";
+      return false;
+    }
+    if (!SkipSpace(line, &i) || line[i] != ':') {
+      *error = "expected ':' after key '" + key + "'";
+      return false;
+    }
+    ++i;
+    if (!SkipSpace(line, &i)) break;
+    JsonValue value;
+    char c = line[i];
+    if (c == '"') {
+      value.type = JsonValue::Type::kString;
+      if (!ParseJsonString(line, &i, &value.str)) {
+        *error = "bad string value for '" + key + "'";
+        return false;
+      }
+    } else if (std::strncmp(line.c_str() + i, "true", 4) == 0) {
+      value.type = JsonValue::Type::kBool;
+      value.b = true;
+      i += 4;
+    } else if (std::strncmp(line.c_str() + i, "false", 5) == 0) {
+      value.type = JsonValue::Type::kBool;
+      value.b = false;
+      i += 5;
+    } else {
+      value.type = JsonValue::Type::kNumber;
+      char* end = nullptr;
+      value.num = std::strtod(line.c_str() + i, &end);
+      if (end == line.c_str() + i) {
+        *error = "bad value for '" + key + "'";
+        return false;
+      }
+      i = static_cast<size_t>(end - line.c_str());
+    }
+    (*out)[key] = std::move(value);
+    if (!SkipSpace(line, &i)) break;
+    if (line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (line[i] == '}') return true;
+    *error = "expected ',' or '}'";
+    return false;
+  }
+  *error = "unterminated object";
+  return false;
+}
+
+std::string GetString(const JsonObject& obj, const std::string& key,
+                      const std::string& fallback = "") {
+  auto it = obj.find(key);
+  if (it == obj.end() || it->second.type != JsonValue::Type::kString) {
+    return fallback;
+  }
+  return it->second.str;
+}
+
+double GetNumber(const JsonObject& obj, const std::string& key,
+                 double fallback) {
+  auto it = obj.find(key);
+  if (it == obj.end() || it->second.type != JsonValue::Type::kNumber) {
+    return fallback;
+  }
+  return it->second.num;
+}
+
+bool GetBool(const JsonObject& obj, const std::string& key, bool fallback) {
+  auto it = obj.find(key);
+  if (it == obj.end() || it->second.type != JsonValue::Type::kBool) {
+    return fallback;
+  }
+  return it->second.b;
+}
+
+// ---------------------------------------------------------------- JSON out
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void PrintError(uint64_t id, const std::string& message) {
+  std::printf("{\"ok\":false,\"id\":%llu,\"error\":\"%s\"}\n",
+              static_cast<unsigned long long>(id),
+              JsonEscape(message).c_str());
+}
+
+void PrintQueryResponse(uint64_t id, const std::string& graph,
+                        const QueryResponse& r) {
+  if (!r.status.ok()) {
+    PrintError(id, r.status.ToString());
+    return;
+  }
+  const SearchResult& sr = *r.result;
+  std::string vertices;
+  for (size_t i = 0; i < sr.clique.vertices.size(); ++i) {
+    if (i > 0) vertices += ",";
+    vertices += std::to_string(sr.clique.vertices[i]);
+  }
+  std::printf(
+      "{\"ok\":true,\"id\":%llu,\"graph\":\"%s\",\"size\":%zu,"
+      "\"counts\":[%lld,%lld],\"vertices\":[%s],\"cache_hit\":%s,"
+      "\"completed\":%s,\"deadline_missed\":%s,\"queue_micros\":%lld,"
+      "\"run_micros\":%lld}\n",
+      static_cast<unsigned long long>(id), JsonEscape(graph).c_str(),
+      sr.clique.size(), static_cast<long long>(sr.clique.attr_counts.a()),
+      static_cast<long long>(sr.clique.attr_counts.b()), vertices.c_str(),
+      r.cache_hit ? "true" : "false", sr.stats.completed ? "true" : "false",
+      r.deadline_missed ? "true" : "false",
+      static_cast<long long>(r.queue_micros),
+      static_cast<long long>(r.run_micros));
+}
+
+// ------------------------------------------------------------------ server
+
+bool ParseExtraBound(const std::string& name, ExtraBound* out) {
+  if (name.empty() || name == "none") *out = ExtraBound::kNone;
+  else if (name == "degeneracy" || name == "d") *out = ExtraBound::kDegeneracy;
+  else if (name == "hindex" || name == "h") *out = ExtraBound::kHIndex;
+  else if (name == "cd") *out = ExtraBound::kColorfulDegeneracy;
+  else if (name == "ch") *out = ExtraBound::kColorfulHIndex;
+  else if (name == "cp") *out = ExtraBound::kColorfulPath;
+  else return false;
+  return true;
+}
+
+struct Server {
+  GraphRegistry registry;
+  ResultCache cache;
+  QueryExecutor executor;
+  uint64_t next_id = 1;
+  std::vector<std::tuple<uint64_t, std::string, std::future<QueryResponse>>>
+      pending;
+
+  Server(int workers, size_t cache_capacity, size_t queue_capacity)
+      : cache(cache_capacity),
+        executor(ExecutorOptions{workers, queue_capacity}, &cache) {}
+
+  void HandleLoad(uint64_t id, const JsonObject& obj) {
+    std::string name = GetString(obj, "name");
+    if (name.empty()) return PrintError(id, "load: missing 'name'");
+    Status status;
+    if (obj.count("dataset") > 0) {
+      // Validate before LoadDataset: unknown names and non-positive scales
+      // are assertion failures in the library, not recoverable statuses.
+      std::string dataset = GetString(obj, "dataset");
+      double scale = GetNumber(obj, "scale", 1.0);
+      bool known = false;
+      for (const DatasetSpec& spec : StandardDatasets()) {
+        if (spec.name == dataset) known = true;
+      }
+      if (!known) return PrintError(id, "load: unknown dataset " + dataset);
+      if (scale <= 0) return PrintError(id, "load: scale must be > 0");
+      status = registry.Add(name, LoadDataset(dataset, scale),
+                            "dataset:" + dataset);
+    } else {
+      std::string path = GetString(obj, "path");
+      if (path.empty()) return PrintError(id, "load: need 'path' or 'dataset'");
+      std::string fmt = GetString(obj, "format", "auto");
+      GraphFormat format = GraphFormat::kAuto;
+      if (fmt == "edgelist") format = GraphFormat::kEdgeList;
+      else if (fmt == "binary") format = GraphFormat::kBinary;
+      else if (fmt != "auto") return PrintError(id, "load: bad format " + fmt);
+      status = registry.Load(name, path, GetString(obj, "attrs"), format);
+    }
+    if (!status.ok()) return PrintError(id, status.ToString());
+    auto entry = registry.Get(name);
+    std::printf(
+        "{\"ok\":true,\"id\":%llu,\"name\":\"%s\",\"vertices\":%u,"
+        "\"edges\":%u,\"fingerprint\":\"%s\"}\n",
+        static_cast<unsigned long long>(id), JsonEscape(name).c_str(),
+        entry->graph->num_vertices(), entry->graph->num_edges(),
+        FingerprintHex(entry->fingerprint).c_str());
+  }
+
+  void HandleQuery(uint64_t id, const JsonObject& obj) {
+    std::string name = GetString(obj, "graph");
+    auto entry = registry.Get(name);
+    if (entry == nullptr) {
+      return PrintError(id, "query: graph '" + name + "' not loaded");
+    }
+    int k = static_cast<int>(GetNumber(obj, "k", 2));
+    int delta = static_cast<int>(GetNumber(obj, "delta", 2));
+    // The search asserts (aborts) on these; reject at the protocol boundary
+    // so one bad query cannot take the server down.
+    if (k < 1) return PrintError(id, "query: k must be >= 1");
+    if (delta < 0) return PrintError(id, "query: delta must be >= 0");
+    ExtraBound extra;
+    if (!ParseExtraBound(GetString(obj, "extra", "cp"), &extra)) {
+      return PrintError(id, "query: bad 'extra'");
+    }
+    std::string preset = GetString(obj, "preset", "full");
+    SearchOptions options;
+    if (preset == "baseline") options = BaselineOptions(k, delta);
+    else if (preset == "bounded") options = BoundedOptions(k, delta, extra);
+    else if (preset == "full") options = FullOptions(k, delta, extra);
+    else return PrintError(id, "query: bad preset " + preset);
+    options.num_threads = static_cast<int>(GetNumber(obj, "threads", 1));
+
+    QueryRequest request;
+    request.graph = std::move(entry);
+    request.options = options;
+    request.deadline_seconds = GetNumber(obj, "deadline", 0.0);
+    request.bypass_cache = GetBool(obj, "bypass_cache", false);
+
+    std::future<QueryResponse> future = executor.Submit(std::move(request));
+    if (GetBool(obj, "async", false)) {
+      pending.emplace_back(id, name, std::move(future));
+      std::printf("{\"ok\":true,\"id\":%llu,\"queued\":true}\n",
+                  static_cast<unsigned long long>(id));
+    } else {
+      PrintQueryResponse(id, name, future.get());
+    }
+  }
+
+  void HandleDrain() {
+    for (auto& [id, graph, future] : pending) {
+      PrintQueryResponse(id, graph, future.get());
+    }
+    pending.clear();
+  }
+
+  void HandleStats(uint64_t id) {
+    ResultCacheStats cs = cache.Stats();
+    ExecutorMetrics em = executor.metrics();
+    std::string graphs;
+    for (const auto& entry : registry.List()) {
+      if (!graphs.empty()) graphs += ",";
+      graphs += "{\"name\":\"" + JsonEscape(entry->name) +
+                "\",\"vertices\":" +
+                std::to_string(entry->graph->num_vertices()) +
+                ",\"edges\":" + std::to_string(entry->graph->num_edges()) +
+                ",\"fingerprint\":\"" + FingerprintHex(entry->fingerprint) +
+                "\"}";
+    }
+    std::printf(
+        "{\"ok\":true,\"id\":%llu,\"graphs\":[%s],"
+        "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,"
+        "\"evictions\":%llu,\"entries\":%zu,\"capacity\":%zu},"
+        "\"executor\":{\"submitted\":%llu,\"accepted\":%llu,"
+        "\"rejected\":%llu,\"served\":%llu,\"cache_hits\":%llu,"
+        "\"deadline_misses\":%llu,\"queue_depth\":%zu,"
+        "\"peak_queue_depth\":%zu}}\n",
+        static_cast<unsigned long long>(id), graphs.c_str(),
+        static_cast<unsigned long long>(cs.hits),
+        static_cast<unsigned long long>(cs.misses),
+        static_cast<unsigned long long>(cs.insertions),
+        static_cast<unsigned long long>(cs.evictions), cs.entries,
+        cs.capacity, static_cast<unsigned long long>(em.submitted),
+        static_cast<unsigned long long>(em.accepted),
+        static_cast<unsigned long long>(em.rejected),
+        static_cast<unsigned long long>(em.served),
+        static_cast<unsigned long long>(em.cache_hits),
+        static_cast<unsigned long long>(em.deadline_misses), em.queue_depth,
+        em.peak_queue_depth);
+  }
+
+  void HandleEvict(uint64_t id, const JsonObject& obj) {
+    if (GetBool(obj, "cache", false)) {
+      cache.Clear();
+      std::printf("{\"ok\":true,\"id\":%llu,\"cleared\":\"cache\"}\n",
+                  static_cast<unsigned long long>(id));
+      return;
+    }
+    std::string name = GetString(obj, "graph");
+    if (name.empty()) return PrintError(id, "evict: need 'graph' or 'cache'");
+    bool evicted = registry.Evict(name);
+    std::printf("{\"ok\":%s,\"id\":%llu,\"evicted\":\"%s\"}\n",
+                evicted ? "true" : "false",
+                static_cast<unsigned long long>(id),
+                JsonEscape(name).c_str());
+  }
+
+  /// Returns false when the session should end.
+  bool HandleLine(const std::string& line) {
+    std::string trimmed = line;
+    size_t start = trimmed.find_first_not_of(" \t\r");
+    if (start == std::string::npos || trimmed[start] == '#') return true;
+    uint64_t id = next_id++;
+    JsonObject obj;
+    std::string error;
+    if (!ParseJsonObject(line, &obj, &error)) {
+      PrintError(id, "parse error: " + error);
+      return true;
+    }
+    std::string cmd = GetString(obj, "cmd");
+    if (obj.count("id") > 0) {
+      // Accept only ids that survive a double -> uint64 round trip; a
+      // negative or huge value would be UB to cast, so fall back to the
+      // auto-assigned id instead.
+      double requested = GetNumber(obj, "id", 0);
+      if (requested >= 0 && requested <= 9007199254740992.0) {
+        id = static_cast<uint64_t>(requested);
+      }
+    }
+    if (cmd == "load") HandleLoad(id, obj);
+    else if (cmd == "query") HandleQuery(id, obj);
+    else if (cmd == "drain") HandleDrain();
+    else if (cmd == "stats") HandleStats(id);
+    else if (cmd == "evict") HandleEvict(id, obj);
+    else if (cmd == "quit") return false;
+    else PrintError(id, "unknown cmd '" + cmd + "'");
+    std::fflush(stdout);
+    return true;
+  }
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: fairclique_server [--workers N] [--cache N] "
+               "[--queue N] [commands.jsonl]\n"
+               "reads JSON-lines commands from the file or stdin\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  int workers = 2;
+  size_t cache_capacity = 128;
+  size_t queue_capacity = 256;
+  std::string script;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--workers" && i + 1 < argc) workers = std::atoi(argv[++i]);
+    else if (arg == "--cache" && i + 1 < argc) {
+      cache_capacity = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--queue" && i + 1 < argc) {
+      queue_capacity = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--help" || arg == "-h" || arg[0] == '-') {
+      return Usage();
+    } else {
+      script = arg;
+    }
+  }
+
+  Server server(workers, cache_capacity, queue_capacity);
+  std::ifstream file;
+  if (!script.empty()) {
+    file.open(script);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", script.c_str());
+      return 1;
+    }
+  }
+  std::istream& in = script.empty() ? std::cin : file;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!server.HandleLine(line)) break;
+  }
+  server.HandleDrain();  // flush async queries left at EOF
+  return 0;
+}

@@ -24,10 +24,12 @@
 #include "core/heuristics.h"
 #include "core/max_clique.h"
 #include "core/max_fair_clique.h"
+#include "core/options_key.h"
 #include "core/verifier.h"
 #include "graph/binary_io.h"
 #include "graph/coloring.h"
 #include "graph/cores.h"
+#include "graph/fingerprint.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/io.h"
@@ -38,5 +40,8 @@
 #include "reduction/colorful_support.h"
 #include "reduction/reduce.h"
 #include "reduction/support_decomposition.h"
+#include "service/graph_registry.h"
+#include "service/query_executor.h"
+#include "service/result_cache.h"
 
 #endif  // FAIRCLIQUE_CORE_FAIRCLIQUE_H_

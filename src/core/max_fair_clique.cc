@@ -507,6 +507,11 @@ SearchResult FindMaximumFairClique(const AttributedGraph& g,
     num_threads = static_cast<int>(std::thread::hardware_concurrency());
     if (num_threads <= 0) num_threads = 1;
   }
+  // Never spawn more workers than there are component tasks: with
+  // num_threads <= 0 (hardware concurrency) on a small or well-reduced
+  // graph, most threads would start only to find the task list empty.
+  num_threads = std::min<int>(
+      num_threads, static_cast<int>(std::max<size_t>(tasks.size(), 1)));
   if (num_threads == 1 || tasks.size() <= 1) {
     for (ComponentTask& task : tasks) {
       run_task(task);
@@ -515,7 +520,7 @@ SearchResult FindMaximumFairClique(const AttributedGraph& g,
   } else {
     std::atomic<size_t> next{0};
     std::vector<std::thread> workers;
-    int spawn = std::min<int>(num_threads, static_cast<int>(tasks.size()));
+    const int spawn = num_threads;
     workers.reserve(static_cast<size_t>(spawn));
     for (int t = 0; t < spawn; ++t) {
       workers.emplace_back([&]() {

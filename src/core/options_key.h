@@ -1,0 +1,29 @@
+#ifndef FAIRCLIQUE_CORE_OPTIONS_KEY_H_
+#define FAIRCLIQUE_CORE_OPTIONS_KEY_H_
+
+#include <string>
+
+#include "core/max_fair_clique.h"
+
+namespace fairclique {
+
+/// Canonical cache key of a SearchOptions: a compact string identifying the
+/// *answer* a search will produce, used by the service-layer result cache.
+///
+/// Two options that cannot produce different results map to the same key:
+///  - `engine` is dropped — the vector and bitset kernels are exact and
+///    differentially tested to return identical answers;
+///  - `num_threads` is dropped — workers share only the incumbent size, so
+///    the answer is identical and only node counts vary run to run.
+///
+/// Everything that can change the returned clique or the `completed` flag is
+/// included: fairness parameters, branch order, reduction toggles, bound
+/// configuration, heuristic priming, bound depth, and the node/time safety
+/// valves. In particular the three presets (BaselineOptions, BoundedOptions,
+/// FullOptions) resolve to distinct keys, while any two call sites building
+/// equal options — by preset or by hand — collide on the same key.
+std::string CanonicalOptionsKey(const SearchOptions& options);
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_CORE_OPTIONS_KEY_H_

@@ -1,0 +1,49 @@
+#include "graph/fingerprint.h"
+
+#include <cstdio>
+
+#include "graph/types.h"
+
+namespace fairclique {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t MixByte(uint64_t h, uint8_t byte) {
+  return (h ^ byte) * kFnvPrime;
+}
+
+inline uint64_t Mix32(uint64_t h, uint32_t value) {
+  h = MixByte(h, static_cast<uint8_t>(value));
+  h = MixByte(h, static_cast<uint8_t>(value >> 8));
+  h = MixByte(h, static_cast<uint8_t>(value >> 16));
+  h = MixByte(h, static_cast<uint8_t>(value >> 24));
+  return h;
+}
+
+}  // namespace
+
+uint64_t GraphFingerprint(const AttributedGraph& g) {
+  uint64_t h = kFnvOffset;
+  h = Mix32(h, static_cast<uint32_t>(g.num_vertices()));
+  h = Mix32(h, static_cast<uint32_t>(g.num_edges()));
+  for (const Edge& e : g.edges()) {
+    h = Mix32(h, e.u);
+    h = Mix32(h, e.v);
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    h = MixByte(h, static_cast<uint8_t>(g.attribute(v)));
+  }
+  return h;
+}
+
+std::string FingerprintHex(uint64_t fingerprint) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return std::string(buf);
+}
+
+}  // namespace fairclique

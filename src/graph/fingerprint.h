@@ -1,0 +1,29 @@
+#ifndef FAIRCLIQUE_GRAPH_FINGERPRINT_H_
+#define FAIRCLIQUE_GRAPH_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace fairclique {
+
+/// 64-bit content fingerprint of an attributed graph: FNV-1a over the
+/// normalized representation (vertex count, sorted undirected edge array,
+/// attribute bytes). Because AttributedGraph is always normalized (no
+/// duplicates, edges sorted with u < v), two graphs with the same vertices,
+/// edges and attributes fingerprint identically no matter how they were
+/// built. The fingerprint is deliberately label-sensitive — search results
+/// report vertex ids, so a relabeled graph is a different graph to a cache.
+/// Binary (FCG1) round trips preserve ids and therefore the fingerprint;
+/// text edge-list loading may remap sparse ids to a dense range and
+/// fingerprint accordingly. Used by the service layer to key cached search
+/// results to graph *content*, not registry names.
+uint64_t GraphFingerprint(const AttributedGraph& g);
+
+/// Printable 16-hex-digit form of a fingerprint.
+std::string FingerprintHex(uint64_t fingerprint);
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_GRAPH_FINGERPRINT_H_

@@ -1,0 +1,99 @@
+#include "service/graph_registry.h"
+
+#include <fstream>
+#include <utility>
+
+#include "graph/binary_io.h"
+#include "graph/fingerprint.h"
+#include "graph/io.h"
+
+namespace fairclique {
+
+namespace {
+
+/// Resolves kAuto by sniffing the FCG1 magic; IO failures fall through to
+/// the edge-list loader, which reports them with a proper status.
+GraphFormat SniffFormat(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[4] = {0, 0, 0, 0};
+  in.read(magic, 4);
+  if (in.gcount() == 4 && magic[0] == 'F' && magic[1] == 'C' &&
+      magic[2] == 'G' && magic[3] == '1') {
+    return GraphFormat::kBinary;
+  }
+  return GraphFormat::kEdgeList;
+}
+
+}  // namespace
+
+Status GraphRegistry::Load(const std::string& name, const std::string& path,
+                           const std::string& attribute_path,
+                           GraphFormat format) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (graphs_.count(name) > 0) {
+      return Status::InvalidArgument("graph '" + name +
+                                     "' is already registered; evict first");
+    }
+  }
+  if (format == GraphFormat::kAuto) format = SniffFormat(path);
+
+  AttributedGraph g;
+  if (format == GraphFormat::kBinary) {
+    if (!attribute_path.empty()) {
+      return Status::InvalidArgument(
+          "binary graphs carry attributes inline; no attribute file expected");
+    }
+    FAIRCLIQUE_RETURN_NOT_OK(LoadBinaryGraph(path, &g));
+  } else {
+    FAIRCLIQUE_RETURN_NOT_OK(
+        LoadAttributedGraph(path, attribute_path, EdgeListOptions{}, &g));
+  }
+  return Add(name, std::move(g), path);
+}
+
+Status GraphRegistry::Add(const std::string& name, AttributedGraph graph,
+                          const std::string& source) {
+  auto entry = std::make_shared<RegisteredGraph>();
+  entry->name = name;
+  entry->fingerprint = GraphFingerprint(graph);
+  entry->graph = std::make_shared<const AttributedGraph>(std::move(graph));
+  entry->source = source;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = graphs_.emplace(name, std::move(entry));
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument("graph '" + name +
+                                   "' is already registered; evict first");
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<const RegisteredGraph> GraphRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(name);
+  return it == graphs_.end() ? nullptr : it->second;
+}
+
+bool GraphRegistry::Evict(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graphs_.erase(name) > 0;
+}
+
+std::vector<std::shared_ptr<const RegisteredGraph>> GraphRegistry::List()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<const RegisteredGraph>> out;
+  out.reserve(graphs_.size());
+  for (const auto& [name, entry] : graphs_) out.push_back(entry);
+  return out;
+}
+
+size_t GraphRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graphs_.size();
+}
+
+}  // namespace fairclique

@@ -1,0 +1,77 @@
+#ifndef FAIRCLIQUE_SERVICE_GRAPH_REGISTRY_H_
+#define FAIRCLIQUE_SERVICE_GRAPH_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace fairclique {
+
+/// File format accepted by GraphRegistry::Load. kAuto sniffs the FCG1 magic
+/// to distinguish the binary container from text edge lists.
+enum class GraphFormat {
+  kAuto,
+  kEdgeList,  // "u v" lines + optional "v attr" attribute file
+  kBinary,    // FCG1 container (graph/binary_io.h)
+};
+
+/// A named, immutable graph shared by every query that references it.
+/// Handed out as shared_ptr<const>, so eviction from the registry never
+/// invalidates a graph that in-flight queries still hold.
+struct RegisteredGraph {
+  std::string name;
+  std::shared_ptr<const AttributedGraph> graph;
+  /// Content fingerprint (graph/fingerprint.h); result-cache keys use this,
+  /// not the name, so re-registering identical content under another name
+  /// still hits the cache.
+  uint64_t fingerprint = 0;
+  /// Where the graph came from (file path or "<inline>").
+  std::string source;
+};
+
+/// Thread-safe name -> graph map for the query service: each graph is loaded
+/// and normalized once, then shared (read-only) across all concurrent
+/// queries. Names are unique; re-loading a live name is an error so a
+/// client cannot silently swap the graph under another client's feet —
+/// evict first, then load.
+class GraphRegistry {
+ public:
+  /// Loads a graph file and registers it under `name`. For kEdgeList an
+  /// optional attribute file ("v attr" lines) may be given; binary FCG1
+  /// files carry their attributes inline. Fails with InvalidArgument when
+  /// `name` is already registered and with the loader's status on bad input.
+  Status Load(const std::string& name, const std::string& path,
+              const std::string& attribute_path = "",
+              GraphFormat format = GraphFormat::kAuto);
+
+  /// Registers an in-memory graph (datasets, tests, generators).
+  Status Add(const std::string& name, AttributedGraph graph,
+             const std::string& source = "<inline>");
+
+  /// The entry for `name`, or nullptr when absent.
+  std::shared_ptr<const RegisteredGraph> Get(const std::string& name) const;
+
+  /// Removes `name`; returns false when it was not registered. In-flight
+  /// queries keep their shared_ptr; memory is reclaimed when the last
+  /// reference drops.
+  bool Evict(const std::string& name);
+
+  /// All entries, sorted by name.
+  std::vector<std::shared_ptr<const RegisteredGraph>> List() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const RegisteredGraph>> graphs_;
+};
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_SERVICE_GRAPH_REGISTRY_H_

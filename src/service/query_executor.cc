@@ -1,0 +1,157 @@
+#include "service/query_executor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fairclique {
+
+QueryExecutor::QueryExecutor(const ExecutorOptions& options, ResultCache* cache)
+    : options_(options), cache_(cache) {
+  int workers = std::max(1, options_.num_workers);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryExecutor::~QueryExecutor() { Shutdown(); }
+
+std::future<QueryResponse> QueryExecutor::Submit(QueryRequest request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  std::promise<QueryResponse> promise;
+  std::future<QueryResponse> future = promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_ && queue_.size() < options_.queue_capacity) {
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      Pending pending;
+      pending.request = std::move(request);
+      pending.promise = std::move(promise);
+      queue_.push_back(std::move(pending));
+      peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
+      work_ready_.notify_one();
+      return future;
+    }
+  }
+
+  // Rejection path: satisfy the future immediately instead of blocking.
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  QueryResponse response;
+  response.status = Status::Aborted("queue full or executor shut down");
+  promise.set_value(std::move(response));
+  return future;
+}
+
+QueryResponse QueryExecutor::Run(const QueryRequest& request) {
+  QueryResponse response;
+  WallTimer run_timer;
+
+  if (request.graph == nullptr || request.graph->graph == nullptr) {
+    response.status = Status::InvalidArgument("request has no graph");
+    served_.fetch_add(1, std::memory_order_relaxed);
+    return response;
+  }
+
+  std::string key;
+  const bool use_cache = cache_ != nullptr && !request.bypass_cache;
+  if (use_cache) {
+    key = ResultCache::MakeKey(request.graph->fingerprint, request.options);
+    if (std::shared_ptr<const SearchResult> cached = cache_->Get(key)) {
+      response.result = std::move(cached);
+      response.cache_hit = true;
+      response.run_micros = run_timer.ElapsedMicros();
+      served_.fetch_add(1, std::memory_order_relaxed);
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return response;
+    }
+  }
+
+  // Map the per-query deadline onto the search's own safety valve
+  // (0 = unlimited on both sides).
+  SearchOptions effective = request.options;
+  if (request.deadline_seconds > 0.0) {
+    effective.time_limit_seconds =
+        effective.time_limit_seconds > 0.0
+            ? std::min(effective.time_limit_seconds, request.deadline_seconds)
+            : request.deadline_seconds;
+  }
+
+  auto result = std::make_shared<SearchResult>(
+      FindMaximumFairClique(*request.graph->graph, effective));
+  response.deadline_missed = !result->stats.completed;
+  if (response.deadline_missed) {
+    deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+  } else if (use_cache) {
+    // Only completed searches are cached: a truncated result under a tight
+    // deadline must not be replayed to a later query with a looser one.
+    // The key is the *request's* options, so repeat queries hit even when a
+    // deadline tightened the effective limit (completion makes them equal).
+    cache_->Put(key, result);
+  }
+  response.result = std::move(result);
+  response.run_micros = run_timer.ElapsedMicros();
+  served_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+void QueryExecutor::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void QueryExecutor::Shutdown() {
+  // Serialized on its own mutex so a concurrent caller (e.g. the destructor
+  // racing an explicit Shutdown) blocks until the workers are actually
+  // joined, rather than returning while they still run. Workers never call
+  // Shutdown, so this cannot deadlock.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    work_ready_.notify_all();
+  }
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void QueryExecutor::WorkerLoop() {
+  while (true) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    QueryResponse response = Run(pending.request);
+    response.queue_micros = pending.queued.ElapsedMicros() -
+                            response.run_micros;
+    pending.promise.set_value(std::move(response));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+ExecutorMetrics QueryExecutor::metrics() const {
+  ExecutorMetrics m;
+  m.submitted = submitted_.load(std::memory_order_relaxed);
+  m.accepted = accepted_.load(std::memory_order_relaxed);
+  m.rejected = rejected_.load(std::memory_order_relaxed);
+  m.served = served_.load(std::memory_order_relaxed);
+  m.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  m.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  m.queue_depth = queue_.size();
+  m.peak_queue_depth = peak_queue_depth_;
+  return m;
+}
+
+}  // namespace fairclique

@@ -1,0 +1,144 @@
+#ifndef FAIRCLIQUE_SERVICE_QUERY_EXECUTOR_H_
+#define FAIRCLIQUE_SERVICE_QUERY_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "core/max_fair_clique.h"
+#include "service/graph_registry.h"
+#include "service/result_cache.h"
+
+namespace fairclique {
+
+/// Sizing of the query worker pool.
+struct ExecutorOptions {
+  /// Worker threads running searches; clamped to >= 1. Query-level
+  /// parallelism composes with SearchOptions::num_threads (per-query
+  /// component parallelism); serving workloads usually want workers > 1 and
+  /// num_threads = 1.
+  int num_workers = 2;
+  /// Requests waiting beyond the ones being executed. Submit rejects (does
+  /// not block) once the queue is full, giving callers explicit
+  /// backpressure. 0 means "no queueing": every Submit is rejected, which
+  /// tests use to exercise the rejection path deterministically.
+  size_t queue_capacity = 64;
+};
+
+/// One search request against a registered graph.
+struct QueryRequest {
+  std::shared_ptr<const RegisteredGraph> graph;  // required
+  SearchOptions options;
+  /// Per-query wall-clock budget in seconds; 0 = none. Mapped onto the
+  /// search's own safety valve: effective time_limit_seconds =
+  /// min(options.time_limit_seconds, deadline_seconds) (treating 0 as
+  /// unlimited). A search stopped by the budget reports
+  /// `deadline_missed = true` and is not cached.
+  double deadline_seconds = 0.0;
+  /// Skip the cache entirely (cold benchmarking, freshness checks).
+  bool bypass_cache = false;
+};
+
+/// Outcome of one request.
+struct QueryResponse {
+  Status status;  // non-OK: rejected (queue full / shutdown / bad request)
+  std::shared_ptr<const SearchResult> result;  // null when status is non-OK
+  bool cache_hit = false;
+  bool deadline_missed = false;  // search stopped by a safety valve
+  int64_t queue_micros = 0;      // time spent waiting for a worker
+  int64_t run_micros = 0;        // cache lookup + search time
+};
+
+/// Monotonic serving metrics. submitted = accepted + rejected;
+/// served counts completed responses (cache hits included).
+struct ExecutorMetrics {
+  uint64_t submitted = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t served = 0;
+  uint64_t cache_hits = 0;
+  uint64_t deadline_misses = 0;
+  size_t queue_depth = 0;       // point-in-time
+  size_t peak_queue_depth = 0;  // high-water mark
+};
+
+/// Bounded-queue worker pool turning FindMaximumFairClique into a
+/// concurrent, memoized query service. Requests flow
+///
+///   Submit -> [bounded queue] -> worker: cache probe -> search -> cache fill
+///
+/// The executor owns its worker threads; the result cache is optional,
+/// shared, and owned by the caller (pass nullptr to serve uncached). The
+/// destructor drains outstanding accepted requests before joining, so every
+/// future obtained from Submit is eventually satisfied.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(const ExecutorOptions& options,
+                         ResultCache* cache = nullptr);
+  ~QueryExecutor();
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  /// Enqueues a request. The returned future is always valid; when the
+  /// queue is full or the executor is shutting down it is already satisfied
+  /// with an Aborted status instead of blocking the caller.
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// Runs a request synchronously on the calling thread, through the same
+  /// cache path as queued requests (used by workers internally, and by
+  /// sequential baselines in benchmarks).
+  QueryResponse Run(const QueryRequest& request);
+
+  /// Blocks until every accepted request has been served.
+  void Drain();
+
+  /// Stops accepting new requests, serves the remaining queue, joins the
+  /// workers. Idempotent; called by the destructor.
+  void Shutdown();
+
+  ExecutorMetrics metrics() const;
+
+ private:
+  struct Pending {
+    QueryRequest request;
+    std::promise<QueryResponse> promise;
+    WallTimer queued;
+  };
+
+  void WorkerLoop();
+
+  const ExecutorOptions options_;
+  ResultCache* const cache_;  // not owned; may be null
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<Pending> queue_;
+  size_t active_ = 0;
+  size_t peak_queue_depth_ = 0;
+  bool stopping_ = false;
+  /// Serializes Shutdown end to end; workers_ is written only at
+  /// construction and under this mutex afterwards.
+  std::mutex shutdown_mu_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> deadline_misses_{0};
+};
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_SERVICE_QUERY_EXECUTOR_H_

@@ -1,0 +1,66 @@
+#include "service/result_cache.h"
+
+#include "core/options_key.h"
+#include "graph/fingerprint.h"
+
+namespace fairclique {
+
+ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {}
+
+std::string ResultCache::MakeKey(uint64_t fingerprint,
+                                 const SearchOptions& options) {
+  return FingerprintHex(fingerprint) + "|" + CanonicalOptionsKey(options);
+}
+
+std::shared_ptr<const SearchResult> ResultCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void ResultCache::Put(const std::string& key,
+                      std::shared_ptr<const SearchResult> result) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.emplace_front(key, std::move(result));
+  index_[key] = lru_.begin();
+  ++insertions_;
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  hits_ = misses_ = insertions_ = evictions_ = 0;
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ResultCacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.insertions = insertions_;
+  stats.evictions = evictions_;
+  stats.entries = lru_.size();
+  stats.capacity = capacity_;
+  return stats;
+}
+
+}  // namespace fairclique

@@ -1,0 +1,75 @@
+#ifndef FAIRCLIQUE_SERVICE_RESULT_CACHE_H_
+#define FAIRCLIQUE_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/max_fair_clique.h"
+
+namespace fairclique {
+
+/// Counters exposed by ResultCache::Stats(). `entries` and `capacity` are
+/// point-in-time sizes; the rest are monotonic since construction/Clear().
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+  size_t capacity = 0;
+};
+
+/// Thread-safe LRU cache of completed search results, keyed by
+/// (graph content fingerprint, canonical options key) — see MakeKey. Values
+/// are shared_ptr<const SearchResult>, so a hit costs one refcount bump and
+/// entries evicted while a client still holds the pointer stay valid.
+///
+/// A capacity of 0 disables caching: Get always misses and Put is a no-op
+/// (misses are still counted, so stats stay meaningful).
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity = 128);
+
+  /// The canonical cache key: FingerprintHex(fingerprint) + "|" +
+  /// CanonicalOptionsKey(options). Options fields that cannot change the
+  /// answer (engine, num_threads) are canonicalized away, so e.g. a 1-thread
+  /// and an 8-thread query for the same (k, delta, bounds) share one entry.
+  static std::string MakeKey(uint64_t fingerprint,
+                             const SearchOptions& options);
+
+  /// Returns the cached result and refreshes its recency, or nullptr.
+  std::shared_ptr<const SearchResult> Get(const std::string& key);
+
+  /// Inserts (or refreshes) `result` under `key`, evicting the least
+  /// recently used entry when full. Callers should only Put results whose
+  /// search ran to completion; truncated results would poison repeat
+  /// queries with stale limits.
+  void Put(const std::string& key, std::shared_ptr<const SearchResult> result);
+
+  /// Drops every entry and resets the counters.
+  void Clear();
+
+  ResultCacheStats Stats() const;
+
+ private:
+  using LruList =
+      std::list<std::pair<std::string, std::shared_ptr<const SearchResult>>>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t insertions_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_SERVICE_RESULT_CACHE_H_

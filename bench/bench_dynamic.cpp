@@ -1,0 +1,208 @@
+// bench_dynamic: the dynamic-graph subsystem (src/dynamic) against the
+// evict+reload baseline it replaces.
+//
+// Measures, on the dblp-s stand-in:
+//   - update throughput: Apply+Replace ops/second for streamed edge batches;
+//   - re-query latency after a small insert-only batch (cache migration
+//     hands the executor an exact_chain warm hint; the incremental re-query
+//     searches only the added edges' neighborhoods);
+//   - re-query latency after a large insert-only batch (too many outstanding
+//     edges — falls back to a warm-started full search);
+//   - the old workflow: evict + reload from scratch + cold search.
+//
+// Asserts (exit non-zero otherwise):
+//   - every re-query answer equals a from-scratch sequential search on the
+//     updated snapshot;
+//   - small-batch re-query is >= 5x faster than evict+reload+cold-search.
+//
+// Env: FAIRCLIQUE_BENCH_SCALE, FAIRCLIQUE_BENCH_TIMEOUT,
+// FAIRCLIQUE_BENCH_JSON_DIR (BENCH_dynamic.json).
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/max_fair_clique.h"
+#include "datasets/datasets.h"
+#include "dynamic/dynamic_graph.h"
+#include "graph/generators.h"
+#include "service/graph_registry.h"
+#include "service/query_executor.h"
+#include "service/result_cache.h"
+
+namespace fairclique {
+namespace {
+
+using bench::BenchScale;
+using bench::BenchTimeout;
+using bench::BestBoundFor;
+
+/// Samples `count` distinct non-edges of the current dynamic graph as an
+/// insert-only batch.
+std::vector<UpdateOp> RandomInsertBatch(const DynamicGraph& dyn, size_t count,
+                                        Rng& rng) {
+  std::vector<UpdateOp> batch;
+  for (const Edge& e : SampleNonEdges(*dyn.snapshot(), count, rng)) {
+    batch.push_back(AddEdgeOp(e.u, e.v));
+  }
+  return batch;
+}
+
+bool Check(bool ok, const char* what) {
+  if (!ok) std::fprintf(stderr, "FAIL: %s\n", what);
+  return ok;
+}
+
+}  // namespace
+}  // namespace fairclique
+
+int main() {
+  using namespace fairclique;
+  SetLogLevel(LogLevel::kWarning);
+
+  const std::string dataset = "dblp-s";
+  SearchOptions options = FullOptions(3, 1, BestBoundFor(dataset));
+  options.time_limit_seconds = BenchTimeout();
+
+  GraphRegistry registry;
+  ResultCache cache(256);
+  registry.AttachCache(&cache);
+  QueryExecutor executor(ExecutorOptions{1, 64}, &cache);
+
+  AttributedGraph base = LoadDataset(dataset, BenchScale());
+  std::printf("bench_dynamic: %s (%u vertices, %u edges)\n", dataset.c_str(),
+              base.num_vertices(), base.num_edges());
+  Status status = registry.Add(dataset, std::move(base), "dataset:" + dataset);
+  if (!status.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  auto run_query = [&](bool bypass) {
+    QueryRequest request;
+    request.graph = registry.Get(dataset);
+    request.options = options;
+    request.bypass_cache = bypass;
+    return executor.Run(request);
+  };
+
+  bool ok = true;
+
+  // Cold search cost (and cache fill for the dynamic epochs below).
+  WallTimer cold_timer;
+  QueryResponse cold = run_query(/*bypass=*/true);
+  double cold_ms = cold_timer.ElapsedMicros() / 1000.0;
+  ok &= Check(cold.status.ok() && cold.result != nullptr, "cold query failed");
+  size_t base_size = cold.result != nullptr ? cold.result->clique.size() : 0;
+  std::printf("  cold search: size %zu in %.2f ms\n", base_size, cold_ms);
+
+  // Old workflow: evict (drops cached results), reload from scratch, cold
+  // search. This is what an update used to cost.
+  WallTimer reload_timer;
+  registry.Evict(dataset);
+  status = registry.Add(dataset, LoadDataset(dataset, BenchScale()),
+                        "dataset:" + dataset);
+  QueryResponse reload = run_query(/*bypass=*/false);
+  double reload_ms = reload_timer.ElapsedMicros() / 1000.0;
+  ok &= Check(status.ok() && reload.status.ok() && !reload.cache_hit,
+              "reload path failed");
+  std::printf("  evict+reload+cold search: %.2f ms\n", reload_ms);
+
+  // The cache now holds the exact answer for the current fingerprint.
+  DynamicGraph dyn(*registry.Get(dataset)->graph);
+  Rng rng(20260728);
+
+  // --- Small insert-only batch: Apply + Replace + re-query. -------------
+  const size_t kSmallBatch = 8;
+  std::vector<UpdateOp> small = RandomInsertBatch(dyn, kSmallBatch, rng);
+  WallTimer small_timer;
+  UpdateSummary summary;
+  ok &= Check(dyn.Apply(small, &summary).ok(), "small Apply failed");
+  ok &= Check(
+      registry.Replace(dataset, dyn.snapshot(), summary.version, &summary)
+          .ok(),
+      "small Replace failed");
+  QueryResponse small_requery = run_query(/*bypass=*/false);
+  double small_ms = small_timer.ElapsedMicros() / 1000.0;
+  ok &= Check(small_requery.status.ok(), "small re-query failed");
+  ok &= Check(small_requery.incremental || small_requery.cache_hit,
+              "small re-query did not use the migrated cache");
+  SearchResult small_truth = FindMaximumFairClique(*dyn.snapshot(), options);
+  ok &= Check(small_requery.result != nullptr &&
+                  small_requery.result->clique.size() ==
+                      small_truth.clique.size(),
+              "small re-query size != from-scratch search");
+  std::printf(
+      "  +%zu edges: apply+replace+re-query %.2f ms (incremental=%d, "
+      "size %zu)\n",
+      kSmallBatch, small_ms, small_requery.incremental ? 1 : 0,
+      small_requery.result != nullptr ? small_requery.result->clique.size()
+                                      : 0);
+
+  // --- Large insert-only batch: falls back to warm-started full search. --
+  const size_t kLargeBatch = 2000;
+  std::vector<UpdateOp> large = RandomInsertBatch(dyn, kLargeBatch, rng);
+  WallTimer large_timer;
+  ok &= Check(dyn.Apply(large, &summary).ok(), "large Apply failed");
+  ok &= Check(
+      registry.Replace(dataset, dyn.snapshot(), summary.version, &summary)
+          .ok(),
+      "large Replace failed");
+  QueryResponse large_requery = run_query(/*bypass=*/false);
+  double large_ms = large_timer.ElapsedMicros() / 1000.0;
+  ok &= Check(large_requery.status.ok(), "large re-query failed");
+  SearchResult large_truth = FindMaximumFairClique(*dyn.snapshot(), options);
+  ok &= Check(large_requery.result != nullptr &&
+                  large_requery.result->clique.size() ==
+                      large_truth.clique.size(),
+              "large re-query size != from-scratch search");
+  std::printf(
+      "  +%zu edges: apply+replace+re-query %.2f ms (warm_start=%d, "
+      "size %zu)\n",
+      kLargeBatch, large_ms, large_requery.warm_start ? 1 : 0,
+      large_requery.result != nullptr ? large_requery.result->clique.size()
+                                      : 0);
+
+  // --- Update throughput: streamed batches of mixed inserts. -------------
+  const int kStreamBatches = 40;
+  const size_t kStreamOps = 10;
+  WallTimer stream_timer;
+  for (int i = 0; i < kStreamBatches; ++i) {
+    std::vector<UpdateOp> batch = RandomInsertBatch(dyn, kStreamOps, rng);
+    UpdateSummary s;
+    if (!dyn.Apply(batch, &s).ok() ||
+        !registry.Replace(dataset, dyn.snapshot(), s.version, &s).ok()) {
+      ok = false;
+      break;
+    }
+  }
+  double stream_seconds = stream_timer.ElapsedSeconds();
+  double updates_per_s =
+      stream_seconds > 0
+          ? static_cast<double>(kStreamBatches * kStreamOps) / stream_seconds
+          : 0.0;
+  std::printf("  update stream: %.0f updates/s (%d batches of %zu)\n",
+              updates_per_s, kStreamBatches, kStreamOps);
+
+  double speedup = small_ms > 0 ? reload_ms / small_ms : 0.0;
+  std::printf("\nsmall-batch re-query vs evict+reload: %.1fx (need >= 5x)\n",
+              speedup);
+  ok &= Check(speedup >= 5.0, "re-query speedup < 5x");
+
+  bench::EmitBenchJson(
+      "dynamic",
+      {{"cold_ms", cold_ms},
+       {"reload_ms", reload_ms},
+       {"small_requery_ms", small_ms},
+       {"large_requery_ms", large_ms},
+       {"updates_per_s", updates_per_s},
+       {"small_speedup_vs_reload", speedup}});
+  std::printf("verified equal to from-scratch search: %s\n",
+              ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

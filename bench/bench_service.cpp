@@ -119,6 +119,7 @@ int main() {
   const int kWarmRounds = 50;
   bool sizes_match = true;
   bool speedup_ok = false;
+  std::vector<std::pair<std::string, double>> json_metrics;
 
   std::printf("\n%8s %14s %14s %10s\n", "workers", "cold q/s", "cached q/s",
               "speedup");
@@ -138,6 +139,10 @@ int main() {
     if (speedup >= 10.0) speedup_ok = true;
     std::printf("%8d %14.1f %14.1f %9.1fx\n", workers, cold_qps, warm_qps,
                 speedup);
+    std::string suffix = "_w" + std::to_string(workers);
+    json_metrics.emplace_back("cold_qps" + suffix, cold_qps);
+    json_metrics.emplace_back("cached_qps" + suffix, warm_qps);
+    json_metrics.emplace_back("speedup" + suffix, speedup);
     ExecutorMetrics m = executor.metrics();
     std::printf("         served=%llu cache_hits=%llu rejected=%llu "
                 "peak_queue=%zu\n",
@@ -150,5 +155,6 @@ int main() {
   std::printf("\nconcurrent sizes match sequential: %s\n",
               sizes_match ? "yes" : "NO");
   std::printf("cached speedup >= 10x: %s\n", speedup_ok ? "yes" : "NO");
+  bench::EmitBenchJson("service", json_metrics);
   return (sizes_match && speedup_ok) ? 0 : 1;
 }

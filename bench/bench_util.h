@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/max_fair_clique.h"
 #include "datasets/datasets.h"
@@ -52,6 +54,35 @@ inline ExtraBound BestBoundFor(const std::string& dataset) {
     return ExtraBound::kColorfulPath;
   }
   return ExtraBound::kColorfulDegeneracy;
+}
+
+/// Writes machine-readable benchmark metrics to
+/// $FAIRCLIQUE_BENCH_JSON_DIR/BENCH_<bench>.json (default: current
+/// directory) so CI can archive the perf trajectory. Format:
+///   {"bench":"service","scale":1.0,"metrics":{"cold_qps":25.1,...}}
+/// Returns false (with a warning) when the file cannot be written; benches
+/// treat that as non-fatal.
+inline bool EmitBenchJson(
+    const std::string& bench,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  const char* dir = std::getenv("FAIRCLIQUE_BENCH_JSON_DIR");
+  std::string path =
+      std::string(dir != nullptr ? dir : ".") + "/BENCH_" + bench + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\"bench\":\"%s\",\"scale\":%.17g,\"metrics\":{",
+               bench.c_str(), BenchScale());
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f, "%s\"%s\":%.17g", i > 0 ? "," : "",
+                 metrics[i].first.c_str(), metrics[i].second);
+  }
+  std::fprintf(f, "}}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace bench

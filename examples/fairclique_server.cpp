@@ -14,13 +14,24 @@
 //    "extra":"cp","deadline":5.0,"threads":2,"async":true}  queued
 //   {"cmd":"drain"}      print pending async responses in submission order
 //   {"cmd":"stats"}      registry + cache + executor counters
-//   {"cmd":"evict","graph":"g"}      drop one graph
+//   {"cmd":"evict","graph":"g"}      drop one graph (+ its cached results)
 //   {"cmd":"evict","cache":true}     clear the result cache
+//   {"cmd":"update","graph":"g","add_edges":"0-5,3-7",
+//    "remove_edges":"1-2","add_vertices":"a,b","set_attrs":"4:b"}
+//                        apply one batch, advance the epoch, migrate cache
+//   {"cmd":"snapshot","graph":"g"}             report the current epoch
+//   {"cmd":"snapshot","graph":"g","path":"g.fcg"}  also save FCG1 binary
 //   {"cmd":"quit"}
 //
 // query fields: preset = baseline|bounded|full (default full), extra = none|
 // degeneracy|hindex|cd|ch|cp (default cp), deadline in seconds (0 = none),
 // threads = per-search component workers, "bypass_cache":true for cold runs.
+//
+// update fields (all optional, applied as ONE atomic batch): add_vertices is
+// a comma list of attributes ("a,b"); add_edges / remove_edges are comma
+// lists of "u-v" pairs; set_attrs is a comma list of "v:attr". The response
+// reports the new epoch (version, fingerprint) and how the result cache was
+// migrated (invalidated / republished / hints).
 
 #include <cctype>
 #include <cstdio>
@@ -233,12 +244,14 @@ void PrintQueryResponse(uint64_t id, const std::string& graph,
   std::printf(
       "{\"ok\":true,\"id\":%llu,\"graph\":\"%s\",\"size\":%zu,"
       "\"counts\":[%lld,%lld],\"vertices\":[%s],\"cache_hit\":%s,"
+      "\"incremental\":%s,\"warm_start\":%s,"
       "\"completed\":%s,\"deadline_missed\":%s,\"queue_micros\":%lld,"
       "\"run_micros\":%lld}\n",
       static_cast<unsigned long long>(id), JsonEscape(graph).c_str(),
       sr.clique.size(), static_cast<long long>(sr.clique.attr_counts.a()),
       static_cast<long long>(sr.clique.attr_counts.b()), vertices.c_str(),
-      r.cache_hit ? "true" : "false", sr.stats.completed ? "true" : "false",
+      r.cache_hit ? "true" : "false", r.incremental ? "true" : "false",
+      r.warm_start ? "true" : "false", sr.stats.completed ? "true" : "false",
       r.deadline_missed ? "true" : "false",
       static_cast<long long>(r.queue_micros),
       static_cast<long long>(r.run_micros));
@@ -257,17 +270,65 @@ bool ParseExtraBound(const std::string& name, ExtraBound* out) {
   return true;
 }
 
+// Splits a comma-separated list; empty input yields no tokens.
+std::vector<std::string> SplitList(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool ParseAttrToken(const std::string& token, Attribute* out) {
+  if (token == "a" || token == "0") *out = Attribute::kA;
+  else if (token == "b" || token == "1") *out = Attribute::kB;
+  else return false;
+  return true;
+}
+
+// Parses a decimal vertex id, rejecting values that do not fit VertexId
+// (a silent narrowing would mutate some unrelated small id instead).
+bool ParseVertexId(const char* s, const char* expected_end, VertexId* out) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (end != expected_end || v > 0xffffffffULL) return false;
+  *out = static_cast<VertexId>(v);
+  return true;
+}
+
+// Parses "<u><sep><v>" into two vertex ids.
+bool ParseVertexPair(const std::string& token, char sep, VertexId* u,
+                     VertexId* v) {
+  size_t pos = token.find(sep);
+  if (pos == std::string::npos || pos == 0 || pos + 1 >= token.size()) {
+    return false;
+  }
+  return ParseVertexId(token.c_str(), token.c_str() + pos, u) &&
+         ParseVertexId(token.c_str() + pos + 1,
+                       token.c_str() + token.size(), v);
+}
+
 struct Server {
   GraphRegistry registry;
   ResultCache cache;
   QueryExecutor executor;
+  /// Mutable shadow of updated graphs; created lazily on the first update
+  /// of a name, dropped on evict. The registry always serves the latest
+  /// materialized snapshot.
+  std::map<std::string, std::unique_ptr<DynamicGraph>> dynamics;
   uint64_t next_id = 1;
   std::vector<std::tuple<uint64_t, std::string, std::future<QueryResponse>>>
       pending;
 
   Server(int workers, size_t cache_capacity, size_t queue_capacity)
       : cache(cache_capacity),
-        executor(ExecutorOptions{workers, queue_capacity}, &cache) {}
+        executor(ExecutorOptions{workers, queue_capacity}, &cache) {
+    registry.AttachCache(&cache);
+  }
 
   void HandleLoad(uint64_t id, const JsonObject& obj) {
     std::string name = GetString(obj, "name");
@@ -363,29 +424,135 @@ struct Server {
                 "\",\"vertices\":" +
                 std::to_string(entry->graph->num_vertices()) +
                 ",\"edges\":" + std::to_string(entry->graph->num_edges()) +
+                ",\"version\":" + std::to_string(entry->version) +
                 ",\"fingerprint\":\"" + FingerprintHex(entry->fingerprint) +
                 "\"}";
     }
     std::printf(
         "{\"ok\":true,\"id\":%llu,\"graphs\":[%s],"
         "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,"
-        "\"evictions\":%llu,\"entries\":%zu,\"capacity\":%zu},"
+        "\"evictions\":%llu,\"invalidated\":%llu,\"republished\":%llu,"
+        "\"hints_published\":%llu,\"hint_hits\":%llu,\"entries\":%zu,"
+        "\"hint_entries\":%zu,\"capacity\":%zu},"
         "\"executor\":{\"submitted\":%llu,\"accepted\":%llu,"
         "\"rejected\":%llu,\"served\":%llu,\"cache_hits\":%llu,"
+        "\"incremental\":%llu,\"warm_starts\":%llu,"
         "\"deadline_misses\":%llu,\"queue_depth\":%zu,"
         "\"peak_queue_depth\":%zu}}\n",
         static_cast<unsigned long long>(id), graphs.c_str(),
         static_cast<unsigned long long>(cs.hits),
         static_cast<unsigned long long>(cs.misses),
         static_cast<unsigned long long>(cs.insertions),
-        static_cast<unsigned long long>(cs.evictions), cs.entries,
-        cs.capacity, static_cast<unsigned long long>(em.submitted),
+        static_cast<unsigned long long>(cs.evictions),
+        static_cast<unsigned long long>(cs.invalidated),
+        static_cast<unsigned long long>(cs.republished),
+        static_cast<unsigned long long>(cs.hints_published),
+        static_cast<unsigned long long>(cs.hint_hits), cs.entries,
+        cs.hint_entries, cs.capacity,
+        static_cast<unsigned long long>(em.submitted),
         static_cast<unsigned long long>(em.accepted),
         static_cast<unsigned long long>(em.rejected),
         static_cast<unsigned long long>(em.served),
         static_cast<unsigned long long>(em.cache_hits),
+        static_cast<unsigned long long>(em.incremental_requeries),
+        static_cast<unsigned long long>(em.warm_starts),
         static_cast<unsigned long long>(em.deadline_misses), em.queue_depth,
         em.peak_queue_depth);
+  }
+
+  void HandleUpdate(uint64_t id, const JsonObject& obj) {
+    std::string name = GetString(obj, "graph");
+    auto entry = registry.Get(name);
+    if (entry == nullptr) {
+      return PrintError(id, "update: graph '" + name + "' not loaded");
+    }
+
+    std::vector<UpdateOp> batch;
+    for (const std::string& token : SplitList(GetString(obj, "add_vertices"))) {
+      Attribute attr;
+      if (!ParseAttrToken(token, &attr)) {
+        return PrintError(id, "update: bad attribute '" + token + "'");
+      }
+      batch.push_back(AddVertexOp(attr));
+    }
+    for (const std::string& token : SplitList(GetString(obj, "add_edges"))) {
+      VertexId u, v;
+      if (!ParseVertexPair(token, '-', &u, &v)) {
+        return PrintError(id, "update: bad edge '" + token + "'");
+      }
+      batch.push_back(AddEdgeOp(u, v));
+    }
+    for (const std::string& token : SplitList(GetString(obj, "remove_edges"))) {
+      VertexId u, v;
+      if (!ParseVertexPair(token, '-', &u, &v)) {
+        return PrintError(id, "update: bad edge '" + token + "'");
+      }
+      batch.push_back(RemoveEdgeOp(u, v));
+    }
+    for (const std::string& token : SplitList(GetString(obj, "set_attrs"))) {
+      size_t colon = token.find(':');
+      Attribute attr;
+      VertexId v;
+      if (colon == std::string::npos || colon == 0 ||
+          !ParseAttrToken(token.substr(colon + 1), &attr) ||
+          !ParseVertexId(token.c_str(), token.c_str() + colon, &v)) {
+        return PrintError(id, "update: bad set_attrs token '" + token + "'");
+      }
+      batch.push_back(SetAttributeOp(v, attr));
+    }
+    if (batch.empty()) {
+      return PrintError(id, "update: empty batch (nothing to apply)");
+    }
+
+    auto [it, created] = dynamics.try_emplace(name);
+    if (created) it->second = std::make_unique<DynamicGraph>(*entry->graph);
+    DynamicGraph& dyn = *it->second;
+
+    UpdateSummary summary;
+    Status status = dyn.Apply(batch, &summary);
+    if (!status.ok()) return PrintError(id, status.ToString());
+    ReplaceReport report;
+    status = registry.Replace(name, dyn.snapshot(), summary.version, &summary,
+                              &report);
+    if (!status.ok()) return PrintError(id, status.ToString());
+
+    std::printf(
+        "{\"ok\":true,\"id\":%llu,\"graph\":\"%s\",\"version\":%llu,"
+        "\"fingerprint\":\"%s\",\"vertices\":%u,\"edges\":%u,"
+        "\"vertices_added\":%u,\"edges_added\":%u,\"edges_removed\":%u,"
+        "\"attrs_changed\":%u,\"insert_only\":%s,"
+        "\"cache\":{\"invalidated\":%zu,\"republished\":%zu,\"hints\":%zu}}\n",
+        static_cast<unsigned long long>(id), JsonEscape(name).c_str(),
+        static_cast<unsigned long long>(summary.version),
+        FingerprintHex(summary.fingerprint).c_str(), dyn.num_vertices(),
+        dyn.num_edges(), summary.vertices_added, summary.edges_added,
+        summary.edges_removed, summary.attributes_changed,
+        summary.insert_only() ? "true" : "false", report.cache.invalidated,
+        report.cache.republished, report.cache.hints);
+  }
+
+  void HandleSnapshot(uint64_t id, const JsonObject& obj) {
+    std::string name = GetString(obj, "graph");
+    auto entry = registry.Get(name);
+    if (entry == nullptr) {
+      return PrintError(id, "snapshot: graph '" + name + "' not loaded");
+    }
+    std::string path = GetString(obj, "path");
+    if (!path.empty()) {
+      Status status = SaveBinaryGraph(*entry->graph, path);
+      if (!status.ok()) return PrintError(id, status.ToString());
+    }
+    std::printf(
+        "{\"ok\":true,\"id\":%llu,\"graph\":\"%s\",\"version\":%llu,"
+        "\"fingerprint\":\"%s\",\"vertices\":%u,\"edges\":%u,"
+        "\"source\":\"%s\"%s%s%s}\n",
+        static_cast<unsigned long long>(id), JsonEscape(name).c_str(),
+        static_cast<unsigned long long>(entry->version),
+        FingerprintHex(entry->fingerprint).c_str(),
+        entry->graph->num_vertices(), entry->graph->num_edges(),
+        JsonEscape(entry->source).c_str(),
+        path.empty() ? "" : ",\"saved\":\"",
+        path.empty() ? "" : JsonEscape(path).c_str(), path.empty() ? "" : "\"");
   }
 
   void HandleEvict(uint64_t id, const JsonObject& obj) {
@@ -398,6 +565,7 @@ struct Server {
     std::string name = GetString(obj, "graph");
     if (name.empty()) return PrintError(id, "evict: need 'graph' or 'cache'");
     bool evicted = registry.Evict(name);
+    dynamics.erase(name);
     std::printf("{\"ok\":%s,\"id\":%llu,\"evicted\":\"%s\"}\n",
                 evicted ? "true" : "false",
                 static_cast<unsigned long long>(id),
@@ -428,6 +596,8 @@ struct Server {
     }
     if (cmd == "load") HandleLoad(id, obj);
     else if (cmd == "query") HandleQuery(id, obj);
+    else if (cmd == "update") HandleUpdate(id, obj);
+    else if (cmd == "snapshot") HandleSnapshot(id, obj);
     else if (cmd == "drain") HandleDrain();
     else if (cmd == "stats") HandleStats(id);
     else if (cmd == "evict") HandleEvict(id, obj);

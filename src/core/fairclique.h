@@ -26,6 +26,8 @@
 #include "core/max_fair_clique.h"
 #include "core/options_key.h"
 #include "core/verifier.h"
+#include "dynamic/dynamic_graph.h"
+#include "dynamic/incremental_search.h"
 #include "graph/binary_io.h"
 #include "graph/coloring.h"
 #include "graph/cores.h"

@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "core/heuristics.h"
+#include "core/verifier.h"
 #include "graph/coloring.h"
 #include "graph/cores.h"
 #include "reduction/colorful_core.h"
@@ -447,6 +448,17 @@ SearchResult FindMaximumFairClique(const AttributedGraph& g,
         result.clique.vertices.push_back(reduced.original_ids[v]);
       }
     }
+  }
+
+  // Stage 2b: optional warm start from a caller-supplied known fair clique
+  // (dynamic-graph re-queries seed the previous epoch's answer). Verified
+  // against the *original* graph — reduction may have pruned its vertices,
+  // but the incumbent only flows into pruning through its size.
+  if (static_cast<int64_t>(options.warm_start.size()) >
+          static_cast<int64_t>(result.clique.size()) &&
+      VerifyFairClique(g, options.warm_start, options.params).ok()) {
+    result.clique.vertices = options.warm_start;
+    result.clique.attr_counts = CountAttributes(g, options.warm_start);
   }
 
   // Stage 3: branch-and-bound per connected component (Alg. 2 lines 6-11).

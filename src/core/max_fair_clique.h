@@ -53,6 +53,16 @@ struct SearchOptions {
   /// in the paper's Fig. 6/7).
   bool use_heuristic = false;
 
+  /// Optional warm start: a known fair clique of the input graph (original
+  /// vertex ids), e.g. a cached result that survived a graph update. It is
+  /// revalidated with the verifier before use and silently ignored when
+  /// invalid, so a stale set can cost only time, never correctness. A valid
+  /// warm start primes the incumbent like the heuristic does: the answer
+  /// *size* is unchanged (the search still proves optimality), only the
+  /// returned witness may differ — which is why the field is excluded from
+  /// CanonicalOptionsKey.
+  std::vector<VertexId> warm_start;
+
   /// Apply the configured (expensive) upper bounds at branch depths strictly
   /// below this value. Depth 0 is each connected component's root; depth 1
   /// re-checks after the first vertex is chosen ("when selecting vertices to

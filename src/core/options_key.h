@@ -14,7 +14,11 @@ namespace fairclique {
 ///  - `engine` is dropped — the vector and bitset kernels are exact and
 ///    differentially tested to return identical answers;
 ///  - `num_threads` is dropped — workers share only the incumbent size, so
-///    the answer is identical and only node counts vary run to run.
+///    the answer is identical and only node counts vary run to run;
+///  - `warm_start` is dropped — a (verified) warm start primes the incumbent
+///    but the search still proves optimality, so the answer *size* is
+///    identical; the returned witness may differ, which callers must treat
+///    as unspecified (as they already do for thread scheduling).
 ///
 /// Everything that can change the returned clique or the `completed` flag is
 /// included: fairness parameters, branch order, reduction toggles, bound

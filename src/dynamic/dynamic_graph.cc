@@ -1,0 +1,242 @@
+#include "dynamic/dynamic_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "graph/fingerprint.h"
+
+namespace fairclique {
+
+namespace {
+
+Edge Normalized(VertexId u, VertexId v) {
+  return u < v ? Edge{u, v} : Edge{v, u};
+}
+
+void SortedInsert(std::vector<VertexId>* row, VertexId v) {
+  row->insert(std::lower_bound(row->begin(), row->end(), v), v);
+}
+
+void SortedErase(std::vector<VertexId>* row, VertexId v) {
+  auto it = std::lower_bound(row->begin(), row->end(), v);
+  row->erase(it);
+}
+
+}  // namespace
+
+DynamicGraph::DynamicGraph(const AttributedGraph& base) {
+  const VertexId n = base.num_vertices();
+  adj_.resize(n);
+  attrs_.resize(n);
+  nbr_attr_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    attrs_[v] = base.attribute(v);
+    adj_[v].assign(base.neighbors(v).begin(), base.neighbors(v).end());
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId w : adj_[v]) nbr_attr_[v][attrs_[w]]++;
+  }
+  num_edges_ = base.num_edges();
+  snapshot_ = std::make_shared<const AttributedGraph>(base);
+  fingerprint_ = GraphFingerprint(*snapshot_);
+}
+
+uint64_t DynamicGraph::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+std::shared_ptr<const AttributedGraph> DynamicGraph::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+uint64_t DynamicGraph::fingerprint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fingerprint_;
+}
+
+VertexId DynamicGraph::num_vertices() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<VertexId>(adj_.size());
+}
+
+EdgeId DynamicGraph::num_edges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_edges_;
+}
+
+uint32_t DynamicGraph::degree(VertexId v) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint32_t>(adj_[v].size());
+}
+
+AttrCounts DynamicGraph::attr_neighbor_counts(VertexId v) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nbr_attr_[v];
+}
+
+bool DynamicGraph::HasEdgeLocked(VertexId u, VertexId v) const {
+  const std::vector<VertexId>& row =
+      adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  VertexId other = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::binary_search(row.begin(), row.end(), other);
+}
+
+void DynamicGraph::Rebuild() {
+  GraphBuilder builder(static_cast<VertexId>(adj_.size()));
+  for (VertexId v = 0; v < adj_.size(); ++v) {
+    builder.SetAttribute(v, attrs_[v]);
+    for (VertexId w : adj_[v]) {
+      if (v < w) builder.AddEdge(v, w);
+    }
+  }
+  snapshot_ = std::make_shared<const AttributedGraph>(builder.Build());
+  fingerprint_ = GraphFingerprint(*snapshot_);
+}
+
+Status DynamicGraph::Apply(std::span<const UpdateOp> batch,
+                           UpdateSummary* summary) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const VertexId n = static_cast<VertexId>(adj_.size());
+
+  // ---- Validation pass: sequential semantics over a staged view ----------
+  // edge_delta tracks the batch's net effect relative to the committed
+  // state: +1 net added, -1 net removed, 0 back to unchanged.
+  VertexId n_staged = n;
+  std::map<Edge, int> edge_delta;
+  std::map<VertexId, Attribute> staged_attr;   // final attribute per vertex
+  std::vector<Attribute> new_vertex_attrs;     // initial attrs of appended ids
+
+  auto staged_has_edge = [&](const Edge& e) {
+    auto it = edge_delta.find(e);
+    int delta = it == edge_delta.end() ? 0 : it->second;
+    bool committed = e.u < n && e.v < n && HasEdgeLocked(e.u, e.v);
+    return committed ? delta != -1 : delta == 1;
+  };
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const UpdateOp& op = batch[i];
+    const std::string at = "op #" + std::to_string(i) + ": ";
+    switch (op.kind) {
+      case UpdateKind::kAddVertex:
+        new_vertex_attrs.push_back(op.attr);
+        ++n_staged;
+        break;
+      case UpdateKind::kAddEdge:
+      case UpdateKind::kRemoveEdge: {
+        if (op.u >= n_staged || op.v >= n_staged) {
+          return Status::InvalidArgument(at + "edge endpoint out of range");
+        }
+        if (op.u == op.v) {
+          return Status::InvalidArgument(at + "self-loops are not allowed");
+        }
+        Edge e = Normalized(op.u, op.v);
+        bool exists = staged_has_edge(e);
+        bool committed = e.u < n && e.v < n && HasEdgeLocked(e.u, e.v);
+        if (op.kind == UpdateKind::kAddEdge) {
+          if (exists) {
+            return Status::InvalidArgument(at + "edge already exists");
+          }
+          edge_delta[e] = committed ? 0 : 1;
+        } else {
+          if (!exists) {
+            return Status::InvalidArgument(at + "edge does not exist");
+          }
+          edge_delta[e] = committed ? -1 : 0;
+        }
+        break;
+      }
+      case UpdateKind::kSetAttribute:
+        if (op.u >= n_staged) {
+          return Status::InvalidArgument(at + "vertex out of range");
+        }
+        staged_attr[op.u] = op.attr;
+        break;
+    }
+  }
+
+  // ---- Commit: apply the net effect, maintaining degrees and per-attribute
+  // neighbor counts incrementally. Attribute flips go first so every edge
+  // insertion/removal adjusts nbr_attr_ with final attributes.
+  UpdateSummary out;
+  out.base_fingerprint = fingerprint_;
+
+  for (VertexId v = n; v < n_staged; ++v) {
+    Attribute attr = new_vertex_attrs[v - n];
+    auto it = staged_attr.find(v);
+    if (it != staged_attr.end()) attr = it->second;
+    adj_.emplace_back();
+    attrs_.push_back(attr);
+    nbr_attr_.emplace_back();
+    out.affected.push_back(v);
+  }
+  out.vertices_added = n_staged - n;
+
+  for (const auto& [v, attr] : staged_attr) {
+    if (v >= n || attrs_[v] == attr) continue;  // new vertices handled above
+    Attribute old = attrs_[v];
+    for (VertexId w : adj_[v]) {
+      nbr_attr_[w][old]--;
+      nbr_attr_[w][attr]++;
+    }
+    attrs_[v] = attr;
+    out.attributes_changed++;
+    out.touched.push_back(v);
+  }
+
+  for (const auto& [e, delta] : edge_delta) {
+    if (delta == 0) continue;
+    if (delta > 0) {
+      SortedInsert(&adj_[e.u], e.v);
+      SortedInsert(&adj_[e.v], e.u);
+      nbr_attr_[e.u][attrs_[e.v]]++;
+      nbr_attr_[e.v][attrs_[e.u]]++;
+      ++num_edges_;
+      out.edges_added++;
+      out.added_edges.push_back(e);
+    } else {
+      SortedErase(&adj_[e.u], e.v);
+      SortedErase(&adj_[e.v], e.u);
+      nbr_attr_[e.u][attrs_[e.v]]--;
+      nbr_attr_[e.v][attrs_[e.u]]--;
+      --num_edges_;
+      out.edges_removed++;
+      out.touched.push_back(e.u);
+      out.touched.push_back(e.v);
+    }
+    out.affected.push_back(e.u);
+    out.affected.push_back(e.v);
+  }
+  out.affected.insert(out.affected.end(), out.touched.begin(),
+                      out.touched.end());
+
+  auto sort_unique = [](std::vector<VertexId>* v) {
+    std::sort(v->begin(), v->end());
+    v->erase(std::unique(v->begin(), v->end()), v->end());
+  };
+  sort_unique(&out.touched);
+  sort_unique(&out.affected);
+
+  for (VertexId v : out.affected) {
+    AttrCounts avail = nbr_attr_[v];
+    avail[attrs_[v]]++;
+    out.max_affected_min =
+        std::max<uint32_t>(out.max_affected_min,
+                           static_cast<uint32_t>(avail.Min()));
+    out.max_affected_total =
+        std::max<uint32_t>(out.max_affected_total,
+                           static_cast<uint32_t>(avail.Total()));
+  }
+
+  ++version_;
+  Rebuild();
+  out.version = version_;
+  out.fingerprint = fingerprint_;
+  if (summary != nullptr) *summary = std::move(out);
+  return Status::OK();
+}
+
+}  // namespace fairclique

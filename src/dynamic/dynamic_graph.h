@@ -1,0 +1,166 @@
+#ifndef FAIRCLIQUE_DYNAMIC_DYNAMIC_GRAPH_H_
+#define FAIRCLIQUE_DYNAMIC_DYNAMIC_GRAPH_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace fairclique {
+
+/// One mutation in an update batch. Batches use sequential semantics: each
+/// op is validated against the state produced by the ops before it, so
+/// "add edge, remove the same edge" is a legal (net no-op) batch while
+/// "add an edge that already exists" is not.
+enum class UpdateKind : uint8_t {
+  kAddVertex,     // appends vertex `num_vertices()` with attribute `attr`
+  kAddEdge,       // adds undirected edge {u, v}; must not already exist
+  kRemoveEdge,    // removes undirected edge {u, v}; must exist
+  kSetAttribute,  // sets attribute of vertex u to `attr` (no-op if unchanged)
+};
+
+struct UpdateOp {
+  UpdateKind kind = UpdateKind::kAddEdge;
+  VertexId u = 0;
+  VertexId v = 0;
+  Attribute attr = Attribute::kA;
+};
+
+inline UpdateOp AddVertexOp(Attribute attr) {
+  return {UpdateKind::kAddVertex, 0, 0, attr};
+}
+inline UpdateOp AddEdgeOp(VertexId u, VertexId v) {
+  return {UpdateKind::kAddEdge, u, v, Attribute::kA};
+}
+inline UpdateOp RemoveEdgeOp(VertexId u, VertexId v) {
+  return {UpdateKind::kRemoveEdge, u, v, Attribute::kA};
+}
+inline UpdateOp SetAttributeOp(VertexId v, Attribute attr) {
+  return {UpdateKind::kSetAttribute, v, 0, attr};
+}
+
+/// Affected-region summary of one applied batch, in *net* terms: an edge
+/// added and removed inside the same batch contributes to neither count.
+/// The service layer keys its cache-invalidation decisions off this:
+///
+///  - `insert_only()` batches cannot invalidate any existing clique, so a
+///    cached result survives as a lower bound (and `added_edges` is exactly
+///    the region where a larger clique could have appeared);
+///  - `touched` lists the only vertices whose cached cliques can have been
+///    *invalidated* (endpoints of net-removed edges, attribute flips);
+///  - `max_affected_min` / `max_affected_total` cap, via the incrementally
+///    maintained per-attribute neighbor counts, the size of any fair clique
+///    through the affected region on the NEW snapshot. When a cached clique
+///    already beats that cap, no update in this batch can have produced a
+///    better answer.
+struct UpdateSummary {
+  uint64_t version = 0;           // epoch after the batch
+  uint64_t base_fingerprint = 0;  // snapshot fingerprint before
+  uint64_t fingerprint = 0;       // snapshot fingerprint after
+
+  uint32_t vertices_added = 0;
+  uint32_t edges_added = 0;        // net
+  uint32_t edges_removed = 0;      // net
+  uint32_t attributes_changed = 0; // net (set to a different value)
+
+  /// Net-new undirected edges (u < v, sorted). Any clique of the new
+  /// snapshot that is not a clique of the old one contains one of these.
+  std::vector<Edge> added_edges;
+  /// Sorted distinct vertices that can invalidate a cached clique: endpoints
+  /// of net-removed edges plus attribute-changed vertices.
+  std::vector<VertexId> touched;
+  /// Sorted distinct vertices involved in any net change (touched +
+  /// added-edge endpoints + appended vertices).
+  std::vector<VertexId> affected;
+
+  /// Over all affected vertices v on the new snapshot, with
+  /// avail(v) = per-attribute neighbor counts of v plus v itself:
+  /// max of min(avail) and max of total(avail). Any fair clique through the
+  /// affected region has size <= min(max_affected_total,
+  /// 2 * max_affected_min + delta) for every delta (see
+  /// FairnessParams::BestFairSubsetSize). 0 when nothing changed.
+  uint32_t max_affected_min = 0;
+  uint32_t max_affected_total = 0;
+
+  /// Only edges (and possibly isolated vertices) were added.
+  bool insert_only() const {
+    return edges_removed == 0 && attributes_changed == 0;
+  }
+  /// Nothing that could enlarge the maximum fair clique happened.
+  bool removal_only() const {
+    return edges_added == 0 && attributes_changed == 0 && vertices_added == 0;
+  }
+};
+
+/// A mutable, versioned attributed graph built on top of an immutable
+/// AttributedGraph base. Updates arrive in batches; each successful Apply
+/// advances the epoch (monotonically increasing `version`) and materializes
+/// a fresh immutable snapshot, so readers always work on a frozen,
+/// normalized CSR graph while writers mutate the adjacency behind the lock.
+///
+/// Per-vertex degrees and per-attribute neighbor counts (the cheap colorful
+/// degree surrogate used by the reduction bounds) are maintained
+/// incrementally — O(deg) per edge op, O(deg) per attribute flip — rather
+/// than recomputed, and feed the UpdateSummary's affected-region caps.
+///
+/// Thread safety: Apply serializes on an internal mutex; snapshot() /
+/// version() may be called concurrently with Apply. Snapshots are immutable
+/// and shared, so queries running on an older epoch are never invalidated.
+class DynamicGraph {
+ public:
+  explicit DynamicGraph(const AttributedGraph& base);
+
+  /// Current epoch; 0 for a freshly wrapped base graph.
+  uint64_t version() const;
+
+  /// The current epoch's immutable snapshot (never null).
+  std::shared_ptr<const AttributedGraph> snapshot() const;
+
+  /// Fingerprint of the current snapshot (graph/fingerprint.h).
+  uint64_t fingerprint() const;
+
+  VertexId num_vertices() const;
+  EdgeId num_edges() const;
+
+  /// Incrementally maintained degree of v.
+  uint32_t degree(VertexId v) const;
+
+  /// Incrementally maintained per-attribute neighbor counts of v.
+  AttrCounts attr_neighbor_counts(VertexId v) const;
+
+  /// Validates and applies one batch atomically: on any invalid op the
+  /// whole batch is rejected with InvalidArgument("op #i: ...") and the
+  /// graph is unchanged. On success the epoch advances, a new snapshot is
+  /// materialized, and `summary` (when non-null) describes the net effect.
+  Status Apply(std::span<const UpdateOp> batch, UpdateSummary* summary = nullptr);
+
+  /// Convenience for literal batches: dyn.Apply({AddEdgeOp(0, 1)}).
+  Status Apply(std::initializer_list<UpdateOp> batch,
+               UpdateSummary* summary = nullptr) {
+    return Apply(std::span<const UpdateOp>(batch.begin(), batch.size()),
+                 summary);
+  }
+
+ private:
+  bool HasEdgeLocked(VertexId u, VertexId v) const;
+  void Rebuild();  // materializes snapshot_ + fingerprint_ from adj_/attrs_
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<VertexId>> adj_;  // sorted rows
+  std::vector<Attribute> attrs_;
+  std::vector<AttrCounts> nbr_attr_;  // per-attribute neighbor counts
+  EdgeId num_edges_ = 0;
+  uint64_t version_ = 0;
+  uint64_t fingerprint_ = 0;
+  std::shared_ptr<const AttributedGraph> snapshot_;
+};
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_DYNAMIC_DYNAMIC_GRAPH_H_

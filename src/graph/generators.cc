@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <set>
 
 #include "common/logging.h"
 
@@ -342,6 +343,27 @@ AttributedGraph SampleEdges(const AttributedGraph& g, double fraction,
     builder.AddEdge(edge.u, edge.v);
   }
   return builder.Build();
+}
+
+std::vector<Edge> SampleNonEdges(const AttributedGraph& g, size_t count,
+                                 Rng& rng) {
+  const VertexId n = g.num_vertices();
+  uint64_t pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
+  uint64_t non_edges = pairs > g.num_edges() ? pairs - g.num_edges() : 0;
+  if (count > non_edges) count = static_cast<size_t>(non_edges);
+
+  std::set<Edge> chosen;
+  std::vector<Edge> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    Edge e = u < v ? Edge{u, v} : Edge{v, u};
+    if (g.HasEdge(e.u, e.v) || !chosen.insert(e).second) continue;
+    out.push_back(e);
+  }
+  return out;
 }
 
 }  // namespace fairclique

@@ -85,6 +85,13 @@ AttributedGraph SampleVertices(const AttributedGraph& g, double fraction,
 AttributedGraph SampleEdges(const AttributedGraph& g, double fraction,
                             Rng& rng);
 
+/// Uniformly samples `count` distinct non-edges of g (normalized u < v, no
+/// particular order). Rejection-sampled, so intended for sparse graphs;
+/// `count` is capped at the number of non-edges. Used to drive dynamic-graph
+/// update streams in benchmarks and tests.
+std::vector<Edge> SampleNonEdges(const AttributedGraph& g, size_t count,
+                                 Rng& rng);
+
 }  // namespace fairclique
 
 #endif  // FAIRCLIQUE_GRAPH_GENERATORS_H_

@@ -26,6 +26,19 @@ GraphFormat SniffFormat(const std::string& path) {
 
 }  // namespace
 
+void GraphRegistry::AttachCache(ResultCache* cache) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_ = cache;
+}
+
+bool GraphRegistry::FingerprintReferencedLocked(
+    uint64_t fingerprint, const std::string& except) const {
+  for (const auto& [name, entry] : graphs_) {
+    if (name != except && entry->fingerprint == fingerprint) return true;
+  }
+  return false;
+}
+
 Status GraphRegistry::Load(const std::string& name, const std::string& path,
                            const std::string& attribute_path,
                            GraphFormat format) {
@@ -77,9 +90,88 @@ std::shared_ptr<const RegisteredGraph> GraphRegistry::Get(
   return it == graphs_.end() ? nullptr : it->second;
 }
 
+Status GraphRegistry::Replace(const std::string& name,
+                              std::shared_ptr<const AttributedGraph> snapshot,
+                              uint64_t version, const UpdateSummary* summary,
+                              ReplaceReport* report) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("Replace: snapshot must not be null");
+  }
+  // Fingerprint the snapshot we were actually given rather than trusting
+  // summary->fingerprint: if a racing Apply advanced the DynamicGraph
+  // between the caller's Apply and this Replace, snapshot and summary
+  // describe different epochs, and registering the summary's fingerprint
+  // would key cache entries to the wrong content.
+  const uint64_t new_fp = GraphFingerprint(*snapshot);
+  auto entry = std::make_shared<RegisteredGraph>();
+  entry->name = name;
+  entry->fingerprint = new_fp;
+  entry->graph = snapshot;
+  entry->version = version;
+
+  uint64_t old_fp = 0;
+  bool old_referenced = false;
+  ResultCache* cache = nullptr;
+  std::lock_guard<std::mutex> swap_lock(swap_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = graphs_.find(name);
+    if (it == graphs_.end()) {
+      return Status::NotFound("graph '" + name + "' is not registered");
+    }
+    if (version <= it->second->version) {
+      return Status::InvalidArgument(
+          "Replace: version " + std::to_string(version) +
+          " does not advance past " + std::to_string(it->second->version));
+    }
+    entry->source = it->second->source;
+    old_fp = it->second->fingerprint;
+    it->second = std::move(entry);
+    old_referenced = FingerprintReferencedLocked(old_fp, name);
+    cache = cache_;
+  }
+
+  ReplaceReport out;
+  out.old_fingerprint = old_fp;
+  out.new_fingerprint = new_fp;
+  out.version = version;
+  if (cache != nullptr && old_fp != new_fp) {
+    // Only migrate with a summary that describes exactly this transition:
+    // old registered content -> this snapshot. Anything else (several
+    // Apply batches collapsed into one Replace, a summary from a racing
+    // later epoch) would republish stale results as exact, so fall back to
+    // plain invalidation.
+    if (summary != nullptr && summary->base_fingerprint == old_fp &&
+        summary->fingerprint == new_fp) {
+      out.cache = cache->OnSnapshotReplace(old_fp, new_fp, *snapshot, *summary,
+                                           /*keep_old_entries=*/old_referenced);
+    } else if (!old_referenced) {
+      out.cache.invalidated = cache->InvalidateFingerprint(old_fp);
+    }
+  }
+  if (report != nullptr) *report = std::move(out);
+  return Status::OK();
+}
+
 bool GraphRegistry::Evict(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return graphs_.erase(name) > 0;
+  uint64_t fingerprint = 0;
+  ResultCache* cache = nullptr;
+  std::lock_guard<std::mutex> swap_lock(swap_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = graphs_.find(name);
+    if (it == graphs_.end()) return false;
+    fingerprint = it->second->fingerprint;
+    graphs_.erase(it);
+    if (cache_ != nullptr &&
+        !FingerprintReferencedLocked(fingerprint, name)) {
+      cache = cache_;
+    }
+  }
+  // Outside mu_: the cache has its own lock, and dropping the orphaned
+  // entries is not required to be atomic with the map erase.
+  if (cache != nullptr) cache->InvalidateFingerprint(fingerprint);
+  return true;
 }
 
 std::vector<std::shared_ptr<const RegisteredGraph>> GraphRegistry::List()

@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "dynamic/dynamic_graph.h"
 #include "graph/graph.h"
+#include "service/result_cache.h"
 
 namespace fairclique {
 
@@ -31,17 +33,38 @@ struct RegisteredGraph {
   /// not the name, so re-registering identical content under another name
   /// still hits the cache.
   uint64_t fingerprint = 0;
+  /// Dynamic-graph epoch of this snapshot; 0 for freshly loaded graphs,
+  /// advanced by Replace. Strictly increasing per name.
+  uint64_t version = 0;
   /// Where the graph came from (file path or "<inline>").
   std::string source;
+};
+
+/// How Replace handled the attached result cache.
+struct ReplaceReport {
+  uint64_t old_fingerprint = 0;
+  uint64_t new_fingerprint = 0;
+  uint64_t version = 0;
+  MigrationOutcome cache;  // zeros when no cache is attached
 };
 
 /// Thread-safe name -> graph map for the query service: each graph is loaded
 /// and normalized once, then shared (read-only) across all concurrent
 /// queries. Names are unique; re-loading a live name is an error so a
 /// client cannot silently swap the graph under another client's feet —
-/// evict first, then load.
+/// evict first, then load, or advance the same logical graph atomically
+/// with Replace.
+///
+/// With AttachCache the registry keeps the result cache honest: Evict drops
+/// cached results whose fingerprint no longer backs any registered name,
+/// and Replace migrates them to the new epoch's fingerprint (republish /
+/// warm hint / invalidate — see ResultCache::OnSnapshotReplace).
 class GraphRegistry {
  public:
+  /// Attaches the service's result cache (not owned; may be null to
+  /// detach). Callers wire the same cache into their QueryExecutor.
+  void AttachCache(ResultCache* cache);
+
   /// Loads a graph file and registers it under `name`. For kEdgeList an
   /// optional attribute file ("v attr" lines) may be given; binary FCG1
   /// files carry their attributes inline. Fails with InvalidArgument when
@@ -54,12 +77,31 @@ class GraphRegistry {
   Status Add(const std::string& name, AttributedGraph graph,
              const std::string& source = "<inline>");
 
+  /// Atomically advances `name` to a new epoch snapshot without the
+  /// evict-then-load race: queries in flight keep the old snapshot, queries
+  /// admitted after Replace see the new one. `version` must be greater than
+  /// the current entry's version (NotFound when the name is absent,
+  /// InvalidArgument on a non-advancing version). When a cache is attached,
+  /// cached results for the old fingerprint are migrated per `summary`
+  /// (null summary = plain invalidation). The snapshot is fingerprinted
+  /// here rather than trusted from the summary; a summary that does not
+  /// describe exactly the (current entry -> snapshot) transition — several
+  /// Apply batches collapsed into one Replace, or a racing Apply advancing
+  /// the DynamicGraph between the caller's Apply and Replace — falls back
+  /// to plain invalidation rather than migrating incorrectly.
+  Status Replace(const std::string& name,
+                 std::shared_ptr<const AttributedGraph> snapshot,
+                 uint64_t version, const UpdateSummary* summary = nullptr,
+                 ReplaceReport* report = nullptr);
+
   /// The entry for `name`, or nullptr when absent.
   std::shared_ptr<const RegisteredGraph> Get(const std::string& name) const;
 
   /// Removes `name`; returns false when it was not registered. In-flight
   /// queries keep their shared_ptr; memory is reclaimed when the last
-  /// reference drops.
+  /// reference drops. When a cache is attached and no other registered
+  /// name shares the evicted graph's fingerprint, its cached results are
+  /// dropped immediately instead of lingering until LRU pressure.
   bool Evict(const std::string& name);
 
   /// All entries, sorted by name.
@@ -68,8 +110,19 @@ class GraphRegistry {
   size_t size() const;
 
  private:
+  /// True when any registered entry (excluding `except`) has `fingerprint`.
+  bool FingerprintReferencedLocked(uint64_t fingerprint,
+                                   const std::string& except) const;
+
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const RegisteredGraph>> graphs_;
+  ResultCache* cache_ = nullptr;  // not owned; may be null
+  /// Serializes (map swap, cache migration) pairs end to end: without it
+  /// two concurrent Replace calls could run their cache migrations in the
+  /// opposite order of their map swaps, stranding entries under a stale
+  /// fingerprint. Acquired before mu_ by Replace/Evict; Get/List/Add take
+  /// only mu_, so reads never wait on a migration.
+  std::mutex swap_mu_;
 };
 
 }  // namespace fairclique

@@ -1,9 +1,21 @@
 #include "service/query_executor.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
+#include "dynamic/incremental_search.h"
+
 namespace fairclique {
+
+namespace {
+
+/// Above this many outstanding added edges, the per-edge neighborhood
+/// searches of IncrementalRequery approach full-search cost; fall back to a
+/// warm-started full search instead.
+constexpr size_t kMaxIncrementalEdges = 256;
+
+}  // namespace
 
 QueryExecutor::QueryExecutor(const ExecutorOptions& options, ResultCache* cache)
     : options_(options), cache_(cache) {
@@ -77,17 +89,51 @@ QueryResponse QueryExecutor::Run(const QueryRequest& request) {
             : request.deadline_seconds;
   }
 
+  // Warm hint: a cached clique that survived graph updates. exact_chain
+  // hints with few outstanding edges answer exactly via the incremental
+  // re-query; everything else still seeds the incumbent for a full search.
+  std::optional<WarmHint> hint;
+  if (use_cache) hint = cache_->TakeHint(key);
+  if (hint.has_value() && hint->exact_chain &&
+      hint->new_edges.size() <= kMaxIncrementalEdges) {
+    auto result = std::make_shared<SearchResult>(IncrementalRequery(
+        *request.graph->graph, hint->new_edges, hint->clique, effective));
+    response.deadline_missed = !result->stats.completed;
+    if (response.deadline_missed) {
+      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      // Give the (one-shot) hint back: this query's budget was too tight,
+      // but the exact chain is still valid for the next one.
+      cache_->PutHint(key, std::move(*hint));
+    } else {
+      cache_->Put(key, result, request.options.params);
+    }
+    response.result = std::move(result);
+    response.incremental = true;
+    response.run_micros = run_timer.ElapsedMicros();
+    served_.fetch_add(1, std::memory_order_relaxed);
+    incremental_requeries_.fetch_add(1, std::memory_order_relaxed);
+    return response;
+  }
+  if (hint.has_value() && !hint->clique.vertices.empty()) {
+    effective.warm_start = hint->clique.vertices;
+    response.warm_start = true;
+    warm_starts_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   auto result = std::make_shared<SearchResult>(
       FindMaximumFairClique(*request.graph->graph, effective));
   response.deadline_missed = !result->stats.completed;
   if (response.deadline_missed) {
     deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+    // As on the incremental path: a hint consumed by a query whose budget
+    // was too tight goes back for the next query.
+    if (hint.has_value()) cache_->PutHint(key, std::move(*hint));
   } else if (use_cache) {
     // Only completed searches are cached: a truncated result under a tight
     // deadline must not be replayed to a later query with a looser one.
     // The key is the *request's* options, so repeat queries hit even when a
     // deadline tightened the effective limit (completion makes them equal).
-    cache_->Put(key, result);
+    cache_->Put(key, result, request.options.params);
   }
   response.result = std::move(result);
   response.run_micros = run_timer.ElapsedMicros();
@@ -147,6 +193,9 @@ ExecutorMetrics QueryExecutor::metrics() const {
   m.rejected = rejected_.load(std::memory_order_relaxed);
   m.served = served_.load(std::memory_order_relaxed);
   m.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  m.incremental_requeries =
+      incremental_requeries_.load(std::memory_order_relaxed);
+  m.warm_starts = warm_starts_.load(std::memory_order_relaxed);
   m.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   m.queue_depth = queue_.size();

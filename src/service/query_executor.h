@@ -52,6 +52,12 @@ struct QueryResponse {
   Status status;  // non-OK: rejected (queue full / shutdown / bad request)
   std::shared_ptr<const SearchResult> result;  // null when status is non-OK
   bool cache_hit = false;
+  /// Served by IncrementalRequery over a surviving cached clique plus the
+  /// edges added since — exact, without a full search.
+  bool incremental = false;
+  /// A surviving cached clique primed SearchOptions::warm_start for a full
+  /// search (attribute changes downgraded it below incremental exactness).
+  bool warm_start = false;
   bool deadline_missed = false;  // search stopped by a safety valve
   int64_t queue_micros = 0;      // time spent waiting for a worker
   int64_t run_micros = 0;        // cache lookup + search time
@@ -65,6 +71,8 @@ struct ExecutorMetrics {
   uint64_t rejected = 0;
   uint64_t served = 0;
   uint64_t cache_hits = 0;
+  uint64_t incremental_requeries = 0;  // exact re-queries from warm hints
+  uint64_t warm_starts = 0;            // full searches seeded by a warm hint
   uint64_t deadline_misses = 0;
   size_t queue_depth = 0;       // point-in-time
   size_t peak_queue_depth = 0;  // high-water mark
@@ -136,6 +144,8 @@ class QueryExecutor {
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> served_{0};
   std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> incremental_requeries_{0};
+  std::atomic<uint64_t> warm_starts_{0};
   std::atomic<uint64_t> deadline_misses_{0};
 };
 

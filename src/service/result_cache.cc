@@ -1,9 +1,28 @@
 #include "service/result_cache.h"
 
+#include <algorithm>
+
 #include "core/options_key.h"
+#include "core/verifier.h"
 #include "graph/fingerprint.h"
 
 namespace fairclique {
+
+namespace {
+
+/// True when the sorted vertex sets intersect.
+bool Intersects(const std::vector<VertexId>& sorted_a,
+                const std::vector<VertexId>& sorted_b) {
+  size_t i = 0, j = 0;
+  while (i < sorted_a.size() && j < sorted_b.size()) {
+    if (sorted_a[i] < sorted_b[j]) ++i;
+    else if (sorted_a[i] > sorted_b[j]) ++j;
+    else return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {}
 
@@ -21,16 +40,27 @@ std::shared_ptr<const SearchResult> ResultCache::Get(const std::string& key) {
   }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-  return it->second->second;
+  return it->second->second.result;
 }
 
 void ResultCache::Put(const std::string& key,
-                      std::shared_ptr<const SearchResult> result) {
+                      std::shared_ptr<const SearchResult> result,
+                      std::optional<FairnessParams> params) {
   if (capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
+  PutLocked(key, CacheEntry{std::move(result), params});
+  // A fresh exact answer supersedes any warm hint for the same key.
+  auto hint = hints_.find(key);
+  if (hint != hints_.end()) {
+    hints_.erase(hint);
+    hint_order_.remove(key);
+  }
+}
+
+void ResultCache::PutLocked(const std::string& key, CacheEntry entry) {
   auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = std::move(result);
+    it->second->second = std::move(entry);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
@@ -39,16 +69,227 @@ void ResultCache::Put(const std::string& key,
     lru_.pop_back();
     ++evictions_;
   }
-  lru_.emplace_front(key, std::move(result));
+  lru_.emplace_front(key, std::move(entry));
   index_[key] = lru_.begin();
   ++insertions_;
+}
+
+void ResultCache::PutHint(const std::string& key, WarmHint hint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PutHintLocked(key, std::move(hint));
+}
+
+void ResultCache::PutHintLocked(const std::string& key, WarmHint hint) {
+  if (capacity_ == 0) return;
+  // An exact entry always beats a hint (Get is probed before TakeHint), so
+  // publishing one would only waste a hint slot. This also closes a race:
+  // a deadline-missed query putting its consumed hint back after a
+  // concurrent query for the same key already completed and cached the
+  // exact answer.
+  if (index_.count(key) > 0) return;
+  auto it = hints_.find(key);
+  if (it != hints_.end()) {
+    it->second = std::move(hint);
+    return;
+  }
+  while (hints_.size() >= capacity_ && !hint_order_.empty()) {
+    hints_.erase(hint_order_.front());
+    hint_order_.pop_front();
+    ++evictions_;
+  }
+  hint_order_.push_back(key);
+  hints_.emplace(key, std::move(hint));
+}
+
+std::optional<WarmHint> ResultCache::TakeHint(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hints_.find(key);
+  if (it == hints_.end()) return std::nullopt;
+  WarmHint hint = std::move(it->second);
+  hints_.erase(it);
+  hint_order_.remove(key);
+  ++hint_hits_;
+  return hint;
+}
+
+size_t ResultCache::InvalidateFingerprint(uint64_t fingerprint) {
+  const std::string prefix = FingerprintHex(fingerprint) + "|";
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      index_.erase(it->first);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = hints_.begin(); it != hints_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      hint_order_.remove(it->first);
+      it = hints_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  invalidated_ += dropped;
+  return dropped;
+}
+
+bool ResultCache::MigrateCliqueLocked(
+    const std::string& new_key, const CliqueResult& q,
+    const FairnessParams& params, std::vector<Edge> prior_edges,
+    bool prior_exact, std::shared_ptr<const SearchResult> exact_result,
+    const AttributedGraph& snapshot, const UpdateSummary& summary,
+    MigrationOutcome* outcome) {
+  // Rule 1: a removed edge endpoint or attribute flip inside the clique, or
+  // a failed re-verification, invalidates it. (Clique vertices are stored
+  // sorted; summary.touched is sorted.)
+  if (Intersects(q.vertices, summary.touched) ||
+      (!q.vertices.empty() &&
+       !VerifyFairClique(snapshot, q.vertices, params).ok())) {
+    ++outcome->invalidated;
+    ++invalidated_;
+    return false;
+  }
+
+  // Rule 2: an attribute flip elsewhere can enlarge the maximum without new
+  // edges, so the clique survives only as a warm lower bound. (An empty
+  // cached answer carries no information then — drop it.)
+  if (summary.attributes_changed > 0) {
+    if (q.vertices.empty()) {
+      ++outcome->invalidated;
+      ++invalidated_;
+      return false;
+    }
+    PutHintLocked(new_key, WarmHint{q, params, {}, /*exact_chain=*/false});
+    ++outcome->hints;
+    ++hints_published_;
+    return true;
+  }
+
+  // No attribute flips: any clique of the new snapshot that beats q must
+  // contain a net-added edge still present (cliques avoiding all of them
+  // are cliques of the base epoch, hence <= |q|). Accumulate those edges.
+  for (const Edge& e : summary.added_edges) prior_edges.push_back(e);
+  prior_edges.erase(
+      std::remove_if(prior_edges.begin(), prior_edges.end(),
+                     [&snapshot](const Edge& e) {
+                       return e.u >= snapshot.num_vertices() ||
+                              e.v >= snapshot.num_vertices() ||
+                              !snapshot.HasEdge(e.u, e.v);
+                     }),
+      prior_edges.end());
+  std::sort(prior_edges.begin(), prior_edges.end());
+  prior_edges.erase(std::unique(prior_edges.begin(), prior_edges.end()),
+                    prior_edges.end());
+
+  // Rule 3: exactness preserved outright — no added edges outstanding, or
+  // (for entries that were exact before this batch) the affected-region cap
+  // from the incrementally maintained attribute-degrees cannot beat |q|.
+  bool still_exact = prior_exact && prior_edges.empty();
+  if (prior_exact && !still_exact && exact_result != nullptr &&
+      prior_edges.size() == summary.added_edges.size()) {
+    int64_t cap = std::min<int64_t>(
+        summary.max_affected_total,
+        2 * static_cast<int64_t>(summary.max_affected_min) + params.delta);
+    still_exact = cap <= static_cast<int64_t>(q.vertices.size());
+  }
+  if (still_exact) {
+    if (exact_result != nullptr) {
+      PutLocked(new_key, CacheEntry{std::move(exact_result), params});
+      ++outcome->republished;
+      ++republished_;
+    } else {
+      // Hint chains drop the original SearchResult; keep an exact_chain
+      // hint with no outstanding edges — the consumer serves it verbatim.
+      PutHintLocked(new_key,
+                    WarmHint{q, params, {}, /*exact_chain=*/true});
+      ++outcome->hints;
+      ++hints_published_;
+    }
+    return true;
+  }
+
+  // Rule 4: survives as a lower bound; exact_chain enables the incremental
+  // re-query over the outstanding added edges.
+  PutHintLocked(new_key, WarmHint{q, params, std::move(prior_edges),
+                                  /*exact_chain=*/prior_exact});
+  ++outcome->hints;
+  ++hints_published_;
+  return true;
+}
+
+MigrationOutcome ResultCache::OnSnapshotReplace(uint64_t old_fp,
+                                                uint64_t new_fp,
+                                                const AttributedGraph& snapshot,
+                                                const UpdateSummary& summary,
+                                                bool keep_old_entries) {
+  MigrationOutcome outcome;
+  if (old_fp == new_fp) return outcome;
+  const std::string old_prefix = FingerprintHex(old_fp) + "|";
+  const std::string new_prefix = FingerprintHex(new_fp) + "|";
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Exact entries. Collect first: PutLocked mutates lru_/index_.
+  std::vector<std::pair<std::string, CacheEntry>> exact;
+  for (const auto& [key, entry] : lru_) {
+    if (key.compare(0, old_prefix.size(), old_prefix) == 0) {
+      exact.emplace_back(key.substr(old_prefix.size()), entry);
+    }
+  }
+  if (!keep_old_entries) {
+    for (const auto& [opts_part, entry] : exact) {
+      auto it = index_.find(old_prefix + opts_part);
+      if (it != index_.end()) {
+        lru_.erase(it->second);
+        index_.erase(it);
+      }
+    }
+  }
+  for (auto& [opts_part, entry] : exact) {
+    if (!entry.params.has_value()) {
+      // Stored without fairness params: no migration rule is provable.
+      ++outcome.invalidated;
+      ++invalidated_;
+      continue;
+    }
+    MigrateCliqueLocked(new_prefix + opts_part, entry.result->clique,
+                        *entry.params, {}, /*prior_exact=*/true, entry.result,
+                        snapshot, summary, &outcome);
+  }
+
+  // Warm hints from earlier epochs that were never consumed.
+  std::vector<std::pair<std::string, WarmHint>> old_hints;
+  for (const auto& [key, hint] : hints_) {
+    if (key.compare(0, old_prefix.size(), old_prefix) == 0) {
+      old_hints.emplace_back(key.substr(old_prefix.size()), hint);
+    }
+  }
+  if (!keep_old_entries) {
+    for (const auto& [opts_part, hint] : old_hints) {
+      hints_.erase(old_prefix + opts_part);
+      hint_order_.remove(old_prefix + opts_part);
+    }
+  }
+  for (auto& [opts_part, hint] : old_hints) {
+    MigrateCliqueLocked(new_prefix + opts_part, hint.clique, hint.params,
+                        std::move(hint.new_edges), hint.exact_chain, nullptr,
+                        snapshot, summary, &outcome);
+  }
+  return outcome;
 }
 
 void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  hints_.clear();
+  hint_order_.clear();
   hits_ = misses_ = insertions_ = evictions_ = 0;
+  invalidated_ = republished_ = hints_published_ = hint_hits_ = 0;
 }
 
 ResultCacheStats ResultCache::Stats() const {
@@ -58,7 +299,12 @@ ResultCacheStats ResultCache::Stats() const {
   stats.misses = misses_;
   stats.insertions = insertions_;
   stats.evictions = evictions_;
+  stats.invalidated = invalidated_;
+  stats.republished = republished_;
+  stats.hints_published = hints_published_;
+  stats.hint_hits = hint_hits_;
   stats.entries = lru_.size();
+  stats.hint_entries = hints_.size();
   stats.capacity = capacity_;
   return stats;
 }

@@ -444,5 +444,62 @@ TEST(ServiceStressTest, ConcurrentClientsMatchSequentialAnswers) {
   EXPECT_LE(cache.Stats().entries, 8u);
 }
 
+TEST(RegistryCacheTest, EvictDropsOrphanedCacheEntries) {
+  // Regression: Evict used to leave the evicted graph's cached results in
+  // the ResultCache until LRU pressure pushed them out. With an attached
+  // cache they must be dropped as soon as no registered name references the
+  // fingerprint.
+  GraphRegistry registry;
+  ResultCache cache(16);
+  registry.AttachCache(&cache);
+  QueryExecutor executor(ExecutorOptions{1, 8}, &cache);
+
+  AttributedGraph g = RandomAttributedGraph(30, 0.3, 77);
+  ASSERT_TRUE(registry.Add("g", g).ok());
+  QueryRequest request;
+  request.graph = registry.Get("g");
+  request.options = FullOptions(2, 1, ExtraBound::kColorfulPath);
+  ASSERT_TRUE(executor.Run(request).status.ok());
+  EXPECT_EQ(cache.Stats().entries, 1u);
+
+  ASSERT_TRUE(registry.Evict("g"));
+  ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.invalidated, 1u);
+
+  // Re-registering the same content must now miss (cold) again.
+  ASSERT_TRUE(registry.Add("g2", g).ok());
+  request.graph = registry.Get("g2");
+  QueryResponse response = executor.Run(request);
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_FALSE(response.cache_hit);
+}
+
+TEST(RegistryCacheTest, EvictKeepsEntriesSharedByAnotherName) {
+  GraphRegistry registry;
+  ResultCache cache(16);
+  registry.AttachCache(&cache);
+  QueryExecutor executor(ExecutorOptions{1, 8}, &cache);
+
+  AttributedGraph g = RandomAttributedGraph(30, 0.3, 78);
+  ASSERT_TRUE(registry.Add("one", g).ok());
+  ASSERT_TRUE(registry.Add("two", g).ok());  // same content, same fingerprint
+
+  QueryRequest request;
+  request.graph = registry.Get("one");
+  request.options = FullOptions(2, 1, ExtraBound::kColorfulPath);
+  ASSERT_TRUE(executor.Run(request).status.ok());
+
+  // "two" still serves this fingerprint: the entry must survive the evict.
+  ASSERT_TRUE(registry.Evict("one"));
+  EXPECT_EQ(cache.Stats().entries, 1u);
+  request.graph = registry.Get("two");
+  EXPECT_TRUE(executor.Run(request).cache_hit);
+
+  // Evicting the last reference drops it.
+  ASSERT_TRUE(registry.Evict("two"));
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
 }  // namespace
 }  // namespace fairclique

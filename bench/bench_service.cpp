@@ -1,11 +1,18 @@
 // bench_service: throughput of the concurrent query service (src/service)
 // on a dataset graph, cold (every query searches) vs. cached (repeat
-// queries hit the LRU), at 1/4/8 executor workers.
+// queries hit the LRU), at 1/4/8 executor workers — plus the staged-plan
+// win: a delta/bound sweep on one (graph, k) through the PreparedGraphCache
+// reduces once instead of per query.
 //
 // Also differentially checks the service against the library: every
 // response size must equal the sequential FindMaximumFairClique answer for
-// the same options. Exits non-zero when sizes mismatch or the cached
-// speedup falls below 10x, so CI can assert the serving win.
+// the same options. Exits non-zero when sizes mismatch, when the
+// result-cached speedup falls below 10x, or when the prepared-plan
+// delta-sweep speedup falls below 3x, so CI can assert both serving wins.
+//
+// Emits BENCH_service.json with throughput plus p50/p95/p99/mean latency
+// for the three serving tiers: cold (reduce + branch), prepared-cache hit
+// (branch only), result-cache hit (lookup only).
 //
 // Env: FAIRCLIQUE_BENCH_SCALE (dataset scale), FAIRCLIQUE_BENCH_TIMEOUT
 // (per-search budget, default 5 s).
@@ -22,14 +29,18 @@
 #include "core/max_fair_clique.h"
 #include "datasets/datasets.h"
 #include "service/graph_registry.h"
+#include "service/prepared_graph_cache.h"
 #include "service/query_executor.h"
 #include "service/result_cache.h"
 
 namespace fairclique {
 namespace {
 
+using bench::AppendLatencyMetrics;
 using bench::BenchScale;
 using bench::BenchTimeout;
+using bench::ComputePercentiles;
+using bench::LatencyPercentiles;
 
 struct QuerySpec {
   std::string label;
@@ -51,13 +62,34 @@ std::vector<QuerySpec> QueryMix() {
   return mix;
 }
 
-/// Submits `rounds` copies of the mix and returns queries/second.
+/// The delta-sweep workload: >= 8 distinct delta/bound option sets on one
+/// (graph, k), so every query shares a single PreparedGraph. Same shape as
+/// a user exploring the fairness/size trade-off on a fixed population.
+std::vector<QuerySpec> DeltaSweepMix() {
+  std::vector<QuerySpec> mix;
+  auto add = [&mix](std::string label, SearchOptions options) {
+    options.time_limit_seconds = BenchTimeout();
+    mix.push_back({std::move(label), options});
+  };
+  for (int delta = 0; delta <= 4; ++delta) {
+    add("bounded k=3 d=" + std::to_string(delta) + " cp",
+        BoundedOptions(3, delta, ExtraBound::kColorfulPath));
+  }
+  add("bounded k=3 d=2 cd", BoundedOptions(3, 2, ExtraBound::kColorfulDegeneracy));
+  add("baseline k=3 d=3", BaselineOptions(3, 3));
+  add("full k=3 d=1 cp", FullOptions(3, 1, ExtraBound::kColorfulPath));
+  return mix;
+}
+
+/// Submits `rounds` copies of the mix and returns queries/second; appends
+/// each response's run_micros to `latencies_us` when non-null.
 double RunRounds(QueryExecutor& executor,
                  const std::shared_ptr<const RegisteredGraph>& graph,
                  const std::vector<QuerySpec>& mix, int rounds,
                  bool bypass_cache,
                  const std::vector<size_t>& expected_sizes,
-                 bool* sizes_match) {
+                 bool* sizes_match,
+                 std::vector<double>* latencies_us = nullptr) {
   std::vector<std::future<QueryResponse>> futures;
   futures.reserve(mix.size() * static_cast<size_t>(rounds));
   WallTimer timer;
@@ -78,9 +110,48 @@ double RunRounds(QueryExecutor& executor,
         response.result->clique.size() != expected) {
       *sizes_match = false;
     }
+    // The latency collector feeds the "result-cache-hit" tier: guard on
+    // cache_hit so a stray miss (eviction, race) cannot put a
+    // millisecond-scale full search into a microsecond-scale tail.
+    if (latencies_us != nullptr && response.status.ok() &&
+        response.cache_hit) {
+      latencies_us->push_back(static_cast<double>(response.run_micros));
+    }
   }
   double seconds = timer.ElapsedSeconds();
   return seconds > 0 ? static_cast<double>(futures.size()) / seconds : 0.0;
+}
+
+/// Runs the sweep synchronously (one executor.Run per spec), verifying each
+/// answer against `expected_sizes`; returns total micros and collects
+/// per-query latencies. With `hit_latencies_only` the query that cold-built
+/// the plan stays out of the sample: it is a build, and one build among 8
+/// samples would otherwise BE the reported p95/p99 of the "hit" tier.
+int64_t RunSweep(QueryExecutor& executor,
+                 const std::shared_ptr<const RegisteredGraph>& graph,
+                 const std::vector<QuerySpec>& mix, bool fully_cold,
+                 const std::vector<size_t>& expected_sizes, bool* sizes_match,
+                 std::vector<double>* latencies_us, bool hit_latencies_only,
+                 size_t* prepared_hits) {
+  WallTimer timer;
+  for (size_t i = 0; i < mix.size(); ++i) {
+    QueryRequest request;
+    request.graph = graph;
+    request.options = mix[i].options;
+    request.bypass_cache = true;  // measure the Branch stage, not the LRU
+    request.bypass_prepared_cache = fully_cold;
+    QueryResponse response = executor.Run(request);
+    if (!response.status.ok() || response.result == nullptr ||
+        response.result->clique.size() != expected_sizes[i]) {
+      *sizes_match = false;
+    }
+    if (latencies_us != nullptr && response.status.ok() &&
+        (!hit_latencies_only || response.prepared_hit)) {
+      latencies_us->push_back(static_cast<double>(response.run_micros));
+    }
+    if (prepared_hits != nullptr && response.prepared_hit) ++*prepared_hits;
+  }
+  return timer.ElapsedMicros();
 }
 
 }  // namespace
@@ -120,6 +191,7 @@ int main() {
   bool sizes_match = true;
   bool speedup_ok = false;
   std::vector<std::pair<std::string, double>> json_metrics;
+  std::vector<double> result_hit_latencies;
 
   std::printf("\n%8s %14s %14s %10s\n", "workers", "cold q/s", "cached q/s",
               "speedup");
@@ -134,7 +206,7 @@ int main() {
               &sizes_match);
     double warm_qps = RunRounds(executor, graph, mix, kWarmRounds,
                                 /*bypass_cache=*/false, expected_sizes,
-                                &sizes_match);
+                                &sizes_match, &result_hit_latencies);
     double speedup = cold_qps > 0 ? warm_qps / cold_qps : 0.0;
     if (speedup >= 10.0) speedup_ok = true;
     std::printf("%8d %14.1f %14.1f %9.1fx\n", workers, cold_qps, warm_qps,
@@ -152,9 +224,76 @@ int main() {
                 m.peak_queue_depth);
   }
 
+  // ------------------------------------------------------------ delta sweep
+  // Same graph and k, 8 distinct delta/bound option sets. Cold pays the
+  // reduction pipeline per query; through the PreparedGraphCache the sweep
+  // reduces once and every query branches on the shared plan.
+  std::vector<QuerySpec> sweep = DeltaSweepMix();
+  std::vector<size_t> sweep_expected;
+  for (const QuerySpec& spec : sweep) {
+    sweep_expected.push_back(
+        FindMaximumFairClique(*graph->graph, spec.options).clique.size());
+  }
+
+  std::vector<double> cold_latencies;
+  std::vector<double> prepared_latencies;
+  size_t prepared_hits = 0;
+  PreparedGraphCache prepared_cache(8);
+  QueryExecutor sweep_executor(ExecutorOptions{1, 64}, nullptr,
+                               &prepared_cache);
+  int64_t cold_micros =
+      RunSweep(sweep_executor, graph, sweep, /*fully_cold=*/true,
+               sweep_expected, &sizes_match, &cold_latencies,
+               /*hit_latencies_only=*/false, nullptr);
+  int64_t prepared_micros =
+      RunSweep(sweep_executor, graph, sweep, /*fully_cold=*/false,
+               sweep_expected, &sizes_match, &prepared_latencies,
+               /*hit_latencies_only=*/true, &prepared_hits);
+  double sweep_speedup =
+      prepared_micros > 0
+          ? static_cast<double>(cold_micros) / static_cast<double>(prepared_micros)
+          : 0.0;
+  // The first prepared-mode query builds and publishes the plan; the other
+  // |sweep|-1 must hit it.
+  bool prepared_hits_ok = prepared_hits >= sweep.size() - 1;
+  bool sweep_ok = sweep_speedup >= 3.0;
+
+  std::printf("\ndelta sweep (%zu option sets, same graph and k):\n",
+              sweep.size());
+  std::printf("  cold (reduce per query):   %8.1f ms total\n",
+              static_cast<double>(cold_micros) / 1000.0);
+  std::printf("  prepared-cache (1 reduce): %8.1f ms total (%zu plan hits)\n",
+              static_cast<double>(prepared_micros) / 1000.0, prepared_hits);
+  std::printf("  sweep speedup: %.1fx (>= 3x required)\n", sweep_speedup);
+
+  LatencyPercentiles cold_p = ComputePercentiles(cold_latencies);
+  LatencyPercentiles prep_p = ComputePercentiles(prepared_latencies);
+  LatencyPercentiles hit_p = ComputePercentiles(result_hit_latencies);
+  std::printf("\nlatency (us)        %10s %10s %10s %10s\n", "p50", "p95",
+              "p99", "mean");
+  std::printf("  cold              %10.0f %10.0f %10.0f %10.0f\n", cold_p.p50,
+              cold_p.p95, cold_p.p99, cold_p.mean);
+  std::printf("  prepared-hit      %10.0f %10.0f %10.0f %10.0f\n", prep_p.p50,
+              prep_p.p95, prep_p.p99, prep_p.mean);
+  std::printf("  result-cache-hit  %10.0f %10.0f %10.0f %10.0f\n", hit_p.p50,
+              hit_p.p95, hit_p.p99, hit_p.mean);
+
+  json_metrics.emplace_back("sweep_cold_micros",
+                            static_cast<double>(cold_micros));
+  json_metrics.emplace_back("sweep_prepared_micros",
+                            static_cast<double>(prepared_micros));
+  json_metrics.emplace_back("sweep_speedup", sweep_speedup);
+  AppendLatencyMetrics(&json_metrics, "cold", cold_p);
+  AppendLatencyMetrics(&json_metrics, "prepared_hit", prep_p);
+  AppendLatencyMetrics(&json_metrics, "result_hit", hit_p);
+
   std::printf("\nconcurrent sizes match sequential: %s\n",
               sizes_match ? "yes" : "NO");
   std::printf("cached speedup >= 10x: %s\n", speedup_ok ? "yes" : "NO");
+  std::printf("prepared delta-sweep speedup >= 3x: %s\n",
+              sweep_ok ? "yes" : "NO");
+  std::printf("prepared plan reused across sweep: %s\n",
+              prepared_hits_ok ? "yes" : "NO");
   bench::EmitBenchJson("service", json_metrics);
-  return (sizes_match && speedup_ok) ? 0 : 1;
+  return (sizes_match && speedup_ok && sweep_ok && prepared_hits_ok) ? 0 : 1;
 }

@@ -1,6 +1,8 @@
 #ifndef FAIRCLIQUE_BENCH_BENCH_UTIL_H_
 #define FAIRCLIQUE_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -54,6 +56,47 @@ inline ExtraBound BestBoundFor(const std::string& dataset) {
     return ExtraBound::kColorfulPath;
   }
   return ExtraBound::kColorfulDegeneracy;
+}
+
+/// Latency distribution of one batch of samples (all in the same unit).
+struct LatencyPercentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+};
+
+/// Nearest-rank percentiles (p-th percentile = the ceil(p/100 * N)-th
+/// smallest sample), so every reported value is an actually observed
+/// latency. Empty input yields all zeros.
+inline LatencyPercentiles ComputePercentiles(std::vector<double> samples) {
+  LatencyPercentiles out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  auto at = [&samples](double q) {
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    if (rank > 0) --rank;  // 1-based nearest rank -> 0-based index
+    if (rank >= samples.size()) rank = samples.size() - 1;
+    return samples[rank];
+  };
+  out.p50 = at(0.50);
+  out.p95 = at(0.95);
+  out.p99 = at(0.99);
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  out.mean = sum / static_cast<double>(samples.size());
+  return out;
+}
+
+/// Appends `<prefix>_p50/p95/p99/mean_us` metrics for one latency tier.
+inline void AppendLatencyMetrics(
+    std::vector<std::pair<std::string, double>>* metrics,
+    const std::string& prefix, const LatencyPercentiles& p) {
+  metrics->emplace_back(prefix + "_p50_us", p.p50);
+  metrics->emplace_back(prefix + "_p95_us", p.p95);
+  metrics->emplace_back(prefix + "_p99_us", p.p99);
+  metrics->emplace_back(prefix + "_mean_us", p.mean);
 }
 
 /// Writes machine-readable benchmark metrics to

@@ -13,29 +13,37 @@
 //   {"cmd":"query","graph":"g","k":3,"delta":1,"preset":"baseline",
 //    "extra":"cp","deadline":5.0,"threads":2,"async":true}  queued
 //   {"cmd":"drain"}      print pending async responses in submission order
-//   {"cmd":"stats"}      registry + cache + executor counters
-//   {"cmd":"evict","graph":"g"}      drop one graph (+ its cached results)
-//   {"cmd":"evict","cache":true}     clear the result cache
+//   {"cmd":"stats"}      registry + caches + executor counters
+//   {"cmd":"evict","graph":"g"}      drop one graph (+ its cached artifacts)
+//   {"cmd":"evict","cache":true}     clear the result + prepared caches
 //   {"cmd":"update","graph":"g","add_edges":"0-5,3-7",
 //    "remove_edges":"1-2","add_vertices":"a,b","set_attrs":"4:b"}
-//                        apply one batch, advance the epoch, migrate cache
+//                        apply one batch, advance the epoch, migrate caches
 //   {"cmd":"snapshot","graph":"g"}             report the current epoch
 //   {"cmd":"snapshot","graph":"g","path":"g.fcg"}  also save FCG1 binary
 //   {"cmd":"quit"}
 //
 // query fields: preset = baseline|bounded|full (default full), extra = none|
 // degeneracy|hindex|cd|ch|cp (default cp), deadline in seconds (0 = none),
-// threads = per-search component workers, "bypass_cache":true for cold runs.
+// threads = accepted for compatibility but superseded: every server query
+// (sync or async) goes through the executor, which schedules component
+// tasks onto the shared worker pool (--workers), "bypass_cache":true for
+// cold result-cache runs, "bypass_prepared":true to also re-run the
+// reduction pipeline.
 //
 // update fields (all optional, applied as ONE atomic batch): add_vertices is
 // a comma list of attributes ("a,b"); add_edges / remove_edges are comma
 // lists of "u-v" pairs; set_attrs is a comma list of "v:attr". The response
-// reports the new epoch (version, fingerprint) and how the result cache was
-// migrated (invalidated / republished / hints).
+// reports the new epoch (version, fingerprint), how the result cache was
+// migrated (invalidated / republished / hints) and how the prepared-plan
+// cache was (invalidated / forwarded).
+//
+// The wire-format building blocks (JSON parsing, escaping, token parsing,
+// response serialization) live in src/service/wire.h with their own unit
+// tests; this file is only the command loop.
 
-#include <cctype>
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <fstream>
 #include <future>
 #include <iostream>
@@ -48,273 +56,31 @@
 
 #include "core/fairclique.h"
 #include "datasets/datasets.h"
+#include "service/wire.h"
 
 namespace {
 
 using namespace fairclique;
 
-// ----------------------------------------------------------------- JSON in
-// Minimal parser for the flat objects this protocol uses: string keys and
-// string / number / bool values. No nesting, no arrays, no null.
-
-struct JsonValue {
-  enum class Type { kString, kNumber, kBool };
-  Type type = Type::kString;
-  std::string str;
-  double num = 0.0;
-  bool b = false;
-};
-
-using JsonObject = std::map<std::string, JsonValue>;
-
-bool SkipSpace(const std::string& s, size_t* i) {
-  while (*i < s.size() && std::isspace(static_cast<unsigned char>(s[*i]))) {
-    ++*i;
-  }
-  return *i < s.size();
-}
-
-bool ParseJsonString(const std::string& s, size_t* i, std::string* out) {
-  if (s[*i] != '"') return false;
-  ++*i;
-  out->clear();
-  while (*i < s.size() && s[*i] != '"') {
-    char c = s[*i];
-    if (c == '\\') {
-      if (*i + 1 >= s.size()) return false;
-      char esc = s[*i + 1];
-      switch (esc) {
-        case '"': out->push_back('"'); break;
-        case '\\': out->push_back('\\'); break;
-        case '/': out->push_back('/'); break;
-        case 'n': out->push_back('\n'); break;
-        case 't': out->push_back('\t'); break;
-        case 'r': out->push_back('\r'); break;
-        default: return false;  // \uXXXX etc. not needed by this protocol
-      }
-      *i += 2;
-    } else {
-      out->push_back(c);
-      ++*i;
-    }
-  }
-  if (*i >= s.size()) return false;
-  ++*i;  // closing quote
-  return true;
-}
-
-bool ParseJsonObject(const std::string& line, JsonObject* out,
-                     std::string* error) {
-  *error = "";
-  out->clear();
-  size_t i = 0;
-  if (!SkipSpace(line, &i) || line[i] != '{') {
-    *error = "expected '{'";
-    return false;
-  }
-  ++i;
-  if (!SkipSpace(line, &i)) {
-    *error = "unterminated object";
-    return false;
-  }
-  if (line[i] == '}') return true;  // empty object
-  while (true) {
-    if (!SkipSpace(line, &i)) break;
-    std::string key;
-    if (!ParseJsonString(line, &i, &key)) {
-      *error = "expected string key";
-      return false;
-    }
-    if (!SkipSpace(line, &i) || line[i] != ':') {
-      *error = "expected ':' after key '" + key + "'";
-      return false;
-    }
-    ++i;
-    if (!SkipSpace(line, &i)) break;
-    JsonValue value;
-    char c = line[i];
-    if (c == '"') {
-      value.type = JsonValue::Type::kString;
-      if (!ParseJsonString(line, &i, &value.str)) {
-        *error = "bad string value for '" + key + "'";
-        return false;
-      }
-    } else if (std::strncmp(line.c_str() + i, "true", 4) == 0) {
-      value.type = JsonValue::Type::kBool;
-      value.b = true;
-      i += 4;
-    } else if (std::strncmp(line.c_str() + i, "false", 5) == 0) {
-      value.type = JsonValue::Type::kBool;
-      value.b = false;
-      i += 5;
-    } else {
-      value.type = JsonValue::Type::kNumber;
-      char* end = nullptr;
-      value.num = std::strtod(line.c_str() + i, &end);
-      if (end == line.c_str() + i) {
-        *error = "bad value for '" + key + "'";
-        return false;
-      }
-      i = static_cast<size_t>(end - line.c_str());
-    }
-    (*out)[key] = std::move(value);
-    if (!SkipSpace(line, &i)) break;
-    if (line[i] == ',') {
-      ++i;
-      continue;
-    }
-    if (line[i] == '}') return true;
-    *error = "expected ',' or '}'";
-    return false;
-  }
-  *error = "unterminated object";
-  return false;
-}
-
-std::string GetString(const JsonObject& obj, const std::string& key,
-                      const std::string& fallback = "") {
-  auto it = obj.find(key);
-  if (it == obj.end() || it->second.type != JsonValue::Type::kString) {
-    return fallback;
-  }
-  return it->second.str;
-}
-
-double GetNumber(const JsonObject& obj, const std::string& key,
-                 double fallback) {
-  auto it = obj.find(key);
-  if (it == obj.end() || it->second.type != JsonValue::Type::kNumber) {
-    return fallback;
-  }
-  return it->second.num;
-}
-
-bool GetBool(const JsonObject& obj, const std::string& key, bool fallback) {
-  auto it = obj.find(key);
-  if (it == obj.end() || it->second.type != JsonValue::Type::kBool) {
-    return fallback;
-  }
-  return it->second.b;
-}
-
-// ---------------------------------------------------------------- JSON out
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
+using wire::GetBool;
+using wire::GetNumber;
+using wire::GetString;
+using wire::JsonEscape;
+using wire::JsonObject;
 
 void PrintError(uint64_t id, const std::string& message) {
-  std::printf("{\"ok\":false,\"id\":%llu,\"error\":\"%s\"}\n",
-              static_cast<unsigned long long>(id),
-              JsonEscape(message).c_str());
+  std::printf("%s\n", wire::ErrorJson(id, message).c_str());
 }
 
 void PrintQueryResponse(uint64_t id, const std::string& graph,
                         const QueryResponse& r) {
-  if (!r.status.ok()) {
-    PrintError(id, r.status.ToString());
-    return;
-  }
-  const SearchResult& sr = *r.result;
-  std::string vertices;
-  for (size_t i = 0; i < sr.clique.vertices.size(); ++i) {
-    if (i > 0) vertices += ",";
-    vertices += std::to_string(sr.clique.vertices[i]);
-  }
-  std::printf(
-      "{\"ok\":true,\"id\":%llu,\"graph\":\"%s\",\"size\":%zu,"
-      "\"counts\":[%lld,%lld],\"vertices\":[%s],\"cache_hit\":%s,"
-      "\"incremental\":%s,\"warm_start\":%s,"
-      "\"completed\":%s,\"deadline_missed\":%s,\"queue_micros\":%lld,"
-      "\"run_micros\":%lld}\n",
-      static_cast<unsigned long long>(id), JsonEscape(graph).c_str(),
-      sr.clique.size(), static_cast<long long>(sr.clique.attr_counts.a()),
-      static_cast<long long>(sr.clique.attr_counts.b()), vertices.c_str(),
-      r.cache_hit ? "true" : "false", r.incremental ? "true" : "false",
-      r.warm_start ? "true" : "false", sr.stats.completed ? "true" : "false",
-      r.deadline_missed ? "true" : "false",
-      static_cast<long long>(r.queue_micros),
-      static_cast<long long>(r.run_micros));
-}
-
-// ------------------------------------------------------------------ server
-
-bool ParseExtraBound(const std::string& name, ExtraBound* out) {
-  if (name.empty() || name == "none") *out = ExtraBound::kNone;
-  else if (name == "degeneracy" || name == "d") *out = ExtraBound::kDegeneracy;
-  else if (name == "hindex" || name == "h") *out = ExtraBound::kHIndex;
-  else if (name == "cd") *out = ExtraBound::kColorfulDegeneracy;
-  else if (name == "ch") *out = ExtraBound::kColorfulHIndex;
-  else if (name == "cp") *out = ExtraBound::kColorfulPath;
-  else return false;
-  return true;
-}
-
-// Splits a comma-separated list; empty input yields no tokens.
-std::vector<std::string> SplitList(const std::string& s) {
-  std::vector<std::string> out;
-  size_t start = 0;
-  while (start <= s.size()) {
-    size_t comma = s.find(',', start);
-    if (comma == std::string::npos) comma = s.size();
-    if (comma > start) out.push_back(s.substr(start, comma - start));
-    start = comma + 1;
-  }
-  return out;
-}
-
-bool ParseAttrToken(const std::string& token, Attribute* out) {
-  if (token == "a" || token == "0") *out = Attribute::kA;
-  else if (token == "b" || token == "1") *out = Attribute::kB;
-  else return false;
-  return true;
-}
-
-// Parses a decimal vertex id, rejecting values that do not fit VertexId
-// (a silent narrowing would mutate some unrelated small id instead).
-bool ParseVertexId(const char* s, const char* expected_end, VertexId* out) {
-  char* end = nullptr;
-  unsigned long long v = std::strtoull(s, &end, 10);
-  if (end != expected_end || v > 0xffffffffULL) return false;
-  *out = static_cast<VertexId>(v);
-  return true;
-}
-
-// Parses "<u><sep><v>" into two vertex ids.
-bool ParseVertexPair(const std::string& token, char sep, VertexId* u,
-                     VertexId* v) {
-  size_t pos = token.find(sep);
-  if (pos == std::string::npos || pos == 0 || pos + 1 >= token.size()) {
-    return false;
-  }
-  return ParseVertexId(token.c_str(), token.c_str() + pos, u) &&
-         ParseVertexId(token.c_str() + pos + 1,
-                       token.c_str() + token.size(), v);
+  std::printf("%s\n", wire::QueryResponseJson(id, graph, r).c_str());
 }
 
 struct Server {
   GraphRegistry registry;
   ResultCache cache;
+  PreparedGraphCache prepared;
   QueryExecutor executor;
   /// Mutable shadow of updated graphs; created lazily on the first update
   /// of a name, dropped on evict. The registry always serves the latest
@@ -324,10 +90,13 @@ struct Server {
   std::vector<std::tuple<uint64_t, std::string, std::future<QueryResponse>>>
       pending;
 
-  Server(int workers, size_t cache_capacity, size_t queue_capacity)
+  Server(int workers, size_t cache_capacity, size_t prepared_capacity,
+         size_t queue_capacity)
       : cache(cache_capacity),
-        executor(ExecutorOptions{workers, queue_capacity}, &cache) {
+        prepared(prepared_capacity),
+        executor(ExecutorOptions{workers, queue_capacity}, &cache, &prepared) {
     registry.AttachCache(&cache);
+    registry.AttachPreparedCache(&prepared);
   }
 
   void HandleLoad(uint64_t id, const JsonObject& obj) {
@@ -380,7 +149,7 @@ struct Server {
     if (k < 1) return PrintError(id, "query: k must be >= 1");
     if (delta < 0) return PrintError(id, "query: delta must be >= 0");
     ExtraBound extra;
-    if (!ParseExtraBound(GetString(obj, "extra", "cp"), &extra)) {
+    if (!wire::ParseExtraBound(GetString(obj, "extra", "cp"), &extra)) {
       return PrintError(id, "query: bad 'extra'");
     }
     std::string preset = GetString(obj, "preset", "full");
@@ -396,6 +165,7 @@ struct Server {
     request.options = options;
     request.deadline_seconds = GetNumber(obj, "deadline", 0.0);
     request.bypass_cache = GetBool(obj, "bypass_cache", false);
+    request.bypass_prepared_cache = GetBool(obj, "bypass_prepared", false);
 
     std::future<QueryResponse> future = executor.Submit(std::move(request));
     if (GetBool(obj, "async", false)) {
@@ -416,6 +186,7 @@ struct Server {
 
   void HandleStats(uint64_t id) {
     ResultCacheStats cs = cache.Stats();
+    PreparedGraphCacheStats ps = prepared.Stats();
     ExecutorMetrics em = executor.metrics();
     std::string graphs;
     for (const auto& entry : registry.List()) {
@@ -434,9 +205,14 @@ struct Server {
         "\"evictions\":%llu,\"invalidated\":%llu,\"republished\":%llu,"
         "\"hints_published\":%llu,\"hint_hits\":%llu,\"entries\":%zu,"
         "\"hint_entries\":%zu,\"capacity\":%zu},"
+        "\"prepared\":{\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,"
+        "\"evictions\":%llu,\"invalidated\":%llu,\"forwarded\":%llu,"
+        "\"entries\":%zu,\"capacity\":%zu},"
         "\"executor\":{\"submitted\":%llu,\"accepted\":%llu,"
         "\"rejected\":%llu,\"served\":%llu,\"cache_hits\":%llu,"
         "\"incremental\":%llu,\"warm_starts\":%llu,"
+        "\"prepared_hits\":%llu,\"prepared_builds\":%llu,"
+        "\"component_tasks\":%llu,"
         "\"deadline_misses\":%llu,\"queue_depth\":%zu,"
         "\"peak_queue_depth\":%zu}}\n",
         static_cast<unsigned long long>(id), graphs.c_str(),
@@ -449,6 +225,13 @@ struct Server {
         static_cast<unsigned long long>(cs.hints_published),
         static_cast<unsigned long long>(cs.hint_hits), cs.entries,
         cs.hint_entries, cs.capacity,
+        static_cast<unsigned long long>(ps.hits),
+        static_cast<unsigned long long>(ps.misses),
+        static_cast<unsigned long long>(ps.insertions),
+        static_cast<unsigned long long>(ps.evictions),
+        static_cast<unsigned long long>(ps.invalidated),
+        static_cast<unsigned long long>(ps.forwarded), ps.entries,
+        ps.capacity,
         static_cast<unsigned long long>(em.submitted),
         static_cast<unsigned long long>(em.accepted),
         static_cast<unsigned long long>(em.rejected),
@@ -456,6 +239,9 @@ struct Server {
         static_cast<unsigned long long>(em.cache_hits),
         static_cast<unsigned long long>(em.incremental_requeries),
         static_cast<unsigned long long>(em.warm_starts),
+        static_cast<unsigned long long>(em.prepared_hits),
+        static_cast<unsigned long long>(em.prepared_builds),
+        static_cast<unsigned long long>(em.component_tasks),
         static_cast<unsigned long long>(em.deadline_misses), em.queue_depth,
         em.peak_queue_depth);
   }
@@ -468,34 +254,38 @@ struct Server {
     }
 
     std::vector<UpdateOp> batch;
-    for (const std::string& token : SplitList(GetString(obj, "add_vertices"))) {
+    for (const std::string& token :
+         wire::SplitList(GetString(obj, "add_vertices"))) {
       Attribute attr;
-      if (!ParseAttrToken(token, &attr)) {
+      if (!wire::ParseAttrToken(token, &attr)) {
         return PrintError(id, "update: bad attribute '" + token + "'");
       }
       batch.push_back(AddVertexOp(attr));
     }
-    for (const std::string& token : SplitList(GetString(obj, "add_edges"))) {
+    for (const std::string& token :
+         wire::SplitList(GetString(obj, "add_edges"))) {
       VertexId u, v;
-      if (!ParseVertexPair(token, '-', &u, &v)) {
+      if (!wire::ParseVertexPair(token, '-', &u, &v)) {
         return PrintError(id, "update: bad edge '" + token + "'");
       }
       batch.push_back(AddEdgeOp(u, v));
     }
-    for (const std::string& token : SplitList(GetString(obj, "remove_edges"))) {
+    for (const std::string& token :
+         wire::SplitList(GetString(obj, "remove_edges"))) {
       VertexId u, v;
-      if (!ParseVertexPair(token, '-', &u, &v)) {
+      if (!wire::ParseVertexPair(token, '-', &u, &v)) {
         return PrintError(id, "update: bad edge '" + token + "'");
       }
       batch.push_back(RemoveEdgeOp(u, v));
     }
-    for (const std::string& token : SplitList(GetString(obj, "set_attrs"))) {
+    for (const std::string& token :
+         wire::SplitList(GetString(obj, "set_attrs"))) {
       size_t colon = token.find(':');
       Attribute attr;
       VertexId v;
       if (colon == std::string::npos || colon == 0 ||
-          !ParseAttrToken(token.substr(colon + 1), &attr) ||
-          !ParseVertexId(token.c_str(), token.c_str() + colon, &v)) {
+          !wire::ParseAttrToken(token.substr(colon + 1), &attr) ||
+          !wire::ParseVertexId(token.c_str(), token.c_str() + colon, &v)) {
         return PrintError(id, "update: bad set_attrs token '" + token + "'");
       }
       batch.push_back(SetAttributeOp(v, attr));
@@ -521,14 +311,16 @@ struct Server {
         "\"fingerprint\":\"%s\",\"vertices\":%u,\"edges\":%u,"
         "\"vertices_added\":%u,\"edges_added\":%u,\"edges_removed\":%u,"
         "\"attrs_changed\":%u,\"insert_only\":%s,"
-        "\"cache\":{\"invalidated\":%zu,\"republished\":%zu,\"hints\":%zu}}\n",
+        "\"cache\":{\"invalidated\":%zu,\"republished\":%zu,\"hints\":%zu},"
+        "\"prepared\":{\"invalidated\":%zu,\"forwarded\":%zu}}\n",
         static_cast<unsigned long long>(id), JsonEscape(name).c_str(),
         static_cast<unsigned long long>(summary.version),
         FingerprintHex(summary.fingerprint).c_str(), dyn.num_vertices(),
         dyn.num_edges(), summary.vertices_added, summary.edges_added,
         summary.edges_removed, summary.attributes_changed,
         summary.insert_only() ? "true" : "false", report.cache.invalidated,
-        report.cache.republished, report.cache.hints);
+        report.cache.republished, report.cache.hints,
+        report.prepared.invalidated, report.prepared.forwarded);
   }
 
   void HandleSnapshot(uint64_t id, const JsonObject& obj) {
@@ -558,6 +350,7 @@ struct Server {
   void HandleEvict(uint64_t id, const JsonObject& obj) {
     if (GetBool(obj, "cache", false)) {
       cache.Clear();
+      prepared.Clear();
       std::printf("{\"ok\":true,\"id\":%llu,\"cleared\":\"cache\"}\n",
                   static_cast<unsigned long long>(id));
       return;
@@ -580,7 +373,7 @@ struct Server {
     uint64_t id = next_id++;
     JsonObject obj;
     std::string error;
-    if (!ParseJsonObject(line, &obj, &error)) {
+    if (!wire::ParseJsonObject(line, &obj, &error)) {
       PrintError(id, "parse error: " + error);
       return true;
     }
@@ -611,7 +404,7 @@ struct Server {
 int Usage() {
   std::fprintf(stderr,
                "usage: fairclique_server [--workers N] [--cache N] "
-               "[--queue N] [commands.jsonl]\n"
+               "[--prepared N] [--queue N] [commands.jsonl]\n"
                "reads JSON-lines commands from the file or stdin\n");
   return 2;
 }
@@ -622,6 +415,7 @@ int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
   int workers = 2;
   size_t cache_capacity = 128;
+  size_t prepared_capacity = 16;
   size_t queue_capacity = 256;
   std::string script;
   for (int i = 1; i < argc; ++i) {
@@ -629,6 +423,8 @@ int main(int argc, char** argv) {
     if (arg == "--workers" && i + 1 < argc) workers = std::atoi(argv[++i]);
     else if (arg == "--cache" && i + 1 < argc) {
       cache_capacity = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--prepared" && i + 1 < argc) {
+      prepared_capacity = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (arg == "--queue" && i + 1 < argc) {
       queue_capacity = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (arg == "--help" || arg == "-h" || arg[0] == '-') {
@@ -638,7 +434,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  Server server(workers, cache_capacity, queue_capacity);
+  Server server(workers, cache_capacity, prepared_capacity, queue_capacity);
   std::ifstream file;
   if (!script.empty()) {
     file.open(script);

@@ -25,6 +25,7 @@
 #include "core/max_clique.h"
 #include "core/max_fair_clique.h"
 #include "core/options_key.h"
+#include "core/prepared_graph.h"
 #include "core/verifier.h"
 #include "dynamic/dynamic_graph.h"
 #include "dynamic/incremental_search.h"
@@ -43,7 +44,9 @@
 #include "reduction/reduce.h"
 #include "reduction/support_decomposition.h"
 #include "service/graph_registry.h"
+#include "service/prepared_graph_cache.h"
 #include "service/query_executor.h"
 #include "service/result_cache.h"
+#include "service/wire.h"
 
 #endif  // FAIRCLIQUE_CORE_FAIRCLIQUE_H_

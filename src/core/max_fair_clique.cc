@@ -1,565 +1,35 @@
 #include "core/max_fair_clique.h"
 
-#include <algorithm>
-#include <atomic>
-#include <functional>
-#include <numeric>
-#include <thread>
-
-#include "common/bitset.h"
 #include "common/logging.h"
 #include "common/timer.h"
-#include "core/heuristics.h"
-#include "core/verifier.h"
-#include "graph/coloring.h"
-#include "graph/cores.h"
-#include "reduction/colorful_core.h"
+#include "core/prepared_graph.h"
 
 namespace fairclique {
 
-namespace {
-
-// Lock-free monotone max on the shared incumbent-size floor.
-void RaiseFloor(std::atomic<int64_t>* floor, int64_t value) {
-  int64_t cur = floor->load(std::memory_order_relaxed);
-  while (cur < value &&
-         !floor->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
-  }
-}
-
-// Rank positions for the configured branch ordering.
-std::vector<uint32_t> ComputeBranchPositions(const AttributedGraph& comp,
-                                             BranchOrder order) {
-  switch (order) {
-    case BranchOrder::kColorfulCore: {
-      Coloring coloring = GreedyColoring(comp);
-      return ComputeColorfulCores(comp, coloring).position;
-    }
-    case BranchOrder::kDegeneracy:
-      return ComputeCores(comp).position;
-    case BranchOrder::kDegree: {
-      // Stable ascending-degree ranks.
-      std::vector<VertexId> verts(comp.num_vertices());
-      std::iota(verts.begin(), verts.end(), 0);
-      std::stable_sort(verts.begin(), verts.end(),
-                       [&comp](VertexId a, VertexId b) {
-                         return comp.degree(a) < comp.degree(b);
-                       });
-      std::vector<uint32_t> position(comp.num_vertices());
-      for (uint32_t i = 0; i < verts.size(); ++i) position[verts[i]] = i;
-      return position;
-    }
-  }
-  return {};
-}
-
-// Branch-and-bound over one connected component, with vertices relabeled to
-// their colorful-core peeling rank (CalColorOD order): candidate sets only
-// ever contain ranks greater than the last added vertex, so every clique of
-// the component is enumerated exactly once, from its lowest-ranked vertex.
-class ComponentSearch {
- public:
-  ComponentSearch(const AttributedGraph& comp, const SearchOptions& options,
-                  const Deadline& deadline, SearchStats* stats,
-                  CliqueResult* best, std::atomic<int64_t>* floor)
-      : g_(comp),
-        options_(options),
-        deadline_(deadline),
-        stats_(stats),
-        best_(best),
-        floor_(floor) {
-    rank_of_ = ComputeBranchPositions(g_, options.order);
-    vertex_at_.resize(g_.num_vertices());
-    for (VertexId v = 0; v < g_.num_vertices(); ++v) {
-      vertex_at_[rank_of_[v]] = v;
-    }
-    // Rank-space sorted adjacency for O(|C| + deg) candidate filtering.
-    adj_.resize(g_.num_vertices());
-    for (VertexId v = 0; v < g_.num_vertices(); ++v) {
-      auto& row = adj_[rank_of_[v]];
-      row.reserve(g_.degree(v));
-      for (VertexId w : g_.neighbors(v)) row.push_back(rank_of_[w]);
-      std::sort(row.begin(), row.end());
-    }
-  }
-
-  // Runs the search; `to_original(rank)` maps a rank-space vertex to an
-  // original-graph id for incumbent reporting.
-  template <typename MapFn>
-  void Run(MapFn&& to_original) {
-    map_ = [&](uint32_t r) { return to_original(vertex_at_[r]); };
-    std::vector<uint32_t> all(g_.num_vertices());
-    std::iota(all.begin(), all.end(), 0);
-    AttrCounts cnt;
-    for (uint32_t r = 0; r < g_.num_vertices(); ++r) {
-      cnt[g_.attribute(vertex_at_[r])]++;
-    }
-    r_.clear();
-    r_cnt_ = AttrCounts{};
-    Branch(all, cnt, 0);
-  }
-
-  bool aborted() const { return aborted_; }
-
- private:
-  // Minimum size the incumbent forces us to beat: a new clique must have
-  // size >= max(2k, |best|+1).
-  // Known incumbent size: the larger of this component's best and the
-  // cross-component floor (shared by parallel workers).
-  int64_t Known() const {
-    int64_t local = static_cast<int64_t>(best_->size());
-    if (floor_ != nullptr) {
-      local = std::max(local, floor_->load(std::memory_order_relaxed));
-    }
-    return local;
-  }
-
-  int64_t Target() const {
-    return std::max<int64_t>(2 * options_.params.k, Known() + 1);
-  }
-
-  void Branch(const std::vector<uint32_t>& candidates, AttrCounts cand_cnt,
-              int depth) {
-    if (aborted_) return;
-    stats_->nodes++;
-    if ((options_.node_limit != 0 && stats_->nodes > options_.node_limit) ||
-        ((stats_->nodes & 0x3ff) == 0 && deadline_.Expired())) {
-      aborted_ = true;
-      return;
-    }
-    // Every node's R is a clique reached exactly once; record it when fair.
-    if (static_cast<int64_t>(r_.size()) > Known() &&
-        options_.params.Satisfied(r_cnt_)) {
-      best_->vertices.clear();
-      for (uint32_t r : r_) best_->vertices.push_back(map_(r));
-      best_->attr_counts = r_cnt_;
-      if (floor_ != nullptr) {
-        RaiseFloor(floor_, static_cast<int64_t>(r_.size()));
-      }
-    }
-    if (candidates.empty()) return;
-
-    // Size prune (Lemma 5 / Alg. 3 line 19).
-    if (static_cast<int64_t>(r_.size() + candidates.size()) < Target()) {
-      stats_->size_prunes++;
-      return;
-    }
-    // Attribute feasibility (Alg. 3 lines 20-23): both attributes must be
-    // able to reach k.
-    if (r_cnt_.a() + cand_cnt.a() < options_.params.k ||
-        r_cnt_.b() + cand_cnt.b() < options_.params.k) {
-      stats_->attr_prunes++;
-      return;
-    }
-    // Delta cap (sound form of Alg. 3 lines 4-8): when attribute x already
-    // matches the best the other side can reach plus delta, no x-vertex can
-    // be added to any fair completion.
-    const std::vector<uint32_t>* cand = &candidates;
-    std::vector<uint32_t> capped;
-    for (Attribute x : {Attribute::kA, Attribute::kB}) {
-      Attribute y = Other(x);
-      if (cand_cnt[x] > 0 &&
-          r_cnt_[x] >= r_cnt_[y] + cand_cnt[y] + options_.params.delta) {
-        capped.clear();
-        capped.reserve(cand->size());
-        for (uint32_t r : *cand) {
-          if (g_.attribute(vertex_at_[r]) != x) capped.push_back(r);
-        }
-        stats_->cap_removals += cand->size() - capped.size();
-        cand_cnt[x] = 0;
-        cand = &capped;
-        // Re-check the size prune after dropping candidates.
-        if (static_cast<int64_t>(r_.size() + cand->size()) < Target()) {
-          stats_->size_prunes++;
-          return;
-        }
-      }
-    }
-
-    // Configured upper bounds on the induced subgraph of R ∪ C, at shallow
-    // depths only (building the subgraph is O(E(G')) per node).
-    if (depth < options_.bound_depth &&
-        (options_.bounds.use_advanced ||
-         options_.bounds.extra != ExtraBound::kNone)) {
-      if (UpperBoundOf(*cand) < Target()) {
-        stats_->bound_prunes++;
-        return;
-      }
-    }
-
-    // Expand each candidate in rank order; the suffix filter keeps every
-    // clique enumerated exactly once.
-    for (size_t i = 0; i < cand->size(); ++i) {
-      if (aborted_) return;
-      uint32_t u = (*cand)[i];
-      // Remaining-size prune for this child before building its set.
-      if (static_cast<int64_t>(r_.size() + 1 + (cand->size() - i - 1)) <
-          Target()) {
-        stats_->size_prunes++;
-        break;  // Later children only get smaller.
-      }
-      std::vector<uint32_t> next;
-      AttrCounts next_cnt;
-      // next = {v in cand[i+1..] : v adjacent to u}; both sides sorted.
-      const std::vector<uint32_t>& nbrs = adj_[u];
-      size_t a = i + 1, b = 0;
-      while (a < cand->size() && b < nbrs.size()) {
-        if ((*cand)[a] < nbrs[b]) {
-          ++a;
-        } else if ((*cand)[a] > nbrs[b]) {
-          ++b;
-        } else {
-          next.push_back((*cand)[a]);
-          next_cnt[g_.attribute(vertex_at_[(*cand)[a]])]++;
-          ++a;
-          ++b;
-        }
-      }
-      Attribute au = g_.attribute(vertex_at_[u]);
-      r_.push_back(u);
-      r_cnt_[au]++;
-      Branch(next, next_cnt, depth + 1);
-      r_.pop_back();
-      r_cnt_[au]--;
-    }
-  }
-
-  // Evaluates the configured bound on the subgraph induced by R ∪ C.
-  int64_t UpperBoundOf(const std::vector<uint32_t>& cand) {
-    std::vector<VertexId> verts;
-    verts.reserve(r_.size() + cand.size());
-    for (uint32_t r : r_) verts.push_back(vertex_at_[r]);
-    for (uint32_t r : cand) verts.push_back(vertex_at_[r]);
-    AttributedGraph sub = g_.InducedSubgraph(verts);
-    return ComputeUpperBound(sub, options_.params.delta, options_.bounds);
-  }
-
-  const AttributedGraph& g_;
-  const SearchOptions& options_;
-  const Deadline& deadline_;
-  SearchStats* stats_;
-  CliqueResult* best_;
-  std::atomic<int64_t>* floor_;
-  bool aborted_ = false;
-
-  std::vector<uint32_t> rank_of_;
-  std::vector<VertexId> vertex_at_;
-  std::vector<std::vector<uint32_t>> adj_;
-  std::vector<uint32_t> r_;  // Current clique, as ranks.
-  AttrCounts r_cnt_;
-  std::function<VertexId(uint32_t)> map_;
-};
-
-// Word-parallel variant of ComponentSearch for dense components: candidate
-// sets are bitsets over ranks, child sets are built with three word ops per
-// word. Branch semantics, pruning rules and answers are identical to the
-// vector engine (asserted by differential tests).
-class BitsetComponentSearch {
- public:
-  BitsetComponentSearch(const AttributedGraph& comp,
-                        const SearchOptions& options, const Deadline& deadline,
-                        SearchStats* stats, CliqueResult* best,
-                        std::atomic<int64_t>* floor)
-      : g_(comp),
-        n_(comp.num_vertices()),
-        options_(options),
-        deadline_(deadline),
-        stats_(stats),
-        best_(best),
-        floor_(floor) {
-    rank_of_ = ComputeBranchPositions(g_, options.order);
-    vertex_at_.resize(n_);
-    for (VertexId v = 0; v < n_; ++v) vertex_at_[rank_of_[v]] = v;
-    nbr_.assign(n_, Bitset(n_));
-    attr_bits_[0] = Bitset(n_);
-    attr_bits_[1] = Bitset(n_);
-    for (VertexId v = 0; v < n_; ++v) {
-      uint32_t r = rank_of_[v];
-      for (VertexId w : g_.neighbors(v)) nbr_[r].Set(rank_of_[w]);
-      attr_bits_[AttrIndex(g_.attribute(v))].Set(r);
-    }
-  }
-
-  template <typename MapFn>
-  void Run(MapFn&& to_original) {
-    map_ = [&](uint32_t r) { return to_original(vertex_at_[r]); };
-    Bitset all(n_);
-    all.SetAll();
-    AttrCounts cnt;
-    cnt[Attribute::kA] = static_cast<int64_t>(attr_bits_[0].Count());
-    cnt[Attribute::kB] = static_cast<int64_t>(attr_bits_[1].Count());
-    r_.clear();
-    r_cnt_ = AttrCounts{};
-    Branch(all, cnt, 0);
-  }
-
-  bool aborted() const { return aborted_; }
-
- private:
-  // Known incumbent size: the larger of this component's best and the
-  // cross-component floor (shared by parallel workers).
-  int64_t Known() const {
-    int64_t local = static_cast<int64_t>(best_->size());
-    if (floor_ != nullptr) {
-      local = std::max(local, floor_->load(std::memory_order_relaxed));
-    }
-    return local;
-  }
-
-  int64_t Target() const {
-    return std::max<int64_t>(2 * options_.params.k, Known() + 1);
-  }
-
-  void Branch(Bitset cand, AttrCounts cand_cnt, int depth) {
-    if (aborted_) return;
-    stats_->nodes++;
-    if ((options_.node_limit != 0 && stats_->nodes > options_.node_limit) ||
-        ((stats_->nodes & 0x3ff) == 0 && deadline_.Expired())) {
-      aborted_ = true;
-      return;
-    }
-    if (static_cast<int64_t>(r_.size()) > Known() &&
-        options_.params.Satisfied(r_cnt_)) {
-      best_->vertices.clear();
-      for (uint32_t r : r_) best_->vertices.push_back(map_(r));
-      best_->attr_counts = r_cnt_;
-      if (floor_ != nullptr) {
-        RaiseFloor(floor_, static_cast<int64_t>(r_.size()));
-      }
-    }
-    int64_t cand_size = cand_cnt.Total();
-    if (cand_size == 0) return;
-    if (static_cast<int64_t>(r_.size()) + cand_size < Target()) {
-      stats_->size_prunes++;
-      return;
-    }
-    if (r_cnt_.a() + cand_cnt.a() < options_.params.k ||
-        r_cnt_.b() + cand_cnt.b() < options_.params.k) {
-      stats_->attr_prunes++;
-      return;
-    }
-    for (Attribute x : {Attribute::kA, Attribute::kB}) {
-      Attribute y = Other(x);
-      if (cand_cnt[x] > 0 &&
-          r_cnt_[x] >= r_cnt_[y] + cand_cnt[y] + options_.params.delta) {
-        stats_->cap_removals += static_cast<uint64_t>(cand_cnt[x]);
-        cand -= attr_bits_[AttrIndex(x)];
-        cand_cnt[x] = 0;
-        cand_size = cand_cnt.Total();
-        if (static_cast<int64_t>(r_.size()) + cand_size < Target()) {
-          stats_->size_prunes++;
-          return;
-        }
-      }
-    }
-    if (depth < options_.bound_depth &&
-        (options_.bounds.use_advanced ||
-         options_.bounds.extra != ExtraBound::kNone)) {
-      if (UpperBoundOf(cand) < Target()) {
-        stats_->bound_prunes++;
-        return;
-      }
-    }
-    int64_t remaining = cand_size;
-    for (size_t u = cand.NextSetBit(0); u < cand.size();
-         u = cand.NextSetBit(u + 1), --remaining) {
-      if (aborted_) return;
-      if (static_cast<int64_t>(r_.size()) + remaining < Target()) {
-        stats_->size_prunes++;
-        break;  // Later children only get smaller.
-      }
-      Bitset next = cand;
-      next &= nbr_[u];
-      next.ResetBelow(u + 1);
-      AttrCounts next_cnt;
-      next_cnt[Attribute::kA] =
-          static_cast<int64_t>(next.IntersectCount(attr_bits_[0]));
-      next_cnt[Attribute::kB] =
-          static_cast<int64_t>(next.IntersectCount(attr_bits_[1]));
-      Attribute au = g_.attribute(vertex_at_[u]);
-      r_.push_back(static_cast<uint32_t>(u));
-      r_cnt_[au]++;
-      Branch(std::move(next), next_cnt, depth + 1);
-      r_.pop_back();
-      r_cnt_[au]--;
-    }
-  }
-
-  int64_t UpperBoundOf(const Bitset& cand) {
-    std::vector<VertexId> verts;
-    verts.reserve(r_.size() + cand.Count());
-    for (uint32_t r : r_) verts.push_back(vertex_at_[r]);
-    cand.ForEachSetBit([&](size_t r) { verts.push_back(vertex_at_[r]); });
-    AttributedGraph sub = g_.InducedSubgraph(verts);
-    return ComputeUpperBound(sub, options_.params.delta, options_.bounds);
-  }
-
-  const AttributedGraph& g_;
-  const VertexId n_;
-  const SearchOptions& options_;
-  const Deadline& deadline_;
-  SearchStats* stats_;
-  CliqueResult* best_;
-  std::atomic<int64_t>* floor_;
-  bool aborted_ = false;
-
-  std::vector<uint32_t> rank_of_;
-  std::vector<VertexId> vertex_at_;
-  std::vector<Bitset> nbr_;
-  Bitset attr_bits_[2];
-  std::vector<uint32_t> r_;
-  AttrCounts r_cnt_;
-  std::function<VertexId(uint32_t)> map_;
-};
-
-// Threshold below which kAuto picks the bitset kernel: n^2/8 bytes of
-// adjacency bitsets stays under ~2 MB.
-constexpr VertexId kBitsetAutoThreshold = 4096;
-
-}  // namespace
-
+// The monolithic entry point is a thin wrapper over the staged query plan
+// (core/prepared_graph.h): Reduce + Decompose produce a PreparedGraph, the
+// Branch stage searches it. Callers that re-ask with different delta/bound
+// options should PrepareGraph once and call SearchPreparedGraph per query
+// (or go through the service layer's PreparedGraphCache).
 SearchResult FindMaximumFairClique(const AttributedGraph& g,
                                    const SearchOptions& options) {
   FC_CHECK(options.params.k >= 1) << "fairness parameter k must be >= 1";
   FC_CHECK(options.params.delta >= 0) << "delta must be >= 0";
-  SearchResult result;
   WallTimer total_timer;
-  Deadline deadline(options.time_limit_seconds);
 
-  // Stage 1: reduction pipeline (Alg. 2 lines 1-3).
   WallTimer reduce_timer;
-  ReductionPipelineResult reduced =
-      ReduceForFairClique(g, options.params.k, options.reductions);
-  result.stats.reduce_micros = reduce_timer.ElapsedMicros();
-  result.stats.reduction_stages = reduced.stages;
-  const AttributedGraph& rg = reduced.reduced;
+  std::shared_ptr<const PreparedGraph> prepared =
+      PrepareGraph(g, options.params.k, options.reductions);
+  int64_t reduce_micros = reduce_timer.ElapsedMicros();
 
-  // Stage 2: optional heuristic incumbent (Section V Remark).
-  if (options.use_heuristic && rg.num_vertices() > 0) {
-    WallTimer heur_timer;
-    HeuristicOptions hopts{.params = options.params};
-    HeuristicResult heur = HeurRFC(rg, hopts);
-    result.stats.heuristic_micros = heur_timer.ElapsedMicros();
-    result.stats.heuristic_size = static_cast<int64_t>(heur.clique.size());
-    if (!heur.clique.empty()) {
-      result.clique.attr_counts = heur.clique.attr_counts;
-      result.clique.vertices.clear();
-      for (VertexId v : heur.clique.vertices) {
-        result.clique.vertices.push_back(reduced.original_ids[v]);
-      }
-    }
-  }
-
-  // Stage 2b: optional warm start from a caller-supplied known fair clique
-  // (dynamic-graph re-queries seed the previous epoch's answer). Verified
-  // against the *original* graph — reduction may have pruned its vertices,
-  // but the incumbent only flows into pruning through its size.
-  if (static_cast<int64_t>(options.warm_start.size()) >
-          static_cast<int64_t>(result.clique.size()) &&
-      VerifyFairClique(g, options.warm_start, options.params).ok()) {
-    result.clique.vertices = options.warm_start;
-    result.clique.attr_counts = CountAttributes(g, options.warm_start);
-  }
-
-  // Stage 3: branch-and-bound per connected component (Alg. 2 lines 6-11).
-  // Components too small to beat the incumbent are skipped; the rest are
-  // searched largest-first (better load balance, and the shared floor from
-  // a big component prunes the small ones). With num_threads != 1 the
-  // components run concurrently; the incumbent *size* flows between workers
-  // through an atomic floor, so pruning strength matches the sequential run.
-  WallTimer search_timer;
-  std::vector<std::vector<VertexId>> components = rg.ConnectedComponents();
-  std::sort(components.begin(), components.end(),
-            [](const auto& a, const auto& b) { return a.size() > b.size(); });
-  std::atomic<int64_t> floor{static_cast<int64_t>(result.clique.size())};
-
-  struct ComponentTask {
-    std::vector<VertexId> vertices;
-    CliqueResult best;
-    SearchStats stats;
-    bool aborted = false;
-  };
-  std::vector<ComponentTask> tasks;
-  for (std::vector<VertexId>& comp_vertices : components) {
-    if (static_cast<int64_t>(comp_vertices.size()) <
-        std::max<int64_t>(2 * options.params.k,
-                          static_cast<int64_t>(result.clique.size()) + 1)) {
-      continue;  // Component too small to matter.
-    }
-    ComponentTask task;
-    task.vertices = std::move(comp_vertices);
-    tasks.push_back(std::move(task));
-  }
-
-  auto run_task = [&](ComponentTask& task) {
-    std::vector<VertexId> comp_original;
-    AttributedGraph comp = rg.InducedSubgraph(task.vertices, &comp_original);
-    auto to_original = [&](VertexId local) {
-      return reduced.original_ids[comp_original[local]];
-    };
-    bool use_bitset =
-        options.engine == SearchEngine::kBitset ||
-        (options.engine == SearchEngine::kAuto &&
-         comp.num_vertices() <= kBitsetAutoThreshold);
-    if (use_bitset) {
-      BitsetComponentSearch search(comp, options, deadline, &task.stats,
-                                   &task.best, &floor);
-      search.Run(to_original);
-      task.aborted = search.aborted();
-    } else {
-      ComponentSearch search(comp, options, deadline, &task.stats, &task.best,
-                             &floor);
-      search.Run(to_original);
-      task.aborted = search.aborted();
-    }
-  };
-
-  int num_threads = options.num_threads;
-  if (num_threads <= 0) {
-    num_threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (num_threads <= 0) num_threads = 1;
-  }
-  // Never spawn more workers than there are component tasks: with
-  // num_threads <= 0 (hardware concurrency) on a small or well-reduced
-  // graph, most threads would start only to find the task list empty.
-  num_threads = std::min<int>(
-      num_threads, static_cast<int>(std::max<size_t>(tasks.size(), 1)));
-  if (num_threads == 1 || tasks.size() <= 1) {
-    for (ComponentTask& task : tasks) {
-      run_task(task);
-      if (task.aborted) break;
-    }
-  } else {
-    std::atomic<size_t> next{0};
-    std::vector<std::thread> workers;
-    const int spawn = num_threads;
-    workers.reserve(static_cast<size_t>(spawn));
-    for (int t = 0; t < spawn; ++t) {
-      workers.emplace_back([&]() {
-        while (true) {
-          size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= tasks.size()) return;
-          run_task(tasks[i]);
-        }
-      });
-    }
-    for (std::thread& w : workers) w.join();
-  }
-
-  for (ComponentTask& task : tasks) {
-    result.stats.nodes += task.stats.nodes;
-    result.stats.bound_prunes += task.stats.bound_prunes;
-    result.stats.size_prunes += task.stats.size_prunes;
-    result.stats.attr_prunes += task.stats.attr_prunes;
-    result.stats.cap_removals += task.stats.cap_removals;
-    if (task.aborted) result.stats.completed = false;
-    if (task.best.size() > result.clique.size()) {
-      result.clique = std::move(task.best);
-    }
-  }
-  result.stats.search_micros = search_timer.ElapsedMicros();
+  // The monolith's time limit covered reduction + branch; deduct the time
+  // already spent preparing so the Branch stage cannot overrun the valve.
+  SearchOptions branch_options = options;
+  branch_options.time_limit_seconds = RemainingTimeBudget(
+      options.time_limit_seconds, total_timer.ElapsedSeconds());
+  SearchResult result = SearchPreparedGraph(g, *prepared, branch_options);
+  result.stats.reduce_micros = reduce_micros;
   result.stats.total_micros = total_timer.ElapsedMicros();
-  std::sort(result.clique.vertices.begin(), result.clique.vertices.end());
   return result;
 }
 

@@ -29,6 +29,10 @@ enum class BranchOrder {
   kDegree,        // Ascending degree; no peeling information.
 };
 
+/// Number of BranchOrder enumerators; sizes the per-order memo arrays in
+/// PreparedComponent (static_asserted there — update both together).
+inline constexpr int kBranchOrderCount = 3;
+
 /// Configuration of the maximum relative fair clique search (Algorithm 2
 /// with the pruning arsenal of Sections III-V).
 struct SearchOptions {
@@ -92,6 +96,11 @@ struct SearchStats {
   int64_t reduce_micros = 0;
   int64_t heuristic_micros = 0;
   int64_t search_micros = 0;
+  /// Sum of per-component branch times, accumulated in component order (not
+  /// completion order), so multi-threaded runs aggregate deterministically
+  /// instead of reflecting whichever component finished last. Exceeds
+  /// search_micros (wall clock) when components ran in parallel.
+  int64_t component_search_micros = 0;
   int64_t total_micros = 0;
   bool completed = true;         // false when a limit stopped the search
   int64_t heuristic_size = 0;    // |HeurRFC clique| when priming is enabled
@@ -112,6 +121,12 @@ struct SearchResult {
 /// fairness at every node and applying the paper's prunes in their sound
 /// forms (DESIGN.md §2.2). Exact: verified against the independent
 /// Bron-Kerbosch oracle in tests/max_fair_clique_test.cpp.
+///
+/// Since the staged-plan refactor this is a thin wrapper over
+/// core/prepared_graph.h: PrepareGraph (Reduce + Decompose, delta-
+/// independent) followed by SearchPreparedGraph (Branch). Workloads that
+/// sweep delta/bounds on one (graph, k) should prepare once and branch per
+/// query instead of paying the reduction every time.
 SearchResult FindMaximumFairClique(const AttributedGraph& g,
                                    const SearchOptions& options);
 

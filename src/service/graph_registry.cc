@@ -31,6 +31,11 @@ void GraphRegistry::AttachCache(ResultCache* cache) {
   cache_ = cache;
 }
 
+void GraphRegistry::AttachPreparedCache(PreparedGraphCache* cache) {
+  std::lock_guard<std::mutex> lock(mu_);
+  prepared_cache_ = cache;
+}
+
 bool GraphRegistry::FingerprintReferencedLocked(
     uint64_t fingerprint, const std::string& except) const {
   for (const auto& [name, entry] : graphs_) {
@@ -112,6 +117,7 @@ Status GraphRegistry::Replace(const std::string& name,
   uint64_t old_fp = 0;
   bool old_referenced = false;
   ResultCache* cache = nullptr;
+  PreparedGraphCache* prepared_cache = nullptr;
   std::lock_guard<std::mutex> swap_lock(swap_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -129,24 +135,35 @@ Status GraphRegistry::Replace(const std::string& name,
     it->second = std::move(entry);
     old_referenced = FingerprintReferencedLocked(old_fp, name);
     cache = cache_;
+    prepared_cache = prepared_cache_;
   }
 
   ReplaceReport out;
   out.old_fingerprint = old_fp;
   out.new_fingerprint = new_fp;
   out.version = version;
+  // Only migrate with a summary that describes exactly this transition:
+  // old registered content -> this snapshot. Anything else (several
+  // Apply batches collapsed into one Replace, a summary from a racing
+  // later epoch) would republish stale results as exact, so fall back to
+  // plain invalidation.
+  const bool summary_matches = summary != nullptr &&
+                               summary->base_fingerprint == old_fp &&
+                               summary->fingerprint == new_fp;
   if (cache != nullptr && old_fp != new_fp) {
-    // Only migrate with a summary that describes exactly this transition:
-    // old registered content -> this snapshot. Anything else (several
-    // Apply batches collapsed into one Replace, a summary from a racing
-    // later epoch) would republish stale results as exact, so fall back to
-    // plain invalidation.
-    if (summary != nullptr && summary->base_fingerprint == old_fp &&
-        summary->fingerprint == new_fp) {
+    if (summary_matches) {
       out.cache = cache->OnSnapshotReplace(old_fp, new_fp, *snapshot, *summary,
                                            /*keep_old_entries=*/old_referenced);
     } else if (!old_referenced) {
       out.cache.invalidated = cache->InvalidateFingerprint(old_fp);
+    }
+  }
+  if (prepared_cache != nullptr && old_fp != new_fp) {
+    if (summary_matches) {
+      out.prepared = prepared_cache->OnSnapshotReplace(
+          old_fp, new_fp, *summary, /*keep_old_entries=*/old_referenced);
+    } else if (!old_referenced) {
+      out.prepared.invalidated = prepared_cache->InvalidateFingerprint(old_fp);
     }
   }
   if (report != nullptr) *report = std::move(out);
@@ -156,6 +173,7 @@ Status GraphRegistry::Replace(const std::string& name,
 bool GraphRegistry::Evict(const std::string& name) {
   uint64_t fingerprint = 0;
   ResultCache* cache = nullptr;
+  PreparedGraphCache* prepared_cache = nullptr;
   std::lock_guard<std::mutex> swap_lock(swap_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -163,14 +181,17 @@ bool GraphRegistry::Evict(const std::string& name) {
     if (it == graphs_.end()) return false;
     fingerprint = it->second->fingerprint;
     graphs_.erase(it);
-    if (cache_ != nullptr &&
-        !FingerprintReferencedLocked(fingerprint, name)) {
+    if (!FingerprintReferencedLocked(fingerprint, name)) {
       cache = cache_;
+      prepared_cache = prepared_cache_;
     }
   }
-  // Outside mu_: the cache has its own lock, and dropping the orphaned
+  // Outside mu_: the caches have their own locks, and dropping the orphaned
   // entries is not required to be atomic with the map erase.
   if (cache != nullptr) cache->InvalidateFingerprint(fingerprint);
+  if (prepared_cache != nullptr) {
+    prepared_cache->InvalidateFingerprint(fingerprint);
+  }
   return true;
 }
 

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "dynamic/dynamic_graph.h"
 #include "graph/graph.h"
+#include "service/prepared_graph_cache.h"
 #include "service/result_cache.h"
 
 namespace fairclique {
@@ -45,7 +46,8 @@ struct ReplaceReport {
   uint64_t old_fingerprint = 0;
   uint64_t new_fingerprint = 0;
   uint64_t version = 0;
-  MigrationOutcome cache;  // zeros when no cache is attached
+  MigrationOutcome cache;             // zeros when no result cache attached
+  PreparedMigrationOutcome prepared;  // zeros when no prepared cache attached
 };
 
 /// Thread-safe name -> graph map for the query service: each graph is loaded
@@ -64,6 +66,12 @@ class GraphRegistry {
   /// Attaches the service's result cache (not owned; may be null to
   /// detach). Callers wire the same cache into their QueryExecutor.
   void AttachCache(ResultCache* cache);
+
+  /// Attaches the service's prepared-plan cache (not owned; may be null to
+  /// detach). Replace forwards or invalidates prepared plans per the rules
+  /// in PreparedGraphCache::OnSnapshotReplace; Evict drops plans whose
+  /// fingerprint no longer backs any registered name.
+  void AttachPreparedCache(PreparedGraphCache* cache);
 
   /// Loads a graph file and registers it under `name`. For kEdgeList an
   /// optional attribute file ("v attr" lines) may be given; binary FCG1
@@ -116,7 +124,8 @@ class GraphRegistry {
 
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const RegisteredGraph>> graphs_;
-  ResultCache* cache_ = nullptr;  // not owned; may be null
+  ResultCache* cache_ = nullptr;                  // not owned; may be null
+  PreparedGraphCache* prepared_cache_ = nullptr;  // not owned; may be null
   /// Serializes (map swap, cache migration) pairs end to end: without it
   /// two concurrent Replace calls could run their cache migrations in the
   /// opposite order of their map swaps, stranding entries under a stale

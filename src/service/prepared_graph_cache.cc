@@ -1,0 +1,220 @@
+#include "service/prepared_graph_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "graph/fingerprint.h"
+
+namespace fairclique {
+
+PreparedGraphCache::PreparedGraphCache(size_t capacity)
+    : capacity_(capacity) {}
+
+std::string PreparedGraphCache::MakeKey(uint64_t fingerprint, int k,
+                                        const ReductionOptions& reductions) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "|k=%d|red=%d%d%d", k,
+                reductions.use_en_colorful_core ? 1 : 0,
+                reductions.use_colorful_sup ? 1 : 0,
+                reductions.use_en_colorful_sup ? 1 : 0);
+  return FingerprintHex(fingerprint) + buf;
+}
+
+std::shared_ptr<const PreparedGraph> PreparedGraphCache::Get(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_++;
+    return nullptr;
+  }
+  hits_++;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second.prepared;
+}
+
+void PreparedGraphCache::PutLocked(const std::string& key, CacheEntry entry) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(entry));
+  index_[key] = lru_.begin();
+  insertions_++;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    evictions_++;
+  }
+}
+
+std::shared_ptr<const PreparedGraph> PreparedGraphCache::GetOrPrepare(
+    const std::string& key, uint64_t fingerprint,
+    const std::function<std::shared_ptr<const PreparedGraph>()>& build,
+    bool* built) {
+  *built = false;
+  if (capacity_ == 0) {
+    *built = true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      misses_++;
+    }
+    return build();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      auto it = index_.find(key);
+      if (it != index_.end()) {
+        hits_++;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return it->second->second.prepared;
+      }
+      if (building_.count(key) == 0) break;
+      // Another caller is reducing this key; share its plan instead of
+      // burning a second reduction.
+      build_done_.wait(lock);
+    }
+    misses_++;
+    building_.insert(key);
+  }
+  // The build runs outside the lock (it is the expensive part); Get/Put on
+  // other keys proceed concurrently. The key MUST leave building_ on every
+  // exit — a build that throws (e.g. bad_alloc on a huge graph) would
+  // otherwise strand every future query for this key on build_done_.
+  std::shared_ptr<const PreparedGraph> prepared;
+  try {
+    prepared = build();
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      building_.erase(key);
+      build_done_.notify_all();
+    }
+    throw;
+  }
+  *built = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    building_.erase(key);
+    if (prepared != nullptr) {
+      PutLocked(key, CacheEntry{prepared, fingerprint});
+    }
+    build_done_.notify_all();
+  }
+  return prepared;
+}
+
+void PreparedGraphCache::Put(const std::string& key,
+                             std::shared_ptr<const PreparedGraph> prepared,
+                             uint64_t fingerprint) {
+  if (capacity_ == 0 || prepared == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  PutLocked(key, CacheEntry{std::move(prepared), fingerprint});
+}
+
+size_t PreparedGraphCache::InvalidateFingerprint(uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->second.fingerprint == fingerprint) {
+      index_.erase(it->first);
+      it = lru_.erase(it);
+      dropped++;
+    } else {
+      ++it;
+    }
+  }
+  invalidated_ += dropped;
+  return dropped;
+}
+
+PreparedMigrationOutcome PreparedGraphCache::OnSnapshotReplace(
+    uint64_t old_fp, uint64_t new_fp, const UpdateSummary& summary,
+    bool keep_old_entries) {
+  PreparedMigrationOutcome outcome;
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Forwarding is only on the table for batches that cannot create a new
+  // clique anywhere: no net-added edges, no attribute flips (appended
+  // isolated vertices are fine — a fair clique needs both attributes >= k,
+  // which an isolated vertex can never contribute to).
+  const bool batch_forwardable =
+      summary.edges_added == 0 && summary.attributes_changed == 0;
+
+  std::vector<std::pair<std::string, CacheEntry>> to_forward;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->second.fingerprint != old_fp) {
+      ++it;
+      continue;
+    }
+    const PreparedGraph& plan = *it->second.prepared;
+    // Per-plan check: every touched vertex (net-removed edge endpoints;
+    // attribute flips are already excluded above) must lie outside the
+    // plan's reduced vertex set, so no vertex or edge of the reduced
+    // subgraph changed. original_ids is strictly increasing (reduction
+    // stages preserve vertex order), hence the binary search.
+    bool forwardable = batch_forwardable;
+    if (forwardable) {
+      for (VertexId v : summary.touched) {
+        if (std::binary_search(plan.original_ids.begin(),
+                               plan.original_ids.end(), v)) {
+          forwardable = false;
+          break;
+        }
+      }
+    }
+    if (forwardable) {
+      std::string new_key =
+          MakeKey(new_fp, plan.k, plan.reductions);
+      to_forward.emplace_back(std::move(new_key),
+                              CacheEntry{it->second.prepared, new_fp});
+      outcome.forwarded++;
+      forwarded_++;
+    } else if (!keep_old_entries) {
+      // Not forwardable: the plan dies with its epoch. With
+      // keep_old_entries it simply stays behind under the old fingerprint
+      // (another registered name still serves that content).
+      outcome.invalidated++;
+      invalidated_++;
+    }
+    if (keep_old_entries) {
+      ++it;
+    } else {
+      index_.erase(it->first);
+      it = lru_.erase(it);
+    }
+  }
+  // Inserted after the scan so a forwarded entry is never re-examined (or
+  // double-erased) by the loop above.
+  for (auto& [key, entry] : to_forward) {
+    PutLocked(key, std::move(entry));
+  }
+  return outcome;
+}
+
+void PreparedGraphCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  hits_ = misses_ = insertions_ = evictions_ = invalidated_ = forwarded_ = 0;
+}
+
+PreparedGraphCacheStats PreparedGraphCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PreparedGraphCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.invalidated = invalidated_;
+  s.forwarded = forwarded_;
+  s.entries = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace fairclique

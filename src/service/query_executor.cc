@@ -17,8 +17,37 @@ constexpr size_t kMaxIncrementalEdges = 256;
 
 }  // namespace
 
-QueryExecutor::QueryExecutor(const ExecutorOptions& options, ResultCache* cache)
-    : options_(options), cache_(cache) {
+struct QueryExecutor::QueryState {
+  QueryRequest request;
+  std::promise<QueryResponse> promise;
+  WallTimer queued;     // from Pending; meaningless for synchronous Run()
+  WallTimer run_timer;  // restarted when processing begins
+  WallTimer search_timer;
+  QueryResponse response;
+
+  SearchOptions effective;
+  std::string cache_key;
+  bool use_cache = false;
+  /// A non-incremental warm hint consumed from the cache; put back when a
+  /// deadline truncates the search it seeded.
+  std::optional<WarmHint> hint;
+
+  std::shared_ptr<const PreparedGraph> prepared;
+  int64_t prepare_micros = 0;  // 0 on a prepared-cache hit
+  Deadline deadline;           // spans prepare + branch, like the monolith
+
+  IncumbentSeed seed;
+  std::atomic<int64_t> floor{0};
+  /// Prepared-component indices that survived selection; results[i] is the
+  /// outcome for comp_indices[i], aggregated in this (deterministic) order.
+  std::vector<size_t> comp_indices;
+  std::vector<ComponentBranchResult> results;
+  std::atomic<size_t> remaining{0};
+};
+
+QueryExecutor::QueryExecutor(const ExecutorOptions& options, ResultCache* cache,
+                             PreparedGraphCache* prepared_cache)
+    : options_(options), cache_(cache), prepared_cache_(prepared_cache) {
   int workers = std::max(1, options_.num_workers);
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
@@ -41,6 +70,7 @@ std::future<QueryResponse> QueryExecutor::Submit(QueryRequest request) {
       pending.request = std::move(request);
       pending.promise = std::move(promise);
       queue_.push_back(std::move(pending));
+      ++inflight_;
       peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
       work_ready_.notify_one();
       return future;
@@ -55,37 +85,36 @@ std::future<QueryResponse> QueryExecutor::Submit(QueryRequest request) {
   return future;
 }
 
-QueryResponse QueryExecutor::Run(const QueryRequest& request) {
-  QueryResponse response;
-  WallTimer run_timer;
+bool QueryExecutor::PreSearch(QueryState& qs) {
+  const QueryRequest& request = qs.request;
+  qs.run_timer.Restart();
 
   if (request.graph == nullptr || request.graph->graph == nullptr) {
-    response.status = Status::InvalidArgument("request has no graph");
-    served_.fetch_add(1, std::memory_order_relaxed);
-    return response;
+    qs.response.status = Status::InvalidArgument("request has no graph");
+    return true;
   }
 
-  std::string key;
-  const bool use_cache = cache_ != nullptr && !request.bypass_cache;
-  if (use_cache) {
-    key = ResultCache::MakeKey(request.graph->fingerprint, request.options);
-    if (std::shared_ptr<const SearchResult> cached = cache_->Get(key)) {
-      response.result = std::move(cached);
-      response.cache_hit = true;
-      response.run_micros = run_timer.ElapsedMicros();
-      served_.fetch_add(1, std::memory_order_relaxed);
+  qs.use_cache = cache_ != nullptr && !request.bypass_cache;
+  if (qs.use_cache) {
+    qs.cache_key =
+        ResultCache::MakeKey(request.graph->fingerprint, request.options);
+    if (std::shared_ptr<const SearchResult> cached = cache_->Get(qs.cache_key)) {
+      qs.response.result = std::move(cached);
+      qs.response.cache_hit = true;
+      qs.response.run_micros = qs.run_timer.ElapsedMicros();
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      return response;
+      return true;
     }
   }
 
   // Map the per-query deadline onto the search's own safety valve
   // (0 = unlimited on both sides).
-  SearchOptions effective = request.options;
+  qs.effective = request.options;
   if (request.deadline_seconds > 0.0) {
-    effective.time_limit_seconds =
-        effective.time_limit_seconds > 0.0
-            ? std::min(effective.time_limit_seconds, request.deadline_seconds)
+    qs.effective.time_limit_seconds =
+        qs.effective.time_limit_seconds > 0.0
+            ? std::min(qs.effective.time_limit_seconds,
+                       request.deadline_seconds)
             : request.deadline_seconds;
   }
 
@@ -93,57 +122,188 @@ QueryResponse QueryExecutor::Run(const QueryRequest& request) {
   // hints with few outstanding edges answer exactly via the incremental
   // re-query; everything else still seeds the incumbent for a full search.
   std::optional<WarmHint> hint;
-  if (use_cache) hint = cache_->TakeHint(key);
+  if (qs.use_cache) hint = cache_->TakeHint(qs.cache_key);
   if (hint.has_value() && hint->exact_chain &&
       hint->new_edges.size() <= kMaxIncrementalEdges) {
     auto result = std::make_shared<SearchResult>(IncrementalRequery(
-        *request.graph->graph, hint->new_edges, hint->clique, effective));
-    response.deadline_missed = !result->stats.completed;
-    if (response.deadline_missed) {
+        *request.graph->graph, hint->new_edges, hint->clique, qs.effective));
+    qs.response.deadline_missed = !result->stats.completed;
+    if (qs.response.deadline_missed) {
       deadline_misses_.fetch_add(1, std::memory_order_relaxed);
       // Give the (one-shot) hint back: this query's budget was too tight,
       // but the exact chain is still valid for the next one.
-      cache_->PutHint(key, std::move(*hint));
+      cache_->PutHint(qs.cache_key, std::move(*hint));
     } else {
-      cache_->Put(key, result, request.options.params);
+      cache_->Put(qs.cache_key, result, request.options.params);
     }
-    response.result = std::move(result);
-    response.incremental = true;
-    response.run_micros = run_timer.ElapsedMicros();
-    served_.fetch_add(1, std::memory_order_relaxed);
+    qs.response.result = std::move(result);
+    qs.response.incremental = true;
+    qs.response.run_micros = qs.run_timer.ElapsedMicros();
     incremental_requeries_.fetch_add(1, std::memory_order_relaxed);
-    return response;
+    return true;
   }
   if (hint.has_value() && !hint->clique.vertices.empty()) {
-    effective.warm_start = hint->clique.vertices;
-    response.warm_start = true;
+    qs.effective.warm_start = hint->clique.vertices;
+    qs.response.warm_start = true;
     warm_starts_.fetch_add(1, std::memory_order_relaxed);
+    qs.hint = std::move(hint);
   }
 
-  auto result = std::make_shared<SearchResult>(
-      FindMaximumFairClique(*request.graph->graph, effective));
-  response.deadline_missed = !result->stats.completed;
-  if (response.deadline_missed) {
+  // The deadline spans prepare + branch, matching the monolithic search
+  // where reduction time counted against the budget.
+  qs.deadline = Deadline(qs.effective.time_limit_seconds);
+
+  // Prepared plan: probe the shared cache, else build (and publish). The
+  // plan is keyed by (fingerprint, k, reductions) only, so a delta/bound
+  // sweep on one graph reduces exactly once.
+  const bool use_prepared =
+      prepared_cache_ != nullptr && !request.bypass_prepared_cache;
+  if (use_prepared) {
+    // Single-flight through the cache: concurrent identical cold queries
+    // share one reduction; only the builder pays (and logs) it.
+    std::string prepared_key = PreparedGraphCache::MakeKey(
+        request.graph->fingerprint, qs.effective.params.k,
+        qs.effective.reductions);
+    WallTimer prepare_timer;
+    bool built = false;
+    qs.prepared = prepared_cache_->GetOrPrepare(
+        prepared_key, request.graph->fingerprint,
+        [&] {
+          return PrepareGraph(*request.graph->graph, qs.effective.params.k,
+                              qs.effective.reductions);
+        },
+        &built);
+    if (built) {
+      qs.prepare_micros = prepare_timer.ElapsedMicros();
+      prepared_builds_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      qs.response.prepared_hit = true;
+      prepared_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    WallTimer prepare_timer;
+    qs.prepared = PrepareGraph(*request.graph->graph, qs.effective.params.k,
+                               qs.effective.reductions);
+    qs.prepare_micros = prepare_timer.ElapsedMicros();
+    prepared_builds_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return false;
+}
+
+void QueryExecutor::FinishSearch(QueryState& qs, SearchResult&& sr) {
+  auto result = std::make_shared<SearchResult>(std::move(sr));
+  qs.response.deadline_missed = !result->stats.completed;
+  if (qs.response.deadline_missed) {
     deadline_misses_.fetch_add(1, std::memory_order_relaxed);
-    // As on the incremental path: a hint consumed by a query whose budget
-    // was too tight goes back for the next query.
-    if (hint.has_value()) cache_->PutHint(key, std::move(*hint));
-  } else if (use_cache) {
+    // A hint consumed by a query whose budget was too tight goes back for
+    // the next query.
+    if (qs.hint.has_value() && qs.use_cache) {
+      cache_->PutHint(qs.cache_key, std::move(*qs.hint));
+    }
+  } else if (qs.use_cache) {
     // Only completed searches are cached: a truncated result under a tight
     // deadline must not be replayed to a later query with a looser one.
     // The key is the *request's* options, so repeat queries hit even when a
     // deadline tightened the effective limit (completion makes them equal).
-    cache_->Put(key, result, request.options.params);
+    cache_->Put(qs.cache_key, result, qs.request.options.params);
   }
-  response.result = std::move(result);
-  response.run_micros = run_timer.ElapsedMicros();
+  qs.response.result = std::move(result);
+  qs.response.run_micros = qs.run_timer.ElapsedMicros();
+}
+
+QueryResponse QueryExecutor::Run(const QueryRequest& request) {
+  QueryState qs;
+  qs.request = request;
+  if (!PreSearch(qs)) {
+    // Deduct the time already spent (hint handling, plan build) from the
+    // branch budget so the overall limit matches the monolith's.
+    SearchOptions branch_options = qs.effective;
+    branch_options.time_limit_seconds = RemainingTimeBudget(
+        qs.effective.time_limit_seconds, qs.run_timer.ElapsedSeconds());
+    SearchResult sr = SearchPreparedGraph(*request.graph->graph, *qs.prepared,
+                                          branch_options);
+    sr.stats.reduce_micros = qs.prepare_micros;
+    sr.stats.total_micros = qs.run_timer.ElapsedMicros();
+    FinishSearch(qs, std::move(sr));
+  }
   served_.fetch_add(1, std::memory_order_relaxed);
-  return response;
+  return std::move(qs.response);
+}
+
+void QueryExecutor::ExpandQuery(std::shared_ptr<QueryState> qs) {
+  qs->seed = SeedIncumbent(*qs->request.graph->graph, *qs->prepared,
+                           qs->effective);
+  qs->floor.store(static_cast<int64_t>(qs->seed.clique.size()),
+                  std::memory_order_relaxed);
+
+  // Static selection against the seeded incumbent; BranchComponent re-checks
+  // against the live floor when the task actually runs, so components made
+  // irrelevant by a sibling's find are skipped for free.
+  const int64_t target =
+      std::max<int64_t>(2 * qs->effective.params.k,
+                        static_cast<int64_t>(qs->seed.clique.size()) + 1);
+  for (size_t i = 0; i < qs->prepared->components.size(); ++i) {
+    if (static_cast<int64_t>(
+            qs->prepared->components[i]->graph.num_vertices()) >= target) {
+      qs->comp_indices.push_back(i);
+    }
+  }
+
+  const size_t n = qs->comp_indices.size();
+  qs->search_timer.Restart();
+  if (n == 0) {
+    FinalizeQuery(*qs);
+    return;
+  }
+  qs->results.resize(n);
+  qs->remaining.store(n, std::memory_order_relaxed);
+  component_tasks_.fetch_add(n, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t slot = 0; slot < n; ++slot) {
+      component_queue_.push_back(ComponentTask{qs, slot});
+    }
+    work_ready_.notify_all();
+  }
+}
+
+void QueryExecutor::ExecuteComponentTask(const ComponentTask& task) {
+  QueryState& qs = *task.query;
+  qs.results[task.slot] =
+      BranchComponent(*qs.prepared, qs.comp_indices[task.slot], qs.effective,
+                      qs.deadline, &qs.floor);
+  // acq_rel: the release side publishes this task's result slot, the
+  // acquire side (the final decrement) observes every sibling's slot.
+  if (qs.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    FinalizeQuery(qs);
+  }
+}
+
+void QueryExecutor::FinalizeQuery(QueryState& qs) {
+  SearchResult sr =
+      AggregatePreparedSearch(*qs.prepared, qs.seed, qs.results);
+  sr.stats.reduce_micros = qs.prepare_micros;
+  sr.stats.search_micros = qs.search_timer.ElapsedMicros();
+  sr.stats.total_micros = qs.run_timer.ElapsedMicros();
+  FinishSearch(qs, std::move(sr));
+  CompleteQuery(qs);
+}
+
+void QueryExecutor::CompleteQuery(QueryState& qs) {
+  served_.fetch_add(1, std::memory_order_relaxed);
+  qs.response.queue_micros =
+      qs.queued.ElapsedMicros() - qs.response.run_micros;
+  qs.promise.set_value(std::move(qs.response));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+    if (inflight_ == 0) idle_.notify_all();
+  }
 }
 
 void QueryExecutor::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  idle_.wait(lock, [this] { return inflight_ == 0; });
 }
 
 void QueryExecutor::Shutdown() {
@@ -165,23 +325,40 @@ void QueryExecutor::Shutdown() {
 
 void QueryExecutor::WorkerLoop() {
   while (true) {
+    ComponentTask task;
     Pending pending;
+    enum class Work { kNone, kComponent, kQuery } work = Work::kNone;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ && drained
-      pending = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
+      work_ready_.wait(lock, [this] {
+        return stopping_ || !component_queue_.empty() || !queue_.empty();
+      });
+      // Component tasks first: finishing in-flight queries beats admitting
+      // new ones (and is what frees their memory).
+      if (!component_queue_.empty()) {
+        task = std::move(component_queue_.front());
+        component_queue_.pop_front();
+        work = Work::kComponent;
+      } else if (!queue_.empty()) {
+        pending = std::move(queue_.front());
+        queue_.pop_front();
+        work = Work::kQuery;
+      } else {
+        return;  // stopping_ && both queues drained
+      }
     }
-    QueryResponse response = Run(pending.request);
-    response.queue_micros = pending.queued.ElapsedMicros() -
-                            response.run_micros;
-    pending.promise.set_value(std::move(response));
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --active_;
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    if (work == Work::kComponent) {
+      ExecuteComponentTask(task);
+    } else {
+      auto qs = std::make_shared<QueryState>();
+      qs->request = std::move(pending.request);
+      qs->promise = std::move(pending.promise);
+      qs->queued = pending.queued;
+      if (PreSearch(*qs)) {
+        CompleteQuery(*qs);
+      } else {
+        ExpandQuery(std::move(qs));
+      }
     }
   }
 }
@@ -196,6 +373,9 @@ ExecutorMetrics QueryExecutor::metrics() const {
   m.incremental_requeries =
       incremental_requeries_.load(std::memory_order_relaxed);
   m.warm_starts = warm_starts_.load(std::memory_order_relaxed);
+  m.prepared_hits = prepared_hits_.load(std::memory_order_relaxed);
+  m.prepared_builds = prepared_builds_.load(std::memory_order_relaxed);
+  m.component_tasks = component_tasks_.load(std::memory_order_relaxed);
   m.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   m.queue_depth = queue_.size();

@@ -14,17 +14,21 @@
 #include "common/status.h"
 #include "common/timer.h"
 #include "core/max_fair_clique.h"
+#include "core/prepared_graph.h"
 #include "service/graph_registry.h"
+#include "service/prepared_graph_cache.h"
 #include "service/result_cache.h"
 
 namespace fairclique {
 
 /// Sizing of the query worker pool.
 struct ExecutorOptions {
-  /// Worker threads running searches; clamped to >= 1. Query-level
-  /// parallelism composes with SearchOptions::num_threads (per-query
-  /// component parallelism); serving workloads usually want workers > 1 and
-  /// num_threads = 1.
+  /// Worker threads. Queued queries are expanded into *component-granular*
+  /// tasks scheduled onto this pool: all in-flight queries' components
+  /// interleave, so one huge component no longer monopolizes a worker pool
+  /// while other queries' small components wait. SearchOptions::num_threads
+  /// is therefore ignored for queued requests (the pool is the
+  /// parallelism); the synchronous Run() still honors it.
   int num_workers = 2;
   /// Requests waiting beyond the ones being executed. Submit rejects (does
   /// not block) once the queue is full, giving callers explicit
@@ -40,11 +44,18 @@ struct QueryRequest {
   /// Per-query wall-clock budget in seconds; 0 = none. Mapped onto the
   /// search's own safety valve: effective time_limit_seconds =
   /// min(options.time_limit_seconds, deadline_seconds) (treating 0 as
-  /// unlimited). A search stopped by the budget reports
+  /// unlimited). The clock starts when a worker admits the query; on a
+  /// loaded pool it also covers time the query's component tasks spend
+  /// waiting behind other queries' tasks — it bounds response latency from
+  /// admission, not pure compute. A search stopped by the budget reports
   /// `deadline_missed = true` and is not cached.
   double deadline_seconds = 0.0;
-  /// Skip the cache entirely (cold benchmarking, freshness checks).
+  /// Skip the result cache (cold benchmarking, freshness checks).
   bool bypass_cache = false;
+  /// Skip the prepared-plan cache as well: the query reduces from scratch
+  /// and does not publish the plan. bypass_cache + bypass_prepared_cache
+  /// is a fully cold query.
+  bool bypass_prepared_cache = false;
 };
 
 /// Outcome of one request.
@@ -58,6 +69,9 @@ struct QueryResponse {
   /// A surviving cached clique primed SearchOptions::warm_start for a full
   /// search (attribute changes downgraded it below incremental exactness).
   bool warm_start = false;
+  /// The Branch stage reused a cached PreparedGraph instead of re-running
+  /// the reduction pipeline.
+  bool prepared_hit = false;
   bool deadline_missed = false;  // search stopped by a safety valve
   int64_t queue_micros = 0;      // time spent waiting for a worker
   int64_t run_micros = 0;        // cache lookup + search time
@@ -73,24 +87,38 @@ struct ExecutorMetrics {
   uint64_t cache_hits = 0;
   uint64_t incremental_requeries = 0;  // exact re-queries from warm hints
   uint64_t warm_starts = 0;            // full searches seeded by a warm hint
+  uint64_t prepared_hits = 0;          // Branch stages on a cached plan
+  uint64_t prepared_builds = 0;        // plans built (and possibly published)
+  uint64_t component_tasks = 0;        // component tasks scheduled pool-wide
   uint64_t deadline_misses = 0;
-  size_t queue_depth = 0;       // point-in-time
+  size_t queue_depth = 0;       // point-in-time (whole queries waiting)
   size_t peak_queue_depth = 0;  // high-water mark
 };
 
-/// Bounded-queue worker pool turning FindMaximumFairClique into a
+/// Bounded-queue worker pool turning the staged fair-clique search into a
 /// concurrent, memoized query service. Requests flow
 ///
-///   Submit -> [bounded queue] -> worker: cache probe -> search -> cache fill
+///   Submit -> [bounded queue] -> worker: result-cache probe
+///                                  -> prepared-plan probe/build
+///                                  -> expand into per-component tasks
+///                                  -> [component queue] -> workers branch
+///                                  -> last task aggregates, fills caches
 ///
-/// The executor owns its worker threads; the result cache is optional,
-/// shared, and owned by the caller (pass nullptr to serve uncached). The
-/// destructor drains outstanding accepted requests before joining, so every
-/// future obtained from Submit is eventually satisfied.
+/// Workers prefer component tasks over admitting new queries, so in-flight
+/// queries finish before fresh ones start reducing. Components of one query
+/// share an atomic incumbent-size floor (exactly as the in-search parallel
+/// mode does), so answers are identical to a sequential search.
+///
+/// The executor owns its worker threads; the result cache and prepared-plan
+/// cache are optional, shared, and owned by the caller (pass nullptr to
+/// serve without them). The destructor drains outstanding accepted requests
+/// before joining, so every future obtained from Submit is eventually
+/// satisfied.
 class QueryExecutor {
  public:
   explicit QueryExecutor(const ExecutorOptions& options,
-                         ResultCache* cache = nullptr);
+                         ResultCache* cache = nullptr,
+                         PreparedGraphCache* prepared_cache = nullptr);
   ~QueryExecutor();
 
   QueryExecutor(const QueryExecutor&) = delete;
@@ -102,20 +130,33 @@ class QueryExecutor {
   std::future<QueryResponse> Submit(QueryRequest request);
 
   /// Runs a request synchronously on the calling thread, through the same
-  /// cache path as queued requests (used by workers internally, and by
-  /// sequential baselines in benchmarks).
+  /// cache path as queued requests (used by sequential baselines in
+  /// benchmarks). Honors SearchOptions::num_threads for the Branch stage
+  /// instead of the shared component queue.
   QueryResponse Run(const QueryRequest& request);
 
   /// Blocks until every accepted request has been served.
   void Drain();
 
-  /// Stops accepting new requests, serves the remaining queue, joins the
-  /// workers. Idempotent; called by the destructor.
+  /// Stops accepting new requests, serves the remaining queue (including
+  /// outstanding component tasks), joins the workers. Idempotent; called by
+  /// the destructor.
   void Shutdown();
 
   ExecutorMetrics metrics() const;
 
  private:
+  /// Everything one query carries from admission to response. Shared by the
+  /// component tasks fanned out for it; the last task to finish aggregates
+  /// and fulfills the promise.
+  struct QueryState;
+
+  /// One schedulable unit: branch component `slot` of `query`'s selection.
+  struct ComponentTask {
+    std::shared_ptr<QueryState> query;
+    size_t slot = 0;
+  };
+
   struct Pending {
     QueryRequest request;
     std::promise<QueryResponse> promise;
@@ -123,15 +164,32 @@ class QueryExecutor {
   };
 
   void WorkerLoop();
+  /// Shared pre-Branch pipeline: validation, result-cache probe, warm-hint
+  /// handling, deadline mapping, prepared-plan probe/build. Returns true
+  /// when the response is already complete (hit / incremental / invalid).
+  bool PreSearch(QueryState& qs);
+  /// Shared post-Branch glue: deadline-miss bookkeeping, hint put-back,
+  /// result-cache fill, response fields. Does not touch the promise.
+  void FinishSearch(QueryState& qs, SearchResult&& result);
+  /// Worker path: seed the incumbent, select components, fan tasks out (or
+  /// finalize immediately when nothing survives selection).
+  void ExpandQuery(std::shared_ptr<QueryState> qs);
+  void ExecuteComponentTask(const ComponentTask& task);
+  void FinalizeQuery(QueryState& qs);
+  /// Sets the promise and settles the in-flight accounting.
+  void CompleteQuery(QueryState& qs);
 
   const ExecutorOptions options_;
-  ResultCache* const cache_;  // not owned; may be null
+  ResultCache* const cache_;                   // not owned; may be null
+  PreparedGraphCache* const prepared_cache_;   // not owned; may be null
 
   mutable std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable idle_;
   std::deque<Pending> queue_;
-  size_t active_ = 0;
+  std::deque<ComponentTask> component_queue_;
+  /// Accepted queries not yet answered (queued, expanding, or branching).
+  size_t inflight_ = 0;
   size_t peak_queue_depth_ = 0;
   bool stopping_ = false;
   /// Serializes Shutdown end to end; workers_ is written only at
@@ -146,6 +204,9 @@ class QueryExecutor {
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> incremental_requeries_{0};
   std::atomic<uint64_t> warm_starts_{0};
+  std::atomic<uint64_t> prepared_hits_{0};
+  std::atomic<uint64_t> prepared_builds_{0};
+  std::atomic<uint64_t> component_tasks_{0};
   std::atomic<uint64_t> deadline_misses_{0};
 };
 

@@ -1,0 +1,259 @@
+#include "service/wire.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace fairclique {
+namespace wire {
+
+namespace {
+
+bool SkipSpace(const std::string& s, size_t* i) {
+  while (*i < s.size() && std::isspace(static_cast<unsigned char>(s[*i]))) {
+    ++*i;
+  }
+  return *i < s.size();
+}
+
+bool ParseJsonString(const std::string& s, size_t* i, std::string* out) {
+  if (s[*i] != '"') return false;
+  ++*i;
+  out->clear();
+  while (*i < s.size() && s[*i] != '"') {
+    char c = s[*i];
+    if (c == '\\') {
+      if (*i + 1 >= s.size()) return false;
+      char esc = s[*i + 1];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        default: return false;  // \uXXXX etc. not needed by this protocol
+      }
+      *i += 2;
+    } else {
+      out->push_back(c);
+      ++*i;
+    }
+  }
+  if (*i >= s.size()) return false;
+  ++*i;  // closing quote
+  return true;
+}
+
+}  // namespace
+
+bool ParseJsonObject(const std::string& line, JsonObject* out,
+                     std::string* error) {
+  *error = "";
+  out->clear();
+  size_t i = 0;
+  if (!SkipSpace(line, &i) || line[i] != '{') {
+    *error = "expected '{'";
+    return false;
+  }
+  ++i;
+  if (!SkipSpace(line, &i)) {
+    *error = "unterminated object";
+    return false;
+  }
+  if (line[i] == '}') return true;  // empty object
+  while (true) {
+    if (!SkipSpace(line, &i)) break;
+    std::string key;
+    if (!ParseJsonString(line, &i, &key)) {
+      *error = "expected string key";
+      return false;
+    }
+    if (!SkipSpace(line, &i) || line[i] != ':') {
+      *error = "expected ':' after key '" + key + "'";
+      return false;
+    }
+    ++i;
+    if (!SkipSpace(line, &i)) break;
+    JsonValue value;
+    char c = line[i];
+    if (c == '"') {
+      value.type = JsonValue::Type::kString;
+      if (!ParseJsonString(line, &i, &value.str)) {
+        *error = "bad string value for '" + key + "'";
+        return false;
+      }
+    } else if (std::strncmp(line.c_str() + i, "true", 4) == 0) {
+      value.type = JsonValue::Type::kBool;
+      value.b = true;
+      i += 4;
+    } else if (std::strncmp(line.c_str() + i, "false", 5) == 0) {
+      value.type = JsonValue::Type::kBool;
+      value.b = false;
+      i += 5;
+    } else {
+      value.type = JsonValue::Type::kNumber;
+      char* end = nullptr;
+      value.num = std::strtod(line.c_str() + i, &end);
+      if (end == line.c_str() + i) {
+        *error = "bad value for '" + key + "'";
+        return false;
+      }
+      i = static_cast<size_t>(end - line.c_str());
+    }
+    (*out)[key] = std::move(value);
+    if (!SkipSpace(line, &i)) break;
+    if (line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (line[i] == '}') return true;
+    *error = "expected ',' or '}'";
+    return false;
+  }
+  *error = "unterminated object";
+  return false;
+}
+
+std::string GetString(const JsonObject& obj, const std::string& key,
+                      const std::string& fallback) {
+  auto it = obj.find(key);
+  if (it == obj.end() || it->second.type != JsonValue::Type::kString) {
+    return fallback;
+  }
+  return it->second.str;
+}
+
+double GetNumber(const JsonObject& obj, const std::string& key,
+                 double fallback) {
+  auto it = obj.find(key);
+  if (it == obj.end() || it->second.type != JsonValue::Type::kNumber) {
+    return fallback;
+  }
+  return it->second.num;
+}
+
+bool GetBool(const JsonObject& obj, const std::string& key, bool fallback) {
+  auto it = obj.find(key);
+  if (it == obj.end() || it->second.type != JsonValue::Type::kBool) {
+    return fallback;
+  }
+  return it->second.b;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string ErrorJson(uint64_t id, const std::string& message) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "{\"ok\":false,\"id\":%llu,\"error\":\"",
+                static_cast<unsigned long long>(id));
+  return std::string(buf) + JsonEscape(message) + "\"}";
+}
+
+std::string QueryResponseJson(uint64_t id, const std::string& graph,
+                              const QueryResponse& r) {
+  if (!r.status.ok()) return ErrorJson(id, r.status.ToString());
+  const SearchResult& sr = *r.result;
+  // The vertex list is unbounded (cliques can be large), so the line is
+  // assembled on a string; only the fixed-width tail goes through snprintf.
+  std::string vertices;
+  for (size_t i = 0; i < sr.clique.vertices.size(); ++i) {
+    if (i > 0) vertices += ",";
+    vertices += std::to_string(sr.clique.vertices[i]);
+  }
+  char head[64];
+  std::snprintf(head, sizeof(head), "{\"ok\":true,\"id\":%llu,\"graph\":\"",
+                static_cast<unsigned long long>(id));
+  char tail[384];
+  std::snprintf(
+      tail, sizeof(tail),
+      "\"cache_hit\":%s,\"incremental\":%s,\"warm_start\":%s,"
+      "\"prepared_hit\":%s,\"completed\":%s,\"deadline_missed\":%s,"
+      "\"queue_micros\":%lld,\"run_micros\":%lld}",
+      r.cache_hit ? "true" : "false", r.incremental ? "true" : "false",
+      r.warm_start ? "true" : "false", r.prepared_hit ? "true" : "false",
+      sr.stats.completed ? "true" : "false",
+      r.deadline_missed ? "true" : "false",
+      static_cast<long long>(r.queue_micros),
+      static_cast<long long>(r.run_micros));
+  return std::string(head) + JsonEscape(graph) + "\",\"size\":" +
+         std::to_string(sr.clique.size()) + ",\"counts\":[" +
+         std::to_string(sr.clique.attr_counts.a()) + "," +
+         std::to_string(sr.clique.attr_counts.b()) + "],\"vertices\":[" +
+         vertices + "]," + tail;
+}
+
+std::vector<std::string> SplitList(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool ParseAttrToken(const std::string& token, Attribute* out) {
+  if (token == "a" || token == "0") *out = Attribute::kA;
+  else if (token == "b" || token == "1") *out = Attribute::kB;
+  else return false;
+  return true;
+}
+
+bool ParseVertexId(const char* s, const char* expected_end, VertexId* out) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (end != expected_end || v > 0xffffffffULL) return false;
+  *out = static_cast<VertexId>(v);
+  return true;
+}
+
+bool ParseVertexPair(const std::string& token, char sep, VertexId* u,
+                     VertexId* v) {
+  size_t pos = token.find(sep);
+  if (pos == std::string::npos || pos == 0 || pos + 1 >= token.size()) {
+    return false;
+  }
+  return ParseVertexId(token.c_str(), token.c_str() + pos, u) &&
+         ParseVertexId(token.c_str() + pos + 1,
+                       token.c_str() + token.size(), v);
+}
+
+bool ParseExtraBound(const std::string& name, ExtraBound* out) {
+  if (name.empty() || name == "none") *out = ExtraBound::kNone;
+  else if (name == "degeneracy" || name == "d") *out = ExtraBound::kDegeneracy;
+  else if (name == "hindex" || name == "h") *out = ExtraBound::kHIndex;
+  else if (name == "cd") *out = ExtraBound::kColorfulDegeneracy;
+  else if (name == "ch") *out = ExtraBound::kColorfulHIndex;
+  else if (name == "cp") *out = ExtraBound::kColorfulPath;
+  else return false;
+  return true;
+}
+
+}  // namespace wire
+}  // namespace fairclique

@@ -1,0 +1,87 @@
+#ifndef FAIRCLIQUE_SERVICE_WIRE_H_
+#define FAIRCLIQUE_SERVICE_WIRE_H_
+
+/// The JSON-lines wire protocol of fairclique_server, factored out of the
+/// binary so it can be unit-tested and reused: a minimal flat-object JSON
+/// parser (string keys; string / number / bool values — no nesting, no
+/// arrays, no null, which is all the protocol uses), typed field accessors,
+/// token parsers for the protocol's compact list encodings ("0-5,3-7",
+/// "4:b"), and response serialization.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bounds/upper_bounds.h"
+#include "graph/types.h"
+#include "service/query_executor.h"
+
+namespace fairclique {
+namespace wire {
+
+// ----------------------------------------------------------------- JSON in
+
+struct JsonValue {
+  enum class Type { kString, kNumber, kBool };
+  Type type = Type::kString;
+  std::string str;
+  double num = 0.0;
+  bool b = false;
+};
+
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Parses one flat JSON object from `line`. On failure returns false and
+/// describes the problem in `*error`.
+bool ParseJsonObject(const std::string& line, JsonObject* out,
+                     std::string* error);
+
+/// Typed accessors; a missing key or a value of the wrong type yields the
+/// fallback.
+std::string GetString(const JsonObject& obj, const std::string& key,
+                      const std::string& fallback = "");
+double GetNumber(const JsonObject& obj, const std::string& key,
+                 double fallback);
+bool GetBool(const JsonObject& obj, const std::string& key, bool fallback);
+
+// ---------------------------------------------------------------- JSON out
+
+/// Escapes `s` for embedding in a JSON string literal.
+std::string JsonEscape(const std::string& s);
+
+/// {"ok":false,"id":<id>,"error":"<message>"}
+std::string ErrorJson(uint64_t id, const std::string& message);
+
+/// The query response line: clique size/counts/vertices plus the serving
+/// flags (cache_hit / incremental / warm_start / prepared_hit / completed /
+/// deadline_missed) and timings. A non-OK response serializes as ErrorJson.
+std::string QueryResponseJson(uint64_t id, const std::string& graph,
+                              const QueryResponse& response);
+
+// ----------------------------------------------------------- token parsing
+
+/// Splits a comma-separated list; empty input (and empty segments) yield no
+/// tokens.
+std::vector<std::string> SplitList(const std::string& s);
+
+/// "a"/"0" -> kA, "b"/"1" -> kB.
+bool ParseAttrToken(const std::string& token, Attribute* out);
+
+/// Parses a decimal vertex id spanning [s, expected_end), rejecting values
+/// that do not fit VertexId (a silent narrowing would mutate some unrelated
+/// small id instead).
+bool ParseVertexId(const char* s, const char* expected_end, VertexId* out);
+
+/// Parses "<u><sep><v>" into two vertex ids.
+bool ParseVertexPair(const std::string& token, char sep, VertexId* u,
+                     VertexId* v);
+
+/// Protocol names of the extra upper bounds: none|degeneracy|d|hindex|h|
+/// cd|ch|cp; the empty string means none.
+bool ParseExtraBound(const std::string& name, ExtraBound* out);
+
+}  // namespace wire
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_SERVICE_WIRE_H_

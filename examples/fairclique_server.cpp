@@ -4,11 +4,21 @@
 //
 //   ./fairclique_server < workload.jsonl
 //   ./fairclique_server --workers 4 --cache 256 workload.jsonl
+//   ./fairclique_server --data-dir /var/lib/fairclique < workload.jsonl
+//
+// With --data-dir the service is durable: every load writes an FCG2
+// snapshot through src/storage, every update batch is WAL-logged (fsync'd)
+// before its epoch is published, and startup automatically recovers all
+// registered graphs (snapshot + WAL replay, fingerprint-verified) plus the
+// persisted result-cache entries (verifier-checked) — so a SIGKILL'd server
+// restarts to the same verified answers at the same epochs.
 //
 // Commands:
 //   {"cmd":"load","name":"g","dataset":"dblp-s","scale":1.0}
 //   {"cmd":"load","name":"g","path":"edges.txt","attrs":"attr.txt"}
 //   {"cmd":"load","name":"g","path":"graph.fcg","format":"binary"}
+//   {"cmd":"load","name":"g","path":"graph.fcg2","format":"fcg2"}
+//   {"cmd":"load","name":"g","path":"graph.metis","format":"metis"}
 //   {"cmd":"query","graph":"g","k":3,"delta":1}             synchronous
 //   {"cmd":"query","graph":"g","k":3,"delta":1,"preset":"baseline",
 //    "extra":"cp","deadline":5.0,"threads":2,"async":true}  queued
@@ -21,6 +31,10 @@
 //                        apply one batch, advance the epoch, migrate caches
 //   {"cmd":"snapshot","graph":"g"}             report the current epoch
 //   {"cmd":"snapshot","graph":"g","path":"g.fcg"}  also save FCG1 binary
+//   {"cmd":"snapshot","graph":"g","path":"g.fcg2","format":"fcg2"}
+//   {"cmd":"persist"}    write the result-cache warm file to the data dir
+//   {"cmd":"restore"}    recover data-dir graphs not currently registered
+//   {"cmd":"metrics"}    alias of stats (includes storage counters)
 //   {"cmd":"quit"}
 //
 // query fields: preset = baseline|bounded|full (default full), extra = none|
@@ -49,6 +63,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -82,6 +97,9 @@ struct Server {
   ResultCache cache;
   PreparedGraphCache prepared;
   QueryExecutor executor;
+  /// Durable backing (null without --data-dir). Owned here; the registry
+  /// only borrows it for write-through.
+  std::unique_ptr<storage::StorageManager> storage;
   /// Mutable shadow of updated graphs; created lazily on the first update
   /// of a name, dropped on evict. The registry always serves the latest
   /// materialized snapshot.
@@ -97,6 +115,75 @@ struct Server {
         executor(ExecutorOptions{workers, queue_capacity}, &cache, &prepared) {
     registry.AttachCache(&cache);
     registry.AttachPreparedCache(&prepared);
+  }
+
+  ~Server() {
+    // The registry borrows `storage`; make sure no write-through can run
+    // while members destruct (executor drains before registry in reverse
+    // member order, so detach first).
+    registry.AttachStorage(nullptr);
+  }
+
+  /// Opens the data dir and recovers its graphs + warm cache. Called before
+  /// the command loop; failures are fatal (a durable server that cannot
+  /// persist is worse than a crash — it would silently lose updates).
+  Status EnableStorage(const std::string& data_dir,
+                       size_t wal_compaction_threshold) {
+    storage::StorageManager::Options options;
+    options.wal_compaction_threshold = wal_compaction_threshold;
+    FAIRCLIQUE_RETURN_NOT_OK(
+        storage::StorageManager::Open(data_dir, options, &storage));
+    size_t graphs = 0, warm = 0;
+    FAIRCLIQUE_RETURN_NOT_OK(RecoverFromStorage(&graphs, &warm));
+    // Attach write-through only after recovery: Restore must not
+    // re-snapshot what is already on disk.
+    registry.AttachStorage(storage.get());
+    std::fprintf(stderr,
+                 "fairclique_server: data dir %s (%zu graphs recovered, %zu "
+                 "warm results)\n",
+                 data_dir.c_str(), graphs, warm);
+    return Status::OK();
+  }
+
+  /// Registers every storage graph not currently in the registry (already-
+  /// registered names are skipped inside RecoverAll, so a `restore` on a
+  /// running server does not re-read their snapshots or re-count them),
+  /// then restores verifier-checked warm cache entries (see
+  /// RestoreWarmEntries for the admission rule and its limits).
+  Status RecoverFromStorage(size_t* graphs_out, size_t* warm_out) {
+    std::set<std::string> registered;
+    for (const auto& entry : registry.List()) registered.insert(entry->name);
+    const bool initial = registered.empty();
+    std::vector<storage::RecoveredGraph> recovered;
+    FAIRCLIQUE_RETURN_NOT_OK(storage->RecoverAll(&recovered, &registered));
+    size_t graphs = 0;
+    for (storage::RecoveredGraph& r : recovered) {
+      Status status =
+          registry.Restore(r.name, r.graph, r.version, r.source);
+      if (!status.ok()) return status;
+      ++graphs;
+    }
+    // Warm entries only make sense for newly registered content; re-running
+    // the verifier over an already-warm cache on a no-op `restore` would
+    // just inflate the counters and churn the LRU order.
+    size_t warm = (initial || graphs > 0) ? RestoreWarmCache() : 0;
+    if (graphs_out != nullptr) *graphs_out = graphs;
+    if (warm_out != nullptr) *warm_out = warm;
+    return Status::OK();
+  }
+
+  size_t RestoreWarmCache() {
+    std::vector<storage::WarmEntry> entries;
+    Status status = storage->LoadWarmEntries(&entries);
+    if (!status.ok()) {
+      std::fprintf(stderr, "warm cache not restored: %s\n",
+                   status.ToString().c_str());
+      return 0;
+    }
+    WarmRestoreOutcome outcome =
+        RestoreWarmEntries(registry, &cache, std::move(entries));
+    storage->NoteWarmRestore(outcome.restored, outcome.rejected);
+    return outcome.restored;
   }
 
   void HandleLoad(uint64_t id, const JsonObject& obj) {
@@ -123,6 +210,8 @@ struct Server {
       GraphFormat format = GraphFormat::kAuto;
       if (fmt == "edgelist") format = GraphFormat::kEdgeList;
       else if (fmt == "binary") format = GraphFormat::kBinary;
+      else if (fmt == "fcg2") format = GraphFormat::kBinaryV2;
+      else if (fmt == "metis") format = GraphFormat::kMetis;
       else if (fmt != "auto") return PrintError(id, "load: bad format " + fmt);
       status = registry.Load(name, path, GetString(obj, "attrs"), format);
     }
@@ -188,6 +277,28 @@ struct Server {
     ResultCacheStats cs = cache.Stats();
     PreparedGraphCacheStats ps = prepared.Stats();
     ExecutorMetrics em = executor.metrics();
+    std::string storage_json;
+    if (storage != nullptr) {
+      storage::StorageCounters sc = storage->counters();
+      char buf[512];
+      std::snprintf(
+          buf, sizeof(buf),
+          ",\"storage\":{\"snapshots_written\":%llu,"
+          "\"wal_records_appended\":%llu,\"wal_records_replayed\":%llu,"
+          "\"compactions\":%llu,\"recoveries\":%llu,"
+          "\"recover_failures\":%llu,\"warm_entries_saved\":%llu,"
+          "\"warm_entries_restored\":%llu,\"warm_entries_rejected\":%llu}",
+          static_cast<unsigned long long>(sc.snapshots_written),
+          static_cast<unsigned long long>(sc.wal_records_appended),
+          static_cast<unsigned long long>(sc.wal_records_replayed),
+          static_cast<unsigned long long>(sc.compactions),
+          static_cast<unsigned long long>(sc.recoveries),
+          static_cast<unsigned long long>(sc.recover_failures),
+          static_cast<unsigned long long>(sc.warm_entries_saved),
+          static_cast<unsigned long long>(sc.warm_entries_restored),
+          static_cast<unsigned long long>(sc.warm_entries_rejected));
+      storage_json = buf;
+    }
     std::string graphs;
     for (const auto& entry : registry.List()) {
       if (!graphs.empty()) graphs += ",";
@@ -214,7 +325,7 @@ struct Server {
         "\"prepared_hits\":%llu,\"prepared_builds\":%llu,"
         "\"component_tasks\":%llu,"
         "\"deadline_misses\":%llu,\"queue_depth\":%zu,"
-        "\"peak_queue_depth\":%zu}}\n",
+        "\"peak_queue_depth\":%zu}%s}\n",
         static_cast<unsigned long long>(id), graphs.c_str(),
         static_cast<unsigned long long>(cs.hits),
         static_cast<unsigned long long>(cs.misses),
@@ -243,7 +354,31 @@ struct Server {
         static_cast<unsigned long long>(em.prepared_builds),
         static_cast<unsigned long long>(em.component_tasks),
         static_cast<unsigned long long>(em.deadline_misses), em.queue_depth,
-        em.peak_queue_depth);
+        em.peak_queue_depth, storage_json.c_str());
+  }
+
+  void HandlePersist(uint64_t id) {
+    if (storage == nullptr) {
+      return PrintError(id, "persist: server started without --data-dir");
+    }
+    std::vector<storage::WarmEntry> entries = cache.ExportWarmEntries();
+    Status status = storage->SaveWarmEntries(entries);
+    if (!status.ok()) return PrintError(id, status.ToString());
+    std::printf("{\"ok\":true,\"id\":%llu,\"warm_entries\":%zu}\n",
+                static_cast<unsigned long long>(id), entries.size());
+  }
+
+  void HandleRestore(uint64_t id) {
+    if (storage == nullptr) {
+      return PrintError(id, "restore: server started without --data-dir");
+    }
+    size_t graphs = 0, warm = 0;
+    Status status = RecoverFromStorage(&graphs, &warm);
+    if (!status.ok()) return PrintError(id, status.ToString());
+    std::printf(
+        "{\"ok\":true,\"id\":%llu,\"graphs_restored\":%zu,"
+        "\"warm_restored\":%zu}\n",
+        static_cast<unsigned long long>(id), graphs, warm);
   }
 
   void HandleUpdate(uint64_t id, const JsonObject& obj) {
@@ -295,12 +430,29 @@ struct Server {
     }
 
     auto [it, created] = dynamics.try_emplace(name);
-    if (created) it->second = std::make_unique<DynamicGraph>(*entry->graph);
+    if (created) {
+      // Seed at the entry's registered version so epochs continue across a
+      // restart (a recovered graph re-enters at its persisted epoch, not 0).
+      it->second =
+          std::make_unique<DynamicGraph>(*entry->graph, entry->version);
+    }
     DynamicGraph& dyn = *it->second;
 
     UpdateSummary summary;
     Status status = dyn.Apply(batch, &summary);
     if (!status.ok()) return PrintError(id, status.ToString());
+    if (storage != nullptr) {
+      // Write-ahead: the batch is fsync'd into the WAL before Replace
+      // publishes the epoch. A failed append is survivable — the registry's
+      // write-through then persists a fresh snapshot instead — so it is
+      // reported on stderr, not to the client.
+      status = storage->AppendUpdate(name, summary, batch);
+      if (!status.ok()) {
+        std::fprintf(stderr, "WAL append for '%s' failed (%s); snapshot "
+                             "write-through will cover the epoch\n",
+                     name.c_str(), status.ToString().c_str());
+      }
+    }
     ReplaceReport report;
     status = registry.Replace(name, dyn.snapshot(), summary.version, &summary,
                               &report);
@@ -331,7 +483,14 @@ struct Server {
     }
     std::string path = GetString(obj, "path");
     if (!path.empty()) {
-      Status status = SaveBinaryGraph(*entry->graph, path);
+      std::string fmt = GetString(obj, "format", "binary");
+      Status status;
+      if (fmt == "binary") status = SaveBinaryGraph(*entry->graph, path);
+      else if (fmt == "fcg2") status = storage::SaveFcg2(*entry->graph, path);
+      else return PrintError(id, "snapshot: bad format " + fmt);
+      // An unwritable path is the client's error to hear about: both savers
+      // write atomically (tmp + rename), so a failure here means nothing
+      // was saved — report it instead of answering ok with no file.
       if (!status.ok()) return PrintError(id, status.ToString());
     }
     std::printf(
@@ -391,8 +550,10 @@ struct Server {
     else if (cmd == "query") HandleQuery(id, obj);
     else if (cmd == "update") HandleUpdate(id, obj);
     else if (cmd == "snapshot") HandleSnapshot(id, obj);
+    else if (cmd == "persist") HandlePersist(id);
+    else if (cmd == "restore") HandleRestore(id);
     else if (cmd == "drain") HandleDrain();
-    else if (cmd == "stats") HandleStats(id);
+    else if (cmd == "stats" || cmd == "metrics") HandleStats(id);
     else if (cmd == "evict") HandleEvict(id, obj);
     else if (cmd == "quit") return false;
     else PrintError(id, "unknown cmd '" + cmd + "'");
@@ -404,8 +565,13 @@ struct Server {
 int Usage() {
   std::fprintf(stderr,
                "usage: fairclique_server [--workers N] [--cache N] "
-               "[--prepared N] [--queue N] [commands.jsonl]\n"
-               "reads JSON-lines commands from the file or stdin\n");
+               "[--prepared N] [--queue N]\n"
+               "                         [--data-dir PATH] [--wal-compact N] "
+               "[commands.jsonl]\n"
+               "reads JSON-lines commands from the file or stdin; with "
+               "--data-dir the service\n"
+               "is durable (FCG2 snapshots + update WAL) and recovers its "
+               "state on startup\n");
   return 2;
 }
 
@@ -417,6 +583,8 @@ int main(int argc, char** argv) {
   size_t cache_capacity = 128;
   size_t prepared_capacity = 16;
   size_t queue_capacity = 256;
+  size_t wal_compact = 64;
+  std::string data_dir;
   std::string script;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -427,6 +595,10 @@ int main(int argc, char** argv) {
       prepared_capacity = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (arg == "--queue" && i + 1 < argc) {
       queue_capacity = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--data-dir" && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else if (arg == "--wal-compact" && i + 1 < argc) {
+      wal_compact = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (arg == "--help" || arg == "-h" || arg[0] == '-') {
       return Usage();
     } else {
@@ -435,6 +607,14 @@ int main(int argc, char** argv) {
   }
 
   Server server(workers, cache_capacity, prepared_capacity, queue_capacity);
+  if (!data_dir.empty()) {
+    Status status = server.EnableStorage(data_dir, wal_compact);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot enable storage: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
   std::ifstream file;
   if (!script.empty()) {
     file.open(script);

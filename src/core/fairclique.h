@@ -48,5 +48,9 @@
 #include "service/query_executor.h"
 #include "service/result_cache.h"
 #include "service/wire.h"
+#include "storage/fcg2.h"
+#include "storage/storage_manager.h"
+#include "storage/wal.h"
+#include "storage/warm_file.h"
 
 #endif  // FAIRCLIQUE_CORE_FAIRCLIQUE_H_

@@ -26,7 +26,8 @@ void SortedErase(std::vector<VertexId>* row, VertexId v) {
 
 }  // namespace
 
-DynamicGraph::DynamicGraph(const AttributedGraph& base) {
+DynamicGraph::DynamicGraph(const AttributedGraph& base, uint64_t base_version)
+    : version_(base_version) {
   const VertexId n = base.num_vertices();
   adj_.resize(n);
   attrs_.resize(n);

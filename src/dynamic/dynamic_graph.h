@@ -114,9 +114,15 @@ struct UpdateSummary {
 /// and shared, so queries running on an older epoch are never invalidated.
 class DynamicGraph {
  public:
-  explicit DynamicGraph(const AttributedGraph& base);
+  /// Wraps `base` at epoch `base_version` (0 for a brand-new graph). A
+  /// non-zero base version continues an epoch sequence across process
+  /// restarts: recovery and the server wrap a snapshot registered at
+  /// version V as DynamicGraph(snapshot, V), so the next batch publishes
+  /// V+1 instead of restarting at 1 and being rejected by
+  /// GraphRegistry::Replace's monotonicity check.
+  explicit DynamicGraph(const AttributedGraph& base, uint64_t base_version = 0);
 
-  /// Current epoch; 0 for a freshly wrapped base graph.
+  /// Current epoch; `base_version` until the first successful Apply.
   uint64_t version() const;
 
   /// The current epoch's immutable snapshot (never null).

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <vector>
 
+#include "storage/io_util.h"
+
 namespace fairclique {
 
 namespace {
@@ -46,11 +48,11 @@ Status SaveBinaryGraph(const AttributedGraph& g, const std::string& path) {
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     buf.push_back(static_cast<char>(AttrIndex(g.attribute(v))));
   }
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
-  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  // Atomic publish (tmp + fsync + rename): a failed or interrupted save
+  // never leaves a partial file under `path` for a later load to trip on,
+  // and short writes surface as an error instead of vanishing into an
+  // unchecked stream destructor.
+  return storage::AtomicWriteFile(path, buf);
 }
 
 Status LoadBinaryGraph(const std::string& path, AttributedGraph* out) {
@@ -68,13 +70,24 @@ Status LoadBinaryGraph(const std::string& path, AttributedGraph* out) {
   if (!GetU32(buf, &pos, &n) || !GetU32(buf, &pos, &m)) {
     return Status::Corruption("truncated header in " + path);
   }
+  // The header counts dictate the exact section lengths (8m edge bytes, n
+  // attribute bytes); a file longer than that carries trailing garbage and
+  // a shorter one is truncated — both are rejected, never "repaired".
   const size_t expected = 12 + 8ull * m + n;
-  if (buf.size() != expected) {
-    return Status::Corruption("size mismatch in " + path + ": have " +
-                              std::to_string(buf.size()) + ", want " +
-                              std::to_string(expected));
+  if (buf.size() < expected) {
+    return Status::Corruption(
+        "truncated sections in " + path + ": have " +
+        std::to_string(buf.size()) + " bytes, header counts require " +
+        std::to_string(expected));
+  }
+  if (buf.size() > expected) {
+    return Status::Corruption(
+        "trailing garbage in " + path + ": " +
+        std::to_string(buf.size() - expected) + " bytes past the " +
+        std::to_string(expected) + " the header counts require");
   }
   GraphBuilder builder(n);
+  Edge prev{0, 0};
   for (uint32_t e = 0; e < m; ++e) {
     uint32_t u = 0, v = 0;
     GetU32(buf, &pos, &u);
@@ -82,6 +95,17 @@ Status LoadBinaryGraph(const std::string& path, AttributedGraph* out) {
     if (u >= n || v >= n) {
       return Status::Corruption("edge endpoint out of range in " + path);
     }
+    // The format stores each undirected edge exactly once, normalized and
+    // sorted; accepting violations would let GraphBuilder silently collapse
+    // corrupt data into a different (validly-shaped) graph.
+    if (u >= v) {
+      return Status::Corruption("edge not normalized (u >= v) in " + path);
+    }
+    Edge cur{u, v};
+    if (e > 0 && !(prev < cur)) {
+      return Status::Corruption("edge list not strictly sorted in " + path);
+    }
+    prev = cur;
     builder.AddEdge(u, v);
   }
   for (uint32_t v = 0; v < n; ++v) {

@@ -19,10 +19,15 @@ namespace fairclique {
 ///   bytes 8-11  uint32 num_edges
 ///   then num_edges * (uint32 u, uint32 v) with u < v, sorted
 ///   then num_vertices * uint8 attribute (0 = a, 1 = b)
+///
+/// The write is atomic (tmp + fsync + rename): a failure never leaves a
+/// partial file under `path`.
 Status SaveBinaryGraph(const AttributedGraph& g, const std::string& path);
 
-/// Loads an FCG1 file. Fails with Corruption on bad magic, truncated
-/// sections, out-of-range endpoints, or attribute bytes > 1.
+/// Loads an FCG1 file. Fails with Corruption on bad magic, section lengths
+/// disagreeing with the header counts (truncation as well as trailing
+/// garbage), out-of-range or non-normalized or unsorted edges, and
+/// attribute bytes > 1. Corrupt input is rejected, never repaired.
 Status LoadBinaryGraph(const std::string& path, AttributedGraph* out);
 
 /// Loads a METIS-format graph (one header line "n m [fmt]", then one line

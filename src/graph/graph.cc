@@ -161,60 +161,97 @@ void GraphBuilder::AddEdge(VertexId u, VertexId v) {
 }
 
 AttributedGraph GraphBuilder::Build() const {
-  std::vector<Edge> edges = raw_edges_;
-  std::sort(edges.begin(), edges.end());
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  auto store = std::make_shared<AttributedGraph::OwnedCsr>();
+  store->edges = raw_edges_;
+  std::sort(store->edges.begin(), store->edges.end());
+  store->edges.erase(std::unique(store->edges.begin(), store->edges.end()),
+                     store->edges.end());
+  store->attributes = attributes_;
 
   AttributedGraph g;
-  g.attributes_ = attributes_;
-  g.edges_ = std::move(edges);
   g.attr_counts_ = AttrCounts{};
-  for (uint8_t a : g.attributes_) {
+  for (uint8_t a : store->attributes) {
     g.attr_counts_[static_cast<Attribute>(a)]++;
   }
 
   const size_t n = num_vertices_;
   std::vector<uint32_t> deg(n, 0);
-  for (const Edge& e : g.edges_) {
+  for (const Edge& e : store->edges) {
     deg[e.u]++;
     deg[e.v]++;
   }
-  g.offsets_.assign(n + 1, 0);
-  for (size_t v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + deg[v];
-  g.adjacency_.resize(2 * g.edges_.size());
-  g.adjacency_edge_ids_.resize(2 * g.edges_.size());
+  store->offsets.assign(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) {
+    store->offsets[v + 1] = store->offsets[v] + deg[v];
+  }
+  store->adjacency.resize(2 * store->edges.size());
+  store->adjacency_edge_ids.resize(2 * store->edges.size());
 
-  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  std::vector<uint64_t> cursor(store->offsets.begin(),
+                               store->offsets.end() - 1);
   // Edges are sorted by (u, v); filling forward keeps every row sorted for
   // the u side. The v side receives u values in increasing u order, also
   // sorted.
-  for (EdgeId e = 0; e < g.edges_.size(); ++e) {
-    const Edge& edge = g.edges_[e];
-    g.adjacency_[cursor[edge.u]] = edge.v;
-    g.adjacency_edge_ids_[cursor[edge.u]] = e;
+  for (EdgeId e = 0; e < store->edges.size(); ++e) {
+    const Edge& edge = store->edges[e];
+    store->adjacency[cursor[edge.u]] = edge.v;
+    store->adjacency_edge_ids[cursor[edge.u]] = e;
     cursor[edge.u]++;
-    g.adjacency_[cursor[edge.v]] = edge.u;
-    g.adjacency_edge_ids_[cursor[edge.v]] = e;
+    store->adjacency[cursor[edge.v]] = edge.u;
+    store->adjacency_edge_ids[cursor[edge.v]] = e;
     cursor[edge.v]++;
   }
   // The v-side insertions interleave with u-side ones, so rows are not yet
   // globally sorted; sort each row (pairing neighbor with edge id).
   for (size_t v = 0; v < n; ++v) {
-    uint64_t begin = g.offsets_[v];
-    uint64_t end = g.offsets_[v + 1];
+    uint64_t begin = store->offsets[v];
+    uint64_t end = store->offsets[v + 1];
     // Sort a permutation to keep neighbor/edge-id arrays parallel.
     std::vector<std::pair<VertexId, EdgeId>> row;
     row.reserve(end - begin);
     for (uint64_t i = begin; i < end; ++i) {
-      row.emplace_back(g.adjacency_[i], g.adjacency_edge_ids_[i]);
+      row.emplace_back(store->adjacency[i], store->adjacency_edge_ids[i]);
     }
     std::sort(row.begin(), row.end());
     for (uint64_t i = begin; i < end; ++i) {
-      g.adjacency_[i] = row[i - begin].first;
-      g.adjacency_edge_ids_[i] = row[i - begin].second;
+      store->adjacency[i] = row[i - begin].first;
+      store->adjacency_edge_ids[i] = row[i - begin].second;
     }
     g.max_degree_ = std::max(g.max_degree_, static_cast<uint32_t>(end - begin));
   }
+  g.offsets_ = store->offsets;
+  g.adjacency_ = store->adjacency;
+  g.adjacency_edge_ids_ = store->adjacency_edge_ids;
+  g.edges_ = store->edges;
+  g.attributes_ = store->attributes;
+  g.keeper_ = std::move(store);
+  return g;
+}
+
+AttributedGraph AttributedGraph::FromCsr(
+    std::span<const uint64_t> offsets, std::span<const VertexId> adjacency,
+    std::span<const EdgeId> adjacency_edge_ids, std::span<const Edge> edges,
+    std::span<const uint8_t> attributes, uint32_t max_degree,
+    std::shared_ptr<const void> keeper) {
+  FC_CHECK(!offsets.empty()) << "FromCsr: offsets must have size V+1 >= 1";
+  FC_CHECK(offsets.size() == attributes.size() + 1)
+      << "FromCsr: offsets/attributes size mismatch";
+  FC_CHECK(adjacency.size() == 2 * edges.size())
+      << "FromCsr: adjacency size != 2 * num_edges";
+  FC_CHECK(adjacency_edge_ids.size() == adjacency.size())
+      << "FromCsr: edge-id array not parallel to adjacency";
+  FC_CHECK(offsets.front() == 0 && offsets.back() == adjacency.size())
+      << "FromCsr: offsets do not span the adjacency array";
+  AttributedGraph g;
+  g.offsets_ = offsets;
+  g.adjacency_ = adjacency;
+  g.adjacency_edge_ids_ = adjacency_edge_ids;
+  g.edges_ = edges;
+  g.attributes_ = attributes;
+  g.max_degree_ = max_degree;
+  g.attr_counts_ = AttrCounts{};
+  for (uint8_t a : attributes) g.attr_counts_[static_cast<Attribute>(a)]++;
+  g.keeper_ = std::move(keeper);
   return g;
 }
 

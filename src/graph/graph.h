@@ -2,6 +2,7 @@
 #define FAIRCLIQUE_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -21,11 +22,18 @@ namespace fairclique {
 ///  - `edge_ids(u)[i]` is the EdgeId of the edge {u, neighbors(u)[i]}, so
 ///    edge-indexed algorithms (truss-style peeling) can walk CSR rows and
 ///    address per-edge state in O(1).
+///
+/// The CSR arrays live behind spans into a shared, immutable backing store:
+/// either arrays built by GraphBuilder, or an mmap'd FCG2 snapshot adopted
+/// via FromCsr (storage/fcg2.h) — the algorithms never see the difference.
+/// Copying a graph shares the backing store, so copies are O(1).
 class AttributedGraph {
  public:
   AttributedGraph() = default;
 
-  VertexId num_vertices() const { return static_cast<VertexId>(offsets_.size() - 1); }
+  VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
   EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
 
   /// Sorted neighbor list of `v`.
@@ -54,8 +62,29 @@ class AttributedGraph {
   /// Number of vertices per attribute over the whole graph.
   AttrCounts attribute_counts() const { return attr_counts_; }
 
-  /// The undirected edge list; edges_[e] has u < v and the list is sorted.
-  const std::vector<Edge>& edges() const { return edges_; }
+  /// The undirected edge list; edges()[e] has u < v and the list is sorted.
+  std::span<const Edge> edges() const { return edges_; }
+
+  /// Raw CSR views, exposed for serialization (storage/fcg2.h writes them
+  /// byte-for-byte). Same data the span accessors above slice per vertex.
+  std::span<const uint64_t> csr_offsets() const { return offsets_; }
+  std::span<const VertexId> csr_adjacency() const { return adjacency_; }
+  std::span<const EdgeId> csr_edge_ids() const { return adjacency_edge_ids_; }
+  std::span<const uint8_t> attribute_bytes() const { return attributes_; }
+
+  /// Adopts prebuilt CSR arrays without copying or re-normalizing: the spans
+  /// must satisfy every invariant documented above and stay valid for as
+  /// long as `keeper` is alive (the graph retains it — typically an mmap'd
+  /// file). Basic shape consistency is FC_CHECKed; content validation is the
+  /// caller's job (the FCG2 loader verifies per-section checksums instead of
+  /// re-deriving the arrays, which is what makes mmap loads cheap).
+  static AttributedGraph FromCsr(std::span<const uint64_t> offsets,
+                                 std::span<const VertexId> adjacency,
+                                 std::span<const EdgeId> adjacency_edge_ids,
+                                 std::span<const Edge> edges,
+                                 std::span<const uint8_t> attributes,
+                                 uint32_t max_degree,
+                                 std::shared_ptr<const void> keeper);
 
   /// True if {u, v} is an edge. O(log(min deg)).
   bool HasEdge(VertexId u, VertexId v) const;
@@ -89,11 +118,24 @@ class AttributedGraph {
  private:
   friend class GraphBuilder;
 
-  std::vector<uint64_t> offsets_;            // size V+1
-  std::vector<VertexId> adjacency_;          // size 2E, sorted per row
-  std::vector<EdgeId> adjacency_edge_ids_;   // parallel to adjacency_
-  std::vector<Edge> edges_;                  // size E, u < v, sorted
-  std::vector<uint8_t> attributes_;          // size V
+  /// Arrays owned by graphs built in memory; FromCsr graphs view foreign
+  /// memory (their keeper_) and leave this null.
+  struct OwnedCsr {
+    std::vector<uint64_t> offsets;            // size V+1
+    std::vector<VertexId> adjacency;          // size 2E, sorted per row
+    std::vector<EdgeId> adjacency_edge_ids;   // parallel to adjacency
+    std::vector<Edge> edges;                  // size E, u < v, sorted
+    std::vector<uint8_t> attributes;          // size V
+  };
+
+  /// Keeps the bytes behind the spans alive: an OwnedCsr or an arbitrary
+  /// holder (mmap'd file). Shared between copies — the store is immutable.
+  std::shared_ptr<const void> keeper_;
+  std::span<const uint64_t> offsets_;
+  std::span<const VertexId> adjacency_;
+  std::span<const EdgeId> adjacency_edge_ids_;
+  std::span<const Edge> edges_;
+  std::span<const uint8_t> attributes_;
   AttrCounts attr_counts_;
   uint32_t max_degree_ = 0;
 };

@@ -2,25 +2,35 @@
 
 #include <fstream>
 #include <utility>
+#include <vector>
 
+#include "common/logging.h"
+#include "core/verifier.h"
 #include "graph/binary_io.h"
 #include "graph/fingerprint.h"
 #include "graph/io.h"
+#include "storage/fcg2.h"
 
 namespace fairclique {
 
 namespace {
 
-/// Resolves kAuto by sniffing the FCG1 magic; IO failures fall through to
-/// the edge-list loader, which reports them with a proper status.
+/// Resolves kAuto by sniffing the first bytes: the FCG1/FCG2 magics pick
+/// the binary containers, a leading '%' (METIS's conventional comment and
+/// the only format here that uses it as the *first* byte by convention)
+/// picks METIS, everything else is a text edge list. IO failures fall
+/// through to the edge-list loader, which reports them with a proper
+/// status.
 GraphFormat SniffFormat(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   char magic[4] = {0, 0, 0, 0};
   in.read(magic, 4);
   if (in.gcount() == 4 && magic[0] == 'F' && magic[1] == 'C' &&
-      magic[2] == 'G' && magic[3] == '1') {
-    return GraphFormat::kBinary;
+      magic[2] == 'G') {
+    if (magic[3] == '1') return GraphFormat::kBinary;
+    if (magic[3] == '2') return GraphFormat::kBinaryV2;
   }
+  if (in.gcount() >= 1 && magic[0] == '%') return GraphFormat::kMetis;
   return GraphFormat::kEdgeList;
 }
 
@@ -34,6 +44,11 @@ void GraphRegistry::AttachCache(ResultCache* cache) {
 void GraphRegistry::AttachPreparedCache(PreparedGraphCache* cache) {
   std::lock_guard<std::mutex> lock(mu_);
   prepared_cache_ = cache;
+}
+
+void GraphRegistry::AttachStorage(storage::StorageManager* storage) {
+  std::lock_guard<std::mutex> lock(mu_);
+  storage_ = storage;
 }
 
 bool GraphRegistry::FingerprintReferencedLocked(
@@ -57,12 +72,24 @@ Status GraphRegistry::Load(const std::string& name, const std::string& path,
   if (format == GraphFormat::kAuto) format = SniffFormat(path);
 
   AttributedGraph g;
-  if (format == GraphFormat::kBinary) {
+  if (format == GraphFormat::kBinary || format == GraphFormat::kBinaryV2) {
     if (!attribute_path.empty()) {
       return Status::InvalidArgument(
           "binary graphs carry attributes inline; no attribute file expected");
     }
-    FAIRCLIQUE_RETURN_NOT_OK(LoadBinaryGraph(path, &g));
+    if (format == GraphFormat::kBinary) {
+      FAIRCLIQUE_RETURN_NOT_OK(LoadBinaryGraph(path, &g));
+    } else {
+      FAIRCLIQUE_RETURN_NOT_OK(storage::LoadFcg2(path, &g));
+    }
+  } else if (format == GraphFormat::kMetis) {
+    FAIRCLIQUE_RETURN_NOT_OK(LoadMetisGraph(path, &g));
+    if (!attribute_path.empty()) {
+      std::vector<Attribute> attrs;
+      FAIRCLIQUE_RETURN_NOT_OK(
+          LoadAttributes(attribute_path, g.num_vertices(), &attrs));
+      g = BuildGraph(g.num_vertices(), g.edges(), attrs);
+    }
   } else {
     FAIRCLIQUE_RETURN_NOT_OK(
         LoadAttributedGraph(path, attribute_path, EdgeListOptions{}, &g));
@@ -72,18 +99,56 @@ Status GraphRegistry::Load(const std::string& name, const std::string& path,
 
 Status GraphRegistry::Add(const std::string& name, AttributedGraph graph,
                           const std::string& source) {
+  return AddEntry(name,
+                  std::make_shared<const AttributedGraph>(std::move(graph)),
+                  /*version=*/0, source, /*persist=*/true);
+}
+
+Status GraphRegistry::Restore(const std::string& name,
+                              std::shared_ptr<const AttributedGraph> graph,
+                              uint64_t version, const std::string& source) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("Restore: graph must not be null");
+  }
+  return AddEntry(name, std::move(graph), version, source, /*persist=*/false);
+}
+
+Status GraphRegistry::AddEntry(const std::string& name,
+                               std::shared_ptr<const AttributedGraph> graph,
+                               uint64_t version, const std::string& source,
+                               bool persist) {
   auto entry = std::make_shared<RegisteredGraph>();
   entry->name = name;
-  entry->fingerprint = GraphFingerprint(graph);
-  entry->graph = std::make_shared<const AttributedGraph>(std::move(graph));
+  entry->fingerprint = GraphFingerprint(*graph);
+  entry->graph = std::move(graph);
+  entry->version = version;
   entry->source = source;
 
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = graphs_.emplace(name, std::move(entry));
-  (void)it;
-  if (!inserted) {
-    return Status::InvalidArgument("graph '" + name +
-                                   "' is already registered; evict first");
+  // swap_mu_ serializes the (insert, persist) pair with Replace/Evict so
+  // the write-through cannot interleave with a concurrent mutation of the
+  // same name; reads only ever take mu_.
+  std::lock_guard<std::mutex> swap_lock(swap_mu_);
+  storage::StorageManager* storage = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = graphs_.emplace(name, entry);
+    (void)it;
+    if (!inserted) {
+      return Status::InvalidArgument("graph '" + name +
+                                     "' is already registered; evict first");
+    }
+    if (persist) storage = storage_;
+  }
+  if (storage != nullptr) {
+    Status status = storage->PersistGraph(name, *entry->graph, version,
+                                          entry->fingerprint, source);
+    if (!status.ok()) {
+      // Durability is part of the registration contract once storage is
+      // attached: an unpersistable graph is not registered at all.
+      std::lock_guard<std::mutex> lock(mu_);
+      graphs_.erase(name);
+      return status;
+    }
   }
   return Status::OK();
 }
@@ -118,6 +183,7 @@ Status GraphRegistry::Replace(const std::string& name,
   bool old_referenced = false;
   ResultCache* cache = nullptr;
   PreparedGraphCache* prepared_cache = nullptr;
+  storage::StorageManager* storage = nullptr;
   std::lock_guard<std::mutex> swap_lock(swap_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -136,6 +202,7 @@ Status GraphRegistry::Replace(const std::string& name,
     old_referenced = FingerprintReferencedLocked(old_fp, name);
     cache = cache_;
     prepared_cache = prepared_cache_;
+    storage = storage_;
   }
 
   ReplaceReport out;
@@ -167,6 +234,13 @@ Status GraphRegistry::Replace(const std::string& name,
     }
   }
   if (report != nullptr) *report = std::move(out);
+  if (storage != nullptr) {
+    // The in-memory replace is already published (readers may be serving
+    // it); a write-through failure is reported rather than rolled back, so
+    // the caller can retry persistence without re-applying the update.
+    FAIRCLIQUE_RETURN_NOT_OK(
+        storage->OnReplace(name, *snapshot, version, new_fp));
+  }
   return Status::OK();
 }
 
@@ -174,6 +248,7 @@ bool GraphRegistry::Evict(const std::string& name) {
   uint64_t fingerprint = 0;
   ResultCache* cache = nullptr;
   PreparedGraphCache* prepared_cache = nullptr;
+  storage::StorageManager* storage = nullptr;
   std::lock_guard<std::mutex> swap_lock(swap_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -185,12 +260,22 @@ bool GraphRegistry::Evict(const std::string& name) {
       cache = cache_;
       prepared_cache = prepared_cache_;
     }
+    storage = storage_;
   }
   // Outside mu_: the caches have their own locks, and dropping the orphaned
   // entries is not required to be atomic with the map erase.
   if (cache != nullptr) cache->InvalidateFingerprint(fingerprint);
   if (prepared_cache != nullptr) {
     prepared_cache->InvalidateFingerprint(fingerprint);
+  }
+  if (storage != nullptr) {
+    Status status = storage->Forget(name);
+    if (!status.ok()) {
+      // The in-memory evict already happened; stale durable files only cost
+      // disk until the next successful Forget/Open, so log and move on.
+      FC_LOG(kWarning) << "Evict('" << name
+                       << "'): storage forget failed: " << status.ToString();
+    }
   }
   return true;
 }
@@ -207,6 +292,34 @@ std::vector<std::shared_ptr<const RegisteredGraph>> GraphRegistry::List()
 size_t GraphRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return graphs_.size();
+}
+
+WarmRestoreOutcome RestoreWarmEntries(
+    const GraphRegistry& registry, ResultCache* cache,
+    std::vector<storage::WarmEntry> entries) {
+  WarmRestoreOutcome outcome;
+  std::map<uint64_t, std::shared_ptr<const AttributedGraph>> by_fingerprint;
+  for (const auto& entry : registry.List()) {
+    by_fingerprint.emplace(entry->fingerprint, entry->graph);
+  }
+  // The export lists entries most-recently-used first; Put in reverse so
+  // the pre-crash MRU entry is also the restored cache's MRU — otherwise a
+  // smaller post-restart cache would evict exactly the hottest entries.
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    storage::WarmEntry& w = *it;
+    auto found = by_fingerprint.find(w.fingerprint);
+    if (found == by_fingerprint.end() || !w.has_params ||
+        !VerifyFairClique(*found->second, w.clique.vertices, w.params).ok()) {
+      outcome.rejected++;
+      continue;
+    }
+    auto result = std::make_shared<SearchResult>();
+    result->clique = std::move(w.clique);
+    result->stats.completed = true;
+    cache->Put(w.key, std::move(result), w.params);
+    outcome.restored++;
+  }
+  return outcome;
 }
 
 }  // namespace fairclique

@@ -13,15 +13,24 @@
 #include "graph/graph.h"
 #include "service/prepared_graph_cache.h"
 #include "service/result_cache.h"
+#include "storage/storage_manager.h"
 
 namespace fairclique {
 
-/// File format accepted by GraphRegistry::Load. kAuto sniffs the FCG1 magic
-/// to distinguish the binary container from text edge lists.
+/// File format accepted by GraphRegistry::Load. kAuto sniffs the first
+/// bytes: the FCG1/FCG2 magics select the binary containers, a leading '%'
+/// selects METIS (its conventional comment marker; SNAP-style edge lists
+/// comment with '#'), anything else is an edge list. The text formats are
+/// genuinely ambiguous (a METIS header "n m" parses as an edge too), so
+/// the sniff is a convention, not a proof: a '%'-commented edge list needs
+/// an explicit kEdgeList, and a comment-free METIS file needs an explicit
+/// kMetis.
 enum class GraphFormat {
   kAuto,
   kEdgeList,  // "u v" lines + optional "v attr" attribute file
   kBinary,    // FCG1 container (graph/binary_io.h)
+  kBinaryV2,  // FCG2 mmap container (storage/fcg2.h)
+  kMetis,     // METIS adjacency format (graph/binary_io.h)
 };
 
 /// A named, immutable graph shared by every query that references it.
@@ -73,6 +82,15 @@ class GraphRegistry {
   /// fingerprint no longer backs any registered name.
   void AttachPreparedCache(PreparedGraphCache* cache);
 
+  /// Attaches the durable storage manager (not owned; may be null to
+  /// detach). With storage attached the registry is write-through:
+  /// Load/Add snapshot the graph (FCG2 + manifest) before returning,
+  /// Replace verifies the published epoch is covered by the WAL tail
+  /// (rewriting the snapshot when it is not, compacting when the tail is
+  /// long), and Evict forgets the graph's durable state. Restore registers
+  /// recovered graphs without re-persisting them.
+  void AttachStorage(storage::StorageManager* storage);
+
   /// Loads a graph file and registers it under `name`. For kEdgeList an
   /// optional attribute file ("v attr" lines) may be given; binary FCG1
   /// files carry their attributes inline. Fails with InvalidArgument when
@@ -84,6 +102,14 @@ class GraphRegistry {
   /// Registers an in-memory graph (datasets, tests, generators).
   Status Add(const std::string& name, AttributedGraph graph,
              const std::string& source = "<inline>");
+
+  /// Registers a graph recovered from durable storage at its persisted
+  /// epoch `version`, bypassing the write-through persist (its durable
+  /// state already exists — re-snapshotting it on every restart would make
+  /// recovery O(data)). Same uniqueness rule as Add.
+  Status Restore(const std::string& name,
+                 std::shared_ptr<const AttributedGraph> graph,
+                 uint64_t version, const std::string& source);
 
   /// Atomically advances `name` to a new epoch snapshot without the
   /// evict-then-load race: queries in flight keep the old snapshot, queries
@@ -122,10 +148,17 @@ class GraphRegistry {
   bool FingerprintReferencedLocked(uint64_t fingerprint,
                                    const std::string& except) const;
 
+  /// Shared insert path of Add/Restore; persists via write-through when
+  /// `persist` (and storage attached), rolling the insert back on failure.
+  Status AddEntry(const std::string& name,
+                  std::shared_ptr<const AttributedGraph> graph,
+                  uint64_t version, const std::string& source, bool persist);
+
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const RegisteredGraph>> graphs_;
   ResultCache* cache_ = nullptr;                  // not owned; may be null
   PreparedGraphCache* prepared_cache_ = nullptr;  // not owned; may be null
+  storage::StorageManager* storage_ = nullptr;    // not owned; may be null
   /// Serializes (map swap, cache migration) pairs end to end: without it
   /// two concurrent Replace calls could run their cache migrations in the
   /// opposite order of their map swaps, stranding entries under a stale
@@ -133,6 +166,24 @@ class GraphRegistry {
   /// only mu_, so reads never wait on a migration.
   std::mutex swap_mu_;
 };
+
+/// Outcome of a warm-file restore pass.
+struct WarmRestoreOutcome {
+  size_t restored = 0;
+  size_t rejected = 0;  // unknown fingerprint, missing params, failed verify
+};
+
+/// Publishes persisted warm entries (storage/warm_file.h) into `cache`,
+/// admitting only entries whose clique the verifier re-proves as a valid
+/// fair clique of the registered graph with that fingerprint. The gate
+/// catches staleness and corruption; it does not re-prove *maximality*
+/// (that would cost the search the cache exists to avoid), so the data dir
+/// is trusted state — its checksums detect accidents, they are not MACs.
+/// Shared by the server startup/restore path and the benchmarks so the
+/// admission rule lives in exactly one place.
+WarmRestoreOutcome RestoreWarmEntries(const GraphRegistry& registry,
+                                      ResultCache* cache,
+                                      std::vector<storage::WarmEntry> entries);
 
 }  // namespace fairclique
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include <string_view>
+
 #include "core/options_key.h"
 #include "core/verifier.h"
 #include "graph/fingerprint.h"
+#include "storage/format_util.h"
 
 namespace fairclique {
 
@@ -290,6 +293,36 @@ void ResultCache::Clear() {
   hint_order_.clear();
   hits_ = misses_ = insertions_ = evictions_ = 0;
   invalidated_ = republished_ = hints_published_ = hint_hits_ = 0;
+}
+
+std::vector<storage::WarmEntry> ResultCache::ExportWarmEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<storage::WarmEntry> out;
+  out.reserve(lru_.size());
+  for (const auto& [key, entry] : lru_) {
+    if (entry.result == nullptr || !entry.result->stats.completed) continue;
+    if (!entry.params.has_value()) continue;  // not re-provable on restore
+    if (entry.result->clique.empty()) continue;  // no witness to verify
+    // Keys are "<16-hex fingerprint>|<options key>" (MakeKey); recover the
+    // fingerprint so the restore side can resolve the graph to verify
+    // against without parsing keys itself. (Covered by the recovery round-
+    // trip tests — a MakeKey layout change fails them rather than silently
+    // emptying the warm file.)
+    if (key.size() < 17 || key[16] != '|') continue;
+    uint64_t fingerprint = 0;
+    if (!storage::ParseHex64(std::string_view(key).substr(0, 16),
+                             &fingerprint)) {
+      continue;
+    }
+    storage::WarmEntry warm;
+    warm.key = key;
+    warm.fingerprint = fingerprint;
+    warm.clique = entry.result->clique;
+    warm.has_params = true;
+    warm.params = *entry.params;
+    out.push_back(std::move(warm));
+  }
+  return out;
 }
 
 ResultCacheStats ResultCache::Stats() const {

@@ -13,6 +13,7 @@
 
 #include "core/max_fair_clique.h"
 #include "dynamic/dynamic_graph.h"
+#include "storage/warm_file.h"
 
 namespace fairclique {
 
@@ -144,6 +145,13 @@ class ResultCache {
 
   /// Drops every entry and hint and resets the counters.
   void Clear();
+
+  /// Snapshot of the persistable exact entries for the warm file
+  /// (storage/warm_file.h), most recently used first: completed results
+  /// with a non-empty clique and known fairness params — exactly the
+  /// entries a restart can re-prove with the verifier. Hints are not
+  /// exported (they are lower bounds, not answers).
+  std::vector<storage::WarmEntry> ExportWarmEntries() const;
 
   ResultCacheStats Stats() const;
 

@@ -1,0 +1,265 @@
+#include "storage/fcg2.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "storage/format_util.h"
+#include "storage/io_util.h"
+#include "storage/mapped_file.h"
+
+namespace fairclique {
+namespace storage {
+
+namespace {
+
+// The adjacency/edge/attribute sections are reinterpreted in place from the
+// mapped file, so their in-memory layouts must match the on-disk ones.
+static_assert(sizeof(Edge) == 8 && sizeof(VertexId) == 4 &&
+                  sizeof(EdgeId) == 4,
+              "FCG2 reinterprets mapped sections as these types");
+
+constexpr uint32_t kFormatVersion = 1;
+constexpr uint32_t kSectionCount = 5;
+constexpr size_t kHeaderSize = 32;
+constexpr size_t kSectionEntrySize = 32;
+constexpr size_t kTableChecksumOffset =
+    kHeaderSize + kSectionCount * kSectionEntrySize;  // 192
+constexpr size_t kFirstSectionOffset = kTableChecksumOffset + 8;  // 200
+
+enum SectionKind : uint32_t {
+  kOffsets = 1,
+  kAdjacency = 2,
+  kEdgeIds = 3,
+  kEdges = 4,
+  kAttributes = 5,
+};
+
+struct Section {
+  uint32_t kind = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint64_t checksum = 0;
+};
+
+size_t Padded8(size_t n) { return (n + 7) & ~size_t{7}; }
+
+Status Bad(const std::string& path, const std::string& what) {
+  return Status::Corruption("FCG2 " + path + ": " + what);
+}
+
+}  // namespace
+
+Status SaveFcg2(const AttributedGraph& g, const std::string& path) {
+  const auto offsets = g.csr_offsets();
+  const auto adjacency = g.csr_adjacency();
+  const auto edge_ids = g.csr_edge_ids();
+  const auto edges = g.edges();
+  const auto attrs = g.attribute_bytes();
+
+  struct Payload {
+    const void* data;
+    size_t size;
+    uint32_t kind;
+  };
+  // An empty (default-constructed) graph still serializes a one-entry
+  // offsets section, matching what GraphBuilder(0).Build() produces.
+  static const uint64_t kZeroOffset = 0;
+  const Payload payloads[kSectionCount] = {
+      {offsets.empty() ? static_cast<const void*>(&kZeroOffset)
+                       : static_cast<const void*>(offsets.data()),
+       (offsets.empty() ? 1 : offsets.size()) * sizeof(uint64_t), kOffsets},
+      {adjacency.data(), adjacency.size() * sizeof(VertexId), kAdjacency},
+      {edge_ids.data(), edge_ids.size() * sizeof(EdgeId), kEdgeIds},
+      {edges.data(), edges.size() * sizeof(Edge), kEdges},
+      {attrs.data(), attrs.size(), kAttributes},
+  };
+
+  // Lay out the sections first so the header can carry the total size.
+  uint64_t cursor = kFirstSectionOffset;
+  Section table[kSectionCount];
+  for (size_t i = 0; i < kSectionCount; ++i) {
+    table[i].kind = payloads[i].kind;
+    table[i].offset = cursor;
+    table[i].length = payloads[i].size;
+    table[i].checksum = Checksum(payloads[i].data, payloads[i].size);
+    cursor += Padded8(payloads[i].size);
+  }
+  const uint64_t file_size = cursor;
+
+  std::string buf;
+  buf.reserve(file_size);
+  buf.append(kFcg2Magic, 4);
+  PutU32(&buf, kFormatVersion);
+  PutU32(&buf, g.num_vertices());
+  PutU32(&buf, g.num_edges());
+  PutU32(&buf, g.max_degree());
+  PutU32(&buf, kSectionCount);
+  PutU64(&buf, file_size);
+  for (const Section& s : table) {
+    PutU32(&buf, s.kind);
+    PutU32(&buf, 0);  // reserved
+    PutU64(&buf, s.offset);
+    PutU64(&buf, s.length);
+    PutU64(&buf, s.checksum);
+  }
+  PutU64(&buf, Checksum(buf.data(), kTableChecksumOffset));
+  for (size_t i = 0; i < kSectionCount; ++i) {
+    if (payloads[i].size > 0) {
+      buf.append(static_cast<const char*>(payloads[i].data), payloads[i].size);
+    }
+    buf.append(Padded8(payloads[i].size) - payloads[i].size, '\0');
+  }
+  return AtomicWriteFile(path, buf);
+}
+
+Status LoadFcg2(const std::string& path, AttributedGraph* out) {
+  std::shared_ptr<const MappedFile> file;
+  FAIRCLIQUE_RETURN_NOT_OK(MappedFile::Open(path, &file));
+  const std::span<const uint8_t> bytes = file->bytes();
+
+  if (bytes.size() < kFirstSectionOffset ||
+      std::memcmp(bytes.data(), kFcg2Magic, 4) != 0) {
+    return Bad(path, "bad magic or truncated header");
+  }
+  size_t pos = 4;
+  uint32_t version = 0, n = 0, m = 0, max_degree = 0, section_count = 0;
+  uint64_t file_size = 0;
+  GetU32(bytes, &pos, &version);
+  GetU32(bytes, &pos, &n);
+  GetU32(bytes, &pos, &m);
+  GetU32(bytes, &pos, &max_degree);
+  GetU32(bytes, &pos, &section_count);
+  GetU64(bytes, &pos, &file_size);
+  if (version != kFormatVersion) {
+    return Bad(path, "unsupported format version " + std::to_string(version));
+  }
+  if (section_count != kSectionCount) {
+    return Bad(path, "unexpected section count");
+  }
+  if (file_size != bytes.size()) {
+    return Bad(path, "file size mismatch: header says " +
+                         std::to_string(file_size) + ", have " +
+                         std::to_string(bytes.size()) +
+                         " (truncation or trailing garbage)");
+  }
+
+  Section table[kSectionCount];
+  for (Section& s : table) {
+    uint32_t reserved = 0;
+    GetU32(bytes, &pos, &s.kind);
+    GetU32(bytes, &pos, &reserved);
+    GetU64(bytes, &pos, &s.offset);
+    GetU64(bytes, &pos, &s.length);
+    GetU64(bytes, &pos, &s.checksum);
+  }
+  uint64_t table_checksum = 0;
+  GetU64(bytes, &pos, &table_checksum);
+  if (table_checksum != Checksum(bytes.data(), kTableChecksumOffset)) {
+    return Bad(path, "header/table checksum mismatch");
+  }
+
+  // Expected geometry from the header counts; a section table disagreeing
+  // with the counts is corruption even when its checksums are self-
+  // consistent.
+  const uint64_t expected_length[kSectionCount] = {
+      (static_cast<uint64_t>(n) + 1) * sizeof(uint64_t),
+      2ull * m * sizeof(VertexId),
+      2ull * m * sizeof(EdgeId),
+      static_cast<uint64_t>(m) * sizeof(Edge),
+      n,
+  };
+  for (size_t i = 0; i < kSectionCount; ++i) {
+    const Section& s = table[i];
+    if (s.kind != i + 1) return Bad(path, "section table out of order");
+    if (s.length != expected_length[i]) {
+      return Bad(path, "section " + std::to_string(s.kind) +
+                           " length disagrees with header counts");
+    }
+    // Subtraction, not addition: offset + length could wrap in uint64 and
+    // sneak a wild offset past the bound.
+    if (s.offset % 8 != 0 || s.offset < kFirstSectionOffset ||
+        s.length > bytes.size() || s.offset > bytes.size() - s.length) {
+      return Bad(path, "section " + std::to_string(s.kind) +
+                           " misaligned or out of bounds");
+    }
+    if (Checksum(bytes.data() + s.offset, s.length) != s.checksum) {
+      return Bad(path, "section " + std::to_string(s.kind) +
+                           " checksum mismatch");
+    }
+  }
+
+  const auto* offsets =
+      reinterpret_cast<const uint64_t*>(bytes.data() + table[0].offset);
+  const auto* adjacency =
+      reinterpret_cast<const VertexId*>(bytes.data() + table[1].offset);
+  const auto* edge_ids =
+      reinterpret_cast<const EdgeId*>(bytes.data() + table[2].offset);
+  const auto* edges =
+      reinterpret_cast<const Edge*>(bytes.data() + table[3].offset);
+  const uint8_t* attrs = bytes.data() + table[4].offset;
+
+  // Cheap structural scans: everything FromCsr's invariants rely on that a
+  // checksum alone cannot promise (the writer could have been handed a
+  // file produced by a buggy or hostile tool).
+  if (offsets[0] != 0) return Bad(path, "offsets do not start at 0");
+  uint32_t derived_max_degree = 0;
+  for (uint32_t v = 0; v < n; ++v) {
+    if (offsets[v + 1] < offsets[v]) {
+      return Bad(path, "offsets not monotone at vertex " + std::to_string(v));
+    }
+    derived_max_degree = std::max(
+        derived_max_degree, static_cast<uint32_t>(offsets[v + 1] - offsets[v]));
+  }
+  if (offsets[n] != 2ull * m) return Bad(path, "offsets do not span 2m");
+  if (derived_max_degree != max_degree) {
+    return Bad(path, "max_degree disagrees with offsets");
+  }
+  for (uint32_t e = 0; e < m; ++e) {
+    if (edges[e].u >= edges[e].v || edges[e].v >= n) {
+      return Bad(path, "edge " + std::to_string(e) + " not normalized");
+    }
+    // Strict sortedness is part of the edges() contract, and fingerprints
+    // hash the array in order — a consistently-rewired permutation would
+    // otherwise load fine yet fingerprint differently than its canonical
+    // build, silently defeating content-addressed caching.
+    if (e > 0 && !(edges[e - 1] < edges[e])) {
+      return Bad(path, "edge list not strictly sorted");
+    }
+  }
+  // Per-row scan: strictly sorted adjacency (binary searches depend on it)
+  // and edge-id wiring (edge-indexed reductions address per-edge state
+  // through it) — the invariants a buggy external writer is most likely to
+  // violate while keeping its own checksums self-consistent.
+  for (uint32_t v = 0; v < n; ++v) {
+    for (uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const VertexId w = adjacency[i];
+      if (w >= n) return Bad(path, "adjacency endpoint out of range");
+      if (i > offsets[v] && adjacency[i - 1] >= w) {
+        return Bad(path, "adjacency row " + std::to_string(v) +
+                             " not strictly sorted");
+      }
+      const EdgeId e = edge_ids[i];
+      if (e >= m) return Bad(path, "edge id out of range");
+      if (edges[e].u != std::min(v, w) || edges[e].v != std::max(v, w)) {
+        return Bad(path, "edge id wiring broken at vertex " +
+                             std::to_string(v));
+      }
+    }
+  }
+  for (uint32_t v = 0; v < n; ++v) {
+    if (attrs[v] > 1) return Bad(path, "bad attribute byte");
+  }
+
+  *out = AttributedGraph::FromCsr(
+      std::span<const uint64_t>(offsets, n + 1),
+      std::span<const VertexId>(adjacency, 2ull * m),
+      std::span<const EdgeId>(edge_ids, 2ull * m),
+      std::span<const Edge>(edges, m), std::span<const uint8_t>(attrs, n),
+      max_degree, std::move(file));
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace fairclique

@@ -1,0 +1,93 @@
+#ifndef FAIRCLIQUE_STORAGE_FORMAT_UTIL_H_
+#define FAIRCLIQUE_STORAGE_FORMAT_UTIL_H_
+
+/// Byte-level helpers shared by the durable formats (FCG2 snapshots, the
+/// update WAL, the manifest, the warm-cache file): fixed-width little-endian
+/// integer framing and the FNV-1a checksum that every section/record carries.
+/// All formats are written and read on the same host; the explicit
+/// little-endian framing makes the files portable across little-endian
+/// machines and makes a big-endian reader fail loudly on the magic/checksum
+/// instead of silently misreading.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace fairclique {
+namespace storage {
+
+inline void PutU32(std::string* buf, uint32_t v) {
+  char bytes[4] = {static_cast<char>(v & 0xff),
+                   static_cast<char>((v >> 8) & 0xff),
+                   static_cast<char>((v >> 16) & 0xff),
+                   static_cast<char>((v >> 24) & 0xff)};
+  buf->append(bytes, 4);
+}
+
+inline void PutU64(std::string* buf, uint64_t v) {
+  PutU32(buf, static_cast<uint32_t>(v & 0xffffffffull));
+  PutU32(buf, static_cast<uint32_t>(v >> 32));
+}
+
+inline bool GetU32(std::span<const uint8_t> buf, size_t* pos, uint32_t* out) {
+  if (*pos + 4 > buf.size()) return false;
+  const uint8_t* p = buf.data() + *pos;
+  *out = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+  *pos += 4;
+  return true;
+}
+
+inline bool GetU64(std::span<const uint8_t> buf, size_t* pos, uint64_t* out) {
+  uint32_t lo = 0, hi = 0;
+  if (!GetU32(buf, pos, &lo) || !GetU32(buf, pos, &hi)) return false;
+  *out = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return true;
+}
+
+/// FNV-1a over raw bytes; the per-section/per-record integrity check of all
+/// storage formats. Not cryptographic — it defends against torn writes,
+/// truncation and bit rot, not adversaries.
+inline uint64_t Checksum(std::span<const uint8_t> bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (uint8_t b : bytes) h = (h ^ b) * 1099511628211ull;
+  return h;
+}
+
+inline uint64_t Checksum(const void* data, size_t size) {
+  return Checksum(
+      std::span<const uint8_t>(static_cast<const uint8_t*>(data), size));
+}
+
+inline std::span<const uint8_t> AsBytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+inline bool HexDigit(char c, int* out) {
+  if (c >= '0' && c <= '9') *out = c - '0';
+  else if (c >= 'a' && c <= 'f') *out = c - 'a' + 10;
+  else if (c >= 'A' && c <= 'F') *out = c - 'A' + 10;
+  else return false;
+  return true;
+}
+
+/// Parses up to 16 hex digits (the FingerprintHex form) into a uint64.
+inline bool ParseHex64(std::string_view token, uint64_t* out) {
+  if (token.empty() || token.size() > 16) return false;
+  uint64_t v = 0;
+  for (char c : token) {
+    int digit = 0;
+    if (!HexDigit(c, &digit)) return false;
+    v = (v << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace storage
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_STORAGE_FORMAT_UTIL_H_

@@ -1,0 +1,31 @@
+#ifndef FAIRCLIQUE_STORAGE_IO_UTIL_H_
+#define FAIRCLIQUE_STORAGE_IO_UTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace fairclique {
+namespace storage {
+
+/// Durably replaces `path` with `bytes`: writes "<path>.tmp", fsyncs it,
+/// renames over `path`, then fsyncs the containing directory so the rename
+/// itself survives a crash. The classic atomic-publish idiom — readers see
+/// either the old complete file or the new complete file, never a prefix.
+Status AtomicWriteFile(const std::string& path, const std::string& bytes);
+
+/// Appends `bytes` to `path` (creating it if needed) and fsyncs. Used by the
+/// WAL, where records must be durable before the update commits.
+Status DurableAppend(const std::string& path, const std::string& bytes);
+
+/// Reads a whole file into `out`. IOError when it cannot be opened/read;
+/// missing files are NotFound.
+Status ReadFile(const std::string& path, std::string* out);
+
+/// Best-effort unlink; missing files are not an error.
+void RemoveFileIfExists(const std::string& path);
+
+}  // namespace storage
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_STORAGE_IO_UTIL_H_

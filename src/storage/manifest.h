@@ -1,0 +1,58 @@
+#ifndef FAIRCLIQUE_STORAGE_MANIFEST_H_
+#define FAIRCLIQUE_STORAGE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairclique {
+namespace storage {
+
+/// One registered graph's durable state: which snapshot file holds its
+/// FCG2 image, at which (version, fingerprint), and which WAL file carries
+/// the updates applied since that snapshot. The current epoch of a graph is
+/// snapshot_version plus the intact records of its WAL tail.
+struct ManifestEntry {
+  std::string name;           // registry name
+  std::string snapshot_file;  // relative to the data dir
+  std::string wal_file;       // relative; empty = no WAL yet
+  uint64_t snapshot_version = 0;
+  uint64_t snapshot_fingerprint = 0;
+  std::string source;         // original load source, for stats/debugging
+};
+
+/// The durable catalog of a data dir, replaced atomically on every change
+/// (write tmp + fsync + rename), so a crash leaves either the old or the
+/// new catalog — never a mix. Text format, one percent-escaped record per
+/// line, ending in a whole-file checksum line:
+///
+///   fairclique-manifest v1
+///   graph <name> <snapshot-file> <wal-file|-> <version> <fp-hex> <source>
+///   ...
+///   checksum <fnv1a-hex of all preceding bytes>
+struct Manifest {
+  std::vector<ManifestEntry> entries;
+
+  ManifestEntry* Find(const std::string& name);
+  void Remove(const std::string& name);
+};
+
+/// Serializes and durably replaces the manifest file at `path`.
+Status SaveManifest(const Manifest& manifest, const std::string& path);
+
+/// Loads `path`. NotFound when absent (a fresh data dir), Corruption on a
+/// malformed or checksum-failing file.
+Status LoadManifest(const std::string& path, Manifest* out);
+
+/// Escapes a string for embedding as one whitespace-free manifest token
+/// (percent-encodes '%', whitespace, control and non-ASCII bytes; empty
+/// strings encode as "%"). Exposed for tests.
+std::string EscapeToken(const std::string& s);
+bool UnescapeToken(const std::string& token, std::string* out);
+
+}  // namespace storage
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_STORAGE_MANIFEST_H_

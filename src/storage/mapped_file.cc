@@ -1,0 +1,51 @@
+#include "storage/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace fairclique {
+namespace storage {
+
+Status MappedFile::Open(const std::string& path,
+                        std::shared_ptr<const MappedFile>* out) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status status = Status::IOError("cannot stat " + path + ": " +
+                                    std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* addr = nullptr;
+  if (size > 0) {
+    addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      Status status = Status::IOError("cannot mmap " + path + ": " +
+                                      std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+  }
+  // The mapping persists past close(2); holding the fd would only pin a
+  // descriptor table slot per loaded graph.
+  ::close(fd);
+  out->reset(new MappedFile(addr, size));
+  return Status::OK();
+}
+
+MappedFile::~MappedFile() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+}  // namespace storage
+}  // namespace fairclique

@@ -1,0 +1,44 @@
+#ifndef FAIRCLIQUE_STORAGE_MAPPED_FILE_H_
+#define FAIRCLIQUE_STORAGE_MAPPED_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+
+namespace fairclique {
+namespace storage {
+
+/// A read-only memory-mapped file. Handed around as
+/// shared_ptr<const MappedFile> so graph views created over the mapping
+/// (AttributedGraph::FromCsr keeper) keep the pages alive for as long as any
+/// copy of the graph exists; the mapping is released when the last reference
+/// drops. Empty files map to a valid zero-length view.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. IOError when it cannot be opened/stat'd/mapped.
+  static Status Open(const std::string& path,
+                     std::shared_ptr<const MappedFile>* out);
+
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return static_cast<const uint8_t*>(addr_); }
+  size_t size() const { return size_; }
+  std::span<const uint8_t> bytes() const { return {data(), size_}; }
+
+ private:
+  MappedFile(void* addr, size_t size) : addr_(addr), size_(size) {}
+
+  void* addr_ = nullptr;  // nullptr for zero-length files
+  size_t size_ = 0;
+};
+
+}  // namespace storage
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_STORAGE_MAPPED_FILE_H_

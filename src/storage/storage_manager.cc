@@ -1,0 +1,452 @@
+#include "storage/storage_manager.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+#include "graph/fingerprint.h"
+#include "storage/fcg2.h"
+#include "storage/format_util.h"
+#include "storage/io_util.h"
+
+namespace fairclique {
+namespace storage {
+
+namespace {
+
+constexpr char kWarmFileName[] = "warm.cache";
+
+}  // namespace
+
+std::string StorageManager::FileStem(const std::string& name) {
+  std::string sanitized;
+  sanitized.reserve(name.size());
+  for (char c : name) {
+    bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    sanitized.push_back(safe ? c : '_');
+  }
+  if (sanitized.size() > 64) sanitized.resize(64);
+  // The hash suffix keeps distinct names distinct even when sanitization or
+  // truncation collides them.
+  char hex[9];
+  std::snprintf(hex, sizeof(hex), "%08x",
+                static_cast<uint32_t>(Checksum(name.data(), name.size())));
+  return sanitized + "-" + hex;
+}
+
+Status StorageManager::Open(const std::string& data_dir,
+                            const Options& options,
+                            std::unique_ptr<StorageManager>* out) {
+  std::error_code ec;
+  std::filesystem::create_directories(data_dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create data dir " + data_dir + ": " +
+                           ec.message());
+  }
+  std::unique_ptr<StorageManager> manager(
+      new StorageManager(data_dir, options));
+
+  Status status = LoadManifest(manager->ManifestPath(), &manager->manifest_);
+  if (status.IsNotFound()) {
+    status = Status::OK();  // fresh data dir
+  }
+  FAIRCLIQUE_RETURN_NOT_OK(status);
+
+  // Prime the per-graph WAL state so OnReplace's coverage check works even
+  // for callers that attach storage without running RecoverAll. Only a log
+  // whose metadata chain is intact end to end (first record rooted at the
+  // snapshot, each record's base the previous record's result) may prime:
+  // appending after a stale tail would fsync-acknowledge records the next
+  // recovery provably discards. An unprimed name simply routes its next
+  // epoch down the snapshot-rewrite path. RecoverAll re-reads these files
+  // with full content validation; the duplicate read is bounded by
+  // wal_compaction_threshold records per graph.
+  for (const ManifestEntry& entry : manager->manifest_.entries) {
+    if (entry.wal_file.empty()) continue;
+    std::vector<WalRecord> records;
+    FAIRCLIQUE_RETURN_NOT_OK(
+        ReadWal(manager->FullPath(entry.wal_file), &records, nullptr));
+    if (records.empty()) continue;
+    bool chained = true;
+    uint64_t fp = entry.snapshot_fingerprint;
+    uint64_t version = entry.snapshot_version;
+    for (const WalRecord& record : records) {
+      if (record.base_fingerprint != fp || record.version != version + 1) {
+        chained = false;
+        break;
+      }
+      fp = record.fingerprint;
+      version = record.version;
+    }
+    if (!chained) continue;
+    WalState state;
+    state.records = records.size();
+    state.last_version = version;
+    state.last_fingerprint = fp;
+    manager->wal_state_[entry.name] = state;
+  }
+  manager->RemoveUnreferencedFilesLocked();
+  *out = std::move(manager);
+  return Status::OK();
+}
+
+void StorageManager::RemoveUnreferencedFilesLocked() {
+  std::set<std::string> referenced = {"MANIFEST", kWarmFileName};
+  for (const ManifestEntry& entry : manifest_.entries) {
+    referenced.insert(entry.snapshot_file);
+    if (!entry.wal_file.empty()) referenced.insert(entry.wal_file);
+  }
+  std::error_code ec;
+  for (const auto& dir_entry :
+       std::filesystem::directory_iterator(dir_, ec)) {
+    if (!dir_entry.is_regular_file(ec)) continue;
+    const std::string file = dir_entry.path().filename().string();
+    const bool ours = file.ends_with(".fcg2") || file.ends_with(".wal") ||
+                      file.ends_with(".tmp");
+    if (ours && referenced.count(file) == 0) {
+      // Leftover from a crash between a snapshot/compaction write and the
+      // manifest publish; the manifest never references it, so it is dead.
+      RemoveFileIfExists(FullPath(file));
+    }
+  }
+}
+
+void StorageManager::RemoveEntryFilesLocked(const ManifestEntry& entry) {
+  RemoveFileIfExists(FullPath(entry.snapshot_file));
+  if (!entry.wal_file.empty()) RemoveFileIfExists(FullPath(entry.wal_file));
+}
+
+Status StorageManager::PersistGraphLocked(const std::string& name,
+                                          const AttributedGraph& g,
+                                          uint64_t version,
+                                          uint64_t fingerprint,
+                                          const std::string& source,
+                                          bool is_compaction) {
+  ManifestEntry fresh;
+  fresh.name = name;
+  // Version alone is not unique across a forget/re-register cycle (both
+  // lives of a name start at version 0); the fingerprint makes distinct
+  // content land under distinct names, which the crash-ordering argument
+  // below depends on.
+  fresh.snapshot_file = FileStem(name) + "." + std::to_string(version) + "." +
+                        FingerprintHex(fingerprint) + ".fcg2";
+  fresh.snapshot_version = version;
+  fresh.snapshot_fingerprint = fingerprint;
+  fresh.source = source;
+
+  // Ordering is the crash-safety argument: (1) the new snapshot lands under
+  // a version-distinct name, (2) the manifest atomically starts referencing
+  // it, (3) only then do the superseded files disappear. A crash anywhere
+  // leaves a manifest whose references all exist and validate.
+  FAIRCLIQUE_RETURN_NOT_OK(SaveFcg2(g, FullPath(fresh.snapshot_file)));
+
+  ManifestEntry old;
+  bool had_old = false;
+  if (ManifestEntry* existing = manifest_.Find(name)) {
+    old = *existing;
+    had_old = true;
+    if (fresh.source.empty()) fresh.source = old.source;
+    *existing = fresh;
+  } else {
+    manifest_.entries.push_back(fresh);
+  }
+  Status status = SaveManifest(manifest_, ManifestPath());
+  if (!status.ok()) {
+    // Roll the in-memory catalog back so it keeps mirroring the disk —
+    // and never unlink a file the durable manifest still references
+    // (same name implies same version+fingerprint, i.e. identical
+    // content, so the overwrite above was already harmless).
+    if (had_old) {
+      *manifest_.Find(name) = old;
+    } else {
+      manifest_.Remove(name);
+    }
+    if (!(had_old && old.snapshot_file == fresh.snapshot_file)) {
+      RemoveFileIfExists(FullPath(fresh.snapshot_file));
+    }
+    return status;
+  }
+  if (had_old && old.snapshot_file != fresh.snapshot_file) {
+    RemoveFileIfExists(FullPath(old.snapshot_file));
+  }
+  if (had_old && !old.wal_file.empty()) {
+    RemoveFileIfExists(FullPath(old.wal_file));
+  }
+  wal_state_.erase(name);
+  counters_.snapshots_written++;
+  if (is_compaction) counters_.compactions++;
+  return Status::OK();
+}
+
+Status StorageManager::PersistGraph(const std::string& name,
+                                    const AttributedGraph& g,
+                                    uint64_t version, uint64_t fingerprint,
+                                    const std::string& source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PersistGraphLocked(name, g, version, fingerprint, source,
+                            /*is_compaction=*/false);
+}
+
+Status StorageManager::AppendUpdate(const std::string& name,
+                                    const UpdateSummary& summary,
+                                    std::span<const UpdateOp> ops) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ManifestEntry* entry = manifest_.Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("AppendUpdate: '" + name + "' is not persisted");
+  }
+  const WalState* state = nullptr;
+  auto it = wal_state_.find(name);
+  if (it != wal_state_.end()) state = &it->second;
+  const uint64_t expected_fp =
+      state != nullptr ? state->last_fingerprint : entry->snapshot_fingerprint;
+  const uint64_t expected_version =
+      (state != nullptr ? state->last_version : entry->snapshot_version) + 1;
+  if (summary.base_fingerprint != expected_fp ||
+      summary.version != expected_version) {
+    return Status::InvalidArgument(
+        "AppendUpdate: batch does not continue the durable chain of '" +
+        name + "' (expected base " + FingerprintHex(expected_fp) +
+        " version " + std::to_string(expected_version) + ", got base " +
+        FingerprintHex(summary.base_fingerprint) + " version " +
+        std::to_string(summary.version) + ")");
+  }
+
+  if (entry->wal_file.empty()) {
+    ManifestEntry updated = *entry;
+    // Named after the snapshot it extends, inheriting its uniqueness.
+    updated.wal_file = entry->snapshot_file + ".wal";
+    // Reference the WAL in the manifest before writing its first record:
+    // the reverse order could fsync an acknowledged update into a file
+    // recovery never looks at.
+    RemoveFileIfExists(FullPath(updated.wal_file));
+    *entry = updated;
+    Status status = SaveManifest(manifest_, ManifestPath());
+    if (!status.ok()) {
+      entry->wal_file.clear();
+      return status;
+    }
+  }
+
+  WalRecord record;
+  record.base_fingerprint = summary.base_fingerprint;
+  record.fingerprint = summary.fingerprint;
+  record.version = summary.version;
+  record.ops.assign(ops.begin(), ops.end());
+  FAIRCLIQUE_RETURN_NOT_OK(
+      AppendWalRecord(FullPath(entry->wal_file), record));
+
+  WalState& ws = wal_state_[name];
+  ws.records++;
+  ws.last_version = summary.version;
+  ws.last_fingerprint = summary.fingerprint;
+  counters_.wal_records_appended++;
+  return Status::OK();
+}
+
+Status StorageManager::OnReplace(const std::string& name,
+                                 const AttributedGraph& snapshot,
+                                 uint64_t version, uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ManifestEntry* entry = manifest_.Find(name);
+  if (entry == nullptr) {
+    return PersistGraphLocked(name, snapshot, version, fingerprint,
+                              /*source=*/"", /*is_compaction=*/false);
+  }
+  auto it = wal_state_.find(name);
+  const bool wal_covers = it != wal_state_.end() &&
+                          it->second.last_version == version &&
+                          it->second.last_fingerprint == fingerprint;
+  const bool snapshot_covers = entry->snapshot_version == version &&
+                               entry->snapshot_fingerprint == fingerprint;
+  if (!wal_covers && !snapshot_covers) {
+    // The epoch was published without a matching WAL record (a Replace
+    // outside the AppendUpdate flow, or a WAL write that failed): the
+    // snapshot rewrite is the only way to make it durable.
+    return PersistGraphLocked(name, snapshot, version, fingerprint,
+                              entry->source, /*is_compaction=*/false);
+  }
+  if (wal_covers && it->second.records >= options_.wal_compaction_threshold) {
+    return PersistGraphLocked(name, snapshot, version, fingerprint,
+                              entry->source, /*is_compaction=*/true);
+  }
+  return Status::OK();
+}
+
+Status StorageManager::Forget(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ManifestEntry* entry = manifest_.Find(name);
+  if (entry == nullptr) return Status::OK();
+  ManifestEntry removed = *entry;
+  manifest_.Remove(name);
+  Status status = SaveManifest(manifest_, ManifestPath());
+  if (!status.ok()) {
+    manifest_.entries.push_back(removed);
+    return status;
+  }
+  RemoveEntryFilesLocked(removed);
+  wal_state_.erase(name);
+  return Status::OK();
+}
+
+Status StorageManager::RecoverAll(std::vector<RecoveredGraph>* out,
+                                  const std::set<std::string>* skip_names) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->clear();
+  bool manifest_dirty = false;
+  for (ManifestEntry& entry : manifest_.entries) {
+    if (skip_names != nullptr && skip_names->count(entry.name) > 0) continue;
+    AttributedGraph snapshot;
+    Status status = LoadFcg2(FullPath(entry.snapshot_file), &snapshot);
+    if (status.ok() &&
+        GraphFingerprint(snapshot) != entry.snapshot_fingerprint) {
+      status = Status::Corruption("snapshot fingerprint mismatch for '" +
+                                  entry.name + "'");
+    }
+    if (!status.ok()) {
+      FC_LOG(kWarning) << "recovery skipped '" << entry.name
+                      << "': " << status.ToString();
+      counters_.recover_failures++;
+      continue;
+    }
+
+    std::vector<WalRecord> records;
+    bool torn_tail = false;
+    if (!entry.wal_file.empty()) {
+      status = ReadWal(FullPath(entry.wal_file), &records, &torn_tail);
+      if (!status.ok()) {
+        FC_LOG(kWarning) << "recovery skipped '" << entry.name
+                        << "': " << status.ToString();
+        counters_.recover_failures++;
+        continue;
+      }
+    }
+
+    RecoveredGraph recovered;
+    recovered.name = entry.name;
+    recovered.source = entry.source;
+
+    // Replay the WAL tail, proving every step: a record must start from the
+    // exact fingerprint the chain reached and land on the exact fingerprint
+    // it recorded. Divergence means stale records (e.g. an epoch whose
+    // snapshot rewrite superseded the log mid-crash) — stop there and
+    // truncate the tail away.
+    size_t replayed = 0;
+    if (!records.empty()) {
+      auto dyn =
+          std::make_unique<DynamicGraph>(snapshot, entry.snapshot_version);
+      for (const WalRecord& record : records) {
+        if (record.base_fingerprint != dyn->fingerprint() ||
+            record.version != dyn->version() + 1) {
+          break;
+        }
+        UpdateSummary summary;
+        if (!dyn->Apply(std::span<const UpdateOp>(record.ops), &summary)
+                 .ok()) {
+          break;
+        }
+        if (summary.fingerprint != record.fingerprint) {
+          // The batch applied but produced different content than the log
+          // promised; rebuild the pre-record state and stop the replay.
+          auto redo =
+              std::make_unique<DynamicGraph>(snapshot, entry.snapshot_version);
+          for (size_t i = 0; i < replayed; ++i) {
+            redo->Apply(std::span<const UpdateOp>(records[i].ops), nullptr);
+          }
+          dyn = std::move(redo);
+          break;
+        }
+        ++replayed;
+      }
+      recovered.graph = dyn->snapshot();
+      recovered.version = dyn->version();
+      recovered.fingerprint = dyn->fingerprint();
+    } else {
+      recovered.version = entry.snapshot_version;
+      recovered.fingerprint = entry.snapshot_fingerprint;
+      recovered.graph =
+          std::make_shared<const AttributedGraph>(std::move(snapshot));
+    }
+    recovered.wal_records_replayed = replayed;
+    counters_.wal_records_replayed += replayed;
+
+    // Drop whatever the replay could not prove, so later appends continue
+    // the durable chain from the state actually served.
+    bool tail_clean = true;
+    if (replayed < records.size() || torn_tail) {
+      if (replayed == 0) {
+        RemoveFileIfExists(FullPath(entry.wal_file));
+        entry.wal_file.clear();
+        manifest_dirty = true;
+        wal_state_.erase(entry.name);
+      } else {
+        std::string rewritten;
+        for (size_t i = 0; i < replayed; ++i) {
+          rewritten += SerializeWalFrame(records[i]);
+        }
+        Status rewrite =
+            AtomicWriteFile(FullPath(entry.wal_file), rewritten);
+        if (!rewrite.ok()) {
+          FC_LOG(kWarning) << "could not truncate stale WAL tail of '"
+                           << entry.name << "': " << rewrite.ToString();
+          tail_clean = false;
+        }
+      }
+    }
+    // Prime the append chain only when the on-disk log really ends at the
+    // replayed state: appending after a stale tail that survived a failed
+    // rewrite would fsync records the next recovery throws away. Leaving
+    // the state unprimed routes the next epoch down OnReplace's
+    // snapshot-rewrite path instead, which drops the bad log entirely.
+    if (replayed > 0 && tail_clean) {
+      WalState state;
+      state.records = replayed;
+      state.last_version = recovered.version;
+      state.last_fingerprint = recovered.fingerprint;
+      wal_state_[entry.name] = state;
+    } else if (replayed > 0) {
+      wal_state_.erase(entry.name);
+    }
+
+    counters_.recoveries++;
+    out->push_back(std::move(recovered));
+  }
+  if (manifest_dirty) {
+    FAIRCLIQUE_RETURN_NOT_OK(SaveManifest(manifest_, ManifestPath()));
+  }
+  return Status::OK();
+}
+
+Status StorageManager::SaveWarmEntries(std::span<const WarmEntry> entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FAIRCLIQUE_RETURN_NOT_OK(SaveWarmFile(FullPath(kWarmFileName), entries));
+  counters_.warm_entries_saved += entries.size();
+  return Status::OK();
+}
+
+Status StorageManager::LoadWarmEntries(std::vector<WarmEntry>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status status = LoadWarmFile(FullPath(kWarmFileName), out);
+  if (status.IsNotFound()) {
+    out->clear();
+    return Status::OK();
+  }
+  return status;
+}
+
+void StorageManager::NoteWarmRestore(size_t restored, size_t rejected) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.warm_entries_restored += restored;
+  counters_.warm_entries_rejected += rejected;
+}
+
+StorageCounters StorageManager::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace storage
+}  // namespace fairclique

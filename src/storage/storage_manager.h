@@ -1,0 +1,170 @@
+#ifndef FAIRCLIQUE_STORAGE_STORAGE_MANAGER_H_
+#define FAIRCLIQUE_STORAGE_STORAGE_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dynamic/dynamic_graph.h"
+#include "graph/graph.h"
+#include "storage/manifest.h"
+#include "storage/wal.h"
+#include "storage/warm_file.h"
+
+namespace fairclique {
+namespace storage {
+
+/// Monotonic counters since Open; surfaced by the server's stats/metrics
+/// command.
+struct StorageCounters {
+  uint64_t snapshots_written = 0;   // FCG2 files written (incl. compactions)
+  uint64_t wal_records_appended = 0;
+  uint64_t wal_records_replayed = 0;
+  uint64_t compactions = 0;         // snapshot rewrites that truncated a WAL
+  uint64_t recoveries = 0;          // graphs recovered by RecoverAll
+  uint64_t recover_failures = 0;    // manifest entries skipped on recovery
+  uint64_t warm_entries_saved = 0;
+  uint64_t warm_entries_restored = 0;
+  uint64_t warm_entries_rejected = 0;  // failed the verifier check on restore
+};
+
+/// One graph brought back by RecoverAll: the post-replay snapshot at its
+/// correct epoch. `graph` is the zero-copy mmap view when no WAL records
+/// were replayed, or the rematerialized snapshot after replay.
+struct RecoveredGraph {
+  std::string name;
+  std::shared_ptr<const AttributedGraph> graph;
+  uint64_t version = 0;
+  uint64_t fingerprint = 0;
+  std::string source;
+  uint64_t wal_records_replayed = 0;
+};
+
+/// The durable side of the query service: owns a data directory holding
+///
+///   MANIFEST                          catalog (manifest.h), atomic replace
+///   <name>-<hash>.<ver>.<fp>.fcg2     one FCG2 snapshot per graph
+///   <name>-<hash>.<ver>.<fp>.fcg2.wal updates applied since that snapshot
+///   warm.cache                        persisted exact result-cache entries
+///
+/// Write path: PersistGraph snapshots a freshly loaded graph; AppendUpdate
+/// logs each DynamicGraph batch (fsync'd) *before* the epoch is published;
+/// OnReplace (the GraphRegistry write-through hook) verifies the WAL tail
+/// covers the published epoch — rewriting the snapshot when it does not —
+/// and compacts (fresh snapshot + WAL truncation) once the tail exceeds
+/// `Options::wal_compaction_threshold` records.
+///
+/// Recovery path: RecoverAll loads every manifest entry's snapshot
+/// (fingerprint-revalidated — content addressing makes durable state
+/// exactly checkable), replays its WAL tail through a DynamicGraph with the
+/// fingerprint chain verified record by record, and truncates any stale or
+/// torn tail. Crash safety relies on ordering, not luck: snapshot files are
+/// versioned and published by rename, the manifest is replaced atomically,
+/// and a WAL file is referenced by the manifest before its first record is
+/// written.
+///
+/// Thread-safe: one internal mutex serializes all operations (safety, not
+/// parallelism — a snapshot write blocks other graphs' appends for its
+/// duration; per-graph locking is an open item once multi-writer workloads
+/// exist — today the server's command loop is the only writer).
+class StorageManager {
+ public:
+  struct Options {
+    /// WAL records per graph beyond which OnReplace compacts.
+    size_t wal_compaction_threshold = 64;
+  };
+
+  /// Opens (creating if needed) `data_dir`, loads the manifest and the
+  /// per-graph WAL state, and removes unreferenced snapshot/WAL/tmp files
+  /// left by a crash mid-compaction.
+  static Status Open(const std::string& data_dir, const Options& options,
+                     std::unique_ptr<StorageManager>* out);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Writes a fresh FCG2 snapshot for `name` and points the manifest at it,
+  /// dropping any WAL (the snapshot supersedes it). Write-through target of
+  /// GraphRegistry::Load/Add; also the compaction primitive.
+  Status PersistGraph(const std::string& name, const AttributedGraph& g,
+                      uint64_t version, uint64_t fingerprint,
+                      const std::string& source);
+
+  /// Durably appends one update batch to `name`'s WAL. Must be called
+  /// BEFORE the new epoch is published (the write-ahead contract). Fails
+  /// with NotFound when the name was never persisted and InvalidArgument
+  /// when the batch does not continue the durable fingerprint chain (the
+  /// registry's OnReplace fallback then rewrites the snapshot instead).
+  Status AppendUpdate(const std::string& name, const UpdateSummary& summary,
+                      std::span<const UpdateOp> ops);
+
+  /// GraphRegistry::Replace write-through: checks that the durable state
+  /// covers the just-published epoch (snapshot version + WAL tail ==
+  /// (version, fingerprint)); rewrites the snapshot when it does not, and
+  /// compacts when the WAL tail crossed the threshold.
+  Status OnReplace(const std::string& name, const AttributedGraph& snapshot,
+                   uint64_t version, uint64_t fingerprint);
+
+  /// Drops `name` from the manifest and deletes its files
+  /// (GraphRegistry::Evict write-through). Unknown names are OK (idempotent).
+  Status Forget(const std::string& name);
+
+  /// Recovers every graph in the manifest except those named in
+  /// `skip_names` (graphs the caller already serves — re-reading their
+  /// snapshots and replaying their WALs would be wasted I/O and would
+  /// double-count the recovery counters). Entries whose snapshot or WAL
+  /// fail validation are skipped (counted in recover_failures) rather than
+  /// failing the graphs that are intact.
+  Status RecoverAll(std::vector<RecoveredGraph>* out,
+                    const std::set<std::string>* skip_names = nullptr);
+
+  /// Persists / loads the warm result-cache file. Loading an absent file
+  /// yields OK and no entries.
+  Status SaveWarmEntries(std::span<const WarmEntry> entries);
+  Status LoadWarmEntries(std::vector<WarmEntry>* out);
+
+  /// Restore-side bookkeeping for the verifier check the caller performs
+  /// (the caller owns the cache and the graphs; storage owns the counters).
+  void NoteWarmRestore(size_t restored, size_t rejected);
+
+  StorageCounters counters() const;
+
+ private:
+  struct WalState {
+    size_t records = 0;
+    uint64_t last_version = 0;
+    uint64_t last_fingerprint = 0;
+  };
+
+  StorageManager(std::string dir, const Options& options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  std::string FullPath(const std::string& file) const { return dir_ + "/" + file; }
+  std::string ManifestPath() const { return FullPath("MANIFEST"); }
+  /// "<sanitized-name>-<fnv-hex8>": unique, filesystem-safe stem per name.
+  static std::string FileStem(const std::string& name);
+
+  Status PersistGraphLocked(const std::string& name, const AttributedGraph& g,
+                            uint64_t version, uint64_t fingerprint,
+                            const std::string& source, bool is_compaction);
+  void RemoveEntryFilesLocked(const ManifestEntry& entry);
+  void RemoveUnreferencedFilesLocked();
+
+  const std::string dir_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  Manifest manifest_;  // in-memory source of truth, mirrored to disk
+  std::map<std::string, WalState> wal_state_;
+  StorageCounters counters_;
+};
+
+}  // namespace storage
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_STORAGE_STORAGE_MANAGER_H_

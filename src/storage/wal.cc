@@ -1,0 +1,126 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+#include "storage/format_util.h"
+#include "storage/io_util.h"
+
+namespace fairclique {
+namespace storage {
+
+namespace {
+
+constexpr char kRecordMagic[4] = {'F', 'W', 'R', '1'};
+constexpr size_t kFrameHeaderSize = 16;  // magic + length + checksum
+constexpr size_t kOpSize = 12;
+constexpr size_t kPayloadFixedSize = 28;  // 3 * u64 + u32 op_count
+
+std::string SerializePayload(const WalRecord& record) {
+  std::string payload;
+  payload.reserve(kPayloadFixedSize + record.ops.size() * kOpSize);
+  PutU64(&payload, record.base_fingerprint);
+  PutU64(&payload, record.fingerprint);
+  PutU64(&payload, record.version);
+  PutU32(&payload, static_cast<uint32_t>(record.ops.size()));
+  for (const UpdateOp& op : record.ops) {
+    payload.push_back(static_cast<char>(op.kind));
+    payload.push_back(static_cast<char>(op.attr));
+    payload.push_back(0);
+    payload.push_back(0);
+    PutU32(&payload, op.u);
+    PutU32(&payload, op.v);
+  }
+  return payload;
+}
+
+bool ParsePayload(std::span<const uint8_t> payload, WalRecord* out) {
+  size_t pos = 0;
+  uint32_t op_count = 0;
+  if (!GetU64(payload, &pos, &out->base_fingerprint) ||
+      !GetU64(payload, &pos, &out->fingerprint) ||
+      !GetU64(payload, &pos, &out->version) ||
+      !GetU32(payload, &pos, &op_count)) {
+    return false;
+  }
+  if (payload.size() - pos != static_cast<size_t>(op_count) * kOpSize) {
+    return false;
+  }
+  out->ops.clear();
+  out->ops.reserve(op_count);
+  for (uint32_t i = 0; i < op_count; ++i) {
+    uint8_t kind = payload[pos];
+    uint8_t attr = payload[pos + 1];
+    pos += 4;  // kind, attr, 2 reserved bytes
+    if (kind > static_cast<uint8_t>(UpdateKind::kSetAttribute) || attr > 1) {
+      return false;
+    }
+    UpdateOp op;
+    op.kind = static_cast<UpdateKind>(kind);
+    op.attr = static_cast<Attribute>(attr);
+    GetU32(payload, &pos, &op.u);
+    GetU32(payload, &pos, &op.v);
+    out->ops.push_back(op);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeWalFrame(const WalRecord& record) {
+  std::string payload = SerializePayload(record);
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  frame.append(kRecordMagic, 4);
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU64(&frame, Checksum(AsBytes(payload)));
+  frame += payload;
+  return frame;
+}
+
+Status AppendWalRecord(const std::string& path, const WalRecord& record) {
+  return DurableAppend(path, SerializeWalFrame(record));
+}
+
+Status ReadWal(const std::string& path, std::vector<WalRecord>* out,
+               bool* truncated_tail) {
+  out->clear();
+  if (truncated_tail != nullptr) *truncated_tail = false;
+  std::string contents;
+  Status status = ReadFile(path, &contents);
+  if (status.IsNotFound()) return Status::OK();
+  FAIRCLIQUE_RETURN_NOT_OK(status);
+
+  const std::span<const uint8_t> bytes = AsBytes(contents);
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    // Any framing failure from here on is a torn tail: stop, report, keep
+    // the records already decoded.
+    if (bytes.size() - pos < kFrameHeaderSize ||
+        std::memcmp(bytes.data() + pos, kRecordMagic, 4) != 0) {
+      if (truncated_tail != nullptr) *truncated_tail = true;
+      break;
+    }
+    size_t cursor = pos + 4;
+    uint32_t payload_length = 0;
+    uint64_t checksum = 0;
+    GetU32(bytes, &cursor, &payload_length);
+    GetU64(bytes, &cursor, &checksum);
+    if (payload_length < kPayloadFixedSize ||
+        bytes.size() - cursor < payload_length) {
+      if (truncated_tail != nullptr) *truncated_tail = true;
+      break;
+    }
+    std::span<const uint8_t> payload = bytes.subspan(cursor, payload_length);
+    WalRecord record;
+    if (Checksum(payload) != checksum || !ParsePayload(payload, &record)) {
+      if (truncated_tail != nullptr) *truncated_tail = true;
+      break;
+    }
+    out->push_back(std::move(record));
+    pos = cursor + payload_length;
+  }
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace fairclique

@@ -1,0 +1,55 @@
+#ifndef FAIRCLIQUE_STORAGE_WAL_H_
+#define FAIRCLIQUE_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dynamic/dynamic_graph.h"
+
+namespace fairclique {
+namespace storage {
+
+/// One durable update batch: the DynamicGraph epoch transition it performs
+/// (base fingerprint/version -> new fingerprint/version) plus the ops
+/// themselves, so recovery can replay it and *prove* it replayed correctly
+/// by comparing fingerprints at every step.
+struct WalRecord {
+  uint64_t base_fingerprint = 0;  // snapshot fingerprint before the batch
+  uint64_t fingerprint = 0;       // snapshot fingerprint after
+  uint64_t version = 0;           // epoch after the batch
+  std::vector<UpdateOp> ops;
+};
+
+/// On-disk framing, per record (little-endian):
+///   u32 magic "FWR1"
+///   u32 payload_length
+///   u64 payload checksum (FNV-1a)
+///   payload: u64 base_fingerprint, u64 fingerprint, u64 version,
+///            u32 op_count, op_count * (u8 kind, u8 attr, u16 reserved,
+///            u32 u, u32 v)
+///
+/// AppendWalRecord appends one framed record and fsyncs before returning —
+/// the write-ahead property: the record is durable before the in-memory
+/// epoch is published. A crash mid-append leaves a torn tail; ReadWal stops
+/// cleanly at the first frame that fails the magic/length/checksum check and
+/// reports it via `truncated_tail` instead of failing the whole log, because
+/// a torn tail is the *expected* crash artifact, not corruption of committed
+/// records.
+Status AppendWalRecord(const std::string& path, const WalRecord& record);
+
+/// One framed record as raw bytes (what AppendWalRecord appends). Exposed so
+/// recovery can rewrite a log minus its stale tail with identical framing.
+std::string SerializeWalFrame(const WalRecord& record);
+
+/// Reads every intact record of `path` in order. Missing file -> OK with no
+/// records (an empty WAL and an absent WAL are the same state).
+Status ReadWal(const std::string& path, std::vector<WalRecord>* out,
+               bool* truncated_tail = nullptr);
+
+}  // namespace storage
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_STORAGE_WAL_H_

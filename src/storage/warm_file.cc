@@ -1,0 +1,106 @@
+#include "storage/warm_file.h"
+
+#include <cstring>
+
+#include "storage/format_util.h"
+#include "storage/io_util.h"
+
+namespace fairclique {
+namespace storage {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'C', 'W', '1'};
+constexpr uint32_t kFormatVersion = 1;
+
+Status Bad(const std::string& path, const std::string& what) {
+  return Status::Corruption("warm file " + path + ": " + what);
+}
+
+}  // namespace
+
+Status SaveWarmFile(const std::string& path,
+                    std::span<const WarmEntry> entries) {
+  std::string buf;
+  buf.append(kMagic, 4);
+  PutU32(&buf, kFormatVersion);
+  PutU32(&buf, static_cast<uint32_t>(entries.size()));
+  for (const WarmEntry& e : entries) {
+    PutU32(&buf, static_cast<uint32_t>(e.key.size()));
+    buf += e.key;
+    PutU64(&buf, e.fingerprint);
+    buf.push_back(e.has_params ? 1 : 0);
+    PutU32(&buf, static_cast<uint32_t>(e.params.k));
+    PutU32(&buf, static_cast<uint32_t>(e.params.delta));
+    PutU32(&buf, static_cast<uint32_t>(e.clique.vertices.size()));
+    for (VertexId v : e.clique.vertices) PutU32(&buf, v);
+    PutU64(&buf, static_cast<uint64_t>(e.clique.attr_counts.a()));
+    PutU64(&buf, static_cast<uint64_t>(e.clique.attr_counts.b()));
+  }
+  PutU64(&buf, Checksum(AsBytes(buf)));
+  return AtomicWriteFile(path, buf);
+}
+
+Status LoadWarmFile(const std::string& path, std::vector<WarmEntry>* out) {
+  out->clear();
+  std::string contents;
+  FAIRCLIQUE_RETURN_NOT_OK(ReadFile(path, &contents));
+  const std::span<const uint8_t> bytes = AsBytes(contents);
+  if (bytes.size() < 20 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return Bad(path, "bad magic or truncated");
+  }
+  size_t tail = bytes.size() - 8;
+  uint64_t declared = 0;
+  size_t tail_pos = tail;
+  GetU64(bytes, &tail_pos, &declared);
+  if (Checksum(bytes.subspan(0, tail)) != declared) {
+    return Bad(path, "checksum mismatch");
+  }
+  const std::span<const uint8_t> body = bytes.subspan(0, tail);
+  size_t pos = 4;
+  uint32_t version = 0, count = 0;
+  GetU32(body, &pos, &version);
+  GetU32(body, &pos, &count);
+  if (version != kFormatVersion) return Bad(path, "unsupported version");
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WarmEntry e;
+    uint32_t key_len = 0, k = 0, delta = 0, clique_size = 0;
+    if (!GetU32(body, &pos, &key_len) || body.size() - pos < key_len) {
+      return Bad(path, "truncated entry");
+    }
+    e.key.assign(reinterpret_cast<const char*>(body.data() + pos), key_len);
+    pos += key_len;
+    if (body.size() - pos < 9) return Bad(path, "truncated entry");
+    uint64_t fp = 0;
+    GetU64(body, &pos, &fp);
+    e.fingerprint = fp;
+    e.has_params = body[pos++] != 0;
+    if (!GetU32(body, &pos, &k) || !GetU32(body, &pos, &delta) ||
+        !GetU32(body, &pos, &clique_size)) {
+      return Bad(path, "truncated entry");
+    }
+    e.params.k = static_cast<int>(k);
+    e.params.delta = static_cast<int>(delta);
+    if (body.size() - pos < 4ull * clique_size + 16) {
+      return Bad(path, "truncated clique");
+    }
+    e.clique.vertices.reserve(clique_size);
+    for (uint32_t j = 0; j < clique_size; ++j) {
+      uint32_t v = 0;
+      GetU32(body, &pos, &v);
+      e.clique.vertices.push_back(v);
+    }
+    uint64_t a = 0, b = 0;
+    GetU64(body, &pos, &a);
+    GetU64(body, &pos, &b);
+    e.clique.attr_counts[Attribute::kA] = static_cast<int64_t>(a);
+    e.clique.attr_counts[Attribute::kB] = static_cast<int64_t>(b);
+    out->push_back(std::move(e));
+  }
+  if (pos != tail) return Bad(path, "trailing garbage");
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace fairclique

@@ -1,0 +1,47 @@
+#ifndef FAIRCLIQUE_STORAGE_WARM_FILE_H_
+#define FAIRCLIQUE_STORAGE_WARM_FILE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace fairclique {
+namespace storage {
+
+/// One persistable exact result-cache entry. Only the proven part of a
+/// cached result survives a restart: the clique, its fairness parameters,
+/// and the graph fingerprint it is exact for. Timings and node counts are
+/// run artifacts and are not persisted. On restore the clique is re-checked
+/// with the verifier against the registered graph of that fingerprint, so
+/// a stale or bit-rotted entry is dropped instead of served. The verifier
+/// proves *validity* (a fair clique of that exact content), not
+/// *maximality* — re-proving maximality would cost the search the cache
+/// exists to avoid — so like every store here, the data dir is trusted
+/// state: its checksums detect accidents, they are not MACs.
+struct WarmEntry {
+  std::string key;         // ResultCache key: "<fp-hex>|<options-key>"
+  uint64_t fingerprint = 0;
+  CliqueResult clique;
+  bool has_params = false;
+  FairnessParams params;
+};
+
+/// Binary container ("FCW1"): u32 magic, u32 version, u32 entry count, the
+/// length-prefixed entries, and a trailing FNV-1a checksum over everything
+/// before it. Written atomically (tmp + rename).
+Status SaveWarmFile(const std::string& path,
+                    std::span<const WarmEntry> entries);
+
+/// Loads `path`. NotFound when absent; Corruption on checksum or framing
+/// failures (the whole file is rejected — a torn warm file is a cache miss,
+/// not a recovery problem).
+Status LoadWarmFile(const std::string& path, std::vector<WarmEntry>* out);
+
+}  // namespace storage
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_STORAGE_WARM_FILE_H_

@@ -40,7 +40,7 @@ TEST_F(BinaryIoTest, RoundTripPreservesEverything) {
   AttributedGraph loaded;
   ASSERT_TRUE(LoadBinaryGraph(path, &loaded).ok());
   EXPECT_EQ(loaded.num_vertices(), g.num_vertices());
-  EXPECT_EQ(loaded.edges(), g.edges());
+  EXPECT_EQ(testing_util::EdgesOf(loaded), testing_util::EdgesOf(g));
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     EXPECT_EQ(loaded.attribute(v), g.attribute(v));
   }
@@ -112,6 +112,73 @@ TEST_F(BinaryIoTest, BadAttributeByteIsCorruption) {
   std::string path = WriteRaw("attr.fcg", bytes);
   AttributedGraph g;
   EXPECT_TRUE(LoadBinaryGraph(path, &g).IsCorruption());
+}
+
+TEST_F(BinaryIoTest, TrailingGarbageIsCorruption) {
+  AttributedGraph g = RandomAttributedGraph(20, 0.3, 2);
+  std::string path = Path("garbage.fcg");
+  ASSERT_TRUE(SaveBinaryGraph(g, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  WriteRaw("garbage.fcg", bytes + "extra");
+  AttributedGraph loaded;
+  Status status = LoadBinaryGraph(path, &loaded);
+  EXPECT_TRUE(status.IsCorruption());
+  EXPECT_NE(status.message().find("trailing garbage"), std::string::npos);
+}
+
+TEST_F(BinaryIoTest, RejectsUnsortedOrDenormalizedEdges) {
+  auto make = [](std::initializer_list<std::pair<uint32_t, uint32_t>> edges) {
+    std::string bytes = "FCG1";
+    auto put = [&bytes](uint32_t v) {
+      for (int i = 0; i < 4; ++i) {
+        bytes.push_back(static_cast<char>(v >> (8 * i)));
+      }
+    };
+    put(4);
+    put(static_cast<uint32_t>(edges.size()));
+    for (auto [u, v] : edges) {
+      put(u);
+      put(v);
+    }
+    for (int i = 0; i < 4; ++i) bytes.push_back(0);
+    return bytes;
+  };
+  AttributedGraph g;
+  // u >= v.
+  EXPECT_TRUE(
+      LoadBinaryGraph(WriteRaw("swap.fcg", make({{2, 1}})), &g).IsCorruption());
+  // Out of order.
+  EXPECT_TRUE(LoadBinaryGraph(WriteRaw("order.fcg", make({{1, 2}, {0, 1}})), &g)
+                  .IsCorruption());
+  // Duplicate (not strictly sorted).
+  EXPECT_TRUE(LoadBinaryGraph(WriteRaw("dup.fcg", make({{0, 1}, {0, 1}})), &g)
+                  .IsCorruption());
+  // A well-formed file with the same helper still loads.
+  EXPECT_TRUE(
+      LoadBinaryGraph(WriteRaw("ok.fcg", make({{0, 1}, {1, 2}})), &g).ok());
+}
+
+// Every strict prefix of a valid file must be rejected cleanly (no crash,
+// no out-of-bounds read — the ASan job would flag one) and no prefix may
+// ever load as a *different* graph.
+TEST_F(BinaryIoTest, TruncationSweepRejectsEveryPrefix) {
+  AttributedGraph g = RandomAttributedGraph(30, 0.2, 3);
+  std::string path = Path("sweep.fcg");
+  ASSERT_TRUE(SaveBinaryGraph(g, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ASSERT_GT(bytes.size(), 12u);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::string prefix_path = WriteRaw("prefix.fcg", bytes.substr(0, len));
+    AttributedGraph loaded;
+    Status status = LoadBinaryGraph(prefix_path, &loaded);
+    EXPECT_TRUE(status.IsCorruption()) << "prefix of length " << len
+                                       << " was not rejected: "
+                                       << status.ToString();
+  }
 }
 
 // ----------------------------------------------------------------- METIS --

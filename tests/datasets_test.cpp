@@ -3,6 +3,7 @@
 #include "core/heuristics.h"
 #include "datasets/datasets.h"
 #include "graph/cores.h"
+#include "test_util.h"
 
 namespace fairclique {
 namespace {
@@ -41,7 +42,7 @@ TEST_P(DatasetLoadTest, LoadsValidDeterministicGraph) {
   EXPECT_GT(cnt.Min(), static_cast<int64_t>(g.num_vertices()) / 10);
   // Deterministic: loading twice yields the identical graph.
   AttributedGraph again = LoadDataset(name);
-  EXPECT_EQ(g.edges(), again.edges());
+  EXPECT_EQ(testing_util::EdgesOf(g), testing_util::EdgesOf(again));
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     EXPECT_EQ(g.attribute(v), again.attribute(v));
   }

@@ -33,7 +33,7 @@ TEST(ErdosRenyiTest, DeterministicGivenSeed) {
   Rng r1(99), r2(99);
   AttributedGraph a = ErdosRenyi(100, 0.1, r1);
   AttributedGraph b = ErdosRenyi(100, 0.1, r2);
-  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_EQ(testing_util::EdgesOf(a), testing_util::EdgesOf(b));
 }
 
 TEST(GnMTest, ExactEdgeCount) {

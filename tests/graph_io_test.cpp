@@ -144,7 +144,7 @@ TEST_F(IoTest, SaveLoadRoundTripPreservesGraph) {
   // Vertex count can differ when trailing vertices are isolated; compare
   // edges and attributes over the loaded prefix.
   EXPECT_EQ(loaded.num_edges(), g.num_edges());
-  EXPECT_EQ(loaded.edges(), g.edges());
+  EXPECT_EQ(testing_util::EdgesOf(loaded), testing_util::EdgesOf(g));
   for (VertexId v = 0; v < loaded.num_vertices(); ++v) {
     EXPECT_EQ(loaded.attribute(v), g.attribute(v));
   }

@@ -43,6 +43,11 @@ inline std::vector<VertexId> Sorted(std::vector<VertexId> v) {
   return v;
 }
 
+/// Materialized edge list, for EXPECT_EQ between graphs (edges() is a span).
+inline std::vector<Edge> EdgesOf(const AttributedGraph& g) {
+  return {g.edges().begin(), g.edges().end()};
+}
+
 /// Brute-force max fair clique by subset enumeration; usable for n <= ~20.
 /// Completely independent of the library's search/enumeration code.
 inline std::vector<VertexId> BruteForceMaxFairClique(const AttributedGraph& g,

@@ -11,7 +11,11 @@
 // before its epoch is published, and startup automatically recovers all
 // registered graphs (snapshot + WAL replay, fingerprint-verified) plus the
 // persisted result-cache entries (verifier-checked) — so a SIGKILL'd server
-// restarts to the same verified answers at the same epochs.
+// restarts to the same verified answers at the same epochs. WAL appends are
+// group-committed (concurrent batches share one fsync; see
+// storage/group_commit.h); --wal-group-window N makes a commit leader
+// linger N microseconds for more batches before syncing (larger groups,
+// higher per-batch latency; default 0).
 //
 // Commands:
 //   {"cmd":"load","name":"g","dataset":"dblp-s","scale":1.0}
@@ -128,9 +132,11 @@ struct Server {
   /// the command loop; failures are fatal (a durable server that cannot
   /// persist is worse than a crash — it would silently lose updates).
   Status EnableStorage(const std::string& data_dir,
-                       size_t wal_compaction_threshold) {
+                       size_t wal_compaction_threshold,
+                       int64_t wal_group_window_micros) {
     storage::StorageManager::Options options;
     options.wal_compaction_threshold = wal_compaction_threshold;
+    options.group_window_micros = wal_group_window_micros;
     FAIRCLIQUE_RETURN_NOT_OK(
         storage::StorageManager::Open(data_dir, options, &storage));
     size_t graphs = 0, warm = 0;
@@ -280,16 +286,18 @@ struct Server {
     std::string storage_json;
     if (storage != nullptr) {
       storage::StorageCounters sc = storage->counters();
-      char buf[512];
+      char buf[640];
       std::snprintf(
           buf, sizeof(buf),
           ",\"storage\":{\"snapshots_written\":%llu,"
-          "\"wal_records_appended\":%llu,\"wal_records_replayed\":%llu,"
+          "\"wal_records_appended\":%llu,\"wal_group_commits\":%llu,"
+          "\"wal_records_replayed\":%llu,"
           "\"compactions\":%llu,\"recoveries\":%llu,"
           "\"recover_failures\":%llu,\"warm_entries_saved\":%llu,"
           "\"warm_entries_restored\":%llu,\"warm_entries_rejected\":%llu}",
           static_cast<unsigned long long>(sc.snapshots_written),
           static_cast<unsigned long long>(sc.wal_records_appended),
+          static_cast<unsigned long long>(sc.wal_group_commits),
           static_cast<unsigned long long>(sc.wal_records_replayed),
           static_cast<unsigned long long>(sc.compactions),
           static_cast<unsigned long long>(sc.recoveries),
@@ -324,7 +332,8 @@ struct Server {
         "\"incremental\":%llu,\"warm_starts\":%llu,"
         "\"prepared_hits\":%llu,\"prepared_builds\":%llu,"
         "\"component_tasks\":%llu,"
-        "\"deadline_misses\":%llu,\"queue_depth\":%zu,"
+        "\"deadline_misses\":%llu,\"admission_queue_depth\":%zu,"
+        "\"component_queue_depth\":%zu,\"queue_depth\":%zu,"
         "\"peak_queue_depth\":%zu}%s}\n",
         static_cast<unsigned long long>(id), graphs.c_str(),
         static_cast<unsigned long long>(cs.hits),
@@ -353,7 +362,8 @@ struct Server {
         static_cast<unsigned long long>(em.prepared_hits),
         static_cast<unsigned long long>(em.prepared_builds),
         static_cast<unsigned long long>(em.component_tasks),
-        static_cast<unsigned long long>(em.deadline_misses), em.queue_depth,
+        static_cast<unsigned long long>(em.deadline_misses),
+        em.admission_queue_depth, em.component_queue_depth, em.queue_depth,
         em.peak_queue_depth, storage_json.c_str());
   }
 
@@ -567,11 +577,14 @@ int Usage() {
                "usage: fairclique_server [--workers N] [--cache N] "
                "[--prepared N] [--queue N]\n"
                "                         [--data-dir PATH] [--wal-compact N] "
-               "[commands.jsonl]\n"
+               "[--wal-group-window USEC]\n"
+               "                         [commands.jsonl]\n"
                "reads JSON-lines commands from the file or stdin; with "
                "--data-dir the service\n"
-               "is durable (FCG2 snapshots + update WAL) and recovers its "
-               "state on startup\n");
+               "is durable (FCG2 snapshots + group-committed update WAL) and "
+               "recovers its state\n"
+               "on startup; --wal-group-window trades append latency for "
+               "larger commit groups\n");
   return 2;
 }
 
@@ -584,6 +597,7 @@ int main(int argc, char** argv) {
   size_t prepared_capacity = 16;
   size_t queue_capacity = 256;
   size_t wal_compact = 64;
+  int64_t wal_group_window = 0;
   std::string data_dir;
   std::string script;
   for (int i = 1; i < argc; ++i) {
@@ -599,6 +613,8 @@ int main(int argc, char** argv) {
       data_dir = argv[++i];
     } else if (arg == "--wal-compact" && i + 1 < argc) {
       wal_compact = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--wal-group-window" && i + 1 < argc) {
+      wal_group_window = std::atoll(argv[++i]);
     } else if (arg == "--help" || arg == "-h" || arg[0] == '-') {
       return Usage();
     } else {
@@ -608,7 +624,8 @@ int main(int argc, char** argv) {
 
   Server server(workers, cache_capacity, prepared_capacity, queue_capacity);
   if (!data_dir.empty()) {
-    Status status = server.EnableStorage(data_dir, wal_compact);
+    Status status =
+        server.EnableStorage(data_dir, wal_compact, wal_group_window);
     if (!status.ok()) {
       std::fprintf(stderr, "cannot enable storage: %s\n",
                    status.ToString().c_str());

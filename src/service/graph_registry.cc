@@ -184,7 +184,7 @@ Status GraphRegistry::Replace(const std::string& name,
   ResultCache* cache = nullptr;
   PreparedGraphCache* prepared_cache = nullptr;
   storage::StorageManager* storage = nullptr;
-  std::lock_guard<std::mutex> swap_lock(swap_mu_);
+  std::unique_lock<std::mutex> swap_lock(swap_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = graphs_.find(name);
@@ -234,6 +234,13 @@ Status GraphRegistry::Replace(const std::string& name,
     }
   }
   if (report != nullptr) *report = std::move(out);
+  // The storage write-through runs OUTSIDE swap_mu_: a snapshot rewrite or
+  // compaction of one graph must not stall every other graph's Replace
+  // behind the global publish lock. Two Replaces of the same name can then
+  // reach storage out of order, but StorageManager::OnReplace ignores
+  // epochs older than one it already handled, so the durable snapshot
+  // never regresses.
+  swap_lock.unlock();
   if (storage != nullptr) {
     // The in-memory replace is already published (readers may be serving
     // it); a write-through failure is reported rather than rolled back, so

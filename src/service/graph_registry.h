@@ -122,7 +122,12 @@ class GraphRegistry {
   /// describe exactly the (current entry -> snapshot) transition — several
   /// Apply batches collapsed into one Replace, or a racing Apply advancing
   /// the DynamicGraph between the caller's Apply and Replace — falls back
-  /// to plain invalidation rather than migrating incorrectly.
+  /// to plain invalidation rather than migrating incorrectly. The storage
+  /// write-through runs after the publish lock is released (so one graph's
+  /// snapshot rewrite cannot stall every other graph's Replace); a
+  /// write-through that loses a race against Evict of the same name is
+  /// dropped by a storage-side tombstone instead of resurrecting the
+  /// evicted graph's durable state.
   Status Replace(const std::string& name,
                  std::shared_ptr<const AttributedGraph> snapshot,
                  uint64_t version, const UpdateSummary* summary = nullptr,

@@ -71,7 +71,8 @@ std::future<QueryResponse> QueryExecutor::Submit(QueryRequest request) {
       pending.promise = std::move(promise);
       queue_.push_back(std::move(pending));
       ++inflight_;
-      peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
+      peak_queue_depth_ = std::max(
+          peak_queue_depth_, queue_.size() + component_queue_.size());
       work_ready_.notify_one();
       return future;
     }
@@ -94,6 +95,25 @@ bool QueryExecutor::PreSearch(QueryState& qs) {
     return true;
   }
 
+  // The deadline is anchored at Submit (qs.queued started there), so queue
+  // wait burns budget. A request popped already-dead is expired for the
+  // cost of this clock read — before even the cache probe: its latency
+  // bound is blown either way, and the client has stopped waiting.
+  double remaining_deadline = 0.0;
+  if (request.deadline_seconds > 0.0) {
+    remaining_deadline =
+        request.deadline_seconds - qs.queued.ElapsedSeconds();
+    if (remaining_deadline <= 0.0) {
+      qs.response.status = Status::Aborted(
+          "deadline of " + std::to_string(request.deadline_seconds) +
+          "s expired while the request waited in the queue");
+      qs.response.deadline_missed = true;
+      qs.response.run_micros = qs.run_timer.ElapsedMicros();
+      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+
   qs.use_cache = cache_ != nullptr && !request.bypass_cache;
   if (qs.use_cache) {
     qs.cache_key =
@@ -107,15 +127,14 @@ bool QueryExecutor::PreSearch(QueryState& qs) {
     }
   }
 
-  // Map the per-query deadline onto the search's own safety valve
-  // (0 = unlimited on both sides).
+  // Map what is LEFT of the per-query deadline onto the search's own
+  // safety valve (0 = unlimited on both sides).
   qs.effective = request.options;
   if (request.deadline_seconds > 0.0) {
     qs.effective.time_limit_seconds =
         qs.effective.time_limit_seconds > 0.0
-            ? std::min(qs.effective.time_limit_seconds,
-                       request.deadline_seconds)
-            : request.deadline_seconds;
+            ? std::min(qs.effective.time_limit_seconds, remaining_deadline)
+            : remaining_deadline;
   }
 
   // Warm hint: a cached clique that survived graph updates. exact_chain
@@ -214,6 +233,7 @@ void QueryExecutor::FinishSearch(QueryState& qs, SearchResult&& sr) {
 QueryResponse QueryExecutor::Run(const QueryRequest& request) {
   QueryState qs;
   qs.request = request;
+  qs.queued.Restart();  // the synchronous "submit" is this very call
   if (!PreSearch(qs)) {
     // Deduct the time already spent (hint handling, plan build) from the
     // branch budget so the overall limit matches the monolith's.
@@ -263,6 +283,8 @@ void QueryExecutor::ExpandQuery(std::shared_ptr<QueryState> qs) {
     for (size_t slot = 0; slot < n; ++slot) {
       component_queue_.push_back(ComponentTask{qs, slot});
     }
+    peak_queue_depth_ = std::max(
+        peak_queue_depth_, queue_.size() + component_queue_.size());
     work_ready_.notify_all();
   }
 }
@@ -378,7 +400,9 @@ ExecutorMetrics QueryExecutor::metrics() const {
   m.component_tasks = component_tasks_.load(std::memory_order_relaxed);
   m.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
-  m.queue_depth = queue_.size();
+  m.admission_queue_depth = queue_.size();
+  m.component_queue_depth = component_queue_.size();
+  m.queue_depth = m.admission_queue_depth + m.component_queue_depth;
   m.peak_queue_depth = peak_queue_depth_;
   return m;
 }

@@ -41,14 +41,19 @@ struct ExecutorOptions {
 struct QueryRequest {
   std::shared_ptr<const RegisteredGraph> graph;  // required
   SearchOptions options;
-  /// Per-query wall-clock budget in seconds; 0 = none. Mapped onto the
-  /// search's own safety valve: effective time_limit_seconds =
-  /// min(options.time_limit_seconds, deadline_seconds) (treating 0 as
-  /// unlimited). The clock starts when a worker admits the query; on a
-  /// loaded pool it also covers time the query's component tasks spend
-  /// waiting behind other queries' tasks — it bounds response latency from
-  /// admission, not pure compute. A search stopped by the budget reports
-  /// `deadline_missed = true` and is not cached.
+  /// Per-query wall-clock budget in seconds; 0 = none. The clock is
+  /// anchored at Submit, so time spent waiting in the admission queue burns
+  /// budget — it bounds the client's response latency, not compute from
+  /// admission (a query that waited seconds for a worker does NOT get its
+  /// full budget back afterwards). The remaining budget at admission is
+  /// mapped onto the search's own safety valve: effective
+  /// time_limit_seconds = min(options.time_limit_seconds, remaining)
+  /// (treating 0 as unlimited); on a loaded pool it also covers time the
+  /// query's component tasks spend waiting behind other queries' tasks. A
+  /// search stopped by the budget reports `deadline_missed = true` and is
+  /// not cached; a request whose budget is already gone when a worker pops
+  /// it is expired for the cost of a clock read (Aborted status, null
+  /// result, `deadline_missed = true`).
   double deadline_seconds = 0.0;
   /// Skip the result cache (cold benchmarking, freshness checks).
   bool bypass_cache = false;
@@ -91,8 +96,16 @@ struct ExecutorMetrics {
   uint64_t prepared_builds = 0;        // plans built (and possibly published)
   uint64_t component_tasks = 0;        // component tasks scheduled pool-wide
   uint64_t deadline_misses = 0;
-  size_t queue_depth = 0;       // point-in-time (whole queries waiting)
-  size_t peak_queue_depth = 0;  // high-water mark
+  /// Queue depths are point-in-time. Admission alone is a misleading
+  /// saturation signal — queries expand into component tasks, so a pool
+  /// drowning in thousands of backed-up component tasks can show an empty
+  /// admission queue — hence both queues are reported, plus their sum
+  /// (`queue_depth`, the total backlog) whose high-water mark is
+  /// `peak_queue_depth`.
+  size_t admission_queue_depth = 0;  // whole queries waiting for a worker
+  size_t component_queue_depth = 0;  // expanded Branch tasks waiting
+  size_t queue_depth = 0;            // admission + component, combined
+  size_t peak_queue_depth = 0;       // high-water mark of the combined depth
 };
 
 /// Bounded-queue worker pool turning the staged fair-clique search into a
@@ -164,9 +177,10 @@ class QueryExecutor {
   };
 
   void WorkerLoop();
-  /// Shared pre-Branch pipeline: validation, result-cache probe, warm-hint
-  /// handling, deadline mapping, prepared-plan probe/build. Returns true
-  /// when the response is already complete (hit / incremental / invalid).
+  /// Shared pre-Branch pipeline: submit-anchored deadline check,
+  /// validation, result-cache probe, warm-hint handling, deadline mapping,
+  /// prepared-plan probe/build. Returns true when the response is already
+  /// complete (expired / hit / incremental / invalid).
   bool PreSearch(QueryState& qs);
   /// Shared post-Branch glue: deadline-miss bookkeeping, hint put-back,
   /// result-cache fill, response fields. Does not touch the promise.
@@ -190,6 +204,8 @@ class QueryExecutor {
   std::deque<ComponentTask> component_queue_;
   /// Accepted queries not yet answered (queued, expanding, or branching).
   size_t inflight_ = 0;
+  /// High-water mark of queue_.size() + component_queue_.size(); bumped
+  /// under mu_ wherever either queue grows.
   size_t peak_queue_depth_ = 0;
   bool stopping_ = false;
   /// Serializes Shutdown end to end; workers_ is written only at

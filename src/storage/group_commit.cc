@@ -1,0 +1,114 @@
+#include "storage/group_commit.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "storage/io_util.h"
+
+namespace fairclique {
+namespace storage {
+
+GroupCommitWal::GroupCommitWal(
+    std::string path, int64_t group_window_micros,
+    std::shared_ptr<std::atomic<uint64_t>> groups_counter)
+    : path_(std::move(path)),
+      group_window_micros_(group_window_micros),
+      groups_counter_(std::move(groups_counter)) {}
+
+GroupCommitWal::~GroupCommitWal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+GroupCommitWal::Ticket GroupCommitWal::Enqueue(std::string frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_ += frame;
+  ++pending_frames_;
+  return Ticket{++next_seq_};
+}
+
+void GroupCommitWal::CommitGroupLocked(std::unique_lock<std::mutex>& lock) {
+  if (group_window_micros_ > 0 && sticky_error_.ok()) {
+    // Linger so concurrent appenders can join this group — but only while
+    // they actually keep arriving: the window bounds the added latency, it
+    // is not a mandatory sleep. A spurious wakeup only shortens a slice;
+    // correctness never depends on the timing.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(group_window_micros_);
+    const auto slice = std::chrono::microseconds(
+        std::max<int64_t>(1, group_window_micros_ / 4));
+    uint64_t seen = pending_frames_;
+    while (std::chrono::steady_clock::now() < deadline) {
+      settled_.wait_for(lock, slice);
+      if (pending_frames_ == seen) break;  // arrivals stalled; commit now
+      seen = pending_frames_;
+    }
+  }
+  // Snapshot the group under the lock: frames enqueued while the IO runs
+  // belong to the NEXT group, and settling past them would acknowledge
+  // records that were never written.
+  std::string batch = std::move(pending_);
+  pending_.clear();
+  const uint64_t frames = pending_frames_;
+  pending_frames_ = 0;
+  const uint64_t first = settled_seq_ + 1;
+  const uint64_t last = next_seq_;
+
+  Status status = sticky_error_;
+  if (status.ok() && !batch.empty()) {
+    lock.unlock();
+    if (fd_ < 0) {
+      // fd_ is only ever touched by the (single) active leader, so the
+      // unlocked access cannot race another writer thread.
+      bool created = false;
+      status = OpenAppendFd(path_, &fd_, &created);
+      if (status.ok() && created) SyncParentDir(path_);
+    }
+    if (status.ok()) status = AppendAndSyncFd(fd_, path_, batch);
+    lock.lock();
+    if (status.ok()) {
+      stats_.groups++;
+      stats_.records += frames;
+      stats_.largest_group = std::max(stats_.largest_group, frames);
+      if (groups_counter_ != nullptr) {
+        groups_counter_->fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (!status.ok() && sticky_error_.ok()) {
+    // The file may now end in a torn frame; writing anything after it
+    // would turn a truncatable tail into mid-file corruption. Fail this
+    // frame and every later one instead.
+    sticky_error_ = status;
+    first_failed_seq_ = first;
+  }
+  settled_seq_ = last;
+}
+
+Status GroupCommitWal::Wait(Ticket ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (settled_seq_ < ticket.seq) {
+    if (!leader_active_) {
+      leader_active_ = true;
+      CommitGroupLocked(lock);
+      leader_active_ = false;
+      settled_.notify_all();
+    } else {
+      settled_.wait(lock);
+    }
+  }
+  if (first_failed_seq_ != 0 && ticket.seq >= first_failed_seq_) {
+    return sticky_error_;
+  }
+  return Status::OK();
+}
+
+GroupCommitStats GroupCommitWal::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace storage
+}  // namespace fairclique

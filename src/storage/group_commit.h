@@ -1,0 +1,110 @@
+#ifndef FAIRCLIQUE_STORAGE_GROUP_COMMIT_H_
+#define FAIRCLIQUE_STORAGE_GROUP_COMMIT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace fairclique {
+namespace storage {
+
+/// Monotonic statistics of one GroupCommitWal.
+struct GroupCommitStats {
+  uint64_t records = 0;        // frames settled durable
+  uint64_t groups = 0;         // write+fsync pairs issued
+  uint64_t largest_group = 0;  // most frames ever settled by one fsync
+};
+
+/// Group-commit writer for one WAL file. Appenders enqueue serialized
+/// frames onto a commit queue; the first waiter whose frame is still
+/// pending elects itself leader, drains *everything* queued so far, issues
+/// ONE write + ONE fsync for the whole group, then releases every waiter
+/// whose frame the group covered — so N concurrent appends cost one fsync
+/// instead of N, without weakening the write-ahead contract: Wait() returns
+/// OK only once the frame's bytes are fsync'd.
+///
+/// The fd is opened on the first commit and held open across appends
+/// (creation syncs the parent directory, exactly as DurableAppend does).
+/// Frames land in the file in Enqueue order, so a caller that must preserve
+/// an ordering invariant (the WAL's fingerprint chain) enqueues under its
+/// own ordering lock and waits outside it — that is what lets ordered
+/// appends overlap in one group at all.
+///
+/// Errors are sticky: once a group's write or fsync fails, the file may end
+/// in a torn frame, so every frame from the first failed one onward reports
+/// the error and nothing is written again. (Appending after a torn frame
+/// would turn the tear into mid-file corruption, which recovery treats as
+/// data loss rather than a crash artifact.) The owner is expected to drop
+/// the writer and rewrite the snapshot instead.
+///
+/// Thread-safe. Destruction closes the fd; callers keep the writer alive
+/// (shared_ptr) until every enqueued frame has been waited on.
+class GroupCommitWal {
+ public:
+  /// One enqueued frame, identified by its commit sequence number.
+  struct Ticket {
+    uint64_t seq = 0;
+  };
+
+  /// `group_window_micros` > 0 makes a fresh leader linger that long before
+  /// draining, trading commit latency for larger groups under bursty
+  /// arrival. 0 (the default) drains immediately: batching then comes for
+  /// free from appenders piling up behind the previous group's fsync.
+  /// `groups_counter`, when non-null, is incremented once per issued fsync
+  /// (the owner aggregates it across writers that come and go; shared
+  /// ownership, so a commit completing after the owner's destruction still
+  /// touches live memory).
+  explicit GroupCommitWal(
+      std::string path, int64_t group_window_micros = 0,
+      std::shared_ptr<std::atomic<uint64_t>> groups_counter = nullptr);
+  ~GroupCommitWal();
+
+  GroupCommitWal(const GroupCommitWal&) = delete;
+  GroupCommitWal& operator=(const GroupCommitWal&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Adds one frame to the commit queue. Never blocks on IO; the frame's
+  /// position in the file is its position in the Enqueue order.
+  Ticket Enqueue(std::string frame);
+
+  /// Blocks until `ticket`'s frame is settled: OK iff its group's write and
+  /// fsync succeeded. May do the group's IO itself (leader election).
+  Status Wait(Ticket ticket);
+
+  /// Enqueue + Wait: the drop-in durable append.
+  Status Append(std::string frame) { return Wait(Enqueue(std::move(frame))); }
+
+  GroupCommitStats stats() const;
+
+ private:
+  /// Leader body: drains the pending buffer, writes + fsyncs it, settles
+  /// the drained range. Called with `lock` held; releases it around the IO.
+  void CommitGroupLocked(std::unique_lock<std::mutex>& lock);
+
+  const std::string path_;
+  const int64_t group_window_micros_;
+  const std::shared_ptr<std::atomic<uint64_t>> groups_counter_;  // may be null
+
+  mutable std::mutex mu_;
+  std::condition_variable settled_;
+  int fd_ = -1;
+  uint64_t next_seq_ = 0;      // last sequence number handed out
+  uint64_t settled_seq_ = 0;   // every seq <= this is durable or failed
+  uint64_t first_failed_seq_ = 0;  // 0 = no failure yet
+  Status sticky_error_;
+  bool leader_active_ = false;
+  std::string pending_;        // concatenated frames (settled_seq_, next_seq_]
+  uint64_t pending_frames_ = 0;
+  GroupCommitStats stats_;
+};
+
+}  // namespace storage
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_STORAGE_GROUP_COMMIT_H_

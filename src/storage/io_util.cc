@@ -27,21 +27,24 @@ Status WriteAll(int fd, const std::string& bytes, const std::string& path) {
   return Status::OK();
 }
 
-/// fsync on the directory containing `path`, so a just-renamed or just-
-/// created entry survives a crash. Best effort: some filesystems reject
-/// directory fsync; the data fsync already happened.
+}  // namespace
+
 void SyncParentDir(const std::string& path) {
   size_t slash = path.find_last_of('/');
-  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  if (dir.empty()) dir = "/";
+  std::string dir;
+  if (slash == std::string::npos) {
+    dir = ".";
+  } else if (slash == 0) {
+    dir = "/";
+  } else {
+    dir = path.substr(0, slash);
+  }
   int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
   if (fd >= 0) {
     ::fsync(fd);
     ::close(fd);
   }
 }
-
-}  // namespace
 
 Status AtomicWriteFile(const std::string& path, const std::string& bytes) {
   const std::string tmp = path + ".tmp";
@@ -70,26 +73,39 @@ Status AtomicWriteFile(const std::string& path, const std::string& bytes) {
   return Status::OK();
 }
 
-Status DurableAppend(const std::string& path, const std::string& bytes) {
+Status OpenAppendFd(const std::string& path, int* fd, bool* created) {
   // Open-then-create so we know whether a directory entry was just born:
   // fsync on the file alone does not persist a *new* entry, and losing the
   // whole file to a power cut would silently drop an acknowledged record.
-  bool created = false;
-  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
-  if (fd < 0 && errno == ENOENT) {
-    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
-                0644);
-    created = fd >= 0;
+  if (created != nullptr) *created = false;
+  *fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (*fd < 0 && errno == ENOENT) {
+    *fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                 0644);
+    if (created != nullptr) *created = *fd >= 0;
   }
-  if (fd < 0) {
+  if (*fd < 0) {
     return Status::IOError("cannot open for append: " + path + ": " +
                            std::strerror(errno));
   }
-  Status status = WriteAll(fd, bytes, path);
-  if (status.ok() && ::fsync(fd) != 0) {
-    status = Status::IOError("fsync failed: " + path + ": " +
-                             std::strerror(errno));
+  return Status::OK();
+}
+
+Status AppendAndSyncFd(int fd, const std::string& path,
+                       const std::string& bytes) {
+  FAIRCLIQUE_RETURN_NOT_OK(WriteAll(fd, bytes, path));
+  if (::fsync(fd) != 0) {
+    return Status::IOError("fsync failed: " + path + ": " +
+                           std::strerror(errno));
   }
+  return Status::OK();
+}
+
+Status DurableAppend(const std::string& path, const std::string& bytes) {
+  bool created = false;
+  int fd = -1;
+  FAIRCLIQUE_RETURN_NOT_OK(OpenAppendFd(path, &fd, &created));
+  Status status = AppendAndSyncFd(fd, path, bytes);
   ::close(fd);
   if (status.ok() && created) SyncParentDir(path);
   return status;

@@ -15,8 +15,26 @@ namespace storage {
 Status AtomicWriteFile(const std::string& path, const std::string& bytes);
 
 /// Appends `bytes` to `path` (creating it if needed) and fsyncs. Used by the
-/// WAL, where records must be durable before the update commits.
+/// WAL, where records must be durable before the update commits. Opens and
+/// closes the file per call — the single-writer fallback; the group-commit
+/// writer (storage/group_commit.h) holds one fd open instead.
 Status DurableAppend(const std::string& path, const std::string& bytes);
+
+/// Opens `path` for appending, creating it if needed; `*created` reports
+/// whether the directory entry was just born (the caller must then
+/// SyncParentDir so a power cut cannot drop the whole new file). The fd is
+/// O_CLOEXEC; the caller owns it.
+Status OpenAppendFd(const std::string& path, int* fd, bool* created);
+
+/// Writes all of `bytes` to `fd` and fsyncs it. `path` is for error
+/// messages only.
+Status AppendAndSyncFd(int fd, const std::string& path,
+                       const std::string& bytes);
+
+/// fsync on the directory containing `path`, so a just-renamed or just-
+/// created entry survives a crash. Best effort: some filesystems reject
+/// directory fsync; the data fsync already happened.
+void SyncParentDir(const std::string& path);
 
 /// Reads a whole file into `out`. IOError when it cannot be opened/read;
 /// missing files are NotFound.

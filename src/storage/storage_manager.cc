@@ -1,6 +1,7 @@
 #include "storage/storage_manager.h"
 
 #include <cstdio>
+#include <deque>
 #include <filesystem>
 #include <set>
 #include <utility>
@@ -20,6 +21,80 @@ constexpr char kWarmFileName[] = "warm.cache";
 
 }  // namespace
 
+/// Per-graph durable state. `entry`/`registered` mirror the manifest entry
+/// for this name (the invariant: every mutation of that entry happens under
+/// this mutex, plus manifest_mu_ for the file write), so the hot append
+/// path reads its own catalog row without touching any global lock.
+///
+/// `chain` records the (version, fingerprint) of every WAL record enqueued
+/// since the snapshot, in chain order — including records whose group
+/// commit is still in flight. That is what OnReplace checks coverage
+/// against: an epoch published by one writer while another writer's later
+/// record is still committing is "covered, not tail", so neither the
+/// rewrite nor the compaction path may delete the WAL out from under the
+/// in-flight frame. `poisoned` marks a WAL whose file may end in a torn
+/// frame (a failed append); nothing is appended after it, and the next
+/// OnReplace rewrites the snapshot, dropping the log.
+struct StorageManager::Stripe {
+  std::mutex mu;
+  bool registered = false;
+  ManifestEntry entry;
+  std::deque<std::pair<uint64_t, uint64_t>> chain;
+  bool poisoned = false;
+  /// Newest epoch OnReplace has acted on; older write-throughs (a Replace
+  /// racing a later one outside the registry's publish lock) are ignored
+  /// instead of regressing the durable snapshot.
+  uint64_t published_version = 0;
+  /// Set by Forget, cleared by an explicit PersistGraph: an OnReplace that
+  /// raced the eviction (in-flight write-through for a name just
+  /// forgotten) must not resurrect the durable state it lost the race to.
+  bool tombstoned = false;
+  std::shared_ptr<GroupCommitWal> writer;
+};
+
+StorageManager::~StorageManager() = default;
+
+StorageManager::AppendTicket::~AppendTicket() {
+  // An abandoned ticket still owes its frame a wait: the stripe's poison
+  // bookkeeping must see the failure even if the caller lost interest.
+  if (pending_) Wait();
+}
+
+StorageManager::AppendTicket::AppendTicket(AppendTicket&& other) noexcept
+    : stripe_(std::move(other.stripe_)),
+      wal_(std::move(other.wal_)),
+      records_counter_(std::move(other.records_counter_)),
+      ticket_(other.ticket_),
+      pending_(std::exchange(other.pending_, false)),
+      result_(std::move(other.result_)) {}
+
+StorageManager::AppendTicket& StorageManager::AppendTicket::operator=(
+    AppendTicket&& other) noexcept {
+  if (this != &other) {
+    if (pending_) Wait();  // settle the overwritten obligation first
+    stripe_ = std::move(other.stripe_);
+    wal_ = std::move(other.wal_);
+    records_counter_ = std::move(other.records_counter_);
+    ticket_ = other.ticket_;
+    pending_ = std::exchange(other.pending_, false);
+    result_ = std::move(other.result_);
+  }
+  return *this;
+}
+
+Status StorageManager::AppendTicket::Wait() {
+  if (!pending_) return result_;
+  pending_ = false;
+  result_ = wal_->Wait(ticket_);
+  if (result_.ok()) {
+    records_counter_->fetch_add(1, std::memory_order_relaxed);
+  } else {
+    std::lock_guard<std::mutex> lock(stripe_->mu);
+    stripe_->poisoned = true;
+  }
+  return result_;
+}
+
 std::string StorageManager::FileStem(const std::string& name) {
   std::string sanitized;
   sanitized.reserve(name.size());
@@ -35,6 +110,23 @@ std::string StorageManager::FileStem(const std::string& name) {
   std::snprintf(hex, sizeof(hex), "%08x",
                 static_cast<uint32_t>(Checksum(name.data(), name.size())));
   return sanitized + "-" + hex;
+}
+
+std::shared_ptr<StorageManager::Stripe> StorageManager::GetStripe(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  auto it = stripes_.find(name);
+  return it == stripes_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<StorageManager::Stripe> StorageManager::GetOrCreateStripe(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  auto it = stripes_.find(name);
+  if (it == stripes_.end()) {
+    it = stripes_.emplace(name, std::make_shared<Stripe>()).first;
+  }
+  return it->second;
 }
 
 Status StorageManager::Open(const std::string& data_dir,
@@ -55,20 +147,32 @@ Status StorageManager::Open(const std::string& data_dir,
   }
   FAIRCLIQUE_RETURN_NOT_OK(status);
 
-  // Prime the per-graph WAL state so OnReplace's coverage check works even
-  // for callers that attach storage without running RecoverAll. Only a log
-  // whose metadata chain is intact end to end (first record rooted at the
-  // snapshot, each record's base the previous record's result) may prime:
+  // One stripe per manifest entry. Prime a stripe's append chain only when
+  // its log's metadata chain is intact end to end (first record rooted at
+  // the snapshot, each record's base the previous record's result):
   // appending after a stale tail would fsync-acknowledge records the next
   // recovery provably discards. An unprimed name simply routes its next
   // epoch down the snapshot-rewrite path. RecoverAll re-reads these files
   // with full content validation; the duplicate read is bounded by
   // wal_compaction_threshold records per graph.
   for (const ManifestEntry& entry : manager->manifest_.entries) {
+    auto stripe = std::make_shared<Stripe>();
+    stripe->registered = true;
+    stripe->entry = entry;
+    stripe->published_version = entry.snapshot_version;
+    manager->stripes_.emplace(entry.name, stripe);
     if (entry.wal_file.empty()) continue;
     std::vector<WalRecord> records;
-    FAIRCLIQUE_RETURN_NOT_OK(
-        ReadWal(manager->FullPath(entry.wal_file), &records, nullptr));
+    status = ReadWal(manager->FullPath(entry.wal_file), &records, nullptr);
+    if (status.IsCorruption()) {
+      // Mid-file corruption: never prime (and never truncate) — RecoverAll
+      // reports it loudly and refuses to serve a silently shortened epoch.
+      // Poison the stripe so no append can fsync-acknowledge a record into
+      // the end of a file recovery will never replay.
+      stripe->poisoned = true;
+      continue;
+    }
+    FAIRCLIQUE_RETURN_NOT_OK(status);
     if (records.empty()) continue;
     bool chained = true;
     uint64_t fp = entry.snapshot_fingerprint;
@@ -81,23 +185,33 @@ Status StorageManager::Open(const std::string& data_dir,
       fp = record.fingerprint;
       version = record.version;
     }
-    if (!chained) continue;
-    WalState state;
-    state.records = records.size();
-    state.last_version = version;
-    state.last_fingerprint = fp;
-    manager->wal_state_[entry.name] = state;
+    if (!chained) {
+      // A log whose records do not chain from the snapshot is stale (e.g.
+      // a crashed snapshot rewrite superseded it). Appending after it
+      // would fsync-acknowledge records the next recovery provably
+      // discards, so poison until a rewrite (or RecoverAll's truncation)
+      // supersedes the file.
+      stripe->poisoned = true;
+      continue;
+    }
+    for (const WalRecord& record : records) {
+      stripe->chain.emplace_back(record.version, record.fingerprint);
+    }
+    stripe->published_version = version;
   }
-  manager->RemoveUnreferencedFilesLocked();
+  manager->RemoveUnreferencedFiles();
   *out = std::move(manager);
   return Status::OK();
 }
 
-void StorageManager::RemoveUnreferencedFilesLocked() {
+void StorageManager::RemoveUnreferencedFiles() {
   std::set<std::string> referenced = {"MANIFEST", kWarmFileName};
-  for (const ManifestEntry& entry : manifest_.entries) {
-    referenced.insert(entry.snapshot_file);
-    if (!entry.wal_file.empty()) referenced.insert(entry.wal_file);
+  {
+    std::lock_guard<std::mutex> lock(manifest_mu_);
+    for (const ManifestEntry& entry : manifest_.entries) {
+      referenced.insert(entry.snapshot_file);
+      if (!entry.wal_file.empty()) referenced.insert(entry.wal_file);
+    }
   }
   std::error_code ec;
   for (const auto& dir_entry :
@@ -114,17 +228,13 @@ void StorageManager::RemoveUnreferencedFilesLocked() {
   }
 }
 
-void StorageManager::RemoveEntryFilesLocked(const ManifestEntry& entry) {
-  RemoveFileIfExists(FullPath(entry.snapshot_file));
-  if (!entry.wal_file.empty()) RemoveFileIfExists(FullPath(entry.wal_file));
-}
-
-Status StorageManager::PersistGraphLocked(const std::string& name,
-                                          const AttributedGraph& g,
-                                          uint64_t version,
-                                          uint64_t fingerprint,
-                                          const std::string& source,
-                                          bool is_compaction) {
+Status StorageManager::PersistStripeLocked(Stripe& stripe,
+                                           const std::string& name,
+                                           const AttributedGraph& g,
+                                           uint64_t version,
+                                           uint64_t fingerprint,
+                                           const std::string& source,
+                                           bool is_compaction) {
   ManifestEntry fresh;
   fresh.name = name;
   // Version alone is not unique across a forget/re-register cycle (both
@@ -136,6 +246,9 @@ Status StorageManager::PersistGraphLocked(const std::string& name,
   fresh.snapshot_version = version;
   fresh.snapshot_fingerprint = fingerprint;
   fresh.source = source;
+  if (fresh.source.empty() && stripe.registered) {
+    fresh.source = stripe.entry.source;
+  }
 
   // Ordering is the crash-safety argument: (1) the new snapshot lands under
   // a version-distinct name, (2) the manifest atomically starts referencing
@@ -143,31 +256,31 @@ Status StorageManager::PersistGraphLocked(const std::string& name,
   // leaves a manifest whose references all exist and validate.
   FAIRCLIQUE_RETURN_NOT_OK(SaveFcg2(g, FullPath(fresh.snapshot_file)));
 
-  ManifestEntry old;
-  bool had_old = false;
-  if (ManifestEntry* existing = manifest_.Find(name)) {
-    old = *existing;
-    had_old = true;
-    if (fresh.source.empty()) fresh.source = old.source;
-    *existing = fresh;
-  } else {
-    manifest_.entries.push_back(fresh);
-  }
-  Status status = SaveManifest(manifest_, ManifestPath());
-  if (!status.ok()) {
-    // Roll the in-memory catalog back so it keeps mirroring the disk —
-    // and never unlink a file the durable manifest still references
-    // (same name implies same version+fingerprint, i.e. identical
-    // content, so the overwrite above was already harmless).
-    if (had_old) {
-      *manifest_.Find(name) = old;
+  const ManifestEntry old = stripe.entry;
+  const bool had_old = stripe.registered;
+  {
+    std::lock_guard<std::mutex> manifest_lock(manifest_mu_);
+    if (ManifestEntry* existing = manifest_.Find(name)) {
+      *existing = fresh;
     } else {
-      manifest_.Remove(name);
+      manifest_.entries.push_back(fresh);
     }
-    if (!(had_old && old.snapshot_file == fresh.snapshot_file)) {
-      RemoveFileIfExists(FullPath(fresh.snapshot_file));
+    Status status = SaveManifest(manifest_, ManifestPath());
+    if (!status.ok()) {
+      // Roll the in-memory catalog back so it keeps mirroring the disk —
+      // and never unlink a file the durable manifest still references
+      // (same name implies same version+fingerprint, i.e. identical
+      // content, so the overwrite above was already harmless).
+      if (had_old) {
+        *manifest_.Find(name) = old;
+      } else {
+        manifest_.Remove(name);
+      }
+      if (!(had_old && old.snapshot_file == fresh.snapshot_file)) {
+        RemoveFileIfExists(FullPath(fresh.snapshot_file));
+      }
+      return status;
     }
-    return status;
   }
   if (had_old && old.snapshot_file != fresh.snapshot_file) {
     RemoveFileIfExists(FullPath(old.snapshot_file));
@@ -175,9 +288,17 @@ Status StorageManager::PersistGraphLocked(const std::string& name,
   if (had_old && !old.wal_file.empty()) {
     RemoveFileIfExists(FullPath(old.wal_file));
   }
-  wal_state_.erase(name);
-  counters_.snapshots_written++;
-  if (is_compaction) counters_.compactions++;
+  stripe.entry = fresh;
+  stripe.registered = true;
+  stripe.chain.clear();
+  stripe.poisoned = false;
+  stripe.writer.reset();  // its file is gone; waiters hold their own ref
+  stripe.published_version = std::max(stripe.published_version, version);
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    counters_.snapshots_written++;
+    if (is_compaction) counters_.compactions++;
+  }
   return Status::OK();
 }
 
@@ -185,26 +306,40 @@ Status StorageManager::PersistGraph(const std::string& name,
                                     const AttributedGraph& g,
                                     uint64_t version, uint64_t fingerprint,
                                     const std::string& source) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return PersistGraphLocked(name, g, version, fingerprint, source,
-                            /*is_compaction=*/false);
+  std::shared_ptr<Stripe> stripe = GetOrCreateStripe(name);
+  std::lock_guard<std::mutex> lock(stripe->mu);
+  // An explicit persist is an authoritative (re-)registration.
+  stripe->tombstoned = false;
+  return PersistStripeLocked(*stripe, name, g, version, fingerprint, source,
+                             /*is_compaction=*/false);
 }
 
-Status StorageManager::AppendUpdate(const std::string& name,
-                                    const UpdateSummary& summary,
-                                    std::span<const UpdateOp> ops) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ManifestEntry* entry = manifest_.Find(name);
-  if (entry == nullptr) {
+Status StorageManager::AppendUpdateAsync(const std::string& name,
+                                         const UpdateSummary& summary,
+                                         std::span<const UpdateOp> ops,
+                                         AppendTicket* ticket) {
+  *ticket = AppendTicket{};
+  std::shared_ptr<Stripe> stripe = GetStripe(name);
+  if (stripe == nullptr) {
     return Status::NotFound("AppendUpdate: '" + name + "' is not persisted");
   }
-  const WalState* state = nullptr;
-  auto it = wal_state_.find(name);
-  if (it != wal_state_.end()) state = &it->second;
-  const uint64_t expected_fp =
-      state != nullptr ? state->last_fingerprint : entry->snapshot_fingerprint;
-  const uint64_t expected_version =
-      (state != nullptr ? state->last_version : entry->snapshot_version) + 1;
+  std::lock_guard<std::mutex> lock(stripe->mu);
+  if (!stripe->registered) {
+    return Status::NotFound("AppendUpdate: '" + name + "' is not persisted");
+  }
+  if (stripe->poisoned) {
+    return Status::IOError(
+        "AppendUpdate: the WAL of '" + name +
+        "' had a failed append (its tail may be torn); a snapshot rewrite "
+        "must supersede it before new records can be logged");
+  }
+  const uint64_t expected_fp = stripe->chain.empty()
+                                   ? stripe->entry.snapshot_fingerprint
+                                   : stripe->chain.back().second;
+  const uint64_t expected_version = (stripe->chain.empty()
+                                         ? stripe->entry.snapshot_version
+                                         : stripe->chain.back().first) +
+                                    1;
   if (summary.base_fingerprint != expected_fp ||
       summary.version != expected_version) {
     return Status::InvalidArgument(
@@ -215,20 +350,35 @@ Status StorageManager::AppendUpdate(const std::string& name,
         std::to_string(summary.version) + ")");
   }
 
-  if (entry->wal_file.empty()) {
-    ManifestEntry updated = *entry;
+  if (stripe->entry.wal_file.empty()) {
+    ManifestEntry updated = stripe->entry;
     // Named after the snapshot it extends, inheriting its uniqueness.
-    updated.wal_file = entry->snapshot_file + ".wal";
+    updated.wal_file = stripe->entry.snapshot_file + ".wal";
     // Reference the WAL in the manifest before writing its first record:
     // the reverse order could fsync an acknowledged update into a file
     // recovery never looks at.
     RemoveFileIfExists(FullPath(updated.wal_file));
-    *entry = updated;
-    Status status = SaveManifest(manifest_, ManifestPath());
-    if (!status.ok()) {
-      entry->wal_file.clear();
-      return status;
+    {
+      std::lock_guard<std::mutex> manifest_lock(manifest_mu_);
+      ManifestEntry* existing = manifest_.Find(name);
+      const ManifestEntry rollback = existing != nullptr ? *existing
+                                                         : ManifestEntry{};
+      if (existing != nullptr) {
+        *existing = updated;
+      } else {
+        manifest_.entries.push_back(updated);
+      }
+      Status status = SaveManifest(manifest_, ManifestPath());
+      if (!status.ok()) {
+        if (existing != nullptr) {
+          *manifest_.Find(name) = rollback;
+        } else {
+          manifest_.Remove(name);
+        }
+        return status;
+      }
     }
+    stripe->entry = updated;
   }
 
   WalRecord record;
@@ -236,69 +386,165 @@ Status StorageManager::AppendUpdate(const std::string& name,
   record.fingerprint = summary.fingerprint;
   record.version = summary.version;
   record.ops.assign(ops.begin(), ops.end());
-  FAIRCLIQUE_RETURN_NOT_OK(
-      AppendWalRecord(FullPath(entry->wal_file), record));
+  std::string frame = SerializeWalFrame(record);
 
-  WalState& ws = wal_state_[name];
-  ws.records++;
-  ws.last_version = summary.version;
-  ws.last_fingerprint = summary.fingerprint;
-  counters_.wal_records_appended++;
-  return Status::OK();
+  if (options_.group_commit) {
+    if (stripe->writer == nullptr) {
+      stripe->writer = std::make_shared<GroupCommitWal>(
+          FullPath(stripe->entry.wal_file), options_.group_window_micros,
+          wal_group_commits_);
+    }
+    // Enqueued under the stripe's mutex, so the frame's file position
+    // matches its chain position; the caller waits outside every lock.
+    ticket->stripe_ = stripe;
+    ticket->wal_ = stripe->writer;
+    ticket->records_counter_ = wal_records_appended_;
+    ticket->ticket_ = stripe->writer->Enqueue(std::move(frame));
+    ticket->pending_ = true;
+    stripe->chain.emplace_back(summary.version, summary.fingerprint);
+    return Status::OK();
+  }
+
+  // Single-writer fallback: one open+write+fsync+close per record, done
+  // while the stripe is held (other graphs' stripes stay free).
+  Status status = DurableAppend(FullPath(stripe->entry.wal_file), frame);
+  if (status.ok()) {
+    stripe->chain.emplace_back(summary.version, summary.fingerprint);
+    wal_records_appended_->fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stripe->poisoned = true;  // the file may now end in a torn frame
+  }
+  ticket->result_ = status;
+  ticket->pending_ = false;
+  return status;
+}
+
+Status StorageManager::AppendUpdate(const std::string& name,
+                                    const UpdateSummary& summary,
+                                    std::span<const UpdateOp> ops) {
+  AppendTicket ticket;
+  FAIRCLIQUE_RETURN_NOT_OK(AppendUpdateAsync(name, summary, ops, &ticket));
+  return ticket.Wait();
 }
 
 Status StorageManager::OnReplace(const std::string& name,
                                  const AttributedGraph& snapshot,
                                  uint64_t version, uint64_t fingerprint) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ManifestEntry* entry = manifest_.Find(name);
-  if (entry == nullptr) {
-    return PersistGraphLocked(name, snapshot, version, fingerprint,
-                              /*source=*/"", /*is_compaction=*/false);
+  std::shared_ptr<Stripe> stripe = GetOrCreateStripe(name);
+  std::lock_guard<std::mutex> lock(stripe->mu);
+  if (version < stripe->published_version) {
+    // A write-through for an epoch this stripe already moved past (two
+    // Replaces racing outside the registry's publish lock). Acting on it
+    // would regress the durable snapshot below served state; the newer
+    // epoch's write-through already covered durability.
+    return Status::OK();
   }
-  auto it = wal_state_.find(name);
-  const bool wal_covers = it != wal_state_.end() &&
-                          it->second.last_version == version &&
-                          it->second.last_fingerprint == fingerprint;
-  const bool snapshot_covers = entry->snapshot_version == version &&
-                               entry->snapshot_fingerprint == fingerprint;
+  stripe->published_version = version;
+  if (!stripe->registered) {
+    if (stripe->tombstoned) {
+      // This write-through lost a race against Forget: the name was
+      // evicted after the epoch was published but before storage heard
+      // about it. Re-persisting would resurrect durable state for a graph
+      // the registry no longer serves.
+      return Status::OK();
+    }
+    return PersistStripeLocked(*stripe, name, snapshot, version, fingerprint,
+                               /*source=*/"", /*is_compaction=*/false);
+  }
+  const bool snapshot_covers =
+      stripe->entry.snapshot_version == version &&
+      stripe->entry.snapshot_fingerprint == fingerprint;
+  // Walk the enqueued chain from its tail: the published epoch is covered
+  // when it is ON the chain — even when later records (other writers'
+  // in-flight batches) already extend past it, in which case neither
+  // rewriting nor compacting is allowed (both would delete the WAL out
+  // from under an in-flight frame).
+  bool wal_covers = false;
+  bool wal_covers_tail = false;
+  if (!stripe->poisoned) {
+    for (auto it = stripe->chain.rbegin(); it != stripe->chain.rend(); ++it) {
+      if (it->first < version) break;  // chain versions strictly increase
+      if (it->first == version && it->second == fingerprint) {
+        wal_covers = true;
+        wal_covers_tail = it == stripe->chain.rbegin();
+        break;
+      }
+    }
+  }
   if (!wal_covers && !snapshot_covers) {
     // The epoch was published without a matching WAL record (a Replace
     // outside the AppendUpdate flow, or a WAL write that failed): the
     // snapshot rewrite is the only way to make it durable.
-    return PersistGraphLocked(name, snapshot, version, fingerprint,
-                              entry->source, /*is_compaction=*/false);
+    return PersistStripeLocked(*stripe, name, snapshot, version, fingerprint,
+                               stripe->entry.source, /*is_compaction=*/false);
   }
-  if (wal_covers && it->second.records >= options_.wal_compaction_threshold) {
-    return PersistGraphLocked(name, snapshot, version, fingerprint,
-                              entry->source, /*is_compaction=*/true);
+  // Compaction requires the published epoch to be the chain TAIL: deleting
+  // the WAL under a later in-flight frame could lose an acknowledged,
+  // not-yet-published record to a crash. Under gapless pipelined write
+  // saturation this defers compaction (the log keeps growing) until the
+  // first publish that lands with nothing enqueued behind it — bounding
+  // the log under sustained saturation needs WAL rotation, a ROADMAP item.
+  if (wal_covers_tail &&
+      stripe->chain.size() >= options_.wal_compaction_threshold) {
+    return PersistStripeLocked(*stripe, name, snapshot, version, fingerprint,
+                               stripe->entry.source, /*is_compaction=*/true);
   }
   return Status::OK();
 }
 
 Status StorageManager::Forget(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ManifestEntry* entry = manifest_.Find(name);
-  if (entry == nullptr) return Status::OK();
-  ManifestEntry removed = *entry;
-  manifest_.Remove(name);
-  Status status = SaveManifest(manifest_, ManifestPath());
-  if (!status.ok()) {
-    manifest_.entries.push_back(removed);
-    return status;
+  std::shared_ptr<Stripe> stripe = GetStripe(name);
+  if (stripe == nullptr) return Status::OK();
+  std::lock_guard<std::mutex> lock(stripe->mu);
+  if (!stripe->registered) return Status::OK();
+  const ManifestEntry removed = stripe->entry;
+  {
+    std::lock_guard<std::mutex> manifest_lock(manifest_mu_);
+    manifest_.Remove(name);
+    Status status = SaveManifest(manifest_, ManifestPath());
+    if (!status.ok()) {
+      manifest_.entries.push_back(removed);
+      return status;
+    }
   }
-  RemoveEntryFilesLocked(removed);
-  wal_state_.erase(name);
+  RemoveFileIfExists(FullPath(removed.snapshot_file));
+  if (!removed.wal_file.empty()) {
+    RemoveFileIfExists(FullPath(removed.wal_file));
+  }
+  stripe->registered = false;
+  stripe->entry = ManifestEntry{};
+  stripe->chain.clear();
+  stripe->poisoned = false;
+  // A re-registered name starts a new life at version 0; keeping the old
+  // high-water mark would make the stale-epoch guard ignore it forever.
+  stripe->published_version = 0;
+  stripe->tombstoned = true;  // block in-flight write-throughs (see OnReplace)
+  stripe->writer.reset();
   return Status::OK();
 }
 
 Status StorageManager::RecoverAll(std::vector<RecoveredGraph>* out,
                                   const std::set<std::string>* skip_names) {
-  std::lock_guard<std::mutex> lock(mu_);
   out->clear();
-  bool manifest_dirty = false;
-  for (ManifestEntry& entry : manifest_.entries) {
-    if (skip_names != nullptr && skip_names->count(entry.name) > 0) continue;
+  // Recover in manifest order (stable across restarts). Each graph is
+  // processed under its own stripe, so a `restore` on a live server leaves
+  // other graphs' appends unblocked.
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(manifest_mu_);
+    names.reserve(manifest_.entries.size());
+    for (const ManifestEntry& entry : manifest_.entries) {
+      names.push_back(entry.name);
+    }
+  }
+  for (const std::string& name : names) {
+    if (skip_names != nullptr && skip_names->count(name) > 0) continue;
+    std::shared_ptr<Stripe> stripe = GetStripe(name);
+    if (stripe == nullptr) continue;  // raced a Forget
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    if (!stripe->registered) continue;
+    ManifestEntry& entry = stripe->entry;
+
     AttributedGraph snapshot;
     Status status = LoadFcg2(FullPath(entry.snapshot_file), &snapshot);
     if (status.ok() &&
@@ -309,6 +555,7 @@ Status StorageManager::RecoverAll(std::vector<RecoveredGraph>* out,
     if (!status.ok()) {
       FC_LOG(kWarning) << "recovery skipped '" << entry.name
                       << "': " << status.ToString();
+      std::lock_guard<std::mutex> counter_lock(counters_mu_);
       counters_.recover_failures++;
       continue;
     }
@@ -320,6 +567,11 @@ Status StorageManager::RecoverAll(std::vector<RecoveredGraph>* out,
       if (!status.ok()) {
         FC_LOG(kWarning) << "recovery skipped '" << entry.name
                         << "': " << status.ToString();
+        // Appending to a log recovery cannot replay would acknowledge
+        // records that are already lost; only a snapshot rewrite may
+        // supersede it.
+        stripe->poisoned = true;
+        std::lock_guard<std::mutex> counter_lock(counters_mu_);
         counters_.recover_failures++;
         continue;
       }
@@ -371,17 +623,30 @@ Status StorageManager::RecoverAll(std::vector<RecoveredGraph>* out,
           std::make_shared<const AttributedGraph>(std::move(snapshot));
     }
     recovered.wal_records_replayed = replayed;
-    counters_.wal_records_replayed += replayed;
 
     // Drop whatever the replay could not prove, so later appends continue
     // the durable chain from the state actually served.
+    stripe->chain.clear();
+    stripe->poisoned = false;
+    stripe->writer.reset();
     bool tail_clean = true;
     if (replayed < records.size() || torn_tail) {
       if (replayed == 0) {
         RemoveFileIfExists(FullPath(entry.wal_file));
-        entry.wal_file.clear();
-        manifest_dirty = true;
-        wal_state_.erase(entry.name);
+        ManifestEntry updated = entry;
+        updated.wal_file.clear();
+        {
+          std::lock_guard<std::mutex> manifest_lock(manifest_mu_);
+          if (ManifestEntry* existing = manifest_.Find(entry.name)) {
+            *existing = updated;
+          }
+          Status save = SaveManifest(manifest_, ManifestPath());
+          if (!save.ok()) {
+            FC_LOG(kWarning) << "could not unreference the dropped WAL of '"
+                             << entry.name << "': " << save.ToString();
+          }
+        }
+        entry = updated;
       } else {
         std::string rewritten;
         for (size_t i = 0; i < replayed; ++i) {
@@ -399,36 +664,37 @@ Status StorageManager::RecoverAll(std::vector<RecoveredGraph>* out,
     // Prime the append chain only when the on-disk log really ends at the
     // replayed state: appending after a stale tail that survived a failed
     // rewrite would fsync records the next recovery throws away. Leaving
-    // the state unprimed routes the next epoch down OnReplace's
+    // the chain empty routes the next epoch down OnReplace's
     // snapshot-rewrite path instead, which drops the bad log entirely.
     if (replayed > 0 && tail_clean) {
-      WalState state;
-      state.records = replayed;
-      state.last_version = recovered.version;
-      state.last_fingerprint = recovered.fingerprint;
-      wal_state_[entry.name] = state;
-    } else if (replayed > 0) {
-      wal_state_.erase(entry.name);
+      for (size_t i = 0; i < replayed; ++i) {
+        stripe->chain.emplace_back(records[i].version,
+                                   records[i].fingerprint);
+      }
     }
+    stripe->published_version =
+        std::max(stripe->published_version, recovered.version);
 
-    counters_.recoveries++;
+    {
+      std::lock_guard<std::mutex> counter_lock(counters_mu_);
+      counters_.wal_records_replayed += replayed;
+      counters_.recoveries++;
+    }
     out->push_back(std::move(recovered));
-  }
-  if (manifest_dirty) {
-    FAIRCLIQUE_RETURN_NOT_OK(SaveManifest(manifest_, ManifestPath()));
   }
   return Status::OK();
 }
 
 Status StorageManager::SaveWarmEntries(std::span<const WarmEntry> entries) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(warm_mu_);
   FAIRCLIQUE_RETURN_NOT_OK(SaveWarmFile(FullPath(kWarmFileName), entries));
+  std::lock_guard<std::mutex> counter_lock(counters_mu_);
   counters_.warm_entries_saved += entries.size();
   return Status::OK();
 }
 
 Status StorageManager::LoadWarmEntries(std::vector<WarmEntry>* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(warm_mu_);
   Status status = LoadWarmFile(FullPath(kWarmFileName), out);
   if (status.IsNotFound()) {
     out->clear();
@@ -438,14 +704,19 @@ Status StorageManager::LoadWarmEntries(std::vector<WarmEntry>* out) {
 }
 
 void StorageManager::NoteWarmRestore(size_t restored, size_t rejected) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(counters_mu_);
   counters_.warm_entries_restored += restored;
   counters_.warm_entries_rejected += rejected;
 }
 
 StorageCounters StorageManager::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return counters_;
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  StorageCounters copy = counters_;
+  copy.wal_group_commits =
+      wal_group_commits_->load(std::memory_order_relaxed);
+  copy.wal_records_appended =
+      wal_records_appended_->load(std::memory_order_relaxed);
+  return copy;
 }
 
 }  // namespace storage

@@ -1,6 +1,7 @@
 #ifndef FAIRCLIQUE_STORAGE_STORAGE_MANAGER_H_
 #define FAIRCLIQUE_STORAGE_STORAGE_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -13,6 +14,7 @@
 #include "common/status.h"
 #include "dynamic/dynamic_graph.h"
 #include "graph/graph.h"
+#include "storage/group_commit.h"
 #include "storage/manifest.h"
 #include "storage/wal.h"
 #include "storage/warm_file.h"
@@ -24,7 +26,8 @@ namespace storage {
 /// command.
 struct StorageCounters {
   uint64_t snapshots_written = 0;   // FCG2 files written (incl. compactions)
-  uint64_t wal_records_appended = 0;
+  uint64_t wal_records_appended = 0;  // records acknowledged durable
+  uint64_t wal_group_commits = 0;   // write+fsync groups issued by leaders
   uint64_t wal_records_replayed = 0;
   uint64_t compactions = 0;         // snapshot rewrites that truncated a WAL
   uint64_t recoveries = 0;          // graphs recovered by RecoverAll
@@ -64,20 +67,76 @@ struct RecoveredGraph {
 /// (fingerprint-revalidated — content addressing makes durable state
 /// exactly checkable), replays its WAL tail through a DynamicGraph with the
 /// fingerprint chain verified record by record, and truncates any stale or
-/// torn tail. Crash safety relies on ordering, not luck: snapshot files are
-/// versioned and published by rename, the manifest is replaced atomically,
-/// and a WAL file is referenced by the manifest before its first record is
-/// written.
+/// torn tail (mid-file corruption — an intact record *after* the failure —
+/// fails that graph's recovery loudly instead; see ReadWal). Crash safety
+/// relies on ordering, not luck: snapshot files are versioned and published
+/// by rename, the manifest is replaced atomically, and a WAL file is
+/// referenced by the manifest before its first record is written.
 ///
-/// Thread-safe: one internal mutex serializes all operations (safety, not
-/// parallelism — a snapshot write blocks other graphs' appends for its
-/// duration; per-graph locking is an open item once multi-writer workloads
-/// exist — today the server's command loop is the only writer).
+/// Thread-safe, and striped per graph name: each registered name owns a
+/// stripe (mutex + WAL chain + group-commit writer), so a snapshot rewrite
+/// of one graph never blocks another graph's appends. Global locks guard
+/// only the name->stripe map and the manifest (every stripe's catalog
+/// mutation serializes briefly on the shared MANIFEST file). Appends to ONE
+/// graph are chained (each record's base fingerprint is the previous
+/// record's result), so concurrent writers of the same graph use the
+/// two-phase AppendUpdateAsync/Wait: enqueue in chain order under their own
+/// ordering lock, then block for the group fsync outside it — which is what
+/// lets N batches share one fsync.
 class StorageManager {
+ private:
+  /// Per-graph durable state; all of one graph's catalog and WAL mutations
+  /// serialize on its `mu`, independent of every other graph's. Defined in
+  /// the .cc.
+  struct Stripe;
+
  public:
   struct Options {
     /// WAL records per graph beyond which OnReplace compacts.
     size_t wal_compaction_threshold = 64;
+    /// Group-commit WAL appends (storage/group_commit.h): concurrent
+    /// appenders' frames are written and fsync'd as one group by a leader.
+    /// false restores the single-writer fallback — one
+    /// open+write+fsync+close per record (io_util's DurableAppend) — which
+    /// benchmarks use as the baseline.
+    bool group_commit = true;
+    /// Extra time a group-commit leader lingers for more appenders before
+    /// draining (latency traded for larger groups); 0 = drain immediately.
+    int64_t group_window_micros = 0;
+  };
+
+  /// One in-flight WAL append from AppendUpdateAsync. Wait() blocks until
+  /// the record's commit group is durable and returns the append's final
+  /// status — the write-ahead contract holds exactly when it returns OK,
+  /// and only then may the caller publish the epoch. Idempotent; the
+  /// destructor waits if the caller never did (the status is then lost, so
+  /// don't).
+  class AppendTicket {
+   public:
+    AppendTicket() = default;
+    ~AppendTicket();
+    /// Moves transfer the wait obligation: the moved-from ticket resolves
+    /// immediately (it no longer owes a Wait), and move-assigning onto a
+    /// still-pending ticket settles the target first.
+    AppendTicket(AppendTicket&& other) noexcept;
+    AppendTicket& operator=(AppendTicket&& other) noexcept;
+    AppendTicket(const AppendTicket&) = delete;
+    AppendTicket& operator=(const AppendTicket&) = delete;
+
+    Status Wait();
+
+   private:
+    friend class StorageManager;
+
+    /// Everything Wait() touches is owned via shared_ptr (the stripe, the
+    /// writer, the records counter), so a ticket stays safe to Wait on
+    /// even after the StorageManager itself is destroyed.
+    std::shared_ptr<Stripe> stripe_;  // keeps the stripe alive
+    std::shared_ptr<GroupCommitWal> wal_;
+    std::shared_ptr<std::atomic<uint64_t>> records_counter_;
+    GroupCommitWal::Ticket ticket_;
+    bool pending_ = false;  // true: must Wait on wal_; false: result_ final
+    Status result_;
   };
 
   /// Opens (creating if needed) `data_dir`, loads the manifest and the
@@ -85,6 +144,8 @@ class StorageManager {
   /// left by a crash mid-compaction.
   static Status Open(const std::string& data_dir, const Options& options,
                      std::unique_ptr<StorageManager>* out);
+
+  ~StorageManager();
 
   const std::string& dir() const { return dir_; }
 
@@ -95,18 +156,33 @@ class StorageManager {
                       uint64_t version, uint64_t fingerprint,
                       const std::string& source);
 
-  /// Durably appends one update batch to `name`'s WAL. Must be called
-  /// BEFORE the new epoch is published (the write-ahead contract). Fails
-  /// with NotFound when the name was never persisted and InvalidArgument
-  /// when the batch does not continue the durable fingerprint chain (the
-  /// registry's OnReplace fallback then rewrites the snapshot instead).
+  /// Durably appends one update batch to `name`'s WAL: AppendUpdateAsync +
+  /// Wait. Must complete BEFORE the new epoch is published (the write-ahead
+  /// contract). Fails with NotFound when the name was never persisted and
+  /// InvalidArgument when the batch does not continue the durable
+  /// fingerprint chain (the registry's OnReplace fallback then rewrites the
+  /// snapshot instead).
   Status AppendUpdate(const std::string& name, const UpdateSummary& summary,
                       std::span<const UpdateOp> ops);
 
+  /// Two-phase append for concurrent writers: validates the chain and
+  /// enqueues the record's frame on the graph's group-commit queue, then
+  /// returns; durability arrives at `ticket->Wait()`. Callers that must
+  /// keep one graph's batches in order hold their ordering lock across
+  /// (DynamicGraph::Apply, AppendUpdateAsync) and Wait outside it, so
+  /// several batches ride one fsync. A non-OK return means nothing was
+  /// enqueued (the ticket resolves to the same status).
+  Status AppendUpdateAsync(const std::string& name,
+                           const UpdateSummary& summary,
+                           std::span<const UpdateOp> ops,
+                           AppendTicket* ticket);
+
   /// GraphRegistry::Replace write-through: checks that the durable state
-  /// covers the just-published epoch (snapshot version + WAL tail ==
+  /// covers the just-published epoch (snapshot version + WAL chain ==
   /// (version, fingerprint)); rewrites the snapshot when it does not, and
-  /// compacts when the WAL tail crossed the threshold.
+  /// compacts when the WAL tail crossed the threshold. Epochs older than
+  /// one already handled are ignored, so callers may invoke it outside
+  /// their own publish lock without risking a durable rollback.
   Status OnReplace(const std::string& name, const AttributedGraph& snapshot,
                    uint64_t version, uint64_t fingerprint);
 
@@ -135,12 +211,6 @@ class StorageManager {
   StorageCounters counters() const;
 
  private:
-  struct WalState {
-    size_t records = 0;
-    uint64_t last_version = 0;
-    uint64_t last_fingerprint = 0;
-  };
-
   StorageManager(std::string dir, const Options& options)
       : dir_(std::move(dir)), options_(options) {}
 
@@ -149,19 +219,50 @@ class StorageManager {
   /// "<sanitized-name>-<fnv-hex8>": unique, filesystem-safe stem per name.
   static std::string FileStem(const std::string& name);
 
-  Status PersistGraphLocked(const std::string& name, const AttributedGraph& g,
-                            uint64_t version, uint64_t fingerprint,
-                            const std::string& source, bool is_compaction);
-  void RemoveEntryFilesLocked(const ManifestEntry& entry);
-  void RemoveUnreferencedFilesLocked();
+  std::shared_ptr<Stripe> GetStripe(const std::string& name) const;
+  std::shared_ptr<Stripe> GetOrCreateStripe(const std::string& name);
+
+  /// Publishes `entry` as `name`'s manifest entry (or removes it when
+  /// `remove`), saving the MANIFEST under manifest_mu_ and mirroring the
+  /// result into the stripe. Caller holds the stripe's mu.
+  Status PublishEntryLocked(Stripe& stripe, const ManifestEntry& entry);
+  Status RemoveEntryLocked(Stripe& stripe);
+
+  Status PersistStripeLocked(Stripe& stripe, const std::string& name,
+                             const AttributedGraph& g, uint64_t version,
+                             uint64_t fingerprint, const std::string& source,
+                             bool is_compaction);
+  void RemoveUnreferencedFiles();
 
   const std::string dir_;
   const Options options_;
 
-  mutable std::mutex mu_;
-  Manifest manifest_;  // in-memory source of truth, mirrored to disk
-  std::map<std::string, WalState> wal_state_;
+  /// Guards stripes_ only (leaf lock; never held together with a stripe's
+  /// mu or manifest_mu_). Stripes are never erased — a forgotten name keeps
+  /// an unregistered stripe so a concurrent re-register cannot race the
+  /// map itself.
+  mutable std::mutex map_mu_;
+  std::map<std::string, std::shared_ptr<Stripe>> stripes_;
+
+  /// Guards the in-memory manifest mirror and serializes MANIFEST file
+  /// writes. Acquired after a stripe's mu, never before.
+  std::mutex manifest_mu_;
+  Manifest manifest_;
+
+  /// Guards the warm-cache file (a single global artifact).
+  std::mutex warm_mu_;
+
+  mutable std::mutex counters_mu_;
   StorageCounters counters_;
+  /// Incremented by group-commit leaders (possibly after their stripe was
+  /// compacted away, or even after this manager died while a ticket was
+  /// still waiting), so it is shared with every writer, not a plain member.
+  std::shared_ptr<std::atomic<uint64_t>> wal_group_commits_ =
+      std::make_shared<std::atomic<uint64_t>>(0);
+  /// Durable-ack count, shared with outstanding AppendTickets so a Wait()
+  /// completing after the manager's destruction touches owned memory only.
+  std::shared_ptr<std::atomic<uint64_t>> wal_records_appended_ =
+      std::make_shared<std::atomic<uint64_t>>(0);
 };
 
 }  // namespace storage

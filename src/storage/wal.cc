@@ -64,6 +64,33 @@ bool ParsePayload(std::span<const uint8_t> payload, WalRecord* out) {
   return true;
 }
 
+/// True when a complete, checksummed, parseable frame starts anywhere in
+/// `bytes` after `from`. Used to tell a torn tail (nothing decodable
+/// follows the failure — the crash artifact) from mid-file corruption (an
+/// intact record after the failure proves the file did not simply end
+/// early). A stray "FWR1" inside op data never qualifies by accident: the
+/// candidate must also pass the 64-bit payload checksum and parse.
+bool HasIntactFrameAfter(std::span<const uint8_t> bytes, size_t from) {
+  for (size_t pos = from + 1; pos + kFrameHeaderSize <= bytes.size(); ++pos) {
+    if (std::memcmp(bytes.data() + pos, kRecordMagic, 4) != 0) continue;
+    size_t cursor = pos + 4;
+    uint32_t payload_length = 0;
+    uint64_t checksum = 0;
+    GetU32(bytes, &cursor, &payload_length);
+    GetU64(bytes, &cursor, &checksum);
+    if (payload_length < kPayloadFixedSize ||
+        bytes.size() - cursor < payload_length) {
+      continue;
+    }
+    std::span<const uint8_t> payload = bytes.subspan(cursor, payload_length);
+    WalRecord record;
+    if (Checksum(payload) == checksum && ParsePayload(payload, &record)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 std::string SerializeWalFrame(const WalRecord& record) {
@@ -93,26 +120,35 @@ Status ReadWal(const std::string& path, std::vector<WalRecord>* out,
   const std::span<const uint8_t> bytes = AsBytes(contents);
   size_t pos = 0;
   while (pos < bytes.size()) {
-    // Any framing failure from here on is a torn tail: stop, report, keep
-    // the records already decoded.
-    if (bytes.size() - pos < kFrameHeaderSize ||
-        std::memcmp(bytes.data() + pos, kRecordMagic, 4) != 0) {
-      if (truncated_tail != nullptr) *truncated_tail = true;
-      break;
-    }
+    // A framing failure is a torn tail exactly when nothing decodable
+    // follows it: a crash can only cut the END of an append-only file, so
+    // an intact record after the failure means fsync-acknowledged history
+    // was corrupted in place — fail loudly instead of truncating it away.
+    bool failed = false;
     size_t cursor = pos + 4;
     uint32_t payload_length = 0;
     uint64_t checksum = 0;
-    GetU32(bytes, &cursor, &payload_length);
-    GetU64(bytes, &cursor, &checksum);
-    if (payload_length < kPayloadFixedSize ||
-        bytes.size() - cursor < payload_length) {
-      if (truncated_tail != nullptr) *truncated_tail = true;
-      break;
+    if (bytes.size() - pos < kFrameHeaderSize ||
+        std::memcmp(bytes.data() + pos, kRecordMagic, 4) != 0) {
+      failed = true;
+    } else {
+      GetU32(bytes, &cursor, &payload_length);
+      GetU64(bytes, &cursor, &checksum);
+      failed = payload_length < kPayloadFixedSize ||
+               bytes.size() - cursor < payload_length;
     }
-    std::span<const uint8_t> payload = bytes.subspan(cursor, payload_length);
     WalRecord record;
-    if (Checksum(payload) != checksum || !ParsePayload(payload, &record)) {
+    if (!failed) {
+      std::span<const uint8_t> payload = bytes.subspan(cursor, payload_length);
+      failed = Checksum(payload) != checksum || !ParsePayload(payload, &record);
+    }
+    if (failed) {
+      if (HasIntactFrameAfter(bytes, pos)) {
+        return Status::Corruption(
+            "WAL record at offset " + std::to_string(pos) + " of " + path +
+            " fails its frame check but intact records follow it: mid-file "
+            "corruption of committed history, not a torn tail");
+      }
       if (truncated_tail != nullptr) *truncated_tail = true;
       break;
     }

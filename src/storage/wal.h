@@ -37,7 +37,11 @@ struct WalRecord {
 /// cleanly at the first frame that fails the magic/length/checksum check and
 /// reports it via `truncated_tail` instead of failing the whole log, because
 /// a torn tail is the *expected* crash artifact, not corruption of committed
-/// records.
+/// records. The two are distinguished by what FOLLOWS the failure: a crash
+/// can only tear the very end of the file, so a decodable record after the
+/// failed frame proves mid-file corruption of fsync-acknowledged history,
+/// and ReadWal then fails with Corruption (recovery must refuse loudly, not
+/// silently truncate committed records away).
 Status AppendWalRecord(const std::string& path, const WalRecord& record);
 
 /// One framed record as raw bytes (what AppendWalRecord appends). Exposed so
@@ -45,7 +49,10 @@ Status AppendWalRecord(const std::string& path, const WalRecord& record);
 std::string SerializeWalFrame(const WalRecord& record);
 
 /// Reads every intact record of `path` in order. Missing file -> OK with no
-/// records (an empty WAL and an absent WAL are the same state).
+/// records (an empty WAL and an absent WAL are the same state). A framing
+/// failure with no decodable successor is a torn tail (OK +
+/// `truncated_tail`); one with a decodable successor is mid-file corruption
+/// (Corruption; `out` still holds the intact prefix before the failure).
 Status ReadWal(const std::string& path, std::vector<WalRecord>* out,
                bool* truncated_tail = nullptr);
 

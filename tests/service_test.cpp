@@ -304,7 +304,9 @@ TEST(QueryExecutorTest, InvalidRequestReported) {
 
 TEST(QueryExecutorTest, DeadlineMapsOntoSafetyValveAndSkipsCache) {
   // A dense 150-vertex graph with k=1, delta large is a hard max-clique
-  // instance; a microsecond budget reliably truncates the search.
+  // instance; a 50 ms budget (comfortably longer than the idle-queue wait
+  // even under sanitizer slowdowns, far shorter than the search) reliably
+  // truncates mid-search.
   GraphRegistry registry;
   auto graph =
       RegisterGraph(registry, "hard", RandomAttributedGraph(150, 0.9, 0x5EED));
@@ -314,7 +316,7 @@ TEST(QueryExecutorTest, DeadlineMapsOntoSafetyValveAndSkipsCache) {
   QueryRequest request;
   request.graph = graph;
   request.options = BaselineOptions(1, 100);
-  request.deadline_seconds = 1e-6;
+  request.deadline_seconds = 5e-2;
   QueryResponse response = executor.Submit(request).get();
   ASSERT_TRUE(response.status.ok());
   EXPECT_TRUE(response.deadline_missed);
@@ -323,6 +325,89 @@ TEST(QueryExecutorTest, DeadlineMapsOntoSafetyValveAndSkipsCache) {
   // not hit (it would replay the truncation to a future looser deadline).
   EXPECT_EQ(cache.Stats().insertions, 0u);
   EXPECT_EQ(executor.metrics().deadline_misses, 1u);
+}
+
+TEST(QueryExecutorTest, DeadlineAnchoredAtSubmitExpiresQueuedRequests) {
+  // The deadline clock starts at Submit, so a request that burned its whole
+  // budget waiting behind another query is expired when popped — no search,
+  // no cache probe, null result — instead of being granted a fresh budget
+  // at admission (the old bug: a 100 ms client could wait seconds in the
+  // queue and still get 100 ms of compute afterwards).
+  GraphRegistry registry;
+  auto graph =
+      RegisterGraph(registry, "hard", RandomAttributedGraph(150, 0.9, 0x5EED));
+  ResultCache cache(16);
+  QueryExecutor executor(ExecutorOptions{1, 8}, &cache);
+
+  // Blocker: occupies the single worker for ~its own deadline (100 ms).
+  QueryRequest blocker;
+  blocker.graph = graph;
+  blocker.options = BaselineOptions(1, 100);
+  blocker.deadline_seconds = 0.1;
+  std::future<QueryResponse> blocked = executor.Submit(blocker);
+
+  // Probe: a 1 µs budget cannot survive a ~100 ms queue wait.
+  QueryRequest probe;
+  probe.graph = graph;
+  probe.options = BaselineOptions(1, 100);
+  probe.deadline_seconds = 1e-6;
+  QueryResponse response = executor.Submit(probe).get();
+  EXPECT_TRUE(response.status.IsAborted());
+  EXPECT_TRUE(response.deadline_missed);
+  EXPECT_EQ(response.result, nullptr);
+  QueryResponse blocker_response = blocked.get();
+  EXPECT_TRUE(blocker_response.deadline_missed);
+  // Both the blocker and the expired probe count as misses; the expired
+  // probe must not have touched the cache. (On a machine slow enough that
+  // even the BLOCKER expired in-queue — sanitizer runs — it never probed
+  // the cache either, so only assert the blocker's miss when it ran.)
+  EXPECT_EQ(executor.metrics().deadline_misses, 2u);
+  EXPECT_EQ(cache.Stats().insertions, 0u);
+  if (blocker_response.result != nullptr) {
+    EXPECT_EQ(cache.Stats().misses, 1u);  // only the blocker probed
+  }
+}
+
+TEST(QueryExecutorTest, QueueDepthCountsComponentTasks) {
+  // Saturation must be visible even when it lives entirely in the component
+  // queue: a disconnected graph expands one query into several Branch
+  // tasks, and the combined depth (and its peak) must count them.
+  AttributedGraph block = RandomAttributedGraph(25, 0.2, 0xB10C);
+  std::vector<Edge> edges;
+  std::vector<Attribute> attrs;
+  const int kBlocks = 3;
+  for (int b = 0; b < kBlocks; ++b) {
+    VertexId offset = static_cast<VertexId>(b) * block.num_vertices();
+    for (const Edge& e : block.edges()) {
+      edges.push_back(Edge{e.u + offset, e.v + offset});
+    }
+    for (VertexId v = 0; v < block.num_vertices(); ++v) {
+      attrs.push_back(block.attribute(v));
+    }
+  }
+  AttributedGraph g = BuildGraph(
+      static_cast<VertexId>(kBlocks * block.num_vertices()), edges, attrs);
+
+  GraphRegistry registry;
+  auto graph = RegisterGraph(registry, "blocks", std::move(g));
+  QueryExecutor executor(ExecutorOptions{1, 8}, nullptr);
+  QueryRequest request;
+  request.graph = graph;
+  // Baseline: no reductions, so the prepared components are exactly the
+  // three 25-vertex blocks and selection keeps them all.
+  request.options = BaselineOptions(1, 2);
+  ASSERT_TRUE(executor.Submit(request).get().status.ok());
+  executor.Drain();
+
+  ExecutorMetrics m = executor.metrics();
+  // All three identical blocks survive selection; their tasks were pushed
+  // (and the peak bumped) under one lock hold before the single worker
+  // could pop any, so the combined peak must count every one of them.
+  EXPECT_GE(m.component_tasks, 2u);
+  EXPECT_GE(m.peak_queue_depth, m.component_tasks);
+  EXPECT_EQ(m.admission_queue_depth, 0u);
+  EXPECT_EQ(m.component_queue_depth, 0u);
+  EXPECT_EQ(m.queue_depth, 0u);
 }
 
 TEST(QueryExecutorTest, DrainWaitsForAllAccepted) {

@@ -10,10 +10,14 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/max_fair_clique.h"
@@ -254,14 +258,41 @@ TEST_F(StorageTest, WalTornTailKeepsIntactPrefix) {
   EXPECT_TRUE(torn);
   ASSERT_EQ(records.size(), 2u);
   EXPECT_EQ(records[1].version, 2u);
-
-  // A corrupt byte inside an earlier record cuts the log there instead.
-  bytes[20] = static_cast<char>(bytes[20] ^ 0xff);
-  WriteBytes(Path("torn.wal"), bytes);
-  ASSERT_TRUE(storage::ReadWal(Path("torn.wal"), &records, &torn).ok());
-  EXPECT_TRUE(torn);
-  EXPECT_LT(records.size(), 3u);
 }
+
+TEST_F(StorageTest, WalMidFileCorruptionIsLoudNotTruncated) {
+  storage::WalRecord r;
+  r.ops = {AddEdgeOp(1, 2)};
+  for (uint64_t v = 1; v <= 3; ++v) {
+    r.version = v;
+    ASSERT_TRUE(storage::AppendWalRecord(Path("mid.wal"), r).ok());
+  }
+  std::string bytes = ReadBytes(Path("mid.wal"));
+
+  // A corrupt byte inside an EARLIER record is not a torn tail: records 2-3
+  // are still intact behind it, which a crash (that can only cut the end of
+  // an append-only file) could never produce. Silently stopping there would
+  // truncate fsync-acknowledged history, so the read must fail loudly.
+  std::string corrupt = bytes;
+  corrupt[20] = static_cast<char>(corrupt[20] ^ 0xff);
+  WriteBytes(Path("mid.wal"), corrupt);
+  std::vector<storage::WalRecord> records = {storage::WalRecord{}};
+  bool torn = true;
+  Status status = storage::ReadWal(Path("mid.wal"), &records, &torn);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+  EXPECT_TRUE(records.empty());  // nothing decodable before the failure
+
+  // The same flip in the LAST record leaves nothing intact after it — that
+  // is indistinguishable from a torn tail, and is treated as one.
+  std::string tail_flip = bytes;
+  tail_flip[bytes.size() - 3] =
+      static_cast<char>(tail_flip[bytes.size() - 3] ^ 0xff);
+  WriteBytes(Path("mid.wal"), tail_flip);
+  ASSERT_TRUE(storage::ReadWal(Path("mid.wal"), &records, &torn).ok());
+  EXPECT_TRUE(torn);
+  EXPECT_EQ(records.size(), 2u);
+}
+
 
 // --------------------------------------------------------------- manifest --
 
@@ -421,6 +452,372 @@ TEST_F(StorageTest, ManagerRecoveryToleratesTornWalTail) {
   ASSERT_EQ(again.size(), 1u);
   EXPECT_EQ(again[0].version, 2u);
   EXPECT_EQ(again[0].fingerprint, fp_after_two);
+}
+
+TEST_F(StorageTest, RecoveryRefusesWalWithMidFileCorruption) {
+  // End to end: a graph whose WAL is corrupted mid-file must be SKIPPED by
+  // recovery (counted in recover_failures), never served at a silently
+  // truncated epoch.
+  AttributedGraph base = RandomAttributedGraph(40, 0.15, 77);
+  std::string wal_file;
+  {
+    auto manager = OpenManager(Path("data"));
+    ASSERT_TRUE(
+        manager->PersistGraph("g", base, 0, GraphFingerprint(base), "t").ok());
+    DynamicGraph dyn(base);
+    for (int b = 0; b < 3; ++b) {
+      std::vector<UpdateOp> batch = {AddVertexOp(Attribute::kB)};
+      UpdateSummary summary;
+      ASSERT_TRUE(dyn.Apply(batch, &summary).ok());
+      ASSERT_TRUE(manager->AppendUpdate("g", summary, batch).ok());
+    }
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(Path("data"))) {
+    if (entry.path().extension() == ".wal") wal_file = entry.path().string();
+  }
+  ASSERT_FALSE(wal_file.empty());
+  std::string bytes = ReadBytes(wal_file);
+  bytes[18] = static_cast<char>(bytes[18] ^ 0x55);  // inside record 1
+  WriteBytes(wal_file, bytes);
+
+  auto manager = OpenManager(Path("data"));
+  std::vector<storage::RecoveredGraph> recovered;
+  ASSERT_TRUE(manager->RecoverAll(&recovered).ok());
+  EXPECT_TRUE(recovered.empty());
+  EXPECT_EQ(manager->counters().recover_failures, 1u);
+  EXPECT_EQ(manager->counters().recoveries, 0u);
+
+  // The stripe is poisoned: appending to the unrecoverable log must be
+  // refused — an fsync'd ack into that file could never be replayed. Only
+  // a snapshot rewrite may supersede it.
+  DynamicGraph dyn(base);
+  std::vector<UpdateOp> batch = {AddVertexOp(Attribute::kA)};
+  UpdateSummary summary;
+  ASSERT_TRUE(dyn.Apply(batch, &summary).ok());
+  EXPECT_TRUE(manager->AppendUpdate("g", summary, batch).IsIOError());
+}
+
+TEST_F(StorageTest, StaleUnchainedWalPoisonsAppendsUntilRecovery) {
+  // A manifest-referenced WAL whose records do not chain from the snapshot
+  // (a crashed rewrite's leftover). Open must refuse to append after it —
+  // an fsync'd ack there would be discarded by the next recovery — until
+  // RecoverAll truncates the stale log away.
+  AttributedGraph base = MakeGraph("aabb", {{0, 1}, {1, 2}});
+  const uint64_t fp = GraphFingerprint(base);
+  std::filesystem::create_directories(Path("data"));
+  ASSERT_TRUE(storage::SaveFcg2(base, Path("data/g-x.0.snap.fcg2")).ok());
+  storage::WalRecord stale;
+  stale.base_fingerprint = 0xDEAD;  // does not chain from the snapshot
+  stale.fingerprint = 0xBEEF;
+  stale.version = 7;
+  stale.ops = {AddVertexOp(Attribute::kA)};
+  ASSERT_TRUE(
+      storage::AppendWalRecord(Path("data/g-x.0.snap.fcg2.wal"), stale).ok());
+  storage::Manifest manifest;
+  storage::ManifestEntry entry;
+  entry.name = "g";
+  entry.snapshot_file = "g-x.0.snap.fcg2";
+  entry.wal_file = "g-x.0.snap.fcg2.wal";
+  entry.snapshot_version = 0;
+  entry.snapshot_fingerprint = fp;
+  manifest.entries.push_back(entry);
+  ASSERT_TRUE(storage::SaveManifest(manifest, Path("data/MANIFEST")).ok());
+
+  auto manager = OpenManager(Path("data"));
+  DynamicGraph dyn(base);
+  std::vector<UpdateOp> batch = {AddEdgeOp(0, 2)};
+  UpdateSummary summary;
+  ASSERT_TRUE(dyn.Apply(batch, &summary).ok());
+  EXPECT_TRUE(manager->AppendUpdate("g", summary, batch).IsIOError());
+
+  // RecoverAll proves nothing replays, truncates the stale log, and
+  // un-poisons: the same append then succeeds and is replayable.
+  std::vector<storage::RecoveredGraph> recovered;
+  ASSERT_TRUE(manager->RecoverAll(&recovered).ok());
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].version, 0u);
+  EXPECT_EQ(recovered[0].wal_records_replayed, 0u);
+  ASSERT_TRUE(manager->AppendUpdate("g", summary, batch).ok());
+  auto manager2 = OpenManager(Path("data"));
+  std::vector<storage::RecoveredGraph> again;
+  ASSERT_TRUE(manager2->RecoverAll(&again).ok());
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].version, summary.version);
+  EXPECT_EQ(again[0].fingerprint, summary.fingerprint);
+}
+
+TEST_F(StorageTest, ForgetTombstonesRacingWriteThrough) {
+  // An OnReplace that lost its race against Forget (the registry calls the
+  // storage write-through outside its publish lock) must not resurrect the
+  // evicted graph's durable state; an explicit re-persist clears the
+  // tombstone.
+  AttributedGraph base = MakeGraph("aabb", {{0, 1}, {1, 2}});
+  auto manager = OpenManager(Path("data"));
+  ASSERT_TRUE(
+      manager->PersistGraph("g", base, 0, GraphFingerprint(base), "t").ok());
+  ASSERT_TRUE(manager->Forget("g").ok());
+
+  DynamicGraph dyn(base);
+  UpdateSummary summary;
+  ASSERT_TRUE(dyn.Apply({AddEdgeOp(0, 2)}, &summary).ok());
+  ASSERT_TRUE(
+      manager->OnReplace("g", *dyn.snapshot(), summary.version,
+                         summary.fingerprint)
+          .ok());
+  std::vector<storage::RecoveredGraph> recovered;
+  ASSERT_TRUE(manager->RecoverAll(&recovered).ok());
+  EXPECT_TRUE(recovered.empty());  // the race did not resurrect "g"
+
+  ASSERT_TRUE(
+      manager->PersistGraph("g", base, 0, GraphFingerprint(base), "t").ok());
+  ASSERT_TRUE(manager->RecoverAll(&recovered).ok());
+  ASSERT_EQ(recovered.size(), 1u);
+}
+
+TEST_F(StorageTest, AppendTicketMoveTransfersWaitObligation) {
+  AttributedGraph base = MakeGraph("aabb", {{0, 1}, {1, 2}});
+  auto manager = OpenManager(Path("data"));
+  ASSERT_TRUE(
+      manager->PersistGraph("g", base, 0, GraphFingerprint(base), "t").ok());
+  DynamicGraph dyn(base);
+  std::vector<UpdateOp> batch = {AddEdgeOp(0, 2)};
+  UpdateSummary summary;
+  ASSERT_TRUE(dyn.Apply(batch, &summary).ok());
+
+  storage::StorageManager::AppendTicket a;
+  ASSERT_TRUE(manager->AppendUpdateAsync("g", summary, batch, &a).ok());
+  storage::StorageManager::AppendTicket b = std::move(a);
+  EXPECT_TRUE(a.Wait().ok());  // moved-from: resolved, owes nothing
+  EXPECT_TRUE(b.Wait().ok());  // the obligation traveled with the move
+  EXPECT_TRUE(b.Wait().ok());  // idempotent
+  EXPECT_EQ(manager->counters().wal_records_appended, 1u);
+
+  std::vector<storage::RecoveredGraph> recovered;
+  ASSERT_TRUE(manager->RecoverAll(&recovered).ok());
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].fingerprint, summary.fingerprint);
+}
+
+// --------------------------------------------- group-commit multi-writer --
+
+/// The tentpole's end-to-end proof: several graphs, several writer threads
+/// per graph, every batch appended through the two-phase group-commit API
+/// (enqueue under the graph's ordering lock, wait outside it), then the
+/// whole service is dropped with NO shutdown handshake and NO Replace
+/// write-through — the WAL is the only durability — and recovery must
+/// rebuild, for every graph, a fingerprint-chain-consistent state
+/// containing every acknowledged batch.
+TEST_F(StorageTest, GroupCommitConcurrentWritersRecoverEveryAckedBatch) {
+  constexpr int kGraphs = 3;
+  constexpr int kWritersPerGraph = 2;
+  constexpr int kBatchesPerWriter = 12;
+
+  struct GraphLane {
+    std::string name;
+    std::unique_ptr<DynamicGraph> dyn;
+    std::mutex order_mu;  // holds (Apply, AppendUpdateAsync) together
+    std::mutex ack_mu;
+    std::map<uint64_t, uint64_t> acked;  // version -> fingerprint
+  };
+  std::vector<GraphLane> lanes(kGraphs);
+
+  uint64_t groups_committed = 0;
+  {
+    storage::StorageManager::Options options;
+    options.wal_compaction_threshold = 1000;  // keep every record in the WAL
+    options.group_commit = true;
+    std::unique_ptr<storage::StorageManager> manager;
+    ASSERT_TRUE(
+        storage::StorageManager::Open(Path("data"), options, &manager).ok());
+
+    for (int g = 0; g < kGraphs; ++g) {
+      lanes[g].name = "lane-" + std::to_string(g);
+      AttributedGraph base =
+          RandomAttributedGraph(30, 0.15, 100 + static_cast<uint64_t>(g));
+      ASSERT_TRUE(manager
+                      ->PersistGraph(lanes[g].name, base, 0,
+                                     GraphFingerprint(base), "stress")
+                      .ok());
+      lanes[g].dyn = std::make_unique<DynamicGraph>(base);
+    }
+
+    std::atomic<int> errors{0};
+    std::vector<std::thread> writers;
+    for (int g = 0; g < kGraphs; ++g) {
+      for (int w = 0; w < kWritersPerGraph; ++w) {
+        writers.emplace_back([&, g, w] {
+          GraphLane& lane = lanes[g];
+          for (int b = 0; b < kBatchesPerWriter; ++b) {
+            std::vector<UpdateOp> batch = {
+                AddVertexOp(w % 2 == 0 ? Attribute::kA : Attribute::kB)};
+            UpdateSummary summary;
+            storage::StorageManager::AppendTicket ticket;
+            Status status;
+            {
+              std::lock_guard<std::mutex> lock(lane.order_mu);
+              status = lane.dyn->Apply(batch, &summary);
+              if (status.ok()) {
+                status = manager->AppendUpdateAsync(lane.name, summary,
+                                                    batch, &ticket);
+              }
+            }
+            // Durability arrives OUTSIDE the ordering lock: this is where
+            // batches of all six writers share fsyncs.
+            if (status.ok()) status = ticket.Wait();
+            if (!status.ok()) {
+              errors.fetch_add(1);
+              continue;
+            }
+            std::lock_guard<std::mutex> lock(lane.ack_mu);
+            lane.acked[summary.version] = summary.fingerprint;
+          }
+        });
+      }
+    }
+    for (std::thread& t : writers) t.join();
+    ASSERT_EQ(errors.load(), 0);
+
+    storage::StorageCounters counters = manager->counters();
+    EXPECT_EQ(counters.wal_records_appended,
+              static_cast<uint64_t>(kGraphs * kWritersPerGraph *
+                                    kBatchesPerWriter));
+    groups_committed = counters.wal_group_commits;
+    EXPECT_GE(groups_committed, 1u);
+    EXPECT_LE(groups_committed, counters.wal_records_appended);
+    // SIGKILL semantics: scope exit drops everything un-flushed; only the
+    // fsync'd WAL and snapshots survive. No OnReplace ever ran.
+  }
+
+  auto manager = OpenManager(Path("data"));
+  std::vector<storage::RecoveredGraph> recovered;
+  ASSERT_TRUE(manager->RecoverAll(&recovered).ok());
+  ASSERT_EQ(recovered.size(), static_cast<size_t>(kGraphs));
+  for (const storage::RecoveredGraph& r : recovered) {
+    const GraphLane* lane = nullptr;
+    for (const GraphLane& l : lanes) {
+      if (l.name == r.name) lane = &l;
+    }
+    ASSERT_NE(lane, nullptr) << r.name;
+    ASSERT_FALSE(lane->acked.empty());
+    const auto [last_version, last_fp] = *lane->acked.rbegin();
+    // Every acknowledged batch is in the recovered state, at the exact
+    // fingerprint its ack promised — the write-ahead contract under
+    // grouping.
+    EXPECT_EQ(r.version, last_version) << r.name;
+    EXPECT_EQ(r.fingerprint, last_fp) << r.name;
+    EXPECT_EQ(r.wal_records_replayed, lane->acked.size()) << r.name;
+    EXPECT_EQ(GraphFingerprint(*r.graph), last_fp) << r.name;
+  }
+}
+
+/// Compaction under concurrent multi-graph write pressure: one graph's
+/// snapshot rewrites (threshold crossings) must not corrupt another's
+/// chain, and recovery equivalence must hold afterwards.
+TEST_F(StorageTest, ConcurrentReplaceCompactionKeepsEveryGraphConsistent) {
+  constexpr int kGraphs = 3;
+  constexpr int kBatches = 10;
+
+  struct Final {
+    std::string name;
+    uint64_t version = 0;
+    uint64_t fingerprint = 0;
+  };
+  std::vector<Final> finals(kGraphs);
+  {
+    storage::StorageManager::Options options;
+    options.wal_compaction_threshold = 3;  // force several compactions
+    options.group_commit = true;
+    std::unique_ptr<storage::StorageManager> manager;
+    ASSERT_TRUE(
+        storage::StorageManager::Open(Path("data"), options, &manager).ok());
+
+    std::atomic<int> errors{0};
+    std::vector<std::thread> writers;
+    for (int g = 0; g < kGraphs; ++g) {
+      writers.emplace_back([&, g] {
+        const std::string name = "cg-" + std::to_string(g);
+        AttributedGraph base =
+            RandomAttributedGraph(25, 0.2, 200 + static_cast<uint64_t>(g));
+        if (!manager
+                 ->PersistGraph(name, base, 0, GraphFingerprint(base), "c")
+                 .ok()) {
+          errors.fetch_add(1);
+          return;
+        }
+        DynamicGraph dyn(base);
+        for (int b = 0; b < kBatches; ++b) {
+          std::vector<UpdateOp> batch = {
+              AddVertexOp(Attribute::kA),
+              AddEdgeOp(static_cast<VertexId>(b), dyn.num_vertices())};
+          UpdateSummary summary;
+          if (!dyn.Apply(batch, &summary).ok() ||
+              !manager->AppendUpdate(name, summary, batch).ok() ||
+              !manager
+                   ->OnReplace(name, *dyn.snapshot(), summary.version,
+                               summary.fingerprint)
+                   .ok()) {
+            errors.fetch_add(1);
+            return;
+          }
+        }
+        finals[g] = {name, dyn.version(), dyn.fingerprint()};
+      });
+    }
+    for (std::thread& t : writers) t.join();
+    ASSERT_EQ(errors.load(), 0);
+    EXPECT_GT(manager->counters().compactions, 0u);
+  }
+
+  auto manager = OpenManager(Path("data"));
+  std::vector<storage::RecoveredGraph> recovered;
+  ASSERT_TRUE(manager->RecoverAll(&recovered).ok());
+  ASSERT_EQ(recovered.size(), static_cast<size_t>(kGraphs));
+  for (const storage::RecoveredGraph& r : recovered) {
+    const Final* fin = nullptr;
+    for (const Final& f : finals) {
+      if (f.name == r.name) fin = &f;
+    }
+    ASSERT_NE(fin, nullptr) << r.name;
+    EXPECT_EQ(r.version, fin->version) << r.name;
+    EXPECT_EQ(r.fingerprint, fin->fingerprint) << r.name;
+    EXPECT_EQ(GraphFingerprint(*r.graph), fin->fingerprint) << r.name;
+  }
+}
+
+TEST_F(StorageTest, OnReplaceIgnoresStaleEpochs) {
+  // The write-through may reach storage out of publish order (the registry
+  // releases its lock before calling it); an older epoch must be ignored,
+  // never allowed to regress the durable snapshot.
+  AttributedGraph base = MakeGraph("aabb", {{0, 1}, {1, 2}, {2, 3}});
+  auto manager = OpenManager(Path("data"));
+  ASSERT_TRUE(
+      manager->PersistGraph("g", base, 0, GraphFingerprint(base), "t").ok());
+
+  DynamicGraph dyn(base);
+  UpdateSummary s1, s2;
+  std::vector<UpdateOp> b1 = {AddEdgeOp(0, 2)};
+  std::vector<UpdateOp> b2 = {AddEdgeOp(0, 3)};
+  ASSERT_TRUE(dyn.Apply(b1, &s1).ok());
+  auto snap1 = dyn.snapshot();
+  ASSERT_TRUE(manager->AppendUpdate("g", s1, b1).ok());
+  ASSERT_TRUE(dyn.Apply(b2, &s2).ok());
+  ASSERT_TRUE(manager->AppendUpdate("g", s2, b2).ok());
+
+  // Newest epoch handled first; the stale one must be a no-op rather than
+  // a snapshot rewrite back to version 1.
+  ASSERT_TRUE(
+      manager->OnReplace("g", *dyn.snapshot(), s2.version, s2.fingerprint)
+          .ok());
+  const uint64_t snapshots_after_v2 = manager->counters().snapshots_written;
+  ASSERT_TRUE(
+      manager->OnReplace("g", *snap1, s1.version, s1.fingerprint).ok());
+  EXPECT_EQ(manager->counters().snapshots_written, snapshots_after_v2);
+
+  std::vector<storage::RecoveredGraph> recovered;
+  ASSERT_TRUE(manager->RecoverAll(&recovered).ok());
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].version, s2.version);
+  EXPECT_EQ(recovered[0].fingerprint, s2.fingerprint);
 }
 
 TEST_F(StorageTest, ManagerForgetRemovesDurableState) {

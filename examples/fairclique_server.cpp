@@ -39,6 +39,13 @@
 //   {"cmd":"persist"}    write the result-cache warm file to the data dir
 //   {"cmd":"restore"}    recover data-dir graphs not currently registered
 //   {"cmd":"metrics"}    alias of stats (includes storage counters)
+//   {"cmd":"metrics","format":"prometheus"}
+//                        Prometheus text exposition of every counter and
+//                        latency histogram; multi-line, ends with "# EOF"
+//   {"cmd":"slowlog","limit":10}   slowest retained traces, one JSON line
+//                                  each (span tree included), then an ack
+//   {"cmd":"trace","trace_id":42}  one retained trace by id (the id every
+//                                  query response echoes as trace_id)
 //   {"cmd":"quit"}
 //
 // query fields: preset = baseline|bounded|full (default full), extra = none|
@@ -75,6 +82,8 @@
 
 #include "core/fairclique.h"
 #include "datasets/datasets.h"
+#include "obs/trace.h"
+#include "service/telemetry.h"
 #include "service/wire.h"
 
 namespace {
@@ -84,11 +93,15 @@ using namespace fairclique;
 using wire::GetBool;
 using wire::GetNumber;
 using wire::GetString;
-using wire::JsonEscape;
 using wire::JsonObject;
+using wire::JsonWriter;
 
 void PrintError(uint64_t id, const std::string& message) {
   std::printf("%s\n", wire::ErrorJson(id, message).c_str());
+}
+
+void PrintLine(const JsonWriter& w) {
+  std::printf("%s\n", w.str().c_str());
 }
 
 void PrintQueryResponse(uint64_t id, const std::string& graph,
@@ -223,12 +236,16 @@ struct Server {
     }
     if (!status.ok()) return PrintError(id, status.ToString());
     auto entry = registry.Get(name);
-    std::printf(
-        "{\"ok\":true,\"id\":%llu,\"name\":\"%s\",\"vertices\":%u,"
-        "\"edges\":%u,\"fingerprint\":\"%s\"}\n",
-        static_cast<unsigned long long>(id), JsonEscape(name).c_str(),
-        entry->graph->num_vertices(), entry->graph->num_edges(),
-        FingerprintHex(entry->fingerprint).c_str());
+    JsonWriter w;
+    w.BeginObject()
+        .Field("ok", true)
+        .Field("id", static_cast<unsigned long long>(id))
+        .Field("name", name)
+        .Field("vertices", entry->graph->num_vertices())
+        .Field("edges", entry->graph->num_edges())
+        .Field("fingerprint", FingerprintHex(entry->fingerprint))
+        .EndObject();
+    PrintLine(w);
   }
 
   void HandleQuery(uint64_t id, const JsonObject& obj) {
@@ -265,8 +282,13 @@ struct Server {
     std::future<QueryResponse> future = executor.Submit(std::move(request));
     if (GetBool(obj, "async", false)) {
       pending.emplace_back(id, name, std::move(future));
-      std::printf("{\"ok\":true,\"id\":%llu,\"queued\":true}\n",
-                  static_cast<unsigned long long>(id));
+      JsonWriter w;
+      w.BeginObject()
+          .Field("ok", true)
+          .Field("id", static_cast<unsigned long long>(id))
+          .Field("queued", true)
+          .EndObject();
+      PrintLine(w);
     } else {
       PrintQueryResponse(id, name, future.get());
     }
@@ -279,92 +301,55 @@ struct Server {
     pending.clear();
   }
 
-  void HandleStats(uint64_t id) {
-    ResultCacheStats cs = cache.Stats();
-    PreparedGraphCacheStats ps = prepared.Stats();
-    ExecutorMetrics em = executor.metrics();
-    std::string storage_json;
+  ServiceTelemetry GatherTelemetry() {
+    ServiceTelemetry t;
+    t.graphs = registry.List();
+    t.registry = registry.Stats();
+    t.cache = cache.Stats();
+    t.prepared = prepared.Stats();
+    t.executor = executor.metrics();
     if (storage != nullptr) {
-      storage::StorageCounters sc = storage->counters();
-      char buf[640];
-      std::snprintf(
-          buf, sizeof(buf),
-          ",\"storage\":{\"snapshots_written\":%llu,"
-          "\"wal_records_appended\":%llu,\"wal_group_commits\":%llu,"
-          "\"wal_records_replayed\":%llu,"
-          "\"compactions\":%llu,\"recoveries\":%llu,"
-          "\"recover_failures\":%llu,\"warm_entries_saved\":%llu,"
-          "\"warm_entries_restored\":%llu,\"warm_entries_rejected\":%llu}",
-          static_cast<unsigned long long>(sc.snapshots_written),
-          static_cast<unsigned long long>(sc.wal_records_appended),
-          static_cast<unsigned long long>(sc.wal_group_commits),
-          static_cast<unsigned long long>(sc.wal_records_replayed),
-          static_cast<unsigned long long>(sc.compactions),
-          static_cast<unsigned long long>(sc.recoveries),
-          static_cast<unsigned long long>(sc.recover_failures),
-          static_cast<unsigned long long>(sc.warm_entries_saved),
-          static_cast<unsigned long long>(sc.warm_entries_restored),
-          static_cast<unsigned long long>(sc.warm_entries_rejected));
-      storage_json = buf;
+      t.storage = storage->counters();
+      t.has_storage = true;
     }
-    std::string graphs;
-    for (const auto& entry : registry.List()) {
-      if (!graphs.empty()) graphs += ",";
-      graphs += "{\"name\":\"" + JsonEscape(entry->name) +
-                "\",\"vertices\":" +
-                std::to_string(entry->graph->num_vertices()) +
-                ",\"edges\":" + std::to_string(entry->graph->num_edges()) +
-                ",\"version\":" + std::to_string(entry->version) +
-                ",\"fingerprint\":\"" + FingerprintHex(entry->fingerprint) +
-                "\"}";
+    return t;
+  }
+
+  void HandleStats(uint64_t id) {
+    std::printf("%s\n", StatsJson(id, GatherTelemetry()).c_str());
+  }
+
+  void HandleMetrics(uint64_t id, const JsonObject& obj) {
+    if (GetString(obj, "format") != "prometheus") return HandleStats(id);
+    // Raw multi-line exposition; the trailing "# EOF" line marks the end
+    // for line-oriented consumers sharing the stream with JSON responses.
+    std::fputs(PrometheusText(GatherTelemetry()).c_str(), stdout);
+  }
+
+  void HandleSlowlog(uint64_t id, const JsonObject& obj) {
+    size_t limit = static_cast<size_t>(GetNumber(obj, "limit", 0));
+    auto traces = obs::Slowlog::Default().Slowest(limit);
+    for (const auto& trace : traces) {
+      std::printf("%s\n", TraceJson(*trace).c_str());
     }
-    std::printf(
-        "{\"ok\":true,\"id\":%llu,\"graphs\":[%s],"
-        "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,"
-        "\"evictions\":%llu,\"invalidated\":%llu,\"republished\":%llu,"
-        "\"hints_published\":%llu,\"hint_hits\":%llu,\"entries\":%zu,"
-        "\"hint_entries\":%zu,\"capacity\":%zu},"
-        "\"prepared\":{\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,"
-        "\"evictions\":%llu,\"invalidated\":%llu,\"forwarded\":%llu,"
-        "\"entries\":%zu,\"capacity\":%zu},"
-        "\"executor\":{\"submitted\":%llu,\"accepted\":%llu,"
-        "\"rejected\":%llu,\"served\":%llu,\"cache_hits\":%llu,"
-        "\"incremental\":%llu,\"warm_starts\":%llu,"
-        "\"prepared_hits\":%llu,\"prepared_builds\":%llu,"
-        "\"component_tasks\":%llu,"
-        "\"deadline_misses\":%llu,\"admission_queue_depth\":%zu,"
-        "\"component_queue_depth\":%zu,\"queue_depth\":%zu,"
-        "\"peak_queue_depth\":%zu}%s}\n",
-        static_cast<unsigned long long>(id), graphs.c_str(),
-        static_cast<unsigned long long>(cs.hits),
-        static_cast<unsigned long long>(cs.misses),
-        static_cast<unsigned long long>(cs.insertions),
-        static_cast<unsigned long long>(cs.evictions),
-        static_cast<unsigned long long>(cs.invalidated),
-        static_cast<unsigned long long>(cs.republished),
-        static_cast<unsigned long long>(cs.hints_published),
-        static_cast<unsigned long long>(cs.hint_hits), cs.entries,
-        cs.hint_entries, cs.capacity,
-        static_cast<unsigned long long>(ps.hits),
-        static_cast<unsigned long long>(ps.misses),
-        static_cast<unsigned long long>(ps.insertions),
-        static_cast<unsigned long long>(ps.evictions),
-        static_cast<unsigned long long>(ps.invalidated),
-        static_cast<unsigned long long>(ps.forwarded), ps.entries,
-        ps.capacity,
-        static_cast<unsigned long long>(em.submitted),
-        static_cast<unsigned long long>(em.accepted),
-        static_cast<unsigned long long>(em.rejected),
-        static_cast<unsigned long long>(em.served),
-        static_cast<unsigned long long>(em.cache_hits),
-        static_cast<unsigned long long>(em.incremental_requeries),
-        static_cast<unsigned long long>(em.warm_starts),
-        static_cast<unsigned long long>(em.prepared_hits),
-        static_cast<unsigned long long>(em.prepared_builds),
-        static_cast<unsigned long long>(em.component_tasks),
-        static_cast<unsigned long long>(em.deadline_misses),
-        em.admission_queue_depth, em.component_queue_depth, em.queue_depth,
-        em.peak_queue_depth, storage_json.c_str());
+    JsonWriter w;
+    w.BeginObject()
+        .Field("ok", true)
+        .Field("id", static_cast<unsigned long long>(id))
+        .Field("traces", traces.size())
+        .EndObject();
+    PrintLine(w);
+  }
+
+  void HandleTrace(uint64_t id, const JsonObject& obj) {
+    uint64_t trace_id = static_cast<uint64_t>(GetNumber(obj, "trace_id", 0));
+    auto trace = obs::Slowlog::Default().Find(trace_id);
+    if (trace == nullptr) {
+      return PrintError(id, "trace: id " + std::to_string(trace_id) +
+                                " not retained (evicted from the slowlog, or "
+                                "never slow enough to enter it)");
+    }
+    std::printf("%s\n", TraceJson(*trace).c_str());
   }
 
   void HandlePersist(uint64_t id) {
@@ -374,8 +359,13 @@ struct Server {
     std::vector<storage::WarmEntry> entries = cache.ExportWarmEntries();
     Status status = storage->SaveWarmEntries(entries);
     if (!status.ok()) return PrintError(id, status.ToString());
-    std::printf("{\"ok\":true,\"id\":%llu,\"warm_entries\":%zu}\n",
-                static_cast<unsigned long long>(id), entries.size());
+    JsonWriter w;
+    w.BeginObject()
+        .Field("ok", true)
+        .Field("id", static_cast<unsigned long long>(id))
+        .Field("warm_entries", entries.size())
+        .EndObject();
+    PrintLine(w);
   }
 
   void HandleRestore(uint64_t id) {
@@ -385,10 +375,14 @@ struct Server {
     size_t graphs = 0, warm = 0;
     Status status = RecoverFromStorage(&graphs, &warm);
     if (!status.ok()) return PrintError(id, status.ToString());
-    std::printf(
-        "{\"ok\":true,\"id\":%llu,\"graphs_restored\":%zu,"
-        "\"warm_restored\":%zu}\n",
-        static_cast<unsigned long long>(id), graphs, warm);
+    JsonWriter w;
+    w.BeginObject()
+        .Field("ok", true)
+        .Field("id", static_cast<unsigned long long>(id))
+        .Field("graphs_restored", graphs)
+        .Field("warm_restored", warm)
+        .EndObject();
+    PrintLine(w);
   }
 
   void HandleUpdate(uint64_t id, const JsonObject& obj) {
@@ -468,21 +462,33 @@ struct Server {
                               &report);
     if (!status.ok()) return PrintError(id, status.ToString());
 
-    std::printf(
-        "{\"ok\":true,\"id\":%llu,\"graph\":\"%s\",\"version\":%llu,"
-        "\"fingerprint\":\"%s\",\"vertices\":%u,\"edges\":%u,"
-        "\"vertices_added\":%u,\"edges_added\":%u,\"edges_removed\":%u,"
-        "\"attrs_changed\":%u,\"insert_only\":%s,"
-        "\"cache\":{\"invalidated\":%zu,\"republished\":%zu,\"hints\":%zu},"
-        "\"prepared\":{\"invalidated\":%zu,\"forwarded\":%zu}}\n",
-        static_cast<unsigned long long>(id), JsonEscape(name).c_str(),
-        static_cast<unsigned long long>(summary.version),
-        FingerprintHex(summary.fingerprint).c_str(), dyn.num_vertices(),
-        dyn.num_edges(), summary.vertices_added, summary.edges_added,
-        summary.edges_removed, summary.attributes_changed,
-        summary.insert_only() ? "true" : "false", report.cache.invalidated,
-        report.cache.republished, report.cache.hints,
-        report.prepared.invalidated, report.prepared.forwarded);
+    JsonWriter w;
+    w.BeginObject()
+        .Field("ok", true)
+        .Field("id", static_cast<unsigned long long>(id))
+        .Field("graph", name)
+        .Field("version", static_cast<unsigned long long>(summary.version))
+        .Field("fingerprint", FingerprintHex(summary.fingerprint))
+        .Field("vertices", dyn.num_vertices())
+        .Field("edges", dyn.num_edges())
+        .Field("vertices_added", summary.vertices_added)
+        .Field("edges_added", summary.edges_added)
+        .Field("edges_removed", summary.edges_removed)
+        .Field("attrs_changed", summary.attributes_changed)
+        .Field("insert_only", summary.insert_only());
+    w.Key("cache")
+        .BeginObject()
+        .Field("invalidated", report.cache.invalidated)
+        .Field("republished", report.cache.republished)
+        .Field("hints", report.cache.hints)
+        .EndObject();
+    w.Key("prepared")
+        .BeginObject()
+        .Field("invalidated", report.prepared.invalidated)
+        .Field("forwarded", report.prepared.forwarded)
+        .EndObject();
+    w.EndObject();
+    PrintLine(w);
   }
 
   void HandleSnapshot(uint64_t id, const JsonObject& obj) {
@@ -503,35 +509,45 @@ struct Server {
       // was saved — report it instead of answering ok with no file.
       if (!status.ok()) return PrintError(id, status.ToString());
     }
-    std::printf(
-        "{\"ok\":true,\"id\":%llu,\"graph\":\"%s\",\"version\":%llu,"
-        "\"fingerprint\":\"%s\",\"vertices\":%u,\"edges\":%u,"
-        "\"source\":\"%s\"%s%s%s}\n",
-        static_cast<unsigned long long>(id), JsonEscape(name).c_str(),
-        static_cast<unsigned long long>(entry->version),
-        FingerprintHex(entry->fingerprint).c_str(),
-        entry->graph->num_vertices(), entry->graph->num_edges(),
-        JsonEscape(entry->source).c_str(),
-        path.empty() ? "" : ",\"saved\":\"",
-        path.empty() ? "" : JsonEscape(path).c_str(), path.empty() ? "" : "\"");
+    JsonWriter w;
+    w.BeginObject()
+        .Field("ok", true)
+        .Field("id", static_cast<unsigned long long>(id))
+        .Field("graph", name)
+        .Field("version", static_cast<unsigned long long>(entry->version))
+        .Field("fingerprint", FingerprintHex(entry->fingerprint))
+        .Field("vertices", entry->graph->num_vertices())
+        .Field("edges", entry->graph->num_edges())
+        .Field("source", entry->source);
+    if (!path.empty()) w.Field("saved", path);
+    w.EndObject();
+    PrintLine(w);
   }
 
   void HandleEvict(uint64_t id, const JsonObject& obj) {
     if (GetBool(obj, "cache", false)) {
       cache.Clear();
       prepared.Clear();
-      std::printf("{\"ok\":true,\"id\":%llu,\"cleared\":\"cache\"}\n",
-                  static_cast<unsigned long long>(id));
+      JsonWriter w;
+      w.BeginObject()
+          .Field("ok", true)
+          .Field("id", static_cast<unsigned long long>(id))
+          .Field("cleared", "cache")
+          .EndObject();
+      PrintLine(w);
       return;
     }
     std::string name = GetString(obj, "graph");
     if (name.empty()) return PrintError(id, "evict: need 'graph' or 'cache'");
     bool evicted = registry.Evict(name);
     dynamics.erase(name);
-    std::printf("{\"ok\":%s,\"id\":%llu,\"evicted\":\"%s\"}\n",
-                evicted ? "true" : "false",
-                static_cast<unsigned long long>(id),
-                JsonEscape(name).c_str());
+    JsonWriter w;
+    w.BeginObject()
+        .Field("ok", evicted)
+        .Field("id", static_cast<unsigned long long>(id))
+        .Field("evicted", name)
+        .EndObject();
+    PrintLine(w);
   }
 
   /// Returns false when the session should end.
@@ -563,7 +579,10 @@ struct Server {
     else if (cmd == "persist") HandlePersist(id);
     else if (cmd == "restore") HandleRestore(id);
     else if (cmd == "drain") HandleDrain();
-    else if (cmd == "stats" || cmd == "metrics") HandleStats(id);
+    else if (cmd == "stats") HandleStats(id);
+    else if (cmd == "metrics") HandleMetrics(id, obj);
+    else if (cmd == "slowlog") HandleSlowlog(id, obj);
+    else if (cmd == "trace") HandleTrace(id, obj);
     else if (cmd == "evict") HandleEvict(id, obj);
     else if (cmd == "quit") return false;
     else PrintError(id, "unknown cmd '" + cmd + "'");
@@ -578,7 +597,7 @@ int Usage() {
                "[--prepared N] [--queue N]\n"
                "                         [--data-dir PATH] [--wal-compact N] "
                "[--wal-group-window USEC]\n"
-               "                         [commands.jsonl]\n"
+               "                         [--slowlog N] [commands.jsonl]\n"
                "reads JSON-lines commands from the file or stdin; with "
                "--data-dir the service\n"
                "is durable (FCG2 snapshots + group-committed update WAL) and "
@@ -615,6 +634,10 @@ int main(int argc, char** argv) {
       wal_compact = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (arg == "--wal-group-window" && i + 1 < argc) {
       wal_group_window = std::atoll(argv[++i]);
+    } else if (arg == "--slowlog" && i + 1 < argc) {
+      // Re-caps the process-wide slowlog before any query runs.
+      obs::Slowlog::Default().Reset(
+          static_cast<size_t>(std::atoll(argv[++i])));
     } else if (arg == "--help" || arg == "-h" || arg[0] == '-') {
       return Usage();
     } else {

@@ -1,6 +1,8 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <ctime>
 
 namespace fairclique {
 
@@ -36,13 +38,34 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm_utc{};
+  ::gmtime_r(&secs, &tm_utc);  // thread-safe, unlike std::gmtime
+  char stamp[40];
+  std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis);
+  stream_ << "[" << stamp << " " << LevelName(level) << " " << base << ":"
+          << line << "] ";
 }
 
 LogMessage::~LogMessage() {
   if (level_ >= GetLogLevel() || level_ == LogLevel::kFatal) {
+    // One fwrite of the complete line (newline included): POSIX stdio locks
+    // per call, so concurrent threads' messages never interleave
+    // mid-line — which the old fprintf("%s\n") already guaranteed, but only
+    // as long as no message contained a format accident; building the full
+    // buffer first also keeps the write atomic if a sanitizer intercepts
+    // fprintf into multiple writes.
     std::string msg = stream_.str();
-    std::fprintf(stderr, "%s\n", msg.c_str());
+    msg.push_back('\n');
+    std::fwrite(msg.data(), 1, msg.size(), stderr);
     std::fflush(stderr);
   }
   if (level_ == LogLevel::kFatal) {

@@ -26,6 +26,16 @@ class WallTimer {
     return static_cast<double>(ElapsedMicros()) * 1e-6;
   }
 
+  /// Microseconds between `earlier`'s start and this timer's start — the
+  /// elapsed time `earlier` would have reported at the instant this timer
+  /// was (re)started, without another clock read. Negative when this timer
+  /// actually started first.
+  int64_t StartMicrosSince(const WallTimer& earlier) const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               start_ - earlier.start_)
+        .count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

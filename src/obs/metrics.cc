@@ -1,0 +1,323 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace fairclique {
+namespace obs {
+
+std::atomic<bool> g_enabled{true};
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+size_t ThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Bucket index of a sample: 0 for v <= 0, else bit_width(v) clamped into
+/// the table. Bucket i therefore spans [2^(i-1), 2^i).
+size_t BucketIndex(int64_t value) {
+  if (value <= 0) return 0;
+  size_t width = static_cast<size_t>(
+      std::bit_width(static_cast<uint64_t>(value)));
+  return std::min(width, Histogram::kBuckets - 1);
+}
+
+/// Inclusive upper bound of bucket i (the `le` label).
+int64_t BucketUpperBound(size_t index) {
+  if (index == 0) return 0;
+  if (index >= 63) return INT64_MAX;
+  return (int64_t{1} << index) - 1;
+}
+
+}  // namespace
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Record(int64_t value) {
+  if (!Enabled()) return;
+  Shard& shard = shards_[internal::ThreadShard()];
+  shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  int64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  uint64_t counts[kBuckets] = {};
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < kBuckets; ++i) {
+      counts[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  size_t last = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    snap.count += counts[i];
+    if (counts[i] > 0) last = i;
+  }
+  snap.max = max_.load(std::memory_order_relaxed);
+  if (snap.count == 0) return snap;
+  snap.buckets.reserve(last + 1);
+  for (size_t i = 0; i <= last; ++i) {
+    snap.buckets.push_back({BucketUpperBound(i), counts[i]});
+  }
+  return snap;
+}
+
+int64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the q-quantile sample, 1-based ("nearest rank" definition).
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  uint64_t cumulative = 0;
+  for (const Bucket& bucket : buckets) {
+    cumulative += bucket.count;
+    if (cumulative >= rank) {
+      // The top bucket's nominal bound can exceed anything recorded; the
+      // exact max is tighter and costs nothing.
+      return std::min(bucket.le, max);
+    }
+  }
+  return max;
+}
+
+void MetricsSnapshot::AddCounter(const std::string& name,
+                                 const std::string& help, uint64_t value) {
+  MetricSnapshot m;
+  m.name = name;
+  m.help = help;
+  m.kind = MetricSnapshot::Kind::kCounter;
+  m.counter_value = value;
+  metrics.push_back(std::move(m));
+}
+
+void MetricsSnapshot::AddGauge(const std::string& name,
+                               const std::string& help, int64_t value) {
+  MetricSnapshot m;
+  m.name = name;
+  m.help = help;
+  m.kind = MetricSnapshot::Kind::kGauge;
+  m.gauge_value = value;
+  metrics.push_back(std::move(m));
+}
+
+namespace {
+
+/// HELP text escaping per the exposition format: backslash and newline.
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  char buf[160];
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (!m.help.empty()) {
+      out += "# HELP " + m.name + " " + EscapeHelp(m.help) + "\n";
+    }
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        out += "# TYPE " + m.name + " counter\n";
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(m.counter_value));
+        out += m.name + " " + buf + "\n";
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        out += "# TYPE " + m.name + " gauge\n";
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(m.gauge_value));
+        out += m.name + " " + buf + "\n";
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        out += "# TYPE " + m.name + " histogram\n";
+        uint64_t cumulative = 0;
+        for (const HistogramSnapshot::Bucket& b : m.histogram.buckets) {
+          cumulative += b.count;
+          std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%lld\"} %llu\n",
+                        m.name.c_str(), static_cast<long long>(b.le),
+                        static_cast<unsigned long long>(cumulative));
+          out += buf;
+        }
+        std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %llu\n",
+                      m.name.c_str(),
+                      static_cast<unsigned long long>(m.histogram.count));
+        out += buf;
+        std::snprintf(buf, sizeof(buf), "%s_sum %lld\n", m.name.c_str(),
+                      static_cast<long long>(m.histogram.sum));
+        out += buf;
+        std::snprintf(buf, sizeof(buf), "%s_count %llu\n", m.name.c_str(),
+                      static_cast<unsigned long long>(m.histogram.count));
+        out += buf;
+        break;
+      }
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+MetricRegistry& MetricRegistry::Default() {
+  // Leaked on purpose: instruments resolved from it are recorded into by
+  // arbitrary threads (including detached ones) until process exit, so the
+  // registry must never run a destructor.
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = metrics_[name];
+  if (entry.counter == nullptr && entry.gauge == nullptr &&
+      entry.histogram == nullptr) {
+    entry.kind = MetricSnapshot::Kind::kCounter;
+    entry.help = help;
+    entry.counter = std::make_unique<Counter>();
+  }
+  FC_CHECK(entry.kind == MetricSnapshot::Kind::kCounter)
+      << "metric '" << name << "' already registered with another kind";
+  if (entry.help.empty()) entry.help = help;
+  return entry.counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name,
+                                const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = metrics_[name];
+  if (entry.counter == nullptr && entry.gauge == nullptr &&
+      entry.histogram == nullptr) {
+    entry.kind = MetricSnapshot::Kind::kGauge;
+    entry.help = help;
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  FC_CHECK(entry.kind == MetricSnapshot::Kind::kGauge)
+      << "metric '" << name << "' already registered with another kind";
+  if (entry.help.empty()) entry.help = help;
+  return entry.gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = metrics_[name];
+  if (entry.counter == nullptr && entry.gauge == nullptr &&
+      entry.histogram == nullptr) {
+    entry.kind = MetricSnapshot::Kind::kHistogram;
+    entry.help = help;
+    entry.histogram = std::make_unique<Histogram>();
+  }
+  FC_CHECK(entry.kind == MetricSnapshot::Kind::kHistogram)
+      << "metric '" << name << "' already registered with another kind";
+  if (entry.help.empty()) entry.help = help;
+  return entry.histogram.get();
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.metrics.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.help = entry.help;
+    m.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        m.counter_value = entry.counter->Value();
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        m.gauge_value = entry.gauge->Value();
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        m.histogram = entry.histogram->Snapshot();
+        break;
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  return snap;
+}
+
+Histogram* QueryQueueWaitHistogram() {
+  static Histogram* h = MetricRegistry::Default().GetHistogram(
+      "fc_query_queue_wait_micros",
+      "Admission-queue wait per queued query, microseconds");
+  return h;
+}
+
+Histogram* QueryRunHistogram() {
+  static Histogram* h = MetricRegistry::Default().GetHistogram(
+      "fc_query_run_micros",
+      "Service time per query (cache probe + search), microseconds");
+  return h;
+}
+
+Histogram* QueryPrepareHistogram() {
+  static Histogram* h = MetricRegistry::Default().GetHistogram(
+      "fc_query_prepare_micros",
+      "Prepared-plan stage per non-cached query (cache probe or "
+      "Reduce+Decompose build), microseconds");
+  return h;
+}
+
+Histogram* QueryBranchHistogram() {
+  static Histogram* h = MetricRegistry::Default().GetHistogram(
+      "fc_query_branch_micros",
+      "Branch stage wall time per searched query, microseconds");
+  return h;
+}
+
+Histogram* WalFsyncHistogram() {
+  static Histogram* h = MetricRegistry::Default().GetHistogram(
+      "fc_wal_fsync_micros", "fsync latency per durable append, microseconds");
+  return h;
+}
+
+Histogram* WalGroupFramesHistogram() {
+  static Histogram* h = MetricRegistry::Default().GetHistogram(
+      "fc_wal_group_frames", "WAL frames settled per group commit fsync");
+  return h;
+}
+
+Counter* WalBytesWrittenCounter() {
+  static Counter* c = MetricRegistry::Default().GetCounter(
+      "fc_wal_bytes_written_total", "Bytes appended to WAL files");
+  return c;
+}
+
+}  // namespace obs
+}  // namespace fairclique

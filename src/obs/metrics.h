@@ -1,0 +1,191 @@
+#ifndef FAIRCLIQUE_OBS_METRICS_H_
+#define FAIRCLIQUE_OBS_METRICS_H_
+
+/// Process-wide telemetry instruments: named monotonic counters, gauges, and
+/// log-bucketed latency histograms, collected in a MetricRegistry and
+/// rendered as Prometheus text exposition. Recording is lock-free —
+/// relaxed atomics sharded across cache lines so eight workers hammering the
+/// cached-hit fast path do not serialize on one counter word — and costs a
+/// handful of nanoseconds per event; all locking (name interning, snapshot
+/// assembly) happens off the hot path.
+///
+/// Instruments are interned by name and live as long as the registry (the
+/// default registry lives for the process), so callers resolve a pointer
+/// once and record through it forever:
+///
+///   obs::Histogram* h = obs::MetricRegistry::Default().GetHistogram(
+///       "fc_query_run_micros", "query service time");
+///   h->Record(elapsed_micros);
+///
+/// SetEnabled(false) turns every Record/Increment into a near-no-op (one
+/// relaxed load) — bench_service uses it to measure the instrumentation
+/// overhead itself.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fairclique {
+namespace obs {
+
+/// Global recording switch, default on. Checked by the recording fast paths
+/// (and by the trace/slowlog layer); snapshots and rendering ignore it.
+extern std::atomic<bool> g_enabled;
+inline bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool enabled);
+
+namespace internal {
+/// Number of cache-line-padded shards per instrument. Each thread hashes to
+/// a fixed shard, so concurrent recorders rarely share a line.
+constexpr size_t kShards = 8;
+/// This thread's shard index (assigned round-robin at first use).
+size_t ThreadShard();
+}  // namespace internal
+
+/// Monotonic counter. Increment is wait-free; Value sums the shards.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    if (!Enabled()) return;
+    shards_[internal::ThreadShard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  Shard shards_[internal::kShards];
+};
+
+/// Last-write-wins instantaneous value (queue depths, entry counts).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time view of one histogram. Buckets are NON-cumulative here;
+/// RenderPrometheus accumulates them into the exposition format's running
+/// `le` counts.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  int64_t sum = 0;
+  int64_t max = 0;  // exact largest recorded value (not a bucket bound)
+  struct Bucket {
+    int64_t le = 0;  // inclusive upper bound of this bucket
+    uint64_t count = 0;
+  };
+  std::vector<Bucket> buckets;  // ascending le; trailing empty buckets cut
+
+  /// Bucket-resolution quantile estimate in [p50, p99]: the upper bound of
+  /// the bucket containing the rank, i.e. within 2x of the true value
+  /// (buckets are powers of two). Returns 0 on an empty histogram.
+  int64_t Quantile(double q) const;
+};
+
+/// Log-bucketed histogram of non-negative integer samples (microseconds,
+/// group sizes, byte counts). Bucket i holds values with bit-width i:
+/// [2^(i-1), 2^i), so p50/p95/p99 are derivable within 2x at any scale from
+/// sub-microsecond cache hits to multi-second cold searches — the right
+/// trade for a service whose latencies span seven orders of magnitude.
+class Histogram {
+ public:
+  /// Number of buckets: values up to 2^46 us (~2.2 years) resolve exactly;
+  /// anything larger clamps into the last bucket.
+  static constexpr size_t kBuckets = 48;
+
+  void Record(int64_t value);
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> buckets[kBuckets] = {};
+    std::atomic<int64_t> sum{0};
+  };
+  Shard shards_[internal::kShards];
+  std::atomic<int64_t> max_{0};
+};
+
+/// One rendered metric in a snapshot.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  std::string help;
+  Kind kind = Kind::kCounter;
+  uint64_t counter_value = 0;
+  int64_t gauge_value = 0;
+  HistogramSnapshot histogram;
+};
+
+/// All metrics at one instant, name-sorted. Service-level exporters append
+/// their own counter structs (executor, caches, storage) to this before
+/// rendering, so scrape output is one consistent page.
+struct MetricsSnapshot {
+  std::vector<MetricSnapshot> metrics;
+
+  void AddCounter(const std::string& name, const std::string& help,
+                  uint64_t value);
+  void AddGauge(const std::string& name, const std::string& help,
+                int64_t value);
+};
+
+/// Prometheus text exposition (version 0.0.4): # HELP / # TYPE preamble per
+/// family, histogram buckets cumulative with a trailing le="+Inf", and a
+/// final "# EOF" line so line-oriented consumers can find the end.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+/// Thread-safe name -> instrument map. Get* interns on first use and
+/// returns a pointer that stays valid for the registry's lifetime; a name
+/// re-requested as a different kind is a programming error (FC_CHECK).
+class MetricRegistry {
+ public:
+  /// The process-wide registry (never destroyed).
+  static MetricRegistry& Default();
+
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& help = "");
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Entry {
+    MetricSnapshot::Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;
+};
+
+// ------------------------------------------------- standard instruments
+//
+// Instruments shared across layers (the executor records them, the
+// telemetry exporter guarantees they appear on the scrape page even before
+// the first sample). Each accessor interns into the default registry once.
+
+Histogram* QueryQueueWaitHistogram();  // fc_query_queue_wait_micros
+Histogram* QueryRunHistogram();        // fc_query_run_micros
+Histogram* QueryPrepareHistogram();    // fc_query_prepare_micros
+Histogram* QueryBranchHistogram();     // fc_query_branch_micros
+Histogram* WalFsyncHistogram();        // fc_wal_fsync_micros
+Histogram* WalGroupFramesHistogram();  // fc_wal_group_frames
+Counter* WalBytesWrittenCounter();     // fc_wal_bytes_written_total
+
+}  // namespace obs
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_OBS_METRICS_H_

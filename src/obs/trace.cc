@@ -1,0 +1,110 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace fairclique {
+namespace obs {
+
+uint64_t NextTraceId() {
+  // One shared fetch_add per kBlock ids instead of per id: the global
+  // counter's cache line would otherwise ping-pong between every serving
+  // thread on every query (measurably so on the result-cache-hit path).
+  // fetch_add is globally monotonic, so each thread's next block starts
+  // past its previous one and per-thread ids stay strictly increasing.
+  constexpr uint64_t kBlock = 1024;
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t cursor = 0;
+  thread_local uint64_t block_end = 0;
+  if (cursor == block_end) {
+    cursor = next.fetch_add(kBlock, std::memory_order_relaxed);
+    block_end = cursor + kBlock;
+  }
+  return cursor++;
+}
+
+Slowlog::Slowlog(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {
+  heap_.reserve(capacity_);
+}
+
+Slowlog& Slowlog::Default() {
+  // Leaked like the metric registry: executors record into it until exit.
+  static Slowlog* slowlog = new Slowlog();
+  return *slowlog;
+}
+
+namespace {
+bool HeapGreater(const std::shared_ptr<const Trace>& a,
+                 const std::shared_ptr<const Trace>& b) {
+  // std::push_heap with > builds a min-heap on run_micros.
+  return a->run_micros > b->run_micros;
+}
+}  // namespace
+
+void Slowlog::UpdateFloorLocked() {
+  floor_micros_.store(
+      heap_.size() >= capacity_ ? heap_.front()->run_micros : -1,
+      std::memory_order_relaxed);
+}
+
+void Slowlog::Record(std::shared_ptr<const Trace> trace) {
+  if (trace == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (heap_.size() >= capacity_) {
+    // Evict the fastest retained trace — strict >, so at a tie the
+    // incumbent survives (it was slow first).
+    if (trace->run_micros <= heap_.front()->run_micros) return;
+    std::pop_heap(heap_.begin(), heap_.end(), HeapGreater);
+    heap_.pop_back();
+  }
+  heap_.push_back(std::move(trace));
+  std::push_heap(heap_.begin(), heap_.end(), HeapGreater);
+  UpdateFloorLocked();
+}
+
+std::vector<std::shared_ptr<const Trace>> Slowlog::Slowest(
+    size_t limit) const {
+  std::vector<std::shared_ptr<const Trace>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = heap_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const std::shared_ptr<const Trace>& a,
+               const std::shared_ptr<const Trace>& b) {
+              if (a->run_micros != b->run_micros) {
+                return a->run_micros > b->run_micros;
+              }
+              return a->id < b->id;  // deterministic at equal durations
+            });
+  if (limit > 0 && out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::shared_ptr<const Trace> Slowlog::Find(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& trace : heap_) {
+    if (trace->id == id) return trace;
+  }
+  return nullptr;
+}
+
+void Slowlog::Reset(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity > 0) capacity_ = capacity;
+  heap_.clear();
+  heap_.reserve(capacity_);
+  floor_micros_.store(-1, std::memory_order_relaxed);
+}
+
+size_t Slowlog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heap_.size();
+}
+
+size_t Slowlog::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+}  // namespace obs
+}  // namespace fairclique

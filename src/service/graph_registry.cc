@@ -150,6 +150,7 @@ Status GraphRegistry::AddEntry(const std::string& name,
       return status;
     }
   }
+  (persist ? loads_ : restores_).fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -205,6 +206,7 @@ Status GraphRegistry::Replace(const std::string& name,
     storage = storage_;
   }
 
+  replaces_.fetch_add(1, std::memory_order_relaxed);
   ReplaceReport out;
   out.old_fingerprint = old_fp;
   out.new_fingerprint = new_fp;
@@ -284,6 +286,7 @@ bool GraphRegistry::Evict(const std::string& name) {
                        << "'): storage forget failed: " << status.ToString();
     }
   }
+  evictions_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -299,6 +302,17 @@ std::vector<std::shared_ptr<const RegisteredGraph>> GraphRegistry::List()
 size_t GraphRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return graphs_.size();
+}
+
+RegistryStats GraphRegistry::Stats() const {
+  RegistryStats s;
+  s.loads = loads_.load(std::memory_order_relaxed);
+  s.restores = restores_.load(std::memory_order_relaxed);
+  s.replaces = replaces_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.graphs = graphs_.size();
+  return s;
 }
 
 WarmRestoreOutcome RestoreWarmEntries(

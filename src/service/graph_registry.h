@@ -1,6 +1,7 @@
 #ifndef FAIRCLIQUE_SERVICE_GRAPH_REGISTRY_H_
 #define FAIRCLIQUE_SERVICE_GRAPH_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -57,6 +58,16 @@ struct ReplaceReport {
   uint64_t version = 0;
   MigrationOutcome cache;             // zeros when no result cache attached
   PreparedMigrationOutcome prepared;  // zeros when no prepared cache attached
+};
+
+/// Monotonic counters of the registry's epoch transitions (plus the current
+/// graph count); exported as fc_registry_* by the telemetry layer.
+struct RegistryStats {
+  uint64_t loads = 0;      // Load/Add registrations (write-through persisted)
+  uint64_t restores = 0;   // graphs registered from durable recovery
+  uint64_t replaces = 0;   // successful epoch advances
+  uint64_t evictions = 0;  // successful Evict calls
+  size_t graphs = 0;       // currently registered names (point-in-time)
 };
 
 /// Thread-safe name -> graph map for the query service: each graph is loaded
@@ -148,6 +159,8 @@ class GraphRegistry {
 
   size_t size() const;
 
+  RegistryStats Stats() const;
+
  private:
   /// True when any registered entry (excluding `except`) has `fingerprint`.
   bool FingerprintReferencedLocked(uint64_t fingerprint,
@@ -161,6 +174,10 @@ class GraphRegistry {
 
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const RegisteredGraph>> graphs_;
+  std::atomic<uint64_t> loads_{0};
+  std::atomic<uint64_t> restores_{0};
+  std::atomic<uint64_t> replaces_{0};
+  std::atomic<uint64_t> evictions_{0};
   ResultCache* cache_ = nullptr;                  // not owned; may be null
   PreparedGraphCache* prepared_cache_ = nullptr;  // not owned; may be null
   storage::StorageManager* storage_ = nullptr;    // not owned; may be null

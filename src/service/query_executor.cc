@@ -4,7 +4,9 @@
 #include <optional>
 #include <utility>
 
+#include "core/options_key.h"
 #include "dynamic/incremental_search.h"
+#include "obs/trace.h"
 
 namespace fairclique {
 
@@ -43,11 +45,30 @@ struct QueryExecutor::QueryState {
   std::vector<size_t> comp_indices;
   std::vector<ComponentBranchResult> results;
   std::atomic<size_t> remaining{0};
+
+  // Stage timestamps for the trace (obs/trace.h), relative to Submit
+  // (qs.queued). Captured as plain integers on the hot path; the Trace
+  // object is only assembled for queries slow enough for the slowlog.
+  bool from_queue = false;     // admitted from the queue (vs synchronous Run)
+  int64_t t_admit = 0;         // processing began (== queue wait)
+  int64_t t_probe_end = -1;    // result-cache probe + hint handling done
+  int64_t t_prepare_end = -1;  // prepared plan in hand
+  int64_t t_branch_end = -1;   // Branch stage done (aggregation follows)
+  /// Per-slot Branch start times; each slot is written only by its own
+  /// component task and read by the final task (after the acq_rel
+  /// remaining-counter handoff), so no locking is needed.
+  std::vector<int64_t> comp_start_micros;
 };
 
 QueryExecutor::QueryExecutor(const ExecutorOptions& options, ResultCache* cache,
                              PreparedGraphCache* prepared_cache)
-    : options_(options), cache_(cache), prepared_cache_(prepared_cache) {
+    : options_(options),
+      cache_(cache),
+      prepared_cache_(prepared_cache),
+      queue_wait_hist_(obs::QueryQueueWaitHistogram()),
+      run_hist_(obs::QueryRunHistogram()),
+      prepare_hist_(obs::QueryPrepareHistogram()),
+      branch_hist_(obs::QueryBranchHistogram()) {
   int workers = std::max(1, options_.num_workers);
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
@@ -90,6 +111,16 @@ bool QueryExecutor::PreSearch(QueryState& qs) {
   const QueryRequest& request = qs.request;
   qs.run_timer.Restart();
 
+  if (obs::Enabled()) {
+    qs.response.trace_id = obs::NextTraceId();
+    // run_timer was just restarted, so its start IS the admission instant:
+    // derive the queue wait from the two existing timestamps instead of a
+    // third clock read (this runs on every query, cache hits included).
+    qs.t_admit = qs.run_timer.StartMicrosSince(qs.queued);
+    if (qs.t_admit < 0) qs.t_admit = 0;
+    if (qs.from_queue) queue_wait_hist_->Record(qs.t_admit);
+  }
+
   if (request.graph == nullptr || request.graph->graph == nullptr) {
     qs.response.status = Status::InvalidArgument("request has no graph");
     return true;
@@ -110,6 +141,7 @@ bool QueryExecutor::PreSearch(QueryState& qs) {
       qs.response.deadline_missed = true;
       qs.response.run_micros = qs.run_timer.ElapsedMicros();
       deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -142,6 +174,7 @@ bool QueryExecutor::PreSearch(QueryState& qs) {
   // re-query; everything else still seeds the incumbent for a full search.
   std::optional<WarmHint> hint;
   if (qs.use_cache) hint = cache_->TakeHint(qs.cache_key);
+  if (qs.response.trace_id != 0) qs.t_probe_end = qs.queued.ElapsedMicros();
   if (hint.has_value() && hint->exact_chain &&
       hint->new_edges.size() <= kMaxIncrementalEdges) {
     auto result = std::make_shared<SearchResult>(IncrementalRequery(
@@ -206,6 +239,10 @@ bool QueryExecutor::PreSearch(QueryState& qs) {
     qs.prepare_micros = prepare_timer.ElapsedMicros();
     prepared_builds_.fetch_add(1, std::memory_order_relaxed);
   }
+  if (qs.response.trace_id != 0) {
+    qs.t_prepare_end = qs.queued.ElapsedMicros();
+    prepare_hist_->Record(qs.t_prepare_end - qs.t_probe_end);
+  }
   return false;
 }
 
@@ -230,6 +267,71 @@ void QueryExecutor::FinishSearch(QueryState& qs, SearchResult&& sr) {
   qs.response.run_micros = qs.run_timer.ElapsedMicros();
 }
 
+void QueryExecutor::RecordTelemetry(QueryState& qs) {
+  if (qs.response.trace_id == 0) return;  // telemetry was off at admission
+  const int64_t run = qs.response.run_micros;
+  run_hist_->Record(run);
+  obs::Slowlog& slowlog = obs::Slowlog::Default();
+  if (!slowlog.Admits(run)) return;
+
+  auto trace = std::make_shared<obs::Trace>();
+  trace->id = qs.response.trace_id;
+  if (qs.request.graph != nullptr) trace->graph = qs.request.graph->name;
+  trace->options = CanonicalOptionsKey(qs.request.options);
+  trace->queue_micros = qs.from_queue ? qs.t_admit : 0;
+  trace->run_micros = run;
+  trace->total_micros = std::max(qs.queued.ElapsedMicros(), qs.t_admit);
+  trace->ok = qs.response.status.ok();
+  trace->cache_hit = qs.response.cache_hit;
+  trace->prepared_hit = qs.response.prepared_hit;
+  trace->incremental = qs.response.incremental;
+  trace->warm_start = qs.response.warm_start;
+  trace->deadline_missed = qs.response.deadline_missed;
+
+  const int64_t t_end = trace->total_micros;
+  auto add_span = [&trace](const char* name, int32_t parent, int64_t start,
+                           int64_t end) {
+    obs::TraceSpan span;
+    span.name = name;
+    span.parent = parent;
+    span.start_micros = start;
+    span.duration_micros = end > start ? end - start : 0;
+    trace->spans.push_back(span);
+  };
+
+  if (qs.from_queue) add_span("queue", -1, 0, qs.t_admit);
+  if (qs.t_probe_end < 0) {
+    // The response completed inside the probe stage: a result-cache hit, a
+    // request that expired in the queue, or a validation failure — one span
+    // covers the whole run.
+    const char* name = qs.response.cache_hit         ? "result_cache_probe"
+                       : qs.response.deadline_missed ? "expired_in_queue"
+                                                     : "validate";
+    add_span(name, -1, qs.t_admit, t_end);
+  } else if (qs.response.incremental) {
+    add_span("result_cache_probe", -1, qs.t_admit, qs.t_probe_end);
+    add_span("incremental_requery", -1, qs.t_probe_end, t_end);
+  } else {
+    const int64_t t_prepare_end =
+        qs.t_prepare_end >= 0 ? qs.t_prepare_end : qs.t_probe_end;
+    const int64_t t_branch_end =
+        qs.t_branch_end >= 0 ? qs.t_branch_end : t_prepare_end;
+    add_span("result_cache_probe", -1, qs.t_admit, qs.t_probe_end);
+    add_span("prepare", -1, qs.t_probe_end, t_prepare_end);
+    const int32_t branch_span = static_cast<int32_t>(trace->spans.size());
+    add_span("branch", -1, t_prepare_end, t_branch_end);
+    for (size_t i = 0;
+         i < qs.comp_indices.size() && i < qs.comp_start_micros.size(); ++i) {
+      const int64_t start = qs.comp_start_micros[i];
+      if (start <= 0) continue;  // task never ran (or telemetry raced off)
+      add_span("component", branch_span, start,
+               start + qs.results[i].stats.search_micros);
+    }
+    add_span("finish", -1, t_branch_end, t_end);
+  }
+  slowlog.Record(std::move(trace));
+}
+
 QueryResponse QueryExecutor::Run(const QueryRequest& request) {
   QueryState qs;
   qs.request = request;
@@ -242,11 +344,16 @@ QueryResponse QueryExecutor::Run(const QueryRequest& request) {
         qs.effective.time_limit_seconds, qs.run_timer.ElapsedSeconds());
     SearchResult sr = SearchPreparedGraph(*request.graph->graph, *qs.prepared,
                                           branch_options);
+    if (qs.response.trace_id != 0) {
+      qs.t_branch_end = qs.queued.ElapsedMicros();
+      branch_hist_->Record(qs.t_branch_end - qs.t_prepare_end);
+    }
     sr.stats.reduce_micros = qs.prepare_micros;
     sr.stats.total_micros = qs.run_timer.ElapsedMicros();
     FinishSearch(qs, std::move(sr));
   }
   served_.fetch_add(1, std::memory_order_relaxed);
+  RecordTelemetry(qs);
   return std::move(qs.response);
 }
 
@@ -276,6 +383,7 @@ void QueryExecutor::ExpandQuery(std::shared_ptr<QueryState> qs) {
     return;
   }
   qs->results.resize(n);
+  qs->comp_start_micros.assign(n, 0);
   qs->remaining.store(n, std::memory_order_relaxed);
   component_tasks_.fetch_add(n, std::memory_order_relaxed);
   {
@@ -291,6 +399,10 @@ void QueryExecutor::ExpandQuery(std::shared_ptr<QueryState> qs) {
 
 void QueryExecutor::ExecuteComponentTask(const ComponentTask& task) {
   QueryState& qs = *task.query;
+  if (qs.response.trace_id != 0) {
+    // Slot-owned; published to the finalizer by the acq_rel decrement below.
+    qs.comp_start_micros[task.slot] = qs.queued.ElapsedMicros();
+  }
   qs.results[task.slot] =
       BranchComponent(*qs.prepared, qs.comp_indices[task.slot], qs.effective,
                       qs.deadline, &qs.floor);
@@ -302,6 +414,10 @@ void QueryExecutor::ExecuteComponentTask(const ComponentTask& task) {
 }
 
 void QueryExecutor::FinalizeQuery(QueryState& qs) {
+  if (qs.response.trace_id != 0) {
+    qs.t_branch_end = qs.queued.ElapsedMicros();
+    branch_hist_->Record(qs.t_branch_end - qs.t_prepare_end);
+  }
   SearchResult sr =
       AggregatePreparedSearch(*qs.prepared, qs.seed, qs.results);
   sr.stats.reduce_micros = qs.prepare_micros;
@@ -315,6 +431,7 @@ void QueryExecutor::CompleteQuery(QueryState& qs) {
   served_.fetch_add(1, std::memory_order_relaxed);
   qs.response.queue_micros =
       qs.queued.ElapsedMicros() - qs.response.run_micros;
+  RecordTelemetry(qs);
   qs.promise.set_value(std::move(qs.response));
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -376,6 +493,7 @@ void QueryExecutor::WorkerLoop() {
       qs->request = std::move(pending.request);
       qs->promise = std::move(pending.promise);
       qs->queued = pending.queued;
+      qs->from_queue = true;
       if (PreSearch(*qs)) {
         CompleteQuery(*qs);
       } else {
@@ -399,6 +517,7 @@ ExecutorMetrics QueryExecutor::metrics() const {
   m.prepared_builds = prepared_builds_.load(std::memory_order_relaxed);
   m.component_tasks = component_tasks_.load(std::memory_order_relaxed);
   m.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+  m.expired_in_queue = expired_in_queue_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   m.admission_queue_depth = queue_.size();
   m.component_queue_depth = component_queue_.size();

@@ -15,6 +15,7 @@
 #include "common/timer.h"
 #include "core/max_fair_clique.h"
 #include "core/prepared_graph.h"
+#include "obs/metrics.h"
 #include "service/graph_registry.h"
 #include "service/prepared_graph_cache.h"
 #include "service/result_cache.h"
@@ -78,6 +79,10 @@ struct QueryResponse {
   /// the reduction pipeline.
   bool prepared_hit = false;
   bool deadline_missed = false;  // search stopped by a safety valve
+  /// Process-unique id of this query's trace (obs/trace.h), echoed on the
+  /// wire so a slow response can be looked up in the slowlog by id. 0 when
+  /// telemetry is disabled or the request was rejected at Submit.
+  uint64_t trace_id = 0;
   int64_t queue_micros = 0;      // time spent waiting for a worker
   int64_t run_micros = 0;        // cache lookup + search time
 };
@@ -95,7 +100,14 @@ struct ExecutorMetrics {
   uint64_t prepared_hits = 0;          // Branch stages on a cached plan
   uint64_t prepared_builds = 0;        // plans built (and possibly published)
   uint64_t component_tasks = 0;        // component tasks scheduled pool-wide
+  /// Every response answered with deadline_missed = true: searches stopped
+  /// by the budget AND requests that expired before a worker ever popped
+  /// them. The latter subset is broken out as `expired_in_queue` — a
+  /// nonzero rate there means the admission queue itself is the problem
+  /// (clients time out waiting, not computing), which deepening the worker
+  /// pool fixes and a faster kernel does not.
   uint64_t deadline_misses = 0;
+  uint64_t expired_in_queue = 0;
   /// Queue depths are point-in-time. Admission alone is a misleading
   /// saturation signal — queries expand into component tasks, so a pool
   /// drowning in thousands of backed-up component tasks can show an empty
@@ -182,6 +194,11 @@ class QueryExecutor {
   /// prepared-plan probe/build. Returns true when the response is already
   /// complete (expired / hit / incremental / invalid).
   bool PreSearch(QueryState& qs);
+  /// Records the run histogram and, when the query is slow enough for the
+  /// slowlog, assembles its span timeline from the stage timestamps
+  /// PreSearch/Expand/Finalize captured. Called once per query right before
+  /// the response leaves the executor.
+  void RecordTelemetry(QueryState& qs);
   /// Shared post-Branch glue: deadline-miss bookkeeping, hint put-back,
   /// result-cache fill, response fields. Does not touch the promise.
   void FinishSearch(QueryState& qs, SearchResult&& result);
@@ -224,6 +241,14 @@ class QueryExecutor {
   std::atomic<uint64_t> prepared_builds_{0};
   std::atomic<uint64_t> component_tasks_{0};
   std::atomic<uint64_t> deadline_misses_{0};
+  std::atomic<uint64_t> expired_in_queue_{0};
+
+  /// Process-wide latency histograms (obs/metrics.h), resolved once at
+  /// construction so the hot path records through raw pointers.
+  obs::Histogram* const queue_wait_hist_;
+  obs::Histogram* const run_hist_;
+  obs::Histogram* const prepare_hist_;
+  obs::Histogram* const branch_hist_;
 };
 
 }  // namespace fairclique

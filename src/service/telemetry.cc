@@ -1,0 +1,325 @@
+#include "service/telemetry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/fingerprint.h"
+#include "obs/metrics.h"
+#include "service/wire.h"
+
+namespace fairclique {
+
+std::string StatsJson(uint64_t id, const ServiceTelemetry& t) {
+  wire::JsonWriter w;
+  w.BeginObject()
+      .Field("ok", true)
+      .Field("id", static_cast<unsigned long long>(id));
+  w.Key("graphs").BeginArray();
+  for (const auto& entry : t.graphs) {
+    w.BeginObject()
+        .Field("name", entry->name)
+        .Field("vertices", entry->graph->num_vertices())
+        .Field("edges", entry->graph->num_edges())
+        .Field("version", static_cast<unsigned long long>(entry->version))
+        .Field("fingerprint", FingerprintHex(entry->fingerprint))
+        .EndObject();
+  }
+  w.EndArray();
+  w.Key("registry")
+      .BeginObject()
+      .Field("loads", static_cast<unsigned long long>(t.registry.loads))
+      .Field("restores", static_cast<unsigned long long>(t.registry.restores))
+      .Field("replaces", static_cast<unsigned long long>(t.registry.replaces))
+      .Field("evictions",
+             static_cast<unsigned long long>(t.registry.evictions))
+      .EndObject();
+  w.Key("cache")
+      .BeginObject()
+      .Field("hits", static_cast<unsigned long long>(t.cache.hits))
+      .Field("misses", static_cast<unsigned long long>(t.cache.misses))
+      .Field("insertions", static_cast<unsigned long long>(t.cache.insertions))
+      .Field("evictions", static_cast<unsigned long long>(t.cache.evictions))
+      .Field("invalidated",
+             static_cast<unsigned long long>(t.cache.invalidated))
+      .Field("republished",
+             static_cast<unsigned long long>(t.cache.republished))
+      .Field("hints_published",
+             static_cast<unsigned long long>(t.cache.hints_published))
+      .Field("hint_hits", static_cast<unsigned long long>(t.cache.hint_hits))
+      .Field("entries", t.cache.entries)
+      .Field("hint_entries", t.cache.hint_entries)
+      .Field("capacity", t.cache.capacity)
+      .EndObject();
+  w.Key("prepared")
+      .BeginObject()
+      .Field("hits", static_cast<unsigned long long>(t.prepared.hits))
+      .Field("misses", static_cast<unsigned long long>(t.prepared.misses))
+      .Field("insertions",
+             static_cast<unsigned long long>(t.prepared.insertions))
+      .Field("evictions",
+             static_cast<unsigned long long>(t.prepared.evictions))
+      .Field("invalidated",
+             static_cast<unsigned long long>(t.prepared.invalidated))
+      .Field("forwarded",
+             static_cast<unsigned long long>(t.prepared.forwarded))
+      .Field("entries", t.prepared.entries)
+      .Field("capacity", t.prepared.capacity)
+      .EndObject();
+  w.Key("executor")
+      .BeginObject()
+      .Field("submitted", static_cast<unsigned long long>(t.executor.submitted))
+      .Field("accepted", static_cast<unsigned long long>(t.executor.accepted))
+      .Field("rejected", static_cast<unsigned long long>(t.executor.rejected))
+      .Field("served", static_cast<unsigned long long>(t.executor.served))
+      .Field("cache_hits",
+             static_cast<unsigned long long>(t.executor.cache_hits))
+      .Field("incremental",
+             static_cast<unsigned long long>(t.executor.incremental_requeries))
+      .Field("warm_starts",
+             static_cast<unsigned long long>(t.executor.warm_starts))
+      .Field("prepared_hits",
+             static_cast<unsigned long long>(t.executor.prepared_hits))
+      .Field("prepared_builds",
+             static_cast<unsigned long long>(t.executor.prepared_builds))
+      .Field("component_tasks",
+             static_cast<unsigned long long>(t.executor.component_tasks))
+      .Field("deadline_misses",
+             static_cast<unsigned long long>(t.executor.deadline_misses))
+      .Field("expired_in_queue",
+             static_cast<unsigned long long>(t.executor.expired_in_queue))
+      .Field("admission_queue_depth", t.executor.admission_queue_depth)
+      .Field("component_queue_depth", t.executor.component_queue_depth)
+      .Field("queue_depth", t.executor.queue_depth)
+      .Field("peak_queue_depth", t.executor.peak_queue_depth)
+      .EndObject();
+  {
+    obs::Slowlog& slowlog = obs::Slowlog::Default();
+    w.Key("slowlog")
+        .BeginObject()
+        .Field("traces", slowlog.size())
+        .Field("capacity", slowlog.capacity())
+        .EndObject();
+  }
+  if (t.has_storage) {
+    w.Key("storage")
+        .BeginObject()
+        .Field("snapshots_written",
+               static_cast<unsigned long long>(t.storage.snapshots_written))
+        .Field("wal_records_appended",
+               static_cast<unsigned long long>(t.storage.wal_records_appended))
+        .Field("wal_group_commits",
+               static_cast<unsigned long long>(t.storage.wal_group_commits))
+        .Field("wal_records_replayed",
+               static_cast<unsigned long long>(t.storage.wal_records_replayed))
+        .Field("compactions",
+               static_cast<unsigned long long>(t.storage.compactions))
+        .Field("recoveries",
+               static_cast<unsigned long long>(t.storage.recoveries))
+        .Field("recover_failures",
+               static_cast<unsigned long long>(t.storage.recover_failures))
+        .Field("warm_entries_saved",
+               static_cast<unsigned long long>(t.storage.warm_entries_saved))
+        .Field("warm_entries_restored", static_cast<unsigned long long>(
+                                            t.storage.warm_entries_restored))
+        .Field("warm_entries_rejected", static_cast<unsigned long long>(
+                                            t.storage.warm_entries_rejected))
+        .EndObject();
+  }
+  w.EndObject();
+  return w.str();
+}
+
+std::string PrometheusText(const ServiceTelemetry& t) {
+  // Interning the standard instruments first guarantees the required
+  // histogram families render (with zero counts) even on a fresh process.
+  obs::QueryQueueWaitHistogram();
+  obs::QueryRunHistogram();
+  obs::QueryPrepareHistogram();
+  obs::QueryBranchHistogram();
+  obs::WalFsyncHistogram();
+  obs::WalGroupFramesHistogram();
+  obs::WalBytesWrittenCounter();
+
+  obs::MetricsSnapshot snap = obs::MetricRegistry::Default().Snapshot();
+
+  snap.AddCounter("fc_executor_submitted_total", "Requests submitted",
+                  t.executor.submitted);
+  snap.AddCounter("fc_executor_accepted_total", "Requests admitted",
+                  t.executor.accepted);
+  snap.AddCounter("fc_executor_rejected_total",
+                  "Requests rejected (queue full or shutdown)",
+                  t.executor.rejected);
+  snap.AddCounter("fc_executor_served_total", "Responses completed",
+                  t.executor.served);
+  snap.AddCounter("fc_executor_cache_hits_total",
+                  "Queries answered from the result cache",
+                  t.executor.cache_hits);
+  snap.AddCounter("fc_executor_incremental_requeries_total",
+                  "Queries answered exactly via incremental re-query",
+                  t.executor.incremental_requeries);
+  snap.AddCounter("fc_executor_warm_starts_total",
+                  "Full searches seeded by a warm hint",
+                  t.executor.warm_starts);
+  snap.AddCounter("fc_executor_prepared_hits_total",
+                  "Branch stages run on a cached prepared plan",
+                  t.executor.prepared_hits);
+  snap.AddCounter("fc_executor_prepared_builds_total",
+                  "Prepared plans built", t.executor.prepared_builds);
+  snap.AddCounter("fc_executor_component_tasks_total",
+                  "Component tasks scheduled pool-wide",
+                  t.executor.component_tasks);
+  snap.AddCounter("fc_executor_deadline_misses_total",
+                  "Responses answered with deadline_missed",
+                  t.executor.deadline_misses);
+  snap.AddCounter("fc_executor_expired_in_queue_total",
+                  "Requests whose deadline expired before a worker popped "
+                  "them",
+                  t.executor.expired_in_queue);
+  snap.AddGauge("fc_executor_admission_queue_depth",
+                "Whole queries waiting for a worker",
+                static_cast<int64_t>(t.executor.admission_queue_depth));
+  snap.AddGauge("fc_executor_component_queue_depth",
+                "Expanded Branch tasks waiting",
+                static_cast<int64_t>(t.executor.component_queue_depth));
+  snap.AddGauge("fc_executor_queue_depth",
+                "Total backlog (admission + component)",
+                static_cast<int64_t>(t.executor.queue_depth));
+  snap.AddGauge("fc_executor_peak_queue_depth",
+                "High-water mark of the combined backlog",
+                static_cast<int64_t>(t.executor.peak_queue_depth));
+
+  snap.AddCounter("fc_result_cache_hits_total", "Result-cache hits",
+                  t.cache.hits);
+  snap.AddCounter("fc_result_cache_misses_total", "Result-cache misses",
+                  t.cache.misses);
+  snap.AddCounter("fc_result_cache_insertions_total",
+                  "Result-cache insertions", t.cache.insertions);
+  snap.AddCounter("fc_result_cache_evictions_total",
+                  "Result-cache LRU evictions", t.cache.evictions);
+  snap.AddCounter("fc_result_cache_invalidated_total",
+                  "Result-cache entries/hints dropped by invalidation",
+                  t.cache.invalidated);
+  snap.AddCounter("fc_result_cache_republished_total",
+                  "Exact entries migrated to a new epoch's fingerprint",
+                  t.cache.republished);
+  snap.AddCounter("fc_result_cache_hints_published_total",
+                  "Warm hints created by snapshot migration",
+                  t.cache.hints_published);
+  snap.AddCounter("fc_result_cache_hint_hits_total",
+                  "Warm hints consumed by queries", t.cache.hint_hits);
+  snap.AddGauge("fc_result_cache_entries", "Resident result-cache entries",
+                static_cast<int64_t>(t.cache.entries));
+  snap.AddGauge("fc_result_cache_hint_entries", "Resident warm hints",
+                static_cast<int64_t>(t.cache.hint_entries));
+  snap.AddGauge("fc_result_cache_capacity", "Result-cache capacity",
+                static_cast<int64_t>(t.cache.capacity));
+
+  snap.AddCounter("fc_prepared_cache_hits_total", "Prepared-plan cache hits",
+                  t.prepared.hits);
+  snap.AddCounter("fc_prepared_cache_misses_total",
+                  "Prepared-plan cache misses", t.prepared.misses);
+  snap.AddCounter("fc_prepared_cache_insertions_total",
+                  "Prepared-plan insertions", t.prepared.insertions);
+  snap.AddCounter("fc_prepared_cache_evictions_total",
+                  "Prepared-plan LRU evictions", t.prepared.evictions);
+  snap.AddCounter("fc_prepared_cache_invalidated_total",
+                  "Prepared plans dropped by invalidation",
+                  t.prepared.invalidated);
+  snap.AddCounter("fc_prepared_cache_forwarded_total",
+                  "Prepared plans re-keyed to a new epoch",
+                  t.prepared.forwarded);
+  snap.AddGauge("fc_prepared_cache_entries", "Resident prepared plans",
+                static_cast<int64_t>(t.prepared.entries));
+  snap.AddGauge("fc_prepared_cache_capacity", "Prepared-plan cache capacity",
+                static_cast<int64_t>(t.prepared.capacity));
+
+  snap.AddCounter("fc_registry_loads_total",
+                  "Graphs registered via Load/Add", t.registry.loads);
+  snap.AddCounter("fc_registry_restores_total",
+                  "Graphs registered from durable recovery",
+                  t.registry.restores);
+  snap.AddCounter("fc_registry_replaces_total",
+                  "Epoch transitions published by Replace",
+                  t.registry.replaces);
+  snap.AddCounter("fc_registry_evictions_total", "Graphs evicted",
+                  t.registry.evictions);
+  snap.AddGauge("fc_registry_graphs", "Currently registered graphs",
+                static_cast<int64_t>(t.registry.graphs));
+
+  {
+    obs::Slowlog& slowlog = obs::Slowlog::Default();
+    snap.AddGauge("fc_slowlog_traces", "Traces retained in the slowlog",
+                  static_cast<int64_t>(slowlog.size()));
+    snap.AddGauge("fc_slowlog_capacity", "Slowlog capacity",
+                  static_cast<int64_t>(slowlog.capacity()));
+  }
+
+  if (t.has_storage) {
+    snap.AddCounter("fc_storage_snapshots_written_total",
+                    "FCG2 snapshots written (incl. compactions)",
+                    t.storage.snapshots_written);
+    snap.AddCounter("fc_wal_records_appended_total",
+                    "WAL records acknowledged durable",
+                    t.storage.wal_records_appended);
+    snap.AddCounter("fc_wal_group_commits_total",
+                    "Write+fsync groups issued by commit leaders",
+                    t.storage.wal_group_commits);
+    snap.AddCounter("fc_wal_records_replayed_total",
+                    "WAL records replayed during recovery",
+                    t.storage.wal_records_replayed);
+    snap.AddCounter("fc_storage_compactions_total",
+                    "Snapshot rewrites that truncated a WAL",
+                    t.storage.compactions);
+    snap.AddCounter("fc_storage_recoveries_total",
+                    "Graphs recovered by RecoverAll", t.storage.recoveries);
+    snap.AddCounter("fc_storage_recover_failures_total",
+                    "Manifest entries skipped on recovery",
+                    t.storage.recover_failures);
+    snap.AddCounter("fc_storage_warm_entries_saved_total",
+                    "Warm cache entries persisted",
+                    t.storage.warm_entries_saved);
+    snap.AddCounter("fc_storage_warm_entries_restored_total",
+                    "Warm cache entries restored (verifier-approved)",
+                    t.storage.warm_entries_restored);
+    snap.AddCounter("fc_storage_warm_entries_rejected_total",
+                    "Warm cache entries rejected by the restore verifier",
+                    t.storage.warm_entries_rejected);
+  }
+
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const obs::MetricSnapshot& a, const obs::MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return obs::RenderPrometheus(snap);
+}
+
+std::string TraceJson(const obs::Trace& trace) {
+  wire::JsonWriter w;
+  w.BeginObject()
+      .Field("trace_id", static_cast<unsigned long long>(trace.id))
+      .Field("graph", trace.graph)
+      .Field("options", trace.options)
+      .Field("queue_micros", static_cast<long long>(trace.queue_micros))
+      .Field("run_micros", static_cast<long long>(trace.run_micros))
+      .Field("total_micros", static_cast<long long>(trace.total_micros))
+      .Field("ok", trace.ok)
+      .Field("cache_hit", trace.cache_hit)
+      .Field("prepared_hit", trace.prepared_hit)
+      .Field("incremental", trace.incremental)
+      .Field("warm_start", trace.warm_start)
+      .Field("deadline_missed", trace.deadline_missed);
+  w.Key("spans").BeginArray();
+  for (const obs::TraceSpan& span : trace.spans) {
+    w.BeginObject()
+        .Field("name", span.name)
+        .Field("parent", span.parent)
+        .Field("start_micros", static_cast<long long>(span.start_micros))
+        .Field("duration_micros",
+               static_cast<long long>(span.duration_micros))
+        .EndObject();
+  }
+  w.EndArray().EndObject();
+  return w.str();
+}
+
+}  // namespace fairclique

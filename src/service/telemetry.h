@@ -1,0 +1,57 @@
+#ifndef FAIRCLIQUE_SERVICE_TELEMETRY_H_
+#define FAIRCLIQUE_SERVICE_TELEMETRY_H_
+
+/// Service-level telemetry export: one struct gathering every subsystem's
+/// counters (executor, result cache, prepared-plan cache, registry, storage)
+/// plus the process-wide instrument registry (obs/metrics.h), rendered as
+/// either the server's `stats` JSON line or a Prometheus text-exposition
+/// page. The caller assembles a ServiceTelemetry at scrape time from the
+/// components it owns — there is no callback registration, so no dangling
+/// exporter can outlive its component — and the already-maintained counters
+/// cost the hot path nothing extra.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "service/graph_registry.h"
+#include "service/prepared_graph_cache.h"
+#include "service/query_executor.h"
+#include "service/result_cache.h"
+#include "storage/storage_manager.h"
+
+namespace fairclique {
+
+/// Point-in-time counters of every service component. Assembled by the
+/// owner (the server, a benchmark, a test) right before rendering.
+struct ServiceTelemetry {
+  std::vector<std::shared_ptr<const RegisteredGraph>> graphs;
+  RegistryStats registry;
+  ResultCacheStats cache;
+  PreparedGraphCacheStats prepared;
+  ExecutorMetrics executor;
+  storage::StorageCounters storage;
+  bool has_storage = false;  // storage{} is meaningless when false
+};
+
+/// The server's `stats` response line: registry contents + per-subsystem
+/// counter objects, serialized through wire::JsonWriter.
+std::string StatsJson(uint64_t id, const ServiceTelemetry& t);
+
+/// Prometheus text exposition (format 0.0.4) of the ServiceTelemetry
+/// counters merged with the process-wide instrument registry (latency
+/// histograms, WAL metrics), name-sorted, ending in "# EOF". The standard
+/// histograms (queue wait, run, prepare, branch, fsync) are interned before
+/// rendering, so they appear on the page even before their first sample.
+std::string PrometheusText(const ServiceTelemetry& t);
+
+/// One trace as a JSON object (the `trace <id>` / `slowlog` responses):
+/// ids, serving flags, timings, and the span tree as a flat array with
+/// parent indices (-1 = top level).
+std::string TraceJson(const obs::Trace& trace);
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_SERVICE_TELEMETRY_H_

@@ -166,44 +166,141 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+void JsonWriter::BeforeItem() {
+  if (after_key_) {
+    // The value right after Key() is already separated by the ':'.
+    after_key_ = false;
+    return;
+  }
+  if (first_.empty()) return;
+  if (first_.back()) {
+    first_.back() = false;
+  } else {
+    out_.push_back(',');
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeItem();
+  out_.push_back('{');
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_.push_back('}');
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeItem();
+  out_.push_back('[');
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_.push_back(']');
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& key) {
+  BeforeItem();
+  out_.push_back('"');
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const std::string& v) {
+  BeforeItem();
+  out_.push_back('"');
+  out_ += JsonEscape(v);
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const char* v) {
+  return Value(std::string(v));
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  BeforeItem();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  BeforeItem();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(long long v) {
+  BeforeItem();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(unsigned long long v) {
+  BeforeItem();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int v) { return Value(static_cast<long long>(v)); }
+JsonWriter& JsonWriter::Value(unsigned v) {
+  return Value(static_cast<unsigned long long>(v));
+}
+JsonWriter& JsonWriter::Value(long v) {
+  return Value(static_cast<long long>(v));
+}
+JsonWriter& JsonWriter::Value(unsigned long v) {
+  return Value(static_cast<unsigned long long>(v));
+}
+
 std::string ErrorJson(uint64_t id, const std::string& message) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "{\"ok\":false,\"id\":%llu,\"error\":\"",
-                static_cast<unsigned long long>(id));
-  return std::string(buf) + JsonEscape(message) + "\"}";
+  JsonWriter w;
+  w.BeginObject()
+      .Field("ok", false)
+      .Field("id", static_cast<unsigned long long>(id))
+      .Field("error", message)
+      .EndObject();
+  return w.str();
 }
 
 std::string QueryResponseJson(uint64_t id, const std::string& graph,
                               const QueryResponse& r) {
   if (!r.status.ok()) return ErrorJson(id, r.status.ToString());
   const SearchResult& sr = *r.result;
-  // The vertex list is unbounded (cliques can be large), so the line is
-  // assembled on a string; only the fixed-width tail goes through snprintf.
-  std::string vertices;
-  for (size_t i = 0; i < sr.clique.vertices.size(); ++i) {
-    if (i > 0) vertices += ",";
-    vertices += std::to_string(sr.clique.vertices[i]);
-  }
-  char head[64];
-  std::snprintf(head, sizeof(head), "{\"ok\":true,\"id\":%llu,\"graph\":\"",
-                static_cast<unsigned long long>(id));
-  char tail[384];
-  std::snprintf(
-      tail, sizeof(tail),
-      "\"cache_hit\":%s,\"incremental\":%s,\"warm_start\":%s,"
-      "\"prepared_hit\":%s,\"completed\":%s,\"deadline_missed\":%s,"
-      "\"queue_micros\":%lld,\"run_micros\":%lld}",
-      r.cache_hit ? "true" : "false", r.incremental ? "true" : "false",
-      r.warm_start ? "true" : "false", r.prepared_hit ? "true" : "false",
-      sr.stats.completed ? "true" : "false",
-      r.deadline_missed ? "true" : "false",
-      static_cast<long long>(r.queue_micros),
-      static_cast<long long>(r.run_micros));
-  return std::string(head) + JsonEscape(graph) + "\",\"size\":" +
-         std::to_string(sr.clique.size()) + ",\"counts\":[" +
-         std::to_string(sr.clique.attr_counts.a()) + "," +
-         std::to_string(sr.clique.attr_counts.b()) + "],\"vertices\":[" +
-         vertices + "]," + tail;
+  JsonWriter w;
+  w.BeginObject()
+      .Field("ok", true)
+      .Field("id", static_cast<unsigned long long>(id))
+      .Field("graph", graph)
+      .Field("size", static_cast<unsigned long long>(sr.clique.size()));
+  w.Key("counts").BeginArray();
+  w.Value(sr.clique.attr_counts.a()).Value(sr.clique.attr_counts.b());
+  w.EndArray();
+  w.Key("vertices").BeginArray();
+  for (VertexId v : sr.clique.vertices) w.Value(v);
+  w.EndArray();
+  w.Field("cache_hit", r.cache_hit)
+      .Field("incremental", r.incremental)
+      .Field("warm_start", r.warm_start)
+      .Field("prepared_hit", r.prepared_hit)
+      .Field("completed", sr.stats.completed)
+      .Field("deadline_missed", r.deadline_missed)
+      .Field("trace_id", static_cast<unsigned long long>(r.trace_id))
+      .Field("queue_micros", static_cast<long long>(r.queue_micros))
+      .Field("run_micros", static_cast<long long>(r.run_micros))
+      .EndObject();
+  return w.str();
 }
 
 std::vector<std::string> SplitList(const std::string& s) {

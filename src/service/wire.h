@@ -50,6 +50,59 @@ bool GetBool(const JsonObject& obj, const std::string& key, bool fallback);
 /// Escapes `s` for embedding in a JSON string literal.
 std::string JsonEscape(const std::string& s);
 
+/// Streaming JSON serializer for the response side of the protocol: nested
+/// objects/arrays, automatic commas, and escaping through one code path —
+/// so no response line can be built with a hand-managed quote or a missed
+/// escape again. Usage:
+///
+///   JsonWriter w;
+///   w.BeginObject().Field("ok", true).Field("id", id);
+///   w.Key("vertices").BeginArray();
+///   for (VertexId v : clique) w.Value(int64_t{v});
+///   w.EndArray().EndObject();
+///   printf("%s\n", w.str().c_str());
+///
+/// The writer trusts the caller to call Begin/End/Key in a well-formed
+/// order (it tracks only comma placement); wire_test locks down the output
+/// for each value type.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(const std::string& key);
+
+  JsonWriter& Value(const std::string& v);  // quoted + escaped
+  JsonWriter& Value(const char* v);
+  JsonWriter& Value(bool v);
+  JsonWriter& Value(double v);  // %.17g, shortest round-trip not needed
+  JsonWriter& Value(int v);
+  JsonWriter& Value(unsigned v);
+  JsonWriter& Value(long v);
+  JsonWriter& Value(unsigned long v);
+  JsonWriter& Value(long long v);
+  JsonWriter& Value(unsigned long long v);
+
+  template <typename T>
+  JsonWriter& Field(const std::string& key, T&& v) {
+    Key(key);
+    return Value(std::forward<T>(v));
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  /// Emits the separator a value/key needs at the current position.
+  void BeforeItem();
+
+  std::string out_;
+  /// One entry per open container: true until its first item is written.
+  std::vector<bool> first_;
+  /// True between Key() and its value (the ':' already separates them).
+  bool after_key_ = false;
+};
+
 /// {"ok":false,"id":<id>,"error":"<message>"}
 std::string ErrorJson(uint64_t id, const std::string& message);
 

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "storage/io_util.h"
 
 namespace fairclique {
@@ -75,6 +76,8 @@ void GroupCommitWal::CommitGroupLocked(std::unique_lock<std::mutex>& lock) {
       if (groups_counter_ != nullptr) {
         groups_counter_->fetch_add(1, std::memory_order_relaxed);
       }
+      obs::WalGroupFramesHistogram()->Record(static_cast<int64_t>(frames));
+      obs::WalBytesWrittenCounter()->Increment(batch.size());
     }
   }
   if (!status.ok() && sticky_error_.ok()) {

@@ -8,6 +8,9 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/timer.h"
+#include "obs/metrics.h"
+
 namespace fairclique {
 namespace storage {
 
@@ -94,10 +97,14 @@ Status OpenAppendFd(const std::string& path, int* fd, bool* created) {
 Status AppendAndSyncFd(int fd, const std::string& path,
                        const std::string& bytes) {
   FAIRCLIQUE_RETURN_NOT_OK(WriteAll(fd, bytes, path));
+  WallTimer fsync_timer;
   if (::fsync(fd) != 0) {
     return Status::IOError("fsync failed: " + path + ": " +
                            std::strerror(errno));
   }
+  // Every durable-append path (group commits and single-record fallbacks)
+  // funnels through this fsync, so one histogram covers them all.
+  obs::WalFsyncHistogram()->Record(fsync_timer.ElapsedMicros());
   return Status::OK();
 }
 
@@ -108,6 +115,9 @@ Status DurableAppend(const std::string& path, const std::string& bytes) {
   Status status = AppendAndSyncFd(fd, path, bytes);
   ::close(fd);
   if (status.ok() && created) SyncParentDir(path);
+  // Both durable-append producers are WAL writers: the per-record fallback
+  // here and the group-commit leader (which counts its own batches).
+  if (status.ok()) obs::WalBytesWrittenCounter()->Increment(bytes.size());
   return status;
 }
 

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fairclique {
+namespace obs {
+namespace {
+
+/// Restores the global telemetry switch on scope exit so a failing test
+/// cannot leave the rest of the binary recording-disabled.
+struct EnabledGuard {
+  explicit EnabledGuard(bool enabled) { SetEnabled(enabled); }
+  ~EnabledGuard() { SetEnabled(true); }
+};
+
+// ------------------------------------------------------------------ counters
+
+TEST(ObsMetricsTest, CounterSumsAcrossIncrements) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(ObsMetricsTest, CounterConcurrentIncrementsLoseNothing) {
+  // TSan target: 8 threads hammer one counter through the sharded fast
+  // path; the final sum must be exact, not merely approximate.
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsMetricsTest, GaugeSetAndAdd) {
+  Gauge g;
+  g.Set(7);
+  g.Add(-2);
+  EXPECT_EQ(g.Value(), 5);
+}
+
+TEST(ObsMetricsTest, DisabledRecordingIsANoOp) {
+  EnabledGuard guard(false);
+  Counter c;
+  Histogram h;
+  c.Increment(100);
+  h.Record(100);
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(h.Snapshot().count, 0u);
+}
+
+// ---------------------------------------------------------------- histograms
+
+TEST(ObsMetricsTest, HistogramBucketsPowersOfTwo) {
+  Histogram h;
+  h.Record(0);    // bucket le=0
+  h.Record(1);    // le=1
+  h.Record(5);    // le=7
+  h.Record(100);  // le=127
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 106);
+  EXPECT_EQ(snap.max, 100);
+  uint64_t total = 0;
+  for (const auto& bucket : snap.buckets) {
+    total += bucket.count;
+    if (bucket.count > 0) {
+      EXPECT_TRUE(bucket.le == 0 || bucket.le == 1 || bucket.le == 7 ||
+                  bucket.le == 127)
+          << "unexpected occupied bucket le=" << bucket.le;
+    }
+  }
+  EXPECT_EQ(total, snap.count) << "trailing-trim must not drop samples";
+  EXPECT_EQ(snap.buckets.back().le, 127) << "buckets past the max are cut";
+}
+
+TEST(ObsMetricsTest, HistogramQuantilesWithinBucketResolution) {
+  Histogram h;
+  for (int64_t v : {1, 2, 3, 4, 100}) h.Record(v);
+  HistogramSnapshot snap = h.Snapshot();
+  // Median sample is 3; its bucket's upper bound is exactly 3.
+  EXPECT_EQ(snap.Quantile(0.5), 3);
+  // p99 rank (nearest-rank on 5 samples) is the 4th sample (4, bucket le 7).
+  EXPECT_EQ(snap.Quantile(0.99), 7);
+  // The top of the distribution is capped by the exact max, not the
+  // bucket's nominal bound.
+  EXPECT_EQ(snap.Quantile(1.0), 100);
+  EXPECT_EQ(HistogramSnapshot{}.Quantile(0.5), 0);
+}
+
+TEST(ObsMetricsTest, HistogramConcurrentRecordingIsExact) {
+  // TSan target: concurrent recorders across shards; count and sum must
+  // both be exact after the threads join.
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(t + 1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  int64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) expected_sum += (t + 1) * kPerThread;
+  EXPECT_EQ(snap.sum, expected_sum);
+  EXPECT_EQ(snap.max, kThreads);
+}
+
+// ------------------------------------------------------------------ registry
+
+TEST(ObsMetricsTest, RegistryInternsByName) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("test_counter", "help");
+  Counter* b = registry.GetCounter("test_counter");
+  EXPECT_EQ(a, b);
+  Histogram* h = registry.GetHistogram("test_hist", "hist help");
+  EXPECT_EQ(h, registry.GetHistogram("test_hist"));
+  a->Increment(3);
+  h->Record(9);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.metrics.size(), 2u);
+  EXPECT_EQ(snap.metrics[0].name, "test_counter");
+  EXPECT_EQ(snap.metrics[0].counter_value, 3u);
+  EXPECT_EQ(snap.metrics[1].name, "test_hist");
+  EXPECT_EQ(snap.metrics[1].histogram.count, 1u);
+}
+
+TEST(ObsMetricsDeathTest, RegistryRejectsKindMismatch) {
+  MetricRegistry registry;
+  registry.GetCounter("kinded");
+  EXPECT_DEATH(registry.GetGauge("kinded"), "another kind");
+}
+
+TEST(ObsMetricsTest, RenderPrometheusFormat) {
+  MetricRegistry registry;
+  registry.GetCounter("fc_test_total", "a counter")->Increment(5);
+  registry.GetGauge("fc_test_depth", "a gauge")->Set(-3);
+  Histogram* h = registry.GetHistogram("fc_test_micros", "a histogram");
+  h->Record(1);
+  h->Record(5);
+  h->Record(5);
+
+  std::string text = RenderPrometheus(registry.Snapshot());
+  EXPECT_NE(text.find("# HELP fc_test_total a counter\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fc_test_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("fc_test_total 5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fc_test_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("fc_test_depth -3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fc_test_micros histogram\n"),
+            std::string::npos);
+  // Buckets are cumulative: le="1" holds 1 sample, le="7" all 3.
+  EXPECT_NE(text.find("fc_test_micros_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fc_test_micros_bucket{le=\"7\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fc_test_micros_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fc_test_micros_sum 11\n"), std::string::npos);
+  EXPECT_NE(text.find("fc_test_micros_count 3\n"), std::string::npos);
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+// ------------------------------------------------------------------- tracing
+
+TEST(ObsTraceTest, TraceIdsAreUniqueAndIncreasing) {
+  uint64_t prev = NextTraceId();
+  EXPECT_GT(prev, 0u);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t next = NextTraceId();
+    EXPECT_GT(next, prev);
+    prev = next;
+  }
+}
+
+std::shared_ptr<const Trace> MakeTrace(uint64_t id, int64_t run_micros) {
+  auto trace = std::make_shared<Trace>();
+  trace->id = id;
+  trace->run_micros = run_micros;
+  return trace;
+}
+
+TEST(ObsSlowlogTest, RetainsSlowestNotNewest) {
+  Slowlog log(3);
+  log.Record(MakeTrace(1, 30));
+  log.Record(MakeTrace(2, 10));
+  log.Record(MakeTrace(3, 20));
+  EXPECT_EQ(log.size(), 3u);
+  // A slower trace evicts the current fastest (id 2), even though id 2 is
+  // more recent than id 1.
+  log.Record(MakeTrace(4, 25));
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.Find(2), nullptr);
+  EXPECT_NE(log.Find(1), nullptr);
+
+  // A trace no slower than the floor is dropped, not admitted (ties keep
+  // the incumbent: it was slow first).
+  log.Record(MakeTrace(5, 20));
+  EXPECT_EQ(log.Find(5), nullptr);
+  EXPECT_NE(log.Find(3), nullptr);
+
+  std::vector<uint64_t> order;
+  for (const auto& trace : log.Slowest()) order.push_back(trace->id);
+  EXPECT_EQ(order, (std::vector<uint64_t>{1, 4, 3}));
+}
+
+TEST(ObsSlowlogTest, SlowestHonorsLimitAndBreaksTiesById) {
+  Slowlog log(4);
+  log.Record(MakeTrace(7, 50));
+  log.Record(MakeTrace(5, 50));
+  log.Record(MakeTrace(6, 80));
+  std::vector<uint64_t> top2;
+  for (const auto& trace : log.Slowest(2)) top2.push_back(trace->id);
+  EXPECT_EQ(top2, (std::vector<uint64_t>{6, 5}));
+}
+
+TEST(ObsSlowlogTest, AdmitsEverythingBelowCapacityThenFloors) {
+  Slowlog log(2);
+  EXPECT_TRUE(log.Admits(0));  // not yet full: everything may enter
+  log.Record(MakeTrace(1, 100));
+  log.Record(MakeTrace(2, 200));
+  EXPECT_FALSE(log.Admits(100)) << "ties lose to the incumbent";
+  EXPECT_FALSE(log.Admits(50));
+  EXPECT_TRUE(log.Admits(150));
+}
+
+TEST(ObsSlowlogTest, ResetClearsAndRecaps) {
+  Slowlog log(2);
+  log.Record(MakeTrace(1, 10));
+  log.Record(MakeTrace(2, 20));
+  log.Reset(5);
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.capacity(), 5u);
+  EXPECT_TRUE(log.Admits(0));
+  log.Reset();  // capacity 0: keep the current capacity
+  EXPECT_EQ(log.capacity(), 5u);
+}
+
+TEST(ObsSlowlogTest, ConcurrentRecordersKeepTheSlowest) {
+  // TSan target: concurrent Record/Admits against one log. Afterwards the
+  // log must hold exactly the capacity slowest run times.
+  Slowlog log(8);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::atomic<uint64_t> next_id{1};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        uint64_t id = next_id.fetch_add(1);
+        int64_t run = static_cast<int64_t>(id);  // slower ids are later
+        if (log.Admits(run)) log.Record(MakeTrace(id, run));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  auto slowest = log.Slowest();
+  ASSERT_EQ(slowest.size(), 8u);
+  std::set<int64_t> runs;
+  for (const auto& trace : slowest) runs.insert(trace->run_micros);
+  // run == id and 1000 traces were offered, so the 8 slowest are 993..1000.
+  EXPECT_EQ(*runs.begin(), kThreads * kPerThread - 7);
+  EXPECT_EQ(*runs.rbegin(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fairclique

@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/max_fair_clique.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/graph_registry.h"
+#include "service/query_executor.h"
+#include "service/result_cache.h"
+#include "service/telemetry.h"
+#include "test_util.h"
+
+namespace fairclique {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::RandomAttributedGraph;
+
+std::shared_ptr<const RegisteredGraph> RegisterGraph(GraphRegistry& registry,
+                                                     const std::string& name,
+                                                     AttributedGraph g) {
+  EXPECT_TRUE(registry.Add(name, std::move(g)).ok());
+  return registry.Get(name);
+}
+
+ServiceTelemetry Gather(const GraphRegistry& registry,
+                        const QueryExecutor& executor,
+                        const ResultCache* cache) {
+  ServiceTelemetry t;
+  t.graphs = registry.List();
+  t.registry = registry.Stats();
+  if (cache != nullptr) t.cache = cache->Stats();
+  t.executor = executor.metrics();
+  return t;
+}
+
+/// Structural validator for Prometheus text exposition 0.0.4: every sample
+/// line parses as `name[{labels}] value`, every TYPE is known, histogram
+/// bucket series are cumulative and end at le="+Inf" == the family _count.
+::testing::AssertionResult ValidExposition(const std::string& text) {
+  if (text.empty() || text.back() != '\n') {
+    return ::testing::AssertionFailure() << "must end with a newline";
+  }
+  std::istringstream in(text);
+  std::string line;
+  std::string cur_hist;       // histogram family currently being walked
+  long long prev_bucket = -1; // last cumulative bucket count seen
+  long long inf_count = -1;   // the family's +Inf bucket
+  bool saw_eof = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) return ::testing::AssertionFailure() << "blank line";
+    if (line == "# EOF") {
+      saw_eof = true;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const size_t sp = line.rfind(' ');
+      const std::string type = line.substr(sp + 1);
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        return ::testing::AssertionFailure() << "unknown type: " << line;
+      }
+      if (type == "histogram") {
+        cur_hist = line.substr(7, sp - 7);
+        prev_bucket = -1;
+        inf_count = -1;
+      }
+      continue;
+    }
+    if (line[0] == '#') continue;  // HELP
+    // Sample line: name or name{label="..."} then one space then the value.
+    const size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp + 1 >= line.size()) {
+      return ::testing::AssertionFailure() << "unparsable sample: " << line;
+    }
+    char* end = nullptr;
+    const std::string value = line.substr(sp + 1);
+    std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      return ::testing::AssertionFailure() << "bad value in: " << line;
+    }
+    if (!cur_hist.empty() && line.rfind(cur_hist + "_bucket{le=\"", 0) == 0) {
+      const long long count = std::atoll(value.c_str());
+      if (count < prev_bucket) {
+        return ::testing::AssertionFailure()
+               << "buckets not cumulative at: " << line;
+      }
+      prev_bucket = count;
+      if (line.find("le=\"+Inf\"") != std::string::npos) inf_count = count;
+    } else if (!cur_hist.empty() && line.rfind(cur_hist + "_count ", 0) == 0) {
+      if (inf_count < 0 || std::atoll(value.c_str()) != inf_count) {
+        return ::testing::AssertionFailure()
+               << cur_hist << "_count disagrees with its +Inf bucket";
+      }
+    }
+  }
+  if (!saw_eof) return ::testing::AssertionFailure() << "missing # EOF";
+  return ::testing::AssertionSuccess();
+}
+
+TEST(TelemetryExportTest, StatsJsonLineIsWellFormedJson) {
+  GraphRegistry registry;
+  auto graph = RegisterGraph(registry, "g", MakeGraph("ab", {{0, 1}}));
+  ResultCache cache(8);
+  QueryExecutor executor(ExecutorOptions{1, 4}, &cache);
+
+  QueryRequest request;
+  request.graph = graph;
+  request.options = BaselineOptions(1, 0);
+  ASSERT_TRUE(executor.Submit(request).get().status.ok());
+
+  std::string json = StatsJson(7, Gather(registry, executor, &cache));
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"id\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"graphs\":[{\"name\":\"g\""), std::string::npos);
+  EXPECT_NE(json.find("\"registry\":{\"loads\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"cache\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"executor\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"expired_in_queue\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"slowlog\":{"), std::string::npos);
+  // No storage attached -> no storage object.
+  EXPECT_EQ(json.find("\"storage\""), std::string::npos);
+  // Balanced braces, single line.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(TelemetryExportTest, PrometheusPageValidatesAndCoversFamilies) {
+  GraphRegistry registry;
+  auto graph =
+      RegisterGraph(registry, "g", RandomAttributedGraph(80, 0.15, 0x0B5));
+  ResultCache cache(8);
+  QueryExecutor executor(ExecutorOptions{2, 8}, &cache);
+
+  QueryRequest request;
+  request.graph = graph;
+  request.options = BaselineOptions(2, 1);
+  ASSERT_TRUE(executor.Submit(request).get().status.ok());
+  ASSERT_TRUE(executor.Submit(request).get().status.ok());  // cache hit
+
+  std::string text = PrometheusText(Gather(registry, executor, &cache));
+  EXPECT_TRUE(ValidExposition(text)) << text;
+
+  // The three required latency histograms are present as histogram families
+  // even if some have not recorded yet (interned before rendering).
+  EXPECT_NE(text.find("# TYPE fc_query_queue_wait_micros histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE fc_query_run_micros histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE fc_wal_fsync_micros histogram"),
+            std::string::npos);
+  // Executor / cache / registry counter families.
+  EXPECT_NE(text.find("fc_executor_served_total 2"), std::string::npos);
+  EXPECT_NE(text.find("fc_executor_cache_hits_total 1"), std::string::npos);
+  EXPECT_NE(text.find("fc_result_cache_hits_total 1"), std::string::npos);
+  EXPECT_NE(text.find("fc_registry_loads_total 1"), std::string::npos);
+  EXPECT_NE(text.find("fc_registry_graphs 1"), std::string::npos);
+  EXPECT_NE(text.find("fc_slowlog_capacity"), std::string::npos);
+  // Both served queries ran (one search + one hit); the run histogram is
+  // process-wide, so earlier tests may have contributed samples too.
+  const size_t count_pos = text.find("fc_query_run_micros_count ");
+  ASSERT_NE(count_pos, std::string::npos);
+  EXPECT_GE(std::atoll(text.c_str() + count_pos +
+                       sizeof("fc_query_run_micros_count ") - 1),
+            2);
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(TelemetryExecutorTest, MetricsStayMonotonicUnderQueryStorm) {
+  GraphRegistry registry;
+  auto graph =
+      RegisterGraph(registry, "g", RandomAttributedGraph(70, 0.15, 0xF00D));
+  ResultCache cache(16);
+  QueryExecutor executor(ExecutorOptions{3, 64}, &cache);
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> violated{false};
+  std::thread sampler([&] {
+    ExecutorMetrics prev;
+    while (!done.load(std::memory_order_acquire)) {
+      ExecutorMetrics m = executor.metrics();
+      if (m.submitted < prev.submitted || m.accepted < prev.accepted ||
+          m.rejected < prev.rejected || m.served < prev.served ||
+          m.cache_hits < prev.cache_hits ||
+          m.deadline_misses < prev.deadline_misses ||
+          m.expired_in_queue < prev.expired_in_queue ||
+          m.component_tasks < prev.component_tasks ||
+          m.peak_queue_depth < prev.peak_queue_depth ||
+          m.submitted < m.accepted + m.rejected ||
+          m.served > m.accepted) {
+        violated.store(true, std::memory_order_release);
+        return;
+      }
+      prev = m;
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 20;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        QueryRequest request;
+        request.graph = graph;
+        // Alternate two option keys so both miss and hit paths run.
+        request.options = BaselineOptions(1 + (i % 2), 1);
+        request.bypass_cache = (c == 0 && i % 4 == 0);
+        executor.Submit(request).get();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  done.store(true, std::memory_order_release);
+  sampler.join();
+
+  EXPECT_FALSE(violated.load()) << "metrics regressed mid-storm";
+  ExecutorMetrics m = executor.metrics();
+  EXPECT_EQ(m.submitted, static_cast<uint64_t>(kClients) * kPerClient);
+  EXPECT_EQ(m.served + m.rejected, m.submitted);
+  EXPECT_GT(m.cache_hits, 0u);
+}
+
+TEST(TelemetryTraceTest, SlowQueryEntersSlowlogWithTiledSpans) {
+  obs::Slowlog::Default().Reset();  // empty log admits everything
+  GraphRegistry registry;
+  // Dense graph + permissive fairness is a hard instance; a 100 ms deadline
+  // caps the search at a deterministic-enough "slow" duration well above
+  // the 1 ms floor the 10% tiling check needs to be meaningful.
+  auto graph =
+      RegisterGraph(registry, "hard", RandomAttributedGraph(150, 0.9, 0x51));
+  QueryExecutor executor(ExecutorOptions{2, 8}, nullptr);
+
+  QueryRequest request;
+  request.graph = graph;
+  request.options = BaselineOptions(1, 100);
+  request.deadline_seconds = 0.1;
+  QueryResponse response = executor.Submit(request).get();
+  ASSERT_TRUE(response.status.ok());
+  ASSERT_NE(response.trace_id, 0u);
+  ASSERT_GE(response.run_micros, 1000) << "instance finished too fast";
+
+  std::shared_ptr<const obs::Trace> trace =
+      obs::Slowlog::Default().Find(response.trace_id);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->run_micros, response.run_micros);
+  // The trace's queue time is stamped at admission; the response's is
+  // derived at completion (total - run), so they differ by the completion
+  // bookkeeping — microseconds, not milliseconds.
+  EXPECT_NEAR(static_cast<double>(trace->queue_micros),
+              static_cast<double>(response.queue_micros), 5000.0);
+  ASSERT_FALSE(trace->spans.empty());
+
+  // Top-level spans after the queue span tile admission..completion, so
+  // their durations must sum to within 10% of the reported run time.
+  int64_t top_sum = 0;
+  bool saw_queue = false;
+  for (const obs::TraceSpan& span : trace->spans) {
+    EXPECT_GE(span.duration_micros, 0);
+    if (span.parent >= 0) {
+      ASSERT_LT(static_cast<size_t>(span.parent), trace->spans.size());
+      continue;
+    }
+    if (std::string(span.name) == "queue") {
+      saw_queue = true;
+      continue;
+    }
+    top_sum += span.duration_micros;
+  }
+  EXPECT_TRUE(saw_queue) << "queued request must carry a queue span";
+  const double run = static_cast<double>(response.run_micros);
+  EXPECT_GE(top_sum, run * 0.9) << "top-level spans under-cover the run";
+  EXPECT_LE(top_sum, run * 1.1 + 1000.0)
+      << "top-level spans over-cover the run";
+
+  // The trace renders as one JSON line naming its spans.
+  std::string json = TraceJson(*trace);
+  EXPECT_NE(json.find("\"trace_id\":"), std::string::npos);
+  EXPECT_NE(json.find("\"graph\":\"hard\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"queue\""), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(TelemetryTraceTest, ExpiredInQueueCountedAndTraced) {
+  obs::Slowlog::Default().Reset();
+  GraphRegistry registry;
+  auto graph =
+      RegisterGraph(registry, "hard", RandomAttributedGraph(150, 0.9, 0x52));
+  QueryExecutor executor(ExecutorOptions{1, 8}, nullptr);
+
+  // Blocker occupies the single worker for ~100 ms.
+  QueryRequest blocker;
+  blocker.graph = graph;
+  blocker.options = BaselineOptions(1, 100);
+  blocker.deadline_seconds = 0.1;
+  std::future<QueryResponse> blocked = executor.Submit(blocker);
+
+  // Probe's 1 µs budget cannot survive the queue wait: it must expire
+  // before any search starts, and be counted in the dedicated counter.
+  QueryRequest probe;
+  probe.graph = graph;
+  probe.options = BaselineOptions(1, 100);
+  probe.deadline_seconds = 1e-6;
+  QueryResponse response = executor.Submit(probe).get();
+  blocked.get();
+  EXPECT_TRUE(response.status.IsAborted());
+  EXPECT_TRUE(response.deadline_missed);
+
+  ExecutorMetrics m = executor.metrics();
+  EXPECT_EQ(m.expired_in_queue, 1u);
+  EXPECT_EQ(m.deadline_misses, 2u);  // truncated blocker + expired probe
+}
+
+TEST(TelemetryTraceTest, TraceJsonSerializesFlagsAndSpanTree) {
+  obs::Trace trace;
+  trace.id = 42;
+  trace.graph = "g";
+  trace.options = "k=2;delta=1";
+  trace.queue_micros = 5;
+  trace.run_micros = 100;
+  trace.total_micros = 107;
+  trace.ok = true;
+  trace.cache_hit = true;
+  trace.spans.push_back({"queue", -1, 0, 5});
+  trace.spans.push_back({"result_cache_probe", -1, 5, 100});
+  std::string json = TraceJson(trace);
+  EXPECT_NE(json.find("\"trace_id\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"options\":\"k=2;delta=1\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hit\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"deadline_missed\":false"), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"queue\",\"parent\":-1,\"start_micros\":0,"
+                      "\"duration_micros\":5}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairclique

@@ -27,8 +27,10 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "core/max_fair_clique.h"
+#include "core/prepared_graph.h"
 #include "datasets/datasets.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "service/graph_registry.h"
 #include "service/prepared_graph_cache.h"
 #include "service/query_executor.h"
@@ -278,6 +280,40 @@ int main() {
   json_metrics.emplace_back("cached_qps_obs_off", best_obs_off);
   json_metrics.emplace_back("cached_qps_obs_on", best_obs_on);
   json_metrics.emplace_back("instrumentation_overhead_pct", overhead_pct);
+
+  // ---------------------------------------------- progress-hook overhead
+  // The live-progress hooks ride the branch kernels' existing 1024-node
+  // deadline-check cadence (one relaxed fetch_add per kilonode). Measure a
+  // prepared Branch stage with a QueryProgress attached vs. without, best
+  // of 3 interleaved trials. Reported for trend-watching, not gated: a
+  // single branch run's jitter sits orders of magnitude above the hook
+  // cost, so a hard assertion here would only flake.
+  {
+    SearchOptions hook_options = mix[0].options;
+    std::shared_ptr<const PreparedGraph> hook_plan = PrepareGraph(
+        *graph->graph, hook_options.params.k, hook_options.reductions);
+    obs::QueryProgress hook_progress(1, graph->name, "",
+                                     hook_plan->components.size());
+    double best_plain_s = 0.0, best_hooked_s = 0.0;
+    for (int trial = 0; trial < 3; ++trial) {
+      hook_options.progress = nullptr;
+      WallTimer plain_timer;
+      SearchPreparedGraph(*graph->graph, *hook_plan, hook_options);
+      double plain = plain_timer.ElapsedSeconds();
+      hook_options.progress = &hook_progress;
+      WallTimer hooked_timer;
+      SearchPreparedGraph(*graph->graph, *hook_plan, hook_options);
+      double hooked = hooked_timer.ElapsedSeconds();
+      if (trial == 0 || plain < best_plain_s) best_plain_s = plain;
+      if (trial == 0 || hooked < best_hooked_s) best_hooked_s = hooked;
+    }
+    double progress_pct =
+        best_plain_s > 0 ? (best_hooked_s / best_plain_s - 1.0) * 100.0 : 0.0;
+    std::printf("\nprogress-hook overhead on a prepared branch stage:\n");
+    std::printf("  hooks off: %8.1f ms    hooks on: %8.1f ms (%+.2f%%)\n",
+                best_plain_s * 1e3, best_hooked_s * 1e3, progress_pct);
+    json_metrics.emplace_back("progress_hook_overhead_pct", progress_pct);
+  }
 
   // ------------------------------------------------------------ delta sweep
   // Same graph and k, 8 distinct delta/bound option sets. Cold pays the

@@ -44,8 +44,18 @@
 //                        latency histogram; multi-line, ends with "# EOF"
 //   {"cmd":"slowlog","limit":10}   slowest retained traces, one JSON line
 //                                  each (span tree included), then an ack
+//   {"cmd":"slowlog","trace_id":42}  only that trace (structured error when
+//                                    it is not retained)
 //   {"cmd":"trace","trace_id":42}  one retained trace by id (the id every
 //                                  query response echoes as trace_id)
+//   {"cmd":"ps"}         live progress of in-flight searches, one JSON line
+//                        per query (nodes, incumbent vs upper bound,
+//                        components done/total), then an ack
+//   {"cmd":"profile","action":"start","hz":200}  sampling profiler on
+//   {"cmd":"profile","action":"stop"}
+//   {"cmd":"profile","action":"dump"}  folded stacks ("frame;frame count"),
+//                                      flamegraph.pl-ready, then an ack
+//   {"cmd":"profile","action":"reset"}
 //   {"cmd":"quit"}
 //
 // query fields: preset = baseline|bounded|full (default full), extra = none|
@@ -54,7 +64,9 @@
 // (sync or async) goes through the executor, which schedules component
 // tasks onto the shared worker pool (--workers), "bypass_cache":true for
 // cold result-cache runs, "bypass_prepared":true to also re-run the
-// reduction pipeline.
+// reduction pipeline, "explain":true to attach an EXPLAIN plan (reduction
+// stages, component engines, prune breakdown, cache decisions) to the
+// response under "plan".
 //
 // update fields (all optional, applied as ONE atomic batch): add_vertices is
 // a comma list of attributes ("a,b"); add_edges / remove_edges are comma
@@ -82,6 +94,8 @@
 
 #include "core/fairclique.h"
 #include "datasets/datasets.h"
+#include "obs/profiler.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "service/telemetry.h"
 #include "service/wire.h"
@@ -278,6 +292,7 @@ struct Server {
     request.deadline_seconds = GetNumber(obj, "deadline", 0.0);
     request.bypass_cache = GetBool(obj, "bypass_cache", false);
     request.bypass_prepared_cache = GetBool(obj, "bypass_prepared", false);
+    request.explain = GetBool(obj, "explain", false);
 
     std::future<QueryResponse> future = executor.Submit(std::move(request));
     if (GetBool(obj, "async", false)) {
@@ -327,6 +342,11 @@ struct Server {
   }
 
   void HandleSlowlog(uint64_t id, const JsonObject& obj) {
+    if (obj.count("trace_id") > 0) {
+      // Filtered form: behave like `trace` (including its structured miss),
+      // so clients can use one command for both listing and lookup.
+      return HandleTrace(id, obj);
+    }
     size_t limit = static_cast<size_t>(GetNumber(obj, "limit", 0));
     auto traces = obs::Slowlog::Default().Slowest(limit);
     for (const auto& trace : traces) {
@@ -345,11 +365,63 @@ struct Server {
     uint64_t trace_id = static_cast<uint64_t>(GetNumber(obj, "trace_id", 0));
     auto trace = obs::Slowlog::Default().Find(trace_id);
     if (trace == nullptr) {
-      return PrintError(id, "trace: id " + std::to_string(trace_id) +
-                                " not retained (evicted from the slowlog, or "
-                                "never slow enough to enter it)");
+      // Structured miss: echoes the requested id and a machine-readable
+      // reason, so retention misses are distinguishable from bad requests.
+      std::printf("%s\n", wire::TraceNotFoundJson(id, trace_id).c_str());
+      return;
     }
     std::printf("%s\n", TraceJson(*trace).c_str());
+  }
+
+  void HandlePs(uint64_t id) {
+    auto inflight = obs::ProgressRegistry::Default().List();
+    for (const auto& snapshot : inflight) {
+      std::printf("%s\n", ProgressJson(snapshot).c_str());
+    }
+    JsonWriter w;
+    w.BeginObject()
+        .Field("ok", true)
+        .Field("id", static_cast<unsigned long long>(id))
+        .Field("inflight", inflight.size())
+        .EndObject();
+    PrintLine(w);
+  }
+
+  void HandleProfile(uint64_t id, const JsonObject& obj) {
+    obs::Profiler& profiler = obs::Profiler::Default();
+    std::string action = GetString(obj, "action", "dump");
+    if (action == "start") {
+      int hz = static_cast<int>(GetNumber(obj, "hz", 99));
+      if (hz < 1) return PrintError(id, "profile: hz must be >= 1");
+      if (!profiler.Start(hz)) {
+        return PrintError(id, "profile: already running (or SIGPROF "
+                              "unavailable on this platform)");
+      }
+    } else if (action == "stop") {
+      if (!profiler.Stop()) return PrintError(id, "profile: not running");
+    } else if (action == "reset") {
+      if (!profiler.Reset()) {
+        return PrintError(id, "profile: stop before reset");
+      }
+    } else if (action == "dump") {
+      // Folded stacks first ("frame;frame count" — feed them straight to
+      // flamegraph.pl), then the JSON ack that terminates the dump.
+      std::fputs(profiler.DumpFolded().c_str(), stdout);
+    } else {
+      return PrintError(id, "profile: bad action '" + action + "'");
+    }
+    JsonWriter w;
+    w.BeginObject()
+        .Field("ok", true)
+        .Field("id", static_cast<unsigned long long>(id))
+        .Field("action", action)
+        .Field("running", profiler.running())
+        .Field("hz", profiler.hz())
+        .Field("samples", static_cast<unsigned long long>(profiler.samples()))
+        .Field("dropped", static_cast<unsigned long long>(profiler.dropped()))
+        .Field("stacks", profiler.stacks())
+        .EndObject();
+    PrintLine(w);
   }
 
   void HandlePersist(uint64_t id) {
@@ -583,6 +655,8 @@ struct Server {
     else if (cmd == "metrics") HandleMetrics(id, obj);
     else if (cmd == "slowlog") HandleSlowlog(id, obj);
     else if (cmd == "trace") HandleTrace(id, obj);
+    else if (cmd == "ps") HandlePs(id);
+    else if (cmd == "profile") HandleProfile(id, obj);
     else if (cmd == "evict") HandleEvict(id, obj);
     else if (cmd == "quit") return false;
     else PrintError(id, "unknown cmd '" + cmd + "'");

@@ -6,6 +6,15 @@
 
 namespace fairclique {
 
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone: return "";
+    case StopReason::kNodeLimit: return "node_limit";
+    case StopReason::kTimeLimit: return "time_limit";
+  }
+  return "";
+}
+
 // The monolithic entry point is a thin wrapper over the staged query plan
 // (core/prepared_graph.h): Reduce + Decompose produce a PreparedGraph, the
 // Branch stage searches it. Callers that re-ask with different delta/bound

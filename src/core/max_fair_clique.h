@@ -11,6 +11,10 @@
 
 namespace fairclique {
 
+namespace obs {
+class QueryProgress;  // obs/progress.h; optional live-progress sink
+}  // namespace obs
+
 /// Which branch kernel runs inside a connected component. Both are exact
 /// and produce identical answers (differentially tested); they differ only
 /// in candidate-set representation.
@@ -84,7 +88,26 @@ struct SearchOptions {
   /// matches the sequential search; the answer (and its size) is identical
   /// — only node counts may differ run to run. 0 = hardware concurrency.
   int num_threads = 1;
+
+  /// Optional live-progress sink: when set, the branch kernels publish node
+  /// counts at the 1024-node deadline-check cadence and new incumbents as
+  /// they are recorded (relaxed atomics; see obs/progress.h). Purely
+  /// observational — never consulted by the search — and, like warm_start,
+  /// excluded from CanonicalOptionsKey. Not owned.
+  obs::QueryProgress* progress = nullptr;
 };
+
+/// Why a search stopped before proving optimality. Ordered by precedence:
+/// when components stop for different reasons, the aggregate keeps the
+/// largest value (a wall-clock stop subsumes a node-budget stop).
+enum class StopReason : uint8_t {
+  kNone = 0,       // ran to completion (stats.completed == true)
+  kNodeLimit = 1,  // SearchOptions::node_limit exhausted
+  kTimeLimit = 2,  // SearchOptions::time_limit_seconds / deadline expired
+};
+
+/// Wire/log name of a stop reason: "", "node_limit", "time_limit".
+const char* StopReasonName(StopReason reason);
 
 /// Search telemetry reported by the benchmark harnesses.
 struct SearchStats {
@@ -103,6 +126,10 @@ struct SearchStats {
   int64_t component_search_micros = 0;
   int64_t total_micros = 0;
   bool completed = true;         // false when a limit stopped the search
+  /// Which safety valve stopped the search (kNone iff completed). Kept
+  /// alongside `completed` so existing consumers keep their bool while the
+  /// service can attribute the miss (deadline vs node budget).
+  StopReason stop_reason = StopReason::kNone;
   int64_t heuristic_size = 0;    // |HeurRFC clique| when priming is enabled
   std::vector<ReductionStageStats> reduction_stages;
 };

@@ -12,6 +12,8 @@
 #include "core/verifier.h"
 #include "graph/coloring.h"
 #include "graph/cores.h"
+#include "obs/profiler.h"
+#include "obs/progress.h"
 #include "reduction/colorful_core.h"
 
 namespace fairclique {
@@ -123,10 +125,20 @@ class ComponentSearch {
               int depth) {
     if (aborted_) return;
     stats_->nodes++;
-    if ((options_.node_limit != 0 && stats_->nodes > options_.node_limit) ||
-        ((stats_->nodes & 0x3ff) == 0 && deadline_.Expired())) {
+    if (options_.node_limit != 0 && stats_->nodes > options_.node_limit) {
+      stats_->stop_reason = StopReason::kNodeLimit;
       aborted_ = true;
       return;
+    }
+    if ((stats_->nodes & 0x3ff) == 0) {
+      // The deadline-check cadence doubles as the live-progress cadence:
+      // one predictable branch per kilonode either way.
+      if (options_.progress != nullptr) options_.progress->AddNodes(1024);
+      if (deadline_.Expired()) {
+        stats_->stop_reason = StopReason::kTimeLimit;
+        aborted_ = true;
+        return;
+      }
     }
     // Every node's R is a clique reached exactly once; record it when fair.
     if (static_cast<int64_t>(r_.size()) > Known() &&
@@ -136,6 +148,9 @@ class ComponentSearch {
       best_->attr_counts = r_cnt_;
       if (floor_ != nullptr) {
         RaiseFloor(floor_, static_cast<int64_t>(r_.size()));
+      }
+      if (options_.progress != nullptr) {
+        options_.progress->NoteIncumbent(static_cast<int64_t>(r_.size()));
       }
     }
     if (candidates.empty()) return;
@@ -315,10 +330,20 @@ class BitsetComponentSearch {
   void Branch(Bitset cand, AttrCounts cand_cnt, int depth) {
     if (aborted_) return;
     stats_->nodes++;
-    if ((options_.node_limit != 0 && stats_->nodes > options_.node_limit) ||
-        ((stats_->nodes & 0x3ff) == 0 && deadline_.Expired())) {
+    if (options_.node_limit != 0 && stats_->nodes > options_.node_limit) {
+      stats_->stop_reason = StopReason::kNodeLimit;
       aborted_ = true;
       return;
+    }
+    if ((stats_->nodes & 0x3ff) == 0) {
+      // The deadline-check cadence doubles as the live-progress cadence:
+      // one predictable branch per kilonode either way.
+      if (options_.progress != nullptr) options_.progress->AddNodes(1024);
+      if (deadline_.Expired()) {
+        stats_->stop_reason = StopReason::kTimeLimit;
+        aborted_ = true;
+        return;
+      }
     }
     if (static_cast<int64_t>(r_.size()) > Known() &&
         options_.params.Satisfied(r_cnt_)) {
@@ -327,6 +352,9 @@ class BitsetComponentSearch {
       best_->attr_counts = r_cnt_;
       if (floor_ != nullptr) {
         RaiseFloor(floor_, static_cast<int64_t>(r_.size()));
+      }
+      if (options_.progress != nullptr) {
+        options_.progress->NoteIncumbent(static_cast<int64_t>(r_.size()));
       }
     }
     int64_t cand_size = cand_cnt.Total();
@@ -438,9 +466,25 @@ bool PreparedGraph::Compatible(const SearchOptions& options) const {
              reductions.use_en_colorful_sup;
 }
 
+SearchEngine ResolveEngine(SearchEngine engine, VertexId component_vertices) {
+  if (engine != SearchEngine::kAuto) return engine;
+  return component_vertices <= kBitsetAutoThreshold ? SearchEngine::kBitset
+                                                    : SearchEngine::kVector;
+}
+
+const char* SearchEngineName(SearchEngine engine) {
+  switch (engine) {
+    case SearchEngine::kAuto: return "auto";
+    case SearchEngine::kVector: return "vector";
+    case SearchEngine::kBitset: return "bitset";
+  }
+  return "auto";
+}
+
 std::shared_ptr<const PreparedGraph> PrepareGraph(
     const AttributedGraph& g, int k, const ReductionOptions& reductions) {
   FC_CHECK(k >= 1) << "fairness parameter k must be >= 1";
+  obs::ProfileScope profile_scope("PrepareGraph");
   WallTimer timer;
   auto prepared = std::make_shared<PreparedGraph>();
   prepared->k = k;
@@ -478,6 +522,7 @@ std::shared_ptr<const PreparedGraph> PrepareGraph(
 IncumbentSeed SeedIncumbent(const AttributedGraph& g,
                             const PreparedGraph& prepared,
                             const SearchOptions& options) {
+  obs::ProfileScope profile_scope("SeedIncumbent");
   IncumbentSeed seed;
   const AttributedGraph& rg = prepared.reduced;
   if (options.use_heuristic && rg.num_vertices() > 0) {
@@ -521,16 +566,14 @@ ComponentBranchResult BranchComponent(const PreparedGraph& prepared,
       std::max<int64_t>(2 * options.params.k, known + 1)) {
     return out;  // Component too small to beat the incumbent.
   }
+  obs::ProfileScope profile_scope("BranchComponent");
   WallTimer timer;
   const std::vector<uint32_t>& rank_of = comp.BranchPositions(options.order);
   auto to_original = [&comp](VertexId local) {
     return comp.original_ids[local];
   };
-  bool use_bitset =
-      options.engine == SearchEngine::kBitset ||
-      (options.engine == SearchEngine::kAuto &&
-       comp.graph.num_vertices() <= kBitsetAutoThreshold);
-  if (use_bitset) {
+  if (ResolveEngine(options.engine, comp.graph.num_vertices()) ==
+      SearchEngine::kBitset) {
     BitsetComponentSearch search(comp.graph, rank_of, options, deadline,
                                  &out.stats, &out.best, floor);
     search.Run(to_original);
@@ -561,6 +604,8 @@ SearchResult AggregatePreparedSearch(
     result.stats.cap_removals += task.stats.cap_removals;
     result.stats.component_search_micros += task.stats.search_micros;
     if (task.aborted) result.stats.completed = false;
+    result.stats.stop_reason =
+        std::max(result.stats.stop_reason, task.stats.stop_reason);
     if (task.best.size() > result.clique.size()) {
       result.clique = task.best;
     }
@@ -569,9 +614,10 @@ SearchResult AggregatePreparedSearch(
   return result;
 }
 
-SearchResult SearchPreparedGraph(const AttributedGraph& g,
-                                 const PreparedGraph& prepared,
-                                 const SearchOptions& options) {
+SearchResult SearchPreparedGraph(
+    const AttributedGraph& g, const PreparedGraph& prepared,
+    const SearchOptions& options,
+    std::vector<ComponentBranchResult>* per_component) {
   FC_CHECK(options.params.k >= 1) << "fairness parameter k must be >= 1";
   FC_CHECK(options.params.delta >= 0) << "delta must be >= 0";
   FC_CHECK(prepared.Compatible(options))
@@ -601,6 +647,7 @@ SearchResult SearchPreparedGraph(const AttributedGraph& g,
   if (num_threads == 1 || prepared.components.size() <= 1) {
     for (size_t i = 0; i < prepared.components.size(); ++i) {
       results[i] = BranchComponent(prepared, i, options, deadline, &floor);
+      if (options.progress != nullptr) options.progress->NoteComponentDone();
       if (results[i].aborted) break;
     }
   } else {
@@ -613,6 +660,9 @@ SearchResult SearchPreparedGraph(const AttributedGraph& g,
           size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= results.size()) return;
           results[i] = BranchComponent(prepared, i, options, deadline, &floor);
+          if (options.progress != nullptr) {
+            options.progress->NoteComponentDone();
+          }
         }
       });
     }
@@ -622,6 +672,7 @@ SearchResult SearchPreparedGraph(const AttributedGraph& g,
   SearchResult result = AggregatePreparedSearch(prepared, seed, results);
   result.stats.search_micros = search_timer.ElapsedMicros();
   result.stats.total_micros = total_timer.ElapsedMicros();
+  if (per_component != nullptr) *per_component = std::move(results);
   return result;
 }
 

@@ -114,6 +114,15 @@ struct ComponentBranchResult {
   bool aborted = false;
 };
 
+/// The branch kernel kAuto resolves to for a component of
+/// `component_vertices` vertices (an explicit engine choice passes
+/// through). Exposed so EXPLAIN plans can report the engine each component
+/// actually ran without duplicating the threshold.
+SearchEngine ResolveEngine(SearchEngine engine, VertexId component_vertices);
+
+/// Protocol/plan name of an engine: "auto" | "vector" | "bitset".
+const char* SearchEngineName(SearchEngine engine);
+
 /// Stage 3 for a single component: ordered branch-and-bound over
 /// prepared.components[component] under `options` (which must be
 /// Compatible). `floor` is the query's shared incumbent-size floor; the
@@ -141,9 +150,15 @@ SearchResult AggregatePreparedSearch(
 /// component (options.num_threads workers sharing an atomic floor), and
 /// aggregates. Identical answers to FindMaximumFairClique(g, options) —
 /// which is now a thin wrapper over PrepareGraph + this.
-SearchResult SearchPreparedGraph(const AttributedGraph& g,
-                                 const PreparedGraph& prepared,
-                                 const SearchOptions& options);
+///
+/// `per_component`, when non-null, receives the raw per-component outcomes
+/// (indexed like prepared.components) that AggregatePreparedSearch folded
+/// into the result — the data an EXPLAIN plan is made of, otherwise
+/// discarded.
+SearchResult SearchPreparedGraph(
+    const AttributedGraph& g, const PreparedGraph& prepared,
+    const SearchOptions& options,
+    std::vector<ComponentBranchResult>* per_component = nullptr);
 
 /// The time budget left for the Branch stage after `elapsed_seconds` were
 /// already spent (preparation, cache probes): callers staging the search

@@ -1,0 +1,293 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FAIRCLIQUE_PROFILER_HAVE_SIGPROF 1
+#include <signal.h>
+#include <sys/time.h>
+#endif
+
+namespace fairclique {
+namespace obs {
+
+namespace {
+
+/// Deepest tag stack a sample retains; deeper scopes still push/pop
+/// correctly, the sample just truncates to the outermost kMaxDepth tags.
+constexpr uint32_t kMaxDepth = 16;
+
+/// Folded-stack table capacity (power of two). The tag vocabulary is a
+/// couple dozen static names, so distinct stacks number in the dozens —
+/// 1024 slots means saturation only on pathological misuse, and `dropped`
+/// reports it honestly when it happens.
+constexpr size_t kTableSlots = 1024;
+constexpr size_t kMaxProbes = 32;
+
+/// Per-thread scope-tag stack. The only writers are the owning thread
+/// (ProfileScope) and the SIGPROF handler *running on that same thread*, so
+/// plain program order plus signal fences is enough; the atomics exist to
+/// make the accesses well-defined and TSan-visible.
+struct TlsState {
+  std::atomic<const char*> frames[kMaxDepth] = {};
+  std::atomic<uint32_t> depth{0};
+};
+
+thread_local TlsState* g_tls = nullptr;
+
+struct TlsHolder {
+  TlsState state;
+  TlsHolder() { g_tls = &state; }
+  // Null the raw pointer before the state dies with the thread, so a
+  // SIGPROF delivered during thread teardown cannot touch freed TLS.
+  ~TlsHolder() { g_tls = nullptr; }
+};
+
+TlsState* EnsureTls() {
+  thread_local TlsHolder holder;
+  return &holder.state;
+}
+
+/// One folded stack and its sample count. `hash` is claimed by CAS (0 =
+/// empty); `depth` is published with release only after the frames are
+/// written, so a reader that sees depth != 0 sees a complete stack.
+struct TableSlot {
+  std::atomic<uint64_t> hash{0};
+  std::atomic<const char*> frames[kMaxDepth] = {};
+  std::atomic<uint32_t> depth{0};
+  std::atomic<uint64_t> count{0};
+};
+
+TableSlot g_table[kTableSlots];
+std::atomic<uint64_t> g_samples{0};
+std::atomic<uint64_t> g_dropped{0};
+/// The handler's kill switch: checked first, so a stopped profiler costs a
+/// stray late signal exactly one relaxed load.
+std::atomic<bool> g_profiling{false};
+int g_hz = 0;
+std::mutex g_control_mu;  // serializes Start/Stop/Reset (never the handler)
+
+uint64_t HashStack(const char* const* frames, uint32_t n) {
+  // FNV-1a over the frame pointer values (tags are interned literals, so
+  // pointer identity is stack identity).
+  uint64_t h = 1469598103934665603ull;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t p = reinterpret_cast<uint64_t>(frames[i]);
+    for (int b = 0; b < 8; ++b) {
+      h ^= (p >> (b * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  return h == 0 ? 1 : h;
+}
+
+/// Folds one sample into the table. Async-signal-safe: lock-free atomics
+/// only, no allocation, no errno.
+void RecordStack(const char* const* frames, uint32_t n) {
+  static const char* const kOther = "other";
+  if (n == 0) {
+    frames = &kOther;
+    n = 1;
+  }
+  if (n > kMaxDepth) n = kMaxDepth;
+  const uint64_t hash = HashStack(frames, n);
+  const size_t mask = kTableSlots - 1;
+  for (size_t probe = 0; probe < kMaxProbes; ++probe) {
+    TableSlot& slot = g_table[(hash + probe) & mask];
+    uint64_t h = slot.hash.load(std::memory_order_acquire);
+    if (h == 0) {
+      if (slot.hash.compare_exchange_strong(h, hash,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+        for (uint32_t i = 0; i < n; ++i) {
+          slot.frames[i].store(frames[i], std::memory_order_relaxed);
+        }
+        slot.depth.store(n, std::memory_order_release);
+        slot.count.fetch_add(1, std::memory_order_relaxed);
+        g_samples.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      // Lost the claim; h now holds the winner's hash — fall through.
+    }
+    if (h == hash) {
+      // Same folded stack (a 64-bit collision between the few dozen
+      // distinct tag stacks is beyond negligible).
+      slot.count.fetch_add(1, std::memory_order_relaxed);
+      g_samples.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  g_dropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Samples the calling thread's live tag stack (the handler body, also
+/// reused verbatim by TestingSampleNow).
+void SampleCurrentThread() {
+  const char* stack[kMaxDepth];
+  uint32_t n = 0;
+  if (TlsState* t = g_tls) {
+    uint32_t d = t->depth.load(std::memory_order_relaxed);
+    std::atomic_signal_fence(std::memory_order_acquire);
+    if (d > kMaxDepth) d = kMaxDepth;
+    for (uint32_t i = 0; i < d; ++i) {
+      const char* f = t->frames[i].load(std::memory_order_relaxed);
+      if (f != nullptr) stack[n++] = f;
+    }
+  }
+  RecordStack(stack, n);
+}
+
+#ifdef FAIRCLIQUE_PROFILER_HAVE_SIGPROF
+void SigprofHandler(int) {
+  if (!g_profiling.load(std::memory_order_relaxed)) return;
+  SampleCurrentThread();
+}
+#endif
+
+}  // namespace
+
+ProfileScope::ProfileScope(const char* name) {
+  if (!Enabled()) return;  // the global obs kill switch covers scopes too
+  TlsState* t = EnsureTls();
+  uint32_t d = t->depth.load(std::memory_order_relaxed);
+  if (d < kMaxDepth) {
+    t->frames[d].store(name, std::memory_order_relaxed);
+  }
+  // The frame must be visible before the depth that exposes it — to the
+  // signal handler on this same thread, so a compiler fence suffices.
+  std::atomic_signal_fence(std::memory_order_release);
+  t->depth.store(d + 1, std::memory_order_relaxed);
+  tls_ = t;
+}
+
+ProfileScope::~ProfileScope() {
+  if (tls_ == nullptr) return;
+  TlsState* t = static_cast<TlsState*>(tls_);
+  uint32_t d = t->depth.load(std::memory_order_relaxed);
+  if (d > 0) t->depth.store(d - 1, std::memory_order_relaxed);
+}
+
+Profiler& Profiler::Default() {
+  static Profiler* profiler = new Profiler();
+  return *profiler;
+}
+
+bool Profiler::Start(int hz) {
+  std::lock_guard<std::mutex> lock(g_control_mu);
+  if (g_profiling.load(std::memory_order_relaxed)) return false;
+  if (hz > 0) {
+#ifdef FAIRCLIQUE_PROFILER_HAVE_SIGPROF
+    struct sigaction sa = {};
+    sa.sa_handler = &SigprofHandler;
+    sa.sa_flags = SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    if (sigaction(SIGPROF, &sa, nullptr) != 0) return false;
+    g_profiling.store(true, std::memory_order_relaxed);
+    const long interval_usec = std::max(1000000L / hz, 1L);
+    struct itimerval timer = {};
+    timer.it_interval.tv_sec = interval_usec / 1000000;
+    timer.it_interval.tv_usec = interval_usec % 1000000;
+    timer.it_value = timer.it_interval;
+    if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+      g_profiling.store(false, std::memory_order_relaxed);
+      return false;
+    }
+#else
+    return false;  // no SIGPROF on this platform; hz <= 0 still works
+#endif
+  } else {
+    g_profiling.store(true, std::memory_order_relaxed);
+  }
+  g_hz = hz;
+  return true;
+}
+
+bool Profiler::Stop() {
+  std::lock_guard<std::mutex> lock(g_control_mu);
+  if (!g_profiling.load(std::memory_order_relaxed)) return false;
+#ifdef FAIRCLIQUE_PROFILER_HAVE_SIGPROF
+  if (g_hz > 0) {
+    struct itimerval timer = {};  // zero = disarm
+    setitimer(ITIMER_PROF, &timer, nullptr);
+  }
+#endif
+  // The handler stays installed but bails on this flag, so a signal already
+  // in flight when the timer disarmed is harmless.
+  g_profiling.store(false, std::memory_order_relaxed);
+  g_hz = 0;
+  return true;
+}
+
+bool Profiler::running() const {
+  return g_profiling.load(std::memory_order_relaxed);
+}
+
+int Profiler::hz() const {
+  std::lock_guard<std::mutex> lock(g_control_mu);
+  return g_hz;
+}
+
+uint64_t Profiler::samples() const {
+  return g_samples.load(std::memory_order_relaxed);
+}
+
+uint64_t Profiler::dropped() const {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+size_t Profiler::stacks() const {
+  size_t n = 0;
+  for (const TableSlot& slot : g_table) {
+    if (slot.depth.load(std::memory_order_acquire) != 0) ++n;
+  }
+  return n;
+}
+
+std::string Profiler::DumpFolded() const {
+  std::vector<std::string> lines;
+  for (const TableSlot& slot : g_table) {
+    const uint32_t depth = slot.depth.load(std::memory_order_acquire);
+    if (depth == 0) continue;  // empty, or a claim whose frames are in flight
+    const uint64_t count = slot.count.load(std::memory_order_relaxed);
+    std::string line;
+    for (uint32_t i = 0; i < depth; ++i) {
+      if (i > 0) line.push_back(';');
+      line += slot.frames[i].load(std::memory_order_relaxed);
+    }
+    line.push_back(' ');
+    line += std::to_string(count);
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+bool Profiler::Reset() {
+  std::lock_guard<std::mutex> lock(g_control_mu);
+  if (g_profiling.load(std::memory_order_relaxed)) return false;
+  for (TableSlot& slot : g_table) {
+    slot.depth.store(0, std::memory_order_relaxed);
+    slot.count.store(0, std::memory_order_relaxed);
+    slot.hash.store(0, std::memory_order_release);
+  }
+  g_samples.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+  return true;
+}
+
+void Profiler::TestingRecordSample(const std::vector<const char*>& frames) {
+  RecordStack(frames.data(), static_cast<uint32_t>(frames.size()));
+}
+
+void Profiler::TestingSampleNow() { SampleCurrentThread(); }
+
+}  // namespace obs
+}  // namespace fairclique

@@ -1,0 +1,92 @@
+#ifndef FAIRCLIQUE_OBS_PROFILER_H_
+#define FAIRCLIQUE_OBS_PROFILER_H_
+
+/// Sampling CPU profiler with flamegraph-compatible folded-stack output.
+///
+/// The usual backtrace()+symbolization approach cannot name the frames that
+/// matter here: the branch kernels are internal-linkage functions inlined
+/// into a static -O3 binary. Instead, the code marks its own coarse stages
+/// with RAII ProfileScope tags (static string literals: "BranchComponent",
+/// "EnColorfulCore", ...) maintained on a per-thread tag stack, and a
+/// SIGPROF handler — armed by setitimer(ITIMER_PROF), so samples land on
+/// whichever thread is burning CPU — folds the interrupted thread's tag
+/// stack into a fixed lock-free table of (stack, count) pairs. `DumpFolded`
+/// renders the table as `frame;frame;frame count` lines, the input format
+/// of flamegraph.pl / speedscope / inferno.
+///
+/// Costs: a stopped profiler adds nothing to any path (no timer, the
+/// handler bails on one relaxed load). ProfileScope itself is two relaxed
+/// TLS stores per scope *entry* — scopes mark per-component / per-stage
+/// units, never per-node work — and honors the global obs::SetEnabled kill
+/// switch. Everything the handler touches is a lock-free atomic, keeping it
+/// async-signal-safe and the cross-thread table reads TSan-clean.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fairclique {
+namespace obs {
+
+/// RAII tag marking the current thread as inside `name` until scope exit.
+/// `name` must be a string literal (or otherwise outlive the process): the
+/// profiler stores the pointer, never a copy.
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name);
+  ~ProfileScope();
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  void* tls_ = nullptr;  // non-null only when a tag was actually pushed
+};
+
+/// The process-wide sampling profiler driven by `profile start|stop|dump`.
+class Profiler {
+ public:
+  static Profiler& Default();
+
+  /// Arms SIGPROF at `hz` samples per second of process CPU time and starts
+  /// folding samples. hz <= 0 enables the profiler without arming a timer
+  /// (samples then come only from TestingSampleNow — the unit-test mode).
+  /// Returns false when already running or when the platform has no
+  /// setitimer/SIGPROF.
+  bool Start(int hz);
+
+  /// Disarms the timer and stops sampling; the folded table is retained for
+  /// DumpFolded. Returns false when not running.
+  bool Stop();
+
+  bool running() const;
+  int hz() const;
+
+  uint64_t samples() const;  // samples folded into the table
+  uint64_t dropped() const;  // samples lost to table saturation
+  size_t stacks() const;     // distinct folded stacks retained
+
+  /// The folded table as flamegraph collapse format: one
+  /// `frame;frame;frame count` line per distinct stack, sorted, newline-
+  /// terminated (empty string when no samples). Safe to call while running.
+  std::string DumpFolded() const;
+
+  /// Clears the folded table and the sample counters. Refused (returns
+  /// false) while running: the handler may be mid-record on another thread.
+  bool Reset();
+
+  /// Test hooks. TestingRecordSample folds an explicit stack (outermost
+  /// frame first); TestingSampleNow folds the calling thread's live scope
+  /// stack exactly as the signal handler would. Both work without a timer.
+  void TestingRecordSample(const std::vector<const char*>& frames);
+  void TestingSampleNow();
+
+ private:
+  Profiler() = default;
+};
+
+}  // namespace obs
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_OBS_PROFILER_H_

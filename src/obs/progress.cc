@@ -1,0 +1,79 @@
+#include "obs/progress.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fairclique {
+namespace obs {
+
+QueryProgress::QueryProgress(uint64_t trace_id, std::string graph,
+                             std::string options, uint64_t components_total)
+    : trace_id_(trace_id),
+      graph_(std::move(graph)),
+      options_(std::move(options)),
+      components_total_(components_total) {}
+
+ProgressSnapshot QueryProgress::Snapshot() const {
+  ProgressSnapshot s;
+  s.trace_id = trace_id_;
+  s.graph = graph_;
+  s.options = options_;
+  s.nodes = nodes_.load(std::memory_order_relaxed);
+  s.incumbent_size = incumbent_.load(std::memory_order_relaxed);
+  s.upper_bound = upper_bound_.load(std::memory_order_relaxed);
+  s.components_done = components_done_.load(std::memory_order_relaxed);
+  s.components_total = components_total_;
+  s.elapsed_micros = started_.ElapsedMicros();
+  return s;
+}
+
+ProgressRegistry& ProgressRegistry::Default() {
+  static ProgressRegistry* registry = new ProgressRegistry();
+  return *registry;
+}
+
+std::shared_ptr<QueryProgress> ProgressRegistry::Register(
+    uint64_t trace_id, std::string graph, std::string options,
+    uint64_t components_total) {
+  auto progress = std::make_shared<QueryProgress>(
+      trace_id, std::move(graph), std::move(options), components_total);
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_[trace_id] = progress;
+  return progress;
+}
+
+void ProgressRegistry::Unregister(uint64_t trace_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_.erase(trace_id);
+}
+
+std::vector<ProgressSnapshot> ProgressRegistry::List() const {
+  std::vector<std::shared_ptr<QueryProgress>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live.reserve(inflight_.size());
+    for (const auto& [id, progress] : inflight_) live.push_back(progress);
+  }
+  // Snapshots are taken outside the lock: each one reads several atomics
+  // plus a clock, and a slow scraper must not stall query completion.
+  std::vector<ProgressSnapshot> out;
+  out.reserve(live.size());
+  for (const auto& progress : live) out.push_back(progress->Snapshot());
+  return out;
+}
+
+size_t ProgressRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_.size();
+}
+
+int64_t ProgressRegistry::MaxIncumbentGap() const {
+  int64_t gap = 0;
+  for (const ProgressSnapshot& s : List()) {
+    gap = std::max(gap, std::max<int64_t>(s.upper_bound - s.incumbent_size, 0));
+  }
+  return gap;
+}
+
+}  // namespace obs
+}  // namespace fairclique

@@ -1,0 +1,134 @@
+#ifndef FAIRCLIQUE_OBS_PROGRESS_H_
+#define FAIRCLIQUE_OBS_PROGRESS_H_
+
+/// Live progress of in-flight searches.
+///
+/// Every query that reaches the Branch stage registers a QueryProgress in
+/// the process-wide ProgressRegistry, keyed by its trace id. The branch
+/// kernels publish into it with relaxed atomics at the same 1024-node
+/// cadence as the deadline check (one predictable branch per kilonode — no
+/// new per-node cost), the executor publishes component completions and the
+/// live upper bound, and the `ps` server command / Prometheus gauges read
+/// point-in-time snapshots. The registry is the seed of the ROADMAP's
+/// anytime-queries item: everything an anytime response needs (incumbent,
+/// bound, how much work is left) is already flowing through here.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace fairclique {
+namespace obs {
+
+/// Point-in-time view of one in-flight query, taken under no lock: the
+/// fields are read individually with relaxed loads, so a snapshot racing
+/// the search may mix instants a few kilonodes apart — fine for a live
+/// listing, never for correctness decisions.
+struct ProgressSnapshot {
+  uint64_t trace_id = 0;
+  std::string graph;    // registered graph name
+  std::string options;  // canonical options key
+  uint64_t nodes = 0;   // branch nodes expanded (1024-node granularity)
+  int64_t incumbent_size = 0;  // best fair clique found so far
+  /// Largest size any still-unfinished component could yield (the biggest
+  /// unfinished component's vertex count, floored by the incumbent). The
+  /// search is provably done improving when upper_bound == incumbent_size.
+  int64_t upper_bound = 0;
+  uint64_t components_done = 0;
+  uint64_t components_total = 0;
+  int64_t elapsed_micros = 0;  // since the query entered the Branch stage
+};
+
+/// The mutable progress record the search publishes into. All mutators are
+/// relaxed atomics, safe to call from any component worker concurrently;
+/// the immutable identity fields are set once at registration.
+class QueryProgress {
+ public:
+  QueryProgress(uint64_t trace_id, std::string graph, std::string options,
+                uint64_t components_total);
+
+  /// Kernel hook: `n` more branch nodes were expanded.
+  void AddNodes(uint64_t n) {
+    nodes_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Kernel / seed hook: a fair clique of this size was recorded. Monotonic
+  /// max, so racing components can publish in any order.
+  void NoteIncumbent(int64_t size) {
+    int64_t cur = incumbent_.load(std::memory_order_relaxed);
+    while (cur < size && !incumbent_.compare_exchange_weak(
+                             cur, size, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Executor hook: the best size any unfinished component could still
+  /// yield. Plain store — the publisher recomputes it from scratch at each
+  /// component completion, so last-writer-wins is the correct merge.
+  void SetUpperBound(int64_t bound) {
+    upper_bound_.store(bound, std::memory_order_relaxed);
+  }
+
+  void NoteComponentDone() {
+    components_done_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t trace_id() const { return trace_id_; }
+
+  ProgressSnapshot Snapshot() const;
+
+ private:
+  const uint64_t trace_id_;
+  const std::string graph_;
+  const std::string options_;
+  const uint64_t components_total_;
+  WallTimer started_;
+  std::atomic<uint64_t> nodes_{0};
+  std::atomic<int64_t> incumbent_{0};
+  std::atomic<int64_t> upper_bound_{0};
+  std::atomic<uint64_t> components_done_{0};
+};
+
+/// Process-wide map of in-flight queries keyed by trace id. Register /
+/// Unregister take a mutex once per *searching* query (cached hits never
+/// register), which is noise next to a Branch stage; List snapshots under
+/// the same mutex and is only called by scrapers.
+class ProgressRegistry {
+ public:
+  static ProgressRegistry& Default();
+
+  /// Creates and publishes the progress record for a query entering the
+  /// Branch stage. A re-registered trace id replaces the old record.
+  std::shared_ptr<QueryProgress> Register(uint64_t trace_id,
+                                          std::string graph,
+                                          std::string options,
+                                          uint64_t components_total);
+
+  void Unregister(uint64_t trace_id);
+
+  /// Snapshots of every in-flight query, ordered by trace id (submission
+  /// order within a thread).
+  std::vector<ProgressSnapshot> List() const;
+
+  size_t size() const;
+
+  /// The largest (upper_bound - incumbent) over in-flight queries, clamped
+  /// to >= 0; 0 when nothing is in flight. Exported as the
+  /// fc_search_incumbent_gap gauge: a gap stuck high means searches are far
+  /// from proving optimality.
+  int64_t MaxIncumbentGap() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<QueryProgress>> inflight_;
+};
+
+}  // namespace obs
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_OBS_PROGRESS_H_

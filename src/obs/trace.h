@@ -54,6 +54,14 @@ struct Trace {
   bool incremental = false;
   bool warm_start = false;
   bool deadline_missed = false;
+  /// Why the search stopped early: "" | "node_limit" | "time_limit" |
+  /// "deadline" (static strings; "deadline" when the request deadline is
+  /// what tightened the effective time limit).
+  const char* stop_reason = "";
+  /// Pre-serialized EXPLAIN plan (service/explain.h) when the request asked
+  /// for one; empty otherwise. Stored serialized so the trace layer stays
+  /// independent of the plan schema.
+  std::string explain_json;
   std::vector<TraceSpan> spans;
 };
 

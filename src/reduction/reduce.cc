@@ -5,6 +5,7 @@
 
 #include "common/timer.h"
 #include "graph/coloring.h"
+#include "obs/profiler.h"
 #include "reduction/colorful_core.h"
 #include "reduction/colorful_support.h"
 
@@ -30,7 +31,10 @@ ReductionPipelineResult ReduceForFairClique(const AttributedGraph& g, int k,
   result.original_ids.resize(g.num_vertices());
   std::iota(result.original_ids.begin(), result.original_ids.end(), 0);
 
-  auto run_stage = [&result](const std::string& name, auto&& stage_fn) {
+  auto run_stage = [&result](const char* name, auto&& stage_fn) {
+    // The stage names below are string literals, which is what lets the
+    // profiler tag the scope by pointer identity.
+    obs::ProfileScope profile_scope(name);
     WallTimer timer;
     AttributedGraph& cur = result.reduced;
     Coloring coloring = GreedyColoring(cur);

@@ -1,0 +1,91 @@
+#include "service/explain.h"
+
+#include "service/wire.h"
+
+namespace fairclique {
+
+namespace {
+
+void WriteStats(wire::JsonWriter& w, const SearchStats& s) {
+  w.Field("nodes", static_cast<unsigned long long>(s.nodes))
+      .Field("bound_prunes", static_cast<unsigned long long>(s.bound_prunes))
+      .Field("size_prunes", static_cast<unsigned long long>(s.size_prunes))
+      .Field("attr_prunes", static_cast<unsigned long long>(s.attr_prunes))
+      .Field("cap_removals", static_cast<unsigned long long>(s.cap_removals));
+}
+
+}  // namespace
+
+std::string ExplainPlanJson(const ExplainPlan& plan) {
+  wire::JsonWriter w;
+  w.BeginObject();
+
+  w.Key("prepare").BeginObject();
+  w.Field("prepared_hit", plan.prepared_hit)
+      .Field("prepare_micros", static_cast<long long>(plan.prepare_micros))
+      .Field("source_vertices",
+             static_cast<unsigned long long>(plan.source_vertices))
+      .Field("source_edges", static_cast<unsigned long long>(plan.source_edges));
+  w.Key("stages").BeginArray();
+  for (const ReductionStageStats& stage : plan.stages) {
+    w.BeginObject()
+        .Field("name", stage.name)
+        .Field("vertices_left",
+               static_cast<unsigned long long>(stage.vertices_left))
+        .Field("edges_left", static_cast<unsigned long long>(stage.edges_left))
+        .Field("micros", static_cast<long long>(stage.micros))
+        .EndObject();
+  }
+  w.EndArray();
+  w.Field("reduced_vertices",
+          static_cast<unsigned long long>(plan.reduced_vertices))
+      .Field("reduced_edges",
+             static_cast<unsigned long long>(plan.reduced_edges));
+  w.EndObject();
+
+  w.Key("result_cache").BeginObject();
+  w.Field("probed", plan.result_cache_probed)
+      .Field("hit", plan.result_cache_hit)
+      .EndObject();
+
+  w.Key("seed").BeginObject();
+  w.Field("heuristic_micros", static_cast<long long>(plan.heuristic_micros))
+      .Field("heuristic_size", static_cast<long long>(plan.heuristic_size))
+      .Field("warm_start", plan.warm_start)
+      .Field("seed_size", static_cast<long long>(plan.seed_size))
+      .EndObject();
+
+  w.Key("components").BeginArray();
+  for (const ExplainComponent& comp : plan.components) {
+    w.BeginObject()
+        .Field("index", static_cast<unsigned long long>(comp.index))
+        .Field("vertices", static_cast<unsigned long long>(comp.vertices))
+        .Field("edges", static_cast<unsigned long long>(comp.edges))
+        .Field("searched", comp.searched);
+    if (comp.searched) {
+      w.Field("engine", comp.engine);
+      WriteStats(w, comp.stats);
+      w.Field("search_micros",
+              static_cast<long long>(comp.stats.search_micros))
+          .Field("aborted", comp.aborted)
+          .Field("best_size", static_cast<long long>(comp.best_size));
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("totals").BeginObject();
+  WriteStats(w, plan.totals);
+  w.Field("component_search_micros",
+          static_cast<long long>(plan.totals.component_search_micros))
+      .Field("search_micros",
+             static_cast<long long>(plan.totals.search_micros))
+      .Field("completed", plan.totals.completed)
+      .Field("stop_reason", plan.stop_reason)
+      .EndObject();
+
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace fairclique

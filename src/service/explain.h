@@ -1,0 +1,78 @@
+#ifndef FAIRCLIQUE_SERVICE_EXPLAIN_H_
+#define FAIRCLIQUE_SERVICE_EXPLAIN_H_
+
+/// EXPLAIN plans: the per-stage execution record a query discards on the
+/// normal path, assembled on demand when a request sets `explain=true`.
+///
+/// The plan is built from data the executor already has in hand — the
+/// PreparedGraph's reduction-stage stats, the component selection, and the
+/// per-component ComponentBranchResults that AggregatePreparedSearch
+/// normally folds away — so EXPLAIN costs one struct copy per component,
+/// never a re-run. The struct lives here (core types only); serialization
+/// lives in explain.cc (which may include wire.h — the reverse include
+/// would cycle, since wire.h includes query_executor.h).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/max_fair_clique.h"
+#include "core/prepared_graph.h"
+#include "reduction/reduce.h"
+
+namespace fairclique {
+
+/// One prepared component's row in the plan. Components appear in prepared
+/// order (largest-first); `searched` distinguishes the ones selection kept
+/// from the ones skipped as too small to beat the seeded incumbent.
+struct ExplainComponent {
+  size_t index = 0;          // index into PreparedGraph::components
+  VertexId vertices = 0;
+  EdgeId edges = 0;
+  bool searched = false;     // survived static selection (a task was made)
+  /// Engine the branch kernel resolved to for this component ("vector" /
+  /// "bitset"); meaningful only when searched.
+  std::string engine;
+  /// The component's SearchStats (nodes + the full prune breakdown +
+  /// search_micros); zeros when not searched or skipped by the live floor.
+  SearchStats stats;
+  bool aborted = false;
+  int64_t best_size = 0;     // size of the clique this component found
+};
+
+/// The full plan for one executed query.
+struct ExplainPlan {
+  // Prepare stage: where the plan came from and what reduction did.
+  bool prepared_hit = false;      // plan reused from the PreparedGraphCache
+  int64_t prepare_micros = 0;     // this query's build time; 0 on a hit
+  VertexId source_vertices = 0;
+  EdgeId source_edges = 0;
+  std::vector<ReductionStageStats> stages;
+  VertexId reduced_vertices = 0;
+  EdgeId reduced_edges = 0;
+
+  // Result-cache decision (the probe that ran before any search).
+  bool result_cache_probed = false;  // false when bypassed or absent
+  bool result_cache_hit = false;
+
+  // Seed stage.
+  int64_t heuristic_micros = 0;
+  int64_t heuristic_size = 0;
+  bool warm_start = false;
+  int64_t seed_size = 0;          // incumbent size the Branch stage started at
+
+  // Branch stage.
+  std::vector<ExplainComponent> components;
+  SearchStats totals;             // the aggregated stats the response carries
+  std::string stop_reason;        // "" | "node_limit" | "time_limit" | "deadline"
+};
+
+/// Serializes a plan as a JSON object (no enclosing field name), ready to
+/// splice into a response via JsonWriter::Raw. Component stage micros sum
+/// to totals.component_search_micros by construction; explain_test locks
+/// this consistency down.
+std::string ExplainPlanJson(const ExplainPlan& plan);
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_SERVICE_EXPLAIN_H_

@@ -6,7 +6,9 @@
 
 #include "core/options_key.h"
 #include "dynamic/incremental_search.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
+#include "service/explain.h"
 
 namespace fairclique {
 
@@ -16,6 +18,22 @@ namespace {
 /// searches of IncrementalRequery approach full-search cost; fall back to a
 /// warm-started full search instead.
 constexpr size_t kMaxIncrementalEdges = 256;
+
+/// Maps a search's stop reason onto the response's wire string. An
+/// incomplete result with no recorded reason (possible on legacy paths that
+/// only cleared `completed`) is attributed to the time valve; a time stop
+/// is reported as "deadline" when the request deadline set the limit.
+const char* ResponseStopReason(const SearchStats& stats,
+                               bool deadline_tightened) {
+  StopReason reason = stats.stop_reason;
+  if (reason == StopReason::kNone && !stats.completed) {
+    reason = StopReason::kTimeLimit;
+  }
+  if (reason == StopReason::kTimeLimit && deadline_tightened) {
+    return "deadline";
+  }
+  return StopReasonName(reason);
+}
 
 }  // namespace
 
@@ -37,6 +55,20 @@ struct QueryExecutor::QueryState {
   std::shared_ptr<const PreparedGraph> prepared;
   int64_t prepare_micros = 0;  // 0 on a prepared-cache hit
   Deadline deadline;           // spans prepare + branch, like the monolith
+  /// True when the per-query deadline is what set (or lowered) the
+  /// effective time limit — a kTimeLimit stop is then reported as
+  /// "deadline", not "time_limit".
+  bool deadline_tightened = false;
+
+  /// Live-progress entry in the ProgressRegistry, keyed by trace_id;
+  /// registered at expansion, unregistered at completion. Null when
+  /// telemetry is off or nothing was selected to search.
+  std::shared_ptr<obs::QueryProgress> progress;
+  /// Per-slot completion flags (relaxed; advisory), used to recompute the
+  /// progress upper bound: comp_indices ascends and prepared components are
+  /// sorted largest-first, so the first undone slot is the largest
+  /// component still able to beat the incumbent.
+  std::unique_ptr<std::atomic<bool>[]> comp_done;
 
   IncumbentSeed seed;
   std::atomic<int64_t> floor{0};
@@ -139,9 +171,11 @@ bool QueryExecutor::PreSearch(QueryState& qs) {
           "deadline of " + std::to_string(request.deadline_seconds) +
           "s expired while the request waited in the queue");
       qs.response.deadline_missed = true;
+      qs.response.stop_reason = "deadline";
       qs.response.run_micros = qs.run_timer.ElapsedMicros();
       deadline_misses_.fetch_add(1, std::memory_order_relaxed);
       expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+      stopped_deadline_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -163,6 +197,9 @@ bool QueryExecutor::PreSearch(QueryState& qs) {
   // safety valve (0 = unlimited on both sides).
   qs.effective = request.options;
   if (request.deadline_seconds > 0.0) {
+    qs.deadline_tightened =
+        qs.effective.time_limit_seconds <= 0.0 ||
+        remaining_deadline < qs.effective.time_limit_seconds;
     qs.effective.time_limit_seconds =
         qs.effective.time_limit_seconds > 0.0
             ? std::min(qs.effective.time_limit_seconds, remaining_deadline)
@@ -180,6 +217,9 @@ bool QueryExecutor::PreSearch(QueryState& qs) {
     auto result = std::make_shared<SearchResult>(IncrementalRequery(
         *request.graph->graph, hint->new_edges, hint->clique, qs.effective));
     qs.response.deadline_missed = !result->stats.completed;
+    qs.response.stop_reason =
+        ResponseStopReason(result->stats, qs.deadline_tightened);
+    CountStop(qs, result->stats);
     if (qs.response.deadline_missed) {
       deadline_misses_.fetch_add(1, std::memory_order_relaxed);
       // Give the (one-shot) hint back: this query's budget was too tight,
@@ -246,9 +286,30 @@ bool QueryExecutor::PreSearch(QueryState& qs) {
   return false;
 }
 
+void QueryExecutor::CountStop(const QueryState& qs, const SearchStats& stats) {
+  StopReason reason = stats.stop_reason;
+  if (reason == StopReason::kNone && !stats.completed) {
+    reason = StopReason::kTimeLimit;
+  }
+  switch (reason) {
+    case StopReason::kNone:
+      break;
+    case StopReason::kNodeLimit:
+      stopped_node_limit_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StopReason::kTimeLimit:
+      (qs.deadline_tightened ? stopped_deadline_ : stopped_time_limit_)
+          .fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
 void QueryExecutor::FinishSearch(QueryState& qs, SearchResult&& sr) {
   auto result = std::make_shared<SearchResult>(std::move(sr));
   qs.response.deadline_missed = !result->stats.completed;
+  qs.response.stop_reason =
+      ResponseStopReason(result->stats, qs.deadline_tightened);
+  CountStop(qs, result->stats);
   if (qs.response.deadline_missed) {
     deadline_misses_.fetch_add(1, std::memory_order_relaxed);
     // A hint consumed by a query whose budget was too tight goes back for
@@ -265,6 +326,56 @@ void QueryExecutor::FinishSearch(QueryState& qs, SearchResult&& sr) {
   }
   qs.response.result = std::move(result);
   qs.response.run_micros = qs.run_timer.ElapsedMicros();
+  BuildExplain(qs, qs.response.result.get());
+}
+
+void QueryExecutor::BuildExplain(QueryState& qs, const SearchResult* sr) {
+  if (!qs.request.explain) return;
+  ExplainPlan plan;
+  plan.result_cache_probed = qs.use_cache;
+  plan.result_cache_hit = qs.response.cache_hit;
+  if (sr != nullptr && qs.prepared != nullptr) {
+    const PreparedGraph& prepared = *qs.prepared;
+    plan.prepared_hit = qs.response.prepared_hit;
+    plan.prepare_micros = qs.prepare_micros;
+    plan.source_vertices = prepared.source_vertices;
+    plan.source_edges = prepared.source_edges;
+    plan.stages = prepared.stages;
+    plan.reduced_vertices = prepared.reduced.num_vertices();
+    plan.reduced_edges = prepared.reduced.num_edges();
+    plan.heuristic_micros = sr->stats.heuristic_micros;
+    plan.heuristic_size = sr->stats.heuristic_size;
+    plan.warm_start = qs.response.warm_start;
+    // The queued path keeps the seed around; the synchronous path seeds
+    // inside SearchPreparedGraph, where only the heuristic size survives.
+    plan.seed_size = !qs.seed.clique.vertices.empty()
+                         ? static_cast<int64_t>(qs.seed.clique.size())
+                         : sr->stats.heuristic_size;
+    plan.components.reserve(prepared.components.size());
+    size_t slot = 0;
+    for (size_t i = 0; i < prepared.components.size(); ++i) {
+      ExplainComponent row;
+      row.index = i;
+      const AttributedGraph& cg = prepared.components[i]->graph;
+      row.vertices = cg.num_vertices();
+      row.edges = cg.num_edges();
+      // comp_indices ascends, so one cursor pairs slots with components.
+      if (slot < qs.comp_indices.size() && qs.comp_indices[slot] == i) {
+        const ComponentBranchResult& task = qs.results[slot];
+        row.searched = true;
+        row.engine = SearchEngineName(
+            ResolveEngine(qs.effective.engine, cg.num_vertices()));
+        row.stats = task.stats;
+        row.aborted = task.aborted;
+        row.best_size = static_cast<int64_t>(task.best.size());
+        ++slot;
+      }
+      plan.components.push_back(std::move(row));
+    }
+    plan.totals = sr->stats;
+    plan.stop_reason = qs.response.stop_reason;
+  }
+  qs.response.plan_json = ExplainPlanJson(plan);
 }
 
 void QueryExecutor::RecordTelemetry(QueryState& qs) {
@@ -287,6 +398,8 @@ void QueryExecutor::RecordTelemetry(QueryState& qs) {
   trace->incremental = qs.response.incremental;
   trace->warm_start = qs.response.warm_start;
   trace->deadline_missed = qs.response.deadline_missed;
+  trace->stop_reason = qs.response.stop_reason;
+  trace->explain_json = qs.response.plan_json;
 
   const int64_t t_end = trace->total_micros;
   auto add_span = [&trace](const char* name, int32_t parent, int64_t start,
@@ -342,8 +455,28 @@ QueryResponse QueryExecutor::Run(const QueryRequest& request) {
     SearchOptions branch_options = qs.effective;
     branch_options.time_limit_seconds = RemainingTimeBudget(
         qs.effective.time_limit_seconds, qs.run_timer.ElapsedSeconds());
-    SearchResult sr = SearchPreparedGraph(*request.graph->graph, *qs.prepared,
-                                          branch_options);
+    if (qs.response.trace_id != 0) {
+      qs.progress = obs::ProgressRegistry::Default().Register(
+          qs.response.trace_id, request.graph->name,
+          CanonicalOptionsKey(request.options),
+          qs.prepared->components.size());
+      branch_options.progress = qs.progress.get();
+    }
+    std::vector<ComponentBranchResult> per_component;
+    SearchResult sr = SearchPreparedGraph(
+        *request.graph->graph, *qs.prepared, branch_options,
+        request.explain ? &per_component : nullptr);
+    if (qs.progress != nullptr) {
+      obs::ProgressRegistry::Default().Unregister(qs.progress->trace_id());
+      qs.progress = nullptr;
+    }
+    if (request.explain) {
+      // Adopt the per-component outcomes under the queued path's layout
+      // (every component got a task here), so BuildExplain has one shape.
+      qs.comp_indices.resize(per_component.size());
+      for (size_t i = 0; i < per_component.size(); ++i) qs.comp_indices[i] = i;
+      qs.results = std::move(per_component);
+    }
     if (qs.response.trace_id != 0) {
       qs.t_branch_end = qs.queued.ElapsedMicros();
       branch_hist_->Record(qs.t_branch_end - qs.t_prepare_end);
@@ -351,6 +484,9 @@ QueryResponse QueryExecutor::Run(const QueryRequest& request) {
     sr.stats.reduce_micros = qs.prepare_micros;
     sr.stats.total_micros = qs.run_timer.ElapsedMicros();
     FinishSearch(qs, std::move(sr));
+  } else if (qs.request.explain && qs.response.plan_json.empty()) {
+    BuildExplain(qs, nullptr);  // cache hit / expired / invalid: plan is
+                                // just the cache decision
   }
   served_.fetch_add(1, std::memory_order_relaxed);
   RecordTelemetry(qs);
@@ -384,6 +520,24 @@ void QueryExecutor::ExpandQuery(std::shared_ptr<QueryState> qs) {
   }
   qs->results.resize(n);
   qs->comp_start_micros.assign(n, 0);
+  if (qs->response.trace_id != 0) {
+    // Publish this query in the live-progress registry for the duration of
+    // its Branch stage; the component tasks write through qs->effective.
+    const int64_t seed_size = static_cast<int64_t>(qs->seed.clique.size());
+    qs->progress = obs::ProgressRegistry::Default().Register(
+        qs->response.trace_id, qs->request.graph->name,
+        CanonicalOptionsKey(qs->request.options), n);
+    qs->effective.progress = qs->progress.get();
+    qs->progress->NoteIncumbent(seed_size);
+    qs->progress->SetUpperBound(std::max(
+        seed_size,
+        static_cast<int64_t>(qs->prepared->components[qs->comp_indices[0]]
+                                 ->graph.num_vertices())));
+    qs->comp_done = std::make_unique<std::atomic<bool>[]>(n);
+    for (size_t i = 0; i < n; ++i) {
+      qs->comp_done[i].store(false, std::memory_order_relaxed);
+    }
+  }
   qs->remaining.store(n, std::memory_order_relaxed);
   component_tasks_.fetch_add(n, std::memory_order_relaxed);
   {
@@ -406,6 +560,23 @@ void QueryExecutor::ExecuteComponentTask(const ComponentTask& task) {
   qs.results[task.slot] =
       BranchComponent(*qs.prepared, qs.comp_indices[task.slot], qs.effective,
                       qs.deadline, &qs.floor);
+  if (qs.progress != nullptr) {
+    qs.comp_done[task.slot].store(true, std::memory_order_relaxed);
+    // The answer can't exceed the larger of the incumbent and the largest
+    // component still searching: comp_indices ascends over largest-first
+    // components, so the first undone slot is that component.
+    int64_t ub = qs.floor.load(std::memory_order_relaxed);
+    for (size_t s = 0; s < qs.comp_indices.size(); ++s) {
+      if (!qs.comp_done[s].load(std::memory_order_relaxed)) {
+        ub = std::max(
+            ub, static_cast<int64_t>(qs.prepared->components[qs.comp_indices[s]]
+                                         ->graph.num_vertices()));
+        break;
+      }
+    }
+    qs.progress->SetUpperBound(ub);
+    qs.progress->NoteComponentDone();
+  }
   // acq_rel: the release side publishes this task's result slot, the
   // acquire side (the final decrement) observes every sibling's slot.
   if (qs.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -428,6 +599,14 @@ void QueryExecutor::FinalizeQuery(QueryState& qs) {
 }
 
 void QueryExecutor::CompleteQuery(QueryState& qs) {
+  if (qs.progress != nullptr) {
+    obs::ProgressRegistry::Default().Unregister(qs.progress->trace_id());
+    qs.progress = nullptr;
+    qs.effective.progress = nullptr;
+  }
+  if (qs.request.explain && qs.response.plan_json.empty()) {
+    BuildExplain(qs, nullptr);  // PreSearch answered without a search
+  }
   served_.fetch_add(1, std::memory_order_relaxed);
   qs.response.queue_micros =
       qs.queued.ElapsedMicros() - qs.response.run_micros;
@@ -486,6 +665,7 @@ void QueryExecutor::WorkerLoop() {
         return;  // stopping_ && both queues drained
       }
     }
+    active_workers_.fetch_add(1, std::memory_order_relaxed);
     if (work == Work::kComponent) {
       ExecuteComponentTask(task);
     } else {
@@ -500,6 +680,7 @@ void QueryExecutor::WorkerLoop() {
         ExpandQuery(std::move(qs));
       }
     }
+    active_workers_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
@@ -518,6 +699,11 @@ ExecutorMetrics QueryExecutor::metrics() const {
   m.component_tasks = component_tasks_.load(std::memory_order_relaxed);
   m.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
   m.expired_in_queue = expired_in_queue_.load(std::memory_order_relaxed);
+  m.stopped_node_limit = stopped_node_limit_.load(std::memory_order_relaxed);
+  m.stopped_time_limit = stopped_time_limit_.load(std::memory_order_relaxed);
+  m.stopped_deadline = stopped_deadline_.load(std::memory_order_relaxed);
+  m.num_workers = static_cast<size_t>(std::max(1, options_.num_workers));
+  m.active_workers = active_workers_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   m.admission_queue_depth = queue_.size();
   m.component_queue_depth = component_queue_.size();

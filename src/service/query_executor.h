@@ -62,6 +62,12 @@ struct QueryRequest {
   /// and does not publish the plan. bypass_cache + bypass_prepared_cache
   /// is a fully cold query.
   bool bypass_prepared_cache = false;
+  /// Attach an EXPLAIN plan (service/explain.h) to the response: reduction
+  /// stage stats, component selection and resolved engines, the full
+  /// per-component prune breakdown, and the cache decisions — the execution
+  /// record the executor otherwise discards. Observational only (the search
+  /// is unchanged); costs one struct copy per component at finish.
+  bool explain = false;
 };
 
 /// Outcome of one request.
@@ -85,6 +91,14 @@ struct QueryResponse {
   uint64_t trace_id = 0;
   int64_t queue_micros = 0;      // time spent waiting for a worker
   int64_t run_micros = 0;        // cache lookup + search time
+  /// Which valve stopped the search: "" (ran to completion) | "node_limit"
+  /// | "time_limit" | "deadline" — "deadline" when the request's
+  /// deadline_seconds is what tightened the effective time limit (including
+  /// requests that expired in the queue). Static strings, never freed.
+  const char* stop_reason = "";
+  /// Serialized EXPLAIN plan when the request set `explain`; empty
+  /// otherwise. Pre-rendered JSON so the wire layer splices it verbatim.
+  std::string plan_json;
 };
 
 /// Monotonic serving metrics. submitted = accepted + rejected;
@@ -108,6 +122,12 @@ struct ExecutorMetrics {
   /// pool fixes and a faster kernel does not.
   uint64_t deadline_misses = 0;
   uint64_t expired_in_queue = 0;
+  /// Early-stopped searches broken down by which valve fired (the
+  /// response's stop_reason): the request's own node/time limit vs the
+  /// per-query deadline (expired-in-queue requests count under deadline).
+  uint64_t stopped_node_limit = 0;
+  uint64_t stopped_time_limit = 0;
+  uint64_t stopped_deadline = 0;
   /// Queue depths are point-in-time. Admission alone is a misleading
   /// saturation signal — queries expand into component tasks, so a pool
   /// drowning in thousands of backed-up component tasks can show an empty
@@ -118,6 +138,12 @@ struct ExecutorMetrics {
   size_t component_queue_depth = 0;  // expanded Branch tasks waiting
   size_t queue_depth = 0;            // admission + component, combined
   size_t peak_queue_depth = 0;       // high-water mark of the combined depth
+  /// Pool occupancy: configured worker count and how many are executing
+  /// work (a query stage or a component task) right now. active == num with
+  /// a nonzero queue_depth means the pool, not the kernel, is the
+  /// bottleneck.
+  size_t num_workers = 0;
+  size_t active_workers = 0;
 };
 
 /// Bounded-queue worker pool turning the staged fair-clique search into a
@@ -202,6 +228,13 @@ class QueryExecutor {
   /// Shared post-Branch glue: deadline-miss bookkeeping, hint put-back,
   /// result-cache fill, response fields. Does not touch the promise.
   void FinishSearch(QueryState& qs, SearchResult&& result);
+  /// Assembles and serializes the EXPLAIN plan onto the response when the
+  /// request asked for one. `sr` is null on paths that never searched
+  /// (cache hit, expired in queue, invalid request) — the plan then records
+  /// only the cache decision.
+  void BuildExplain(QueryState& qs, const SearchResult* sr);
+  /// Bumps the stopped_* counter matching an early-stopped search's reason.
+  void CountStop(const QueryState& qs, const SearchStats& stats);
   /// Worker path: seed the incumbent, select components, fan tasks out (or
   /// finalize immediately when nothing survives selection).
   void ExpandQuery(std::shared_ptr<QueryState> qs);
@@ -242,6 +275,11 @@ class QueryExecutor {
   std::atomic<uint64_t> component_tasks_{0};
   std::atomic<uint64_t> deadline_misses_{0};
   std::atomic<uint64_t> expired_in_queue_{0};
+  std::atomic<uint64_t> stopped_node_limit_{0};
+  std::atomic<uint64_t> stopped_time_limit_{0};
+  std::atomic<uint64_t> stopped_deadline_{0};
+  /// Workers currently executing work (vs blocked on work_ready_).
+  std::atomic<size_t> active_workers_{0};
 
   /// Process-wide latency histograms (obs/metrics.h), resolved once at
   /// construction so the hot path records through raw pointers.

@@ -87,10 +87,18 @@ std::string StatsJson(uint64_t id, const ServiceTelemetry& t) {
              static_cast<unsigned long long>(t.executor.deadline_misses))
       .Field("expired_in_queue",
              static_cast<unsigned long long>(t.executor.expired_in_queue))
+      .Field("stopped_node_limit",
+             static_cast<unsigned long long>(t.executor.stopped_node_limit))
+      .Field("stopped_time_limit",
+             static_cast<unsigned long long>(t.executor.stopped_time_limit))
+      .Field("stopped_deadline",
+             static_cast<unsigned long long>(t.executor.stopped_deadline))
       .Field("admission_queue_depth", t.executor.admission_queue_depth)
       .Field("component_queue_depth", t.executor.component_queue_depth)
       .Field("queue_depth", t.executor.queue_depth)
       .Field("peak_queue_depth", t.executor.peak_queue_depth)
+      .Field("num_workers", t.executor.num_workers)
+      .Field("active_workers", t.executor.active_workers)
       .EndObject();
   {
     obs::Slowlog& slowlog = obs::Slowlog::Default();
@@ -175,6 +183,22 @@ std::string PrometheusText(const ServiceTelemetry& t) {
                   "Requests whose deadline expired before a worker popped "
                   "them",
                   t.executor.expired_in_queue);
+  snap.AddCounter("fc_executor_stopped_node_limit_total",
+                  "Searches stopped by the request's node limit",
+                  t.executor.stopped_node_limit);
+  snap.AddCounter("fc_executor_stopped_time_limit_total",
+                  "Searches stopped by the request's own time limit",
+                  t.executor.stopped_time_limit);
+  snap.AddCounter("fc_executor_stopped_deadline_total",
+                  "Searches stopped by the per-query deadline (expired "
+                  "in queue included)",
+                  t.executor.stopped_deadline);
+  snap.AddGauge("fc_executor_workers", "Configured worker-pool size",
+                static_cast<int64_t>(t.executor.num_workers));
+  snap.AddGauge("fc_executor_active_workers",
+                "Workers currently executing a query stage or component "
+                "task",
+                static_cast<int64_t>(t.executor.active_workers));
   snap.AddGauge("fc_executor_admission_queue_depth",
                 "Whole queries waiting for a worker",
                 static_cast<int64_t>(t.executor.admission_queue_depth));
@@ -254,6 +278,17 @@ std::string PrometheusText(const ServiceTelemetry& t) {
                   static_cast<int64_t>(slowlog.capacity()));
   }
 
+  {
+    obs::ProgressRegistry& progress = obs::ProgressRegistry::Default();
+    snap.AddGauge("fc_queries_inflight",
+                  "Queries currently in their Branch stage",
+                  static_cast<int64_t>(progress.size()));
+    snap.AddGauge("fc_search_incumbent_gap",
+                  "Largest (upper bound - incumbent) over in-flight "
+                  "searches; 0 when idle or converged",
+                  progress.MaxIncumbentGap());
+  }
+
   if (t.has_storage) {
     snap.AddCounter("fc_storage_snapshots_written_total",
                     "FCG2 snapshots written (incl. compactions)",
@@ -307,7 +342,8 @@ std::string TraceJson(const obs::Trace& trace) {
       .Field("prepared_hit", trace.prepared_hit)
       .Field("incremental", trace.incremental)
       .Field("warm_start", trace.warm_start)
-      .Field("deadline_missed", trace.deadline_missed);
+      .Field("deadline_missed", trace.deadline_missed)
+      .Field("stop_reason", trace.stop_reason);
   w.Key("spans").BeginArray();
   for (const obs::TraceSpan& span : trace.spans) {
     w.BeginObject()
@@ -318,7 +354,27 @@ std::string TraceJson(const obs::Trace& trace) {
                static_cast<long long>(span.duration_micros))
         .EndObject();
   }
-  w.EndArray().EndObject();
+  w.EndArray();
+  if (!trace.explain_json.empty()) w.Key("plan").Raw(trace.explain_json);
+  w.EndObject();
+  return w.str();
+}
+
+std::string ProgressJson(const obs::ProgressSnapshot& p) {
+  wire::JsonWriter w;
+  w.BeginObject()
+      .Field("trace_id", static_cast<unsigned long long>(p.trace_id))
+      .Field("graph", p.graph)
+      .Field("options", p.options)
+      .Field("nodes", static_cast<unsigned long long>(p.nodes))
+      .Field("incumbent_size", static_cast<long long>(p.incumbent_size))
+      .Field("upper_bound", static_cast<long long>(p.upper_bound))
+      .Field("components_done",
+             static_cast<unsigned long long>(p.components_done))
+      .Field("components_total",
+             static_cast<unsigned long long>(p.components_total))
+      .Field("elapsed_micros", static_cast<long long>(p.elapsed_micros))
+      .EndObject();
   return w.str();
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "service/graph_registry.h"
 #include "service/prepared_graph_cache.h"
@@ -49,8 +50,14 @@ std::string PrometheusText(const ServiceTelemetry& t);
 
 /// One trace as a JSON object (the `trace <id>` / `slowlog` responses):
 /// ids, serving flags, timings, and the span tree as a flat array with
-/// parent indices (-1 = top level).
+/// parent indices (-1 = top level). When the traced query carried an
+/// EXPLAIN plan, it is spliced in under `plan`.
 std::string TraceJson(const obs::Trace& trace);
+
+/// One in-flight query's live progress as a JSON object (a `ps` response
+/// row): trace id, graph, options key, node count, incumbent vs upper
+/// bound, components done/total, and elapsed time.
+std::string ProgressJson(const obs::ProgressSnapshot& p);
 
 }  // namespace fairclique
 

@@ -227,6 +227,12 @@ JsonWriter& JsonWriter::Value(const char* v) {
   return Value(std::string(v));
 }
 
+JsonWriter& JsonWriter::Raw(const std::string& json) {
+  BeforeItem();
+  out_ += json;
+  return *this;
+}
+
 JsonWriter& JsonWriter::Value(bool v) {
   BeforeItem();
   out_ += v ? "true" : "false";
@@ -274,6 +280,18 @@ std::string ErrorJson(uint64_t id, const std::string& message) {
   return w.str();
 }
 
+std::string TraceNotFoundJson(uint64_t id, uint64_t trace_id) {
+  JsonWriter w;
+  w.BeginObject()
+      .Field("ok", false)
+      .Field("id", static_cast<unsigned long long>(id))
+      .Field("error", "trace " + std::to_string(trace_id) + " not retained")
+      .Field("trace_id", static_cast<unsigned long long>(trace_id))
+      .Field("reason", "not_retained")
+      .EndObject();
+  return w.str();
+}
+
 std::string QueryResponseJson(uint64_t id, const std::string& graph,
                               const QueryResponse& r) {
   if (!r.status.ok()) return ErrorJson(id, r.status.ToString());
@@ -298,8 +316,12 @@ std::string QueryResponseJson(uint64_t id, const std::string& graph,
       .Field("deadline_missed", r.deadline_missed)
       .Field("trace_id", static_cast<unsigned long long>(r.trace_id))
       .Field("queue_micros", static_cast<long long>(r.queue_micros))
-      .Field("run_micros", static_cast<long long>(r.run_micros))
-      .EndObject();
+      .Field("run_micros", static_cast<long long>(r.run_micros));
+  // New fields append here, after the originals: external scrapers (and the
+  // CI crash-recovery smoke) pattern-match on the field order above.
+  w.Field("stop_reason", r.stop_reason);
+  if (!r.plan_json.empty()) w.Key("plan").Raw(r.plan_json);
+  w.EndObject();
   return w.str();
 }
 

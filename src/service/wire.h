@@ -84,6 +84,12 @@ class JsonWriter {
   JsonWriter& Value(long long v);
   JsonWriter& Value(unsigned long long v);
 
+  /// Splices `json` into the stream verbatim (comma handling included).
+  /// For embedding an already-serialized subdocument — e.g. the EXPLAIN
+  /// plan a QueryResponse carries pre-rendered — without re-escaping it as
+  /// a string. The caller guarantees `json` is itself well-formed.
+  JsonWriter& Raw(const std::string& json);
+
   template <typename T>
   JsonWriter& Field(const std::string& key, T&& v) {
     Key(key);
@@ -105,6 +111,12 @@ class JsonWriter {
 
 /// {"ok":false,"id":<id>,"error":"<message>"}
 std::string ErrorJson(uint64_t id, const std::string& message);
+
+/// Structured error for `trace <id>` / `slowlog` misses: unlike the generic
+/// ErrorJson, it echoes the requested trace id and a machine-readable
+/// reason ("not_retained" — the trace was evicted by a slower query or was
+/// never slow enough to enter the slowlog).
+std::string TraceNotFoundJson(uint64_t id, uint64_t trace_id);
 
 /// The query response line: clique size/counts/vertices plus the serving
 /// flags (cache_hit / incremental / warm_start / prepared_hit / completed /

@@ -1,0 +1,201 @@
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/max_fair_clique.h"
+#include "test_util.h"
+
+namespace fairclique {
+namespace {
+
+using obs::ProfileScope;
+using obs::Profiler;
+using testing_util::RandomAttributedGraph;
+
+// The profiler is a process-wide singleton; every test starts from a clean
+// stopped-and-reset state and leaves one behind.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::Default().Stop();
+    ASSERT_TRUE(Profiler::Default().Reset());
+  }
+  void TearDown() override {
+    Profiler::Default().Stop();
+    Profiler::Default().Reset();
+  }
+};
+
+TEST_F(ProfilerTest, FoldedOutputIsSortedSemicolonJoinedCounts) {
+  Profiler& p = Profiler::Default();
+  p.TestingRecordSample({"PrepareGraph", "EnColorfulCore"});
+  p.TestingRecordSample({"BranchComponent"});
+  p.TestingRecordSample({"PrepareGraph", "EnColorfulCore"});
+  p.TestingRecordSample({"PrepareGraph", "EnColorfulCore"});
+
+  EXPECT_EQ(p.samples(), 4u);
+  EXPECT_EQ(p.stacks(), 2u);
+  EXPECT_EQ(p.dropped(), 0u);
+  // Exact flamegraph collapse format: `frame;frame count\n` per distinct
+  // stack, lexically sorted so dumps diff cleanly run to run.
+  EXPECT_EQ(p.DumpFolded(),
+            "BranchComponent 1\n"
+            "PrepareGraph;EnColorfulCore 3\n");
+}
+
+TEST_F(ProfilerTest, SampleNowFoldsTheLiveScopeStack) {
+  Profiler& p = Profiler::Default();
+  ASSERT_TRUE(p.Start(0));  // enabled, no timer: deterministic sampling
+  {
+    ProfileScope outer("PrepareGraph");
+    {
+      ProfileScope inner("BranchComponent");
+      p.TestingSampleNow();
+    }
+    p.TestingSampleNow();
+  }
+  ASSERT_TRUE(p.Stop());
+
+  std::string dump = p.DumpFolded();
+  EXPECT_NE(dump.find("PrepareGraph;BranchComponent 1\n"), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("PrepareGraph 1\n"), std::string::npos) << dump;
+  EXPECT_EQ(p.samples(), 2u);
+}
+
+TEST_F(ProfilerTest, SampleOutsideAnyScopeFoldsAsOther) {
+  Profiler& p = Profiler::Default();
+  ASSERT_TRUE(p.Start(0));
+  p.TestingSampleNow();
+  ASSERT_TRUE(p.Stop());
+  EXPECT_EQ(p.DumpFolded(), "other 1\n");
+}
+
+TEST_F(ProfilerTest, ResetRefusedWhileRunningAndStartIsExclusive) {
+  Profiler& p = Profiler::Default();
+  ASSERT_TRUE(p.Start(0));
+  EXPECT_TRUE(p.running());
+  EXPECT_FALSE(p.Start(0));   // already running
+  EXPECT_FALSE(p.Reset());    // the handler may be mid-record
+  ASSERT_TRUE(p.Stop());
+  EXPECT_FALSE(p.Stop());     // not running anymore
+  EXPECT_TRUE(p.Reset());
+  EXPECT_EQ(p.samples(), 0u);
+  EXPECT_EQ(p.stacks(), 0u);
+  EXPECT_EQ(p.DumpFolded(), "");
+}
+
+TEST_F(ProfilerTest, TestHooksRecordEvenWhileStopped) {
+  // Only the SIGPROF path is gated on `running`; the explicit test hooks
+  // fold unconditionally, so unit tests never need timer plumbing — and
+  // ProfileScope maintains the tag stack regardless, so a profiler started
+  // mid-flight still sees the scopes already open.
+  Profiler& p = Profiler::Default();
+  ASSERT_FALSE(p.running());
+  {
+    ProfileScope scope("BranchComponent");
+    p.TestingSampleNow();
+  }
+  EXPECT_EQ(p.samples(), 1u);
+  EXPECT_EQ(p.DumpFolded(), "BranchComponent 1\n");
+}
+
+TEST_F(ProfilerTest, ConcurrentScopedSamplersStayDisjointPerThread) {
+  // Each thread samples its own tag stack; the folded table merges counts
+  // across threads without losing any. Run under TSan in CI.
+  Profiler& p = Profiler::Default();
+  ASSERT_TRUE(p.Start(0));
+  constexpr int kThreads = 4;
+  constexpr int kSamplesPerThread = 200;
+  static const char* const kTags[kThreads] = {"PrepareGraph",
+                                              "BranchComponent",
+                                              "EnColorfulCore", "ColorfulSup"};
+  std::vector<std::thread> threads;
+  std::atomic<int> dumps_seen{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&p, t] {
+      for (int i = 0; i < kSamplesPerThread; ++i) {
+        ProfileScope scope(kTags[t]);
+        p.TestingSampleNow();
+      }
+    });
+  }
+  // Concurrent reader: DumpFolded is documented safe while running.
+  std::thread reader([&p, &dumps_seen] {
+    for (int i = 0; i < 50; ++i) {
+      dumps_seen += p.DumpFolded().empty() ? 0 : 1;
+    }
+  });
+  for (auto& t : threads) t.join();
+  reader.join();
+  ASSERT_TRUE(p.Stop());
+
+  EXPECT_EQ(p.samples(), static_cast<uint64_t>(kThreads * kSamplesPerThread));
+  std::string dump = p.DumpFolded();
+  for (const char* tag : kTags) {
+    EXPECT_NE(dump.find(std::string(tag) + " 200\n"), std::string::npos)
+        << dump;
+  }
+}
+
+TEST_F(ProfilerTest, SearchUnderProfilerAttributesStageScopes) {
+  // An actual search marks PrepareGraph / reduction stages / BranchComponent
+  // via the real instrumentation points; deterministic TestingSampleNow
+  // cannot land inside them from this thread, so instead assert that a
+  // profiled single-threaded search leaves the profiler consistent and a
+  // dump parseable: every line is `frames count` with count >= 1.
+  Profiler& p = Profiler::Default();
+  ASSERT_TRUE(p.Start(0));
+  AttributedGraph g = RandomAttributedGraph(80, 0.3, 0xBEEF);
+  FindMaximumFairClique(g, BaselineOptions(1, 2));
+  p.TestingRecordSample({"PrepareGraph"});  // ensure a non-empty dump
+  ASSERT_TRUE(p.Stop());
+
+  std::istringstream lines(p.DumpFolded());
+  std::string line;
+  size_t parsed = 0;
+  while (std::getline(lines, line)) {
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_GT(space, 0u) << line;
+    EXPECT_GE(std::stoull(line.substr(space + 1)), 1u) << line;
+    ++parsed;
+  }
+  EXPECT_GE(parsed, 1u);
+  EXPECT_EQ(parsed, p.stacks());
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST_F(ProfilerTest, TimerSamplesLandInBusyScopes) {
+  // Arm the real SIGPROF timer and burn CPU inside a tagged scope; the
+  // samples must land there. Generous spin (relative to the 200 Hz period)
+  // keeps this robust under sanitizer slowdowns.
+  Profiler& p = Profiler::Default();
+  ASSERT_TRUE(p.Start(200));
+  EXPECT_EQ(p.hz(), 200);
+  bool sampled = false;
+  {
+    ProfileScope scope("BranchComponent");
+    volatile uint64_t sink = 0;
+    WallTimer bailout;
+    while (!(sampled = p.samples() >= 5) && bailout.ElapsedSeconds() < 20.0) {
+      for (int i = 0; i < 4096; ++i) sink += i;
+    }
+  }
+  ASSERT_TRUE(p.Stop());
+  ASSERT_TRUE(sampled) << "SIGPROF never fired in 20s of CPU burn";
+  EXPECT_NE(p.DumpFolded().find("BranchComponent"), std::string::npos)
+      << p.DumpFolded();
+}
+#endif
+
+}  // namespace
+}  // namespace fairclique

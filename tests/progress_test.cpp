@@ -1,0 +1,210 @@
+#include "obs/progress.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/max_fair_clique.h"
+#include "core/options_key.h"
+#include "core/prepared_graph.h"
+#include "service/graph_registry.h"
+#include "service/query_executor.h"
+#include "test_util.h"
+
+namespace fairclique {
+namespace {
+
+using obs::ProgressRegistry;
+using obs::ProgressSnapshot;
+using obs::QueryProgress;
+using testing_util::RandomAttributedGraph;
+
+TEST(ProgressTest, SnapshotReflectsPublishedFields) {
+  QueryProgress p(42, "dblp", "k=2;d=1", 3);
+  p.AddNodes(1024);
+  p.AddNodes(1024);
+  p.NoteIncumbent(5);
+  p.NoteIncumbent(3);  // monotonic max: a late smaller publish is ignored
+  p.SetUpperBound(40);
+  p.NoteComponentDone();
+
+  ProgressSnapshot s = p.Snapshot();
+  EXPECT_EQ(s.trace_id, 42u);
+  EXPECT_EQ(s.graph, "dblp");
+  EXPECT_EQ(s.options, "k=2;d=1");
+  EXPECT_EQ(s.nodes, 2048u);
+  EXPECT_EQ(s.incumbent_size, 5);
+  EXPECT_EQ(s.upper_bound, 40);
+  EXPECT_EQ(s.components_done, 1u);
+  EXPECT_EQ(s.components_total, 3u);
+  EXPECT_GE(s.elapsed_micros, 0);
+}
+
+TEST(ProgressTest, RegistryListsInTraceOrderAndUnregisters) {
+  ProgressRegistry registry;
+  auto p2 = registry.Register(2, "b", "", 1);
+  auto p1 = registry.Register(1, "a", "", 1);
+  ASSERT_EQ(registry.size(), 2u);
+
+  std::vector<ProgressSnapshot> rows = registry.List();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].trace_id, 1u);
+  EXPECT_EQ(rows[1].trace_id, 2u);
+
+  registry.Unregister(1);
+  registry.Unregister(999);  // unknown id is a no-op
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.List()[0].trace_id, 2u);
+
+  // The handle returned by Register stays usable after Unregister (the
+  // worker may publish a final count while the scraper drops the record).
+  p1->AddNodes(1024);
+  registry.Unregister(2);
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(ProgressTest, ReRegisteredTraceIdReplacesRecord) {
+  ProgressRegistry registry;
+  auto old_rec = registry.Register(7, "g", "", 1);
+  old_rec->AddNodes(4096);
+  registry.Register(7, "g", "", 2);
+  ASSERT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.List()[0].nodes, 0u);
+  EXPECT_EQ(registry.List()[0].components_total, 2u);
+  registry.Unregister(7);
+}
+
+TEST(ProgressTest, MaxIncumbentGapAcrossInflightQueries) {
+  ProgressRegistry registry;
+  EXPECT_EQ(registry.MaxIncumbentGap(), 0);
+
+  auto a = registry.Register(1, "a", "", 1);
+  a->NoteIncumbent(10);
+  a->SetUpperBound(12);  // gap 2
+  auto b = registry.Register(2, "b", "", 1);
+  b->NoteIncumbent(3);
+  b->SetUpperBound(30);  // gap 27
+  EXPECT_EQ(registry.MaxIncumbentGap(), 27);
+
+  // A finished query whose bound collapsed to the incumbent contributes 0,
+  // and a bound below the incumbent clamps rather than going negative.
+  b->SetUpperBound(3);
+  a->SetUpperBound(2);
+  EXPECT_EQ(registry.MaxIncumbentGap(), 0);
+  registry.Unregister(1);
+  registry.Unregister(2);
+}
+
+TEST(ProgressTest, ConcurrentPublishersAndScrapersKeepExactCounts) {
+  // The TSan target: kernel-side publishers (AddNodes / NoteIncumbent /
+  // NoteComponentDone), an executor-side bound publisher, and a scraper
+  // Listing snapshots all race on one registry. Counts are fetch_adds, so
+  // the final totals are exact; the incumbent is a CAS max, so it ends at
+  // the largest value any thread published.
+  ProgressRegistry registry;
+  constexpr int kPublishers = 4;
+  constexpr int kRoundsPerPublisher = 500;
+  auto rec = registry.Register(99, "storm", "", kPublishers);
+
+  std::vector<std::thread> publishers;
+  publishers.reserve(kPublishers);
+  for (int t = 0; t < kPublishers; ++t) {
+    publishers.emplace_back([&rec, t] {
+      for (int i = 0; i < kRoundsPerPublisher; ++i) {
+        rec->AddNodes(1024);
+        rec->NoteIncumbent(t * kRoundsPerPublisher + i);
+        rec->SetUpperBound(kPublishers * kRoundsPerPublisher);
+      }
+      rec->NoteComponentDone();
+    });
+  }
+  std::atomic<bool> done{false};
+  std::thread scraper([&registry, &done] {
+    uint64_t last_nodes = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      std::vector<ProgressSnapshot> rows = registry.List();
+      ASSERT_EQ(rows.size(), 1u);
+      // Node counts are monotone even while racing the publishers.
+      ASSERT_GE(rows[0].nodes, last_nodes);
+      last_nodes = rows[0].nodes;
+      ASSERT_GE(registry.MaxIncumbentGap(), 0);
+    }
+  });
+  for (auto& t : publishers) t.join();
+  done.store(true, std::memory_order_relaxed);
+  scraper.join();
+
+  ProgressSnapshot s = rec->Snapshot();
+  EXPECT_EQ(s.nodes, 1024u * kPublishers * kRoundsPerPublisher);
+  EXPECT_EQ(s.incumbent_size, kPublishers * kRoundsPerPublisher - 1);
+  EXPECT_EQ(s.components_done, static_cast<uint64_t>(kPublishers));
+  registry.Unregister(99);
+}
+
+TEST(ProgressTest, SearchPublishesNodesIncumbentAndCompletions) {
+  // Wire a QueryProgress straight into SearchOptions and run a real search:
+  // the kernels publish nodes at the 1024-node cadence and incumbents as
+  // they are found, and SearchPreparedGraph marks every component done.
+  AttributedGraph g = RandomAttributedGraph(90, 0.4, 0x90F5);
+  SearchOptions options = BaselineOptions(1, 2);
+  std::shared_ptr<const PreparedGraph> prepared =
+      PrepareGraph(g, options.params.k, options.reductions);
+  QueryProgress progress(1, "g", CanonicalOptionsKey(options),
+                         prepared->components.size());
+  options.progress = &progress;
+
+  SearchResult result = SearchPreparedGraph(g, *prepared, options);
+  ProgressSnapshot s = progress.Snapshot();
+
+  ASSERT_TRUE(result.stats.completed);
+  EXPECT_EQ(s.components_done, prepared->components.size());
+  EXPECT_EQ(s.incumbent_size,
+            static_cast<int64_t>(result.clique.vertices.size()));
+  // The publish cadence is every 1024 nodes, so the published count is a
+  // floor of the true count, never an overcount.
+  EXPECT_LE(s.nodes, result.stats.nodes);
+  if (result.stats.nodes >= 2048) EXPECT_GT(s.nodes, 0u);
+}
+
+TEST(ProgressTest, ExecutorRegistersWhileSearchingAndCleansUp) {
+  // A slow query must be visible in the default registry while in flight
+  // (that is what `ps` reads) and gone once served — cache hits and
+  // completed queries never linger.
+  GraphRegistry graphs;
+  ASSERT_TRUE(graphs.Add("hard", RandomAttributedGraph(150, 0.9, 0x5EED)).ok());
+  QueryExecutor executor(ExecutorOptions{2, 8}, nullptr);
+
+  QueryRequest request;
+  request.graph = graphs.Get("hard");
+  request.options = BaselineOptions(1, 100);
+  request.options.time_limit_seconds = 1.0;  // bounded but visibly slow
+  std::future<QueryResponse> pending = executor.Submit(request);
+
+  bool seen_inflight = false;
+  while (pending.wait_for(std::chrono::milliseconds(1)) !=
+         std::future_status::ready) {
+    for (const ProgressSnapshot& row : ProgressRegistry::Default().List()) {
+      if (row.graph == "hard") {
+        seen_inflight = true;
+        EXPECT_GE(row.upper_bound, row.incumbent_size);
+      }
+    }
+  }
+  QueryResponse response = pending.get();
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_TRUE(seen_inflight)
+      << "query never appeared in the progress registry";
+  executor.Drain();
+  for (const ProgressSnapshot& row : ProgressRegistry::Default().List()) {
+    EXPECT_NE(row.graph, "hard") << "progress record leaked after serving";
+  }
+}
+
+}  // namespace
+}  // namespace fairclique

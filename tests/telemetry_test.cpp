@@ -322,6 +322,146 @@ TEST(TelemetryTraceTest, ExpiredInQueueCountedAndTraced) {
   EXPECT_EQ(m.deadline_misses, 2u);  // truncated blocker + expired probe
 }
 
+TEST(TelemetryExportTest, StatsAndPrometheusCarryStopAndWorkerFamilies) {
+  GraphRegistry registry;
+  auto graph =
+      RegisterGraph(registry, "hard", RandomAttributedGraph(150, 0.9, 0x53));
+  QueryExecutor executor(ExecutorOptions{2, 8}, nullptr);
+
+  QueryRequest request;
+  request.graph = graph;
+  request.options = BaselineOptions(1, 100);
+  request.options.node_limit = 64;
+  ASSERT_TRUE(executor.Submit(request).get().status.ok());
+
+  std::string json = StatsJson(1, Gather(registry, executor, nullptr));
+  EXPECT_NE(json.find("\"stopped_node_limit\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stopped_time_limit\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"stopped_deadline\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"num_workers\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"active_workers\":"), std::string::npos);
+
+  std::string text = PrometheusText(Gather(registry, executor, nullptr));
+  EXPECT_TRUE(ValidExposition(text)) << text;
+  EXPECT_NE(text.find("fc_executor_stopped_node_limit_total 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("fc_executor_stopped_time_limit_total 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("fc_executor_stopped_deadline_total 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("fc_executor_workers 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fc_executor_active_workers gauge"),
+            std::string::npos);
+  // Queue congestion is scrapable, not just stats-JSON-visible.
+  EXPECT_NE(text.find("# TYPE fc_executor_admission_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE fc_executor_component_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE fc_executor_peak_queue_depth gauge"),
+            std::string::npos);
+  // Nothing in flight at scrape time: both live-search gauges read 0.
+  // (Other suites' queries are drained; the registry is process-wide.)
+  EXPECT_NE(text.find("# TYPE fc_queries_inflight gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fc_search_incumbent_gap gauge"),
+            std::string::npos);
+}
+
+TEST(TelemetryExportTest, InflightGaugesReflectTheProgressRegistry) {
+  // Feed the process-wide registry directly (no executor) and scrape: the
+  // gauges must mirror ProgressRegistry::Default() at render time.
+  auto rec = obs::ProgressRegistry::Default().Register(
+      0xFEED, "gauge_probe", "", 1);
+  rec->NoteIncumbent(4);
+  rec->SetUpperBound(11);
+  GraphRegistry registry;
+  QueryExecutor executor(ExecutorOptions{1, 4}, nullptr);
+  std::string text = PrometheusText(Gather(registry, executor, nullptr));
+  obs::ProgressRegistry::Default().Unregister(0xFEED);
+
+  EXPECT_TRUE(ValidExposition(text)) << text;
+  EXPECT_NE(text.find("fc_queries_inflight 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("fc_search_incumbent_gap 7"), std::string::npos) << text;
+}
+
+TEST(TelemetryExportTest, ProgressJsonSerializesEveryField) {
+  obs::QueryProgress progress(9, "dblp", "k=2;delta=1", 4);
+  progress.AddNodes(2048);
+  progress.NoteIncumbent(6);
+  progress.SetUpperBound(19);
+  progress.NoteComponentDone();
+  std::string json = ProgressJson(progress.Snapshot());
+  EXPECT_NE(json.find("\"trace_id\":9"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"graph\":\"dblp\""), std::string::npos);
+  EXPECT_NE(json.find("\"options\":\"k=2;delta=1\""), std::string::npos);
+  EXPECT_NE(json.find("\"nodes\":2048"), std::string::npos);
+  EXPECT_NE(json.find("\"incumbent_size\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"upper_bound\":19"), std::string::npos);
+  EXPECT_NE(json.find("\"components_done\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"components_total\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"elapsed_micros\":"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(TelemetryTraceTest, BypassPreparedCachePathCarriesPrepareSpan) {
+  // A fully cold query (bypassing both caches) must still produce a span
+  // timeline whose prepare span covers the from-scratch reduction — the
+  // bypass path shares RecordTelemetry with the normal path.
+  obs::Slowlog::Default().Reset();
+  GraphRegistry registry;
+  auto graph =
+      RegisterGraph(registry, "hard", RandomAttributedGraph(150, 0.9, 0x54));
+  QueryExecutor executor(ExecutorOptions{2, 8}, nullptr);
+
+  QueryRequest request;
+  request.graph = graph;
+  request.options = BaselineOptions(1, 100);
+  request.bypass_cache = true;
+  request.bypass_prepared_cache = true;
+  request.deadline_seconds = 0.1;
+  QueryResponse response = executor.Submit(request).get();
+  ASSERT_TRUE(response.status.ok());
+  ASSERT_NE(response.trace_id, 0u);
+  EXPECT_FALSE(response.prepared_hit);
+
+  std::shared_ptr<const obs::Trace> trace =
+      obs::Slowlog::Default().Find(response.trace_id);
+  ASSERT_NE(trace, nullptr);
+  bool saw_prepare = false;
+  bool saw_branch = false;
+  for (const obs::TraceSpan& span : trace->spans) {
+    if (std::string(span.name) == "prepare") {
+      saw_prepare = true;
+      EXPECT_GT(span.duration_micros, 0)
+          << "bypassed prepared cache means a real reduction ran";
+    }
+    if (std::string(span.name) == "branch") saw_branch = true;
+  }
+  EXPECT_TRUE(saw_prepare);
+  EXPECT_TRUE(saw_branch);
+  EXPECT_STREQ(trace->stop_reason, "deadline");
+  std::string json = TraceJson(*trace);
+  EXPECT_NE(json.find("\"stop_reason\":\"deadline\""), std::string::npos)
+      << json;
+}
+
+TEST(TelemetryTraceTest, TraceJsonCarriesStopReasonAndPlan) {
+  obs::Trace trace;
+  trace.id = 5;
+  trace.graph = "g";
+  trace.stop_reason = "node_limit";
+  trace.explain_json = "{\"prepare\":{\"prepared_hit\":false}}";
+  std::string json = TraceJson(trace);
+  EXPECT_NE(json.find("\"stop_reason\":\"node_limit\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"plan\":{\"prepare\":{\"prepared_hit\":false}}"),
+            std::string::npos)
+      << json;
+  // Without a plan, the field is omitted entirely.
+  trace.explain_json.clear();
+  EXPECT_EQ(TraceJson(trace).find("\"plan\""), std::string::npos);
+}
+
 TEST(TelemetryTraceTest, TraceJsonSerializesFlagsAndSpanTree) {
   obs::Trace trace;
   trace.id = 42;

@@ -121,6 +121,52 @@ TEST(WireJsonTest, QueryResponseJsonRoundTripsThroughParser) {
   EXPECT_NE(line.find("\"run_micros\":42"), std::string::npos);
 }
 
+TEST(WireJsonTest, QueryResponseJsonAppendsStopReasonAndPlanLast) {
+  // External scrapers (and the CI crash-recovery smoke) pattern-match on
+  // the original field order, so the newer fields must stay appended after
+  // run_micros: stop_reason always, the spliced plan only when present.
+  auto result = std::make_shared<SearchResult>();
+  result->stats.completed = false;
+  QueryResponse response;
+  response.result = result;
+  response.run_micros = 7;
+  response.stop_reason = "deadline";
+
+  std::string line = wire::QueryResponseJson(1, "g", response);
+  EXPECT_NE(line.find("\"run_micros\":7,\"stop_reason\":\"deadline\"}"),
+            std::string::npos)
+      << line;
+  EXPECT_EQ(line.find("\"plan\""), std::string::npos) << line;
+
+  response.stop_reason = "";
+  response.plan_json = "{\"prepare\":{}}";
+  line = wire::QueryResponseJson(1, "g", response);
+  EXPECT_NE(
+      line.find("\"stop_reason\":\"\",\"plan\":{\"prepare\":{}}}"),
+      std::string::npos)
+      << line;
+}
+
+TEST(WireJsonTest, RawSplicesVerbatimWithCommaHandling) {
+  wire::JsonWriter w;
+  w.BeginObject()
+      .Field("a", 1)
+      .Key("plan")
+      .Raw("{\"x\":[1,2]}")
+      .Field("b", 2)
+      .EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"plan\":{\"x\":[1,2]},\"b\":2}");
+}
+
+TEST(WireJsonTest, TraceNotFoundJsonIsStructured) {
+  // `trace <id>` / `slowlog` misses answer with a machine-readable reason,
+  // not a bare error string: evicted traces are expected operation, and
+  // clients retrying with a fresh id need to tell the cases apart.
+  EXPECT_EQ(wire::TraceNotFoundJson(4, 123),
+            "{\"ok\":false,\"id\":4,\"error\":\"trace 123 not retained\","
+            "\"trace_id\":123,\"reason\":\"not_retained\"}");
+}
+
 TEST(WireJsonTest, QueryResponseJsonErrorsSerializeAsErrorJson) {
   QueryResponse response;
   response.status = Status::Aborted("queue full");

@@ -3,11 +3,25 @@
 // MaxRFC+ub (best upper bound per dataset, as in the paper), and
 // MaxRFC+ub+HeurRFC — varying k and varying delta, per dataset.
 // Fig. 6 covers the five synthetic-attribute stand-ins; Fig. 7 is aminer-s.
+//
+// Also records per-kernel cold branch latency percentiles (scalar vs the
+// dispatched SIMD variant, per component-size bucket) into
+// BENCH_fig6_7_search.json, so the SIMD speedup is a trend CI archives per
+// PR rather than a one-time gate. FAIRCLIQUE_BENCH_SECTION=kernel runs only
+// that section (the figure tables are the expensive part).
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/bitset_simd.h"
 #include "common/logging.h"
+#include "common/timer.h"
+#include "core/prepared_graph.h"
 
 namespace fairclique {
 namespace {
@@ -52,16 +66,95 @@ void RunDataset(const DatasetSpec& spec) {
   std::printf("\n");
 }
 
+// Component-size buckets for the per-kernel latency breakdown. The SIMD win
+// grows with row width, so the trend is only readable split by size.
+const char* BucketOf(VertexId n) {
+  if (n <= 128) return "small";    // rows fit in 1-2 cache lines
+  if (n <= 512) return "medium";
+  return "large";
+}
+
+// Cold-branches every prepared component of every standard dataset once per
+// kernel variant (bitset engine forced, interleaved scalar/dispatched) and
+// emits p50/p95/p99/mean per (kernel, size bucket).
+void RunKernelLatencySection() {
+  struct Sample {
+    VertexId vertices;
+    double scalar_us = 0.0;
+    double simd_us = 0.0;
+  };
+  std::vector<Sample> samples;
+  SearchOptions options = BaselineOptions(2, 2);
+  options.engine = SearchEngine::kBitset;
+  options.time_limit_seconds = bench::BenchTimeout();
+  Deadline deadline;  // per-component budget rides time_limit_seconds
+  for (const DatasetSpec& spec : StandardDatasets()) {
+    AttributedGraph g = LoadDataset(spec.name, bench::BenchScale());
+    auto plan = PrepareGraph(g, options.params.k, options.reductions);
+    for (size_t c = 0; c < plan->components.size(); ++c) {
+      Sample s;
+      s.vertices = plan->components[c]->graph.num_vertices();
+      // Warm orderings and pages once so both timed runs are equally cold
+      // w.r.t. the branch work and equally warm w.r.t. the plan.
+      BranchComponent(*plan, c, options, deadline, nullptr);
+      simd::SetKernelOverride("scalar");
+      WallTimer ts;
+      BranchComponent(*plan, c, options, deadline, nullptr);
+      s.scalar_us = static_cast<double>(ts.ElapsedMicros());
+      simd::SetKernelOverride(nullptr);
+      WallTimer td;
+      BranchComponent(*plan, c, options, deadline, nullptr);
+      s.simd_us = static_cast<double>(td.ElapsedMicros());
+      samples.push_back(s);
+    }
+  }
+  simd::SetKernelOverride(nullptr);
+
+  std::vector<std::pair<std::string, double>> metrics;
+  metrics.emplace_back(
+      "kernel_simd_active",
+      std::strcmp(simd::ActiveName(), "scalar") != 0 ? 1.0 : 0.0);
+  std::printf("== per-kernel cold BranchComponent latency (%s dispatched) ==\n",
+              simd::ActiveName());
+  std::printf("%-8s %8s | %10s %10s %10s | %10s %10s %10s\n", "bucket", "n",
+              "scal p50", "scal p95", "scal mean", "simd p50", "simd p95",
+              "simd mean");
+  for (const char* bucket : {"small", "medium", "large"}) {
+    std::vector<double> scalar_us, simd_us;
+    for (const Sample& s : samples) {
+      if (std::strcmp(BucketOf(s.vertices), bucket) != 0) continue;
+      scalar_us.push_back(s.scalar_us);
+      simd_us.push_back(s.simd_us);
+    }
+    bench::LatencyPercentiles sp = bench::ComputePercentiles(scalar_us);
+    bench::LatencyPercentiles dp = bench::ComputePercentiles(simd_us);
+    std::string prefix = std::string("branch_") + bucket;
+    metrics.emplace_back(prefix + "_components",
+                         static_cast<double>(scalar_us.size()));
+    bench::AppendLatencyMetrics(&metrics, prefix + "_scalar", sp);
+    bench::AppendLatencyMetrics(&metrics, prefix + "_simd", dp);
+    std::printf("%-8s %8zu | %10.0f %10.0f %10.0f | %10.0f %10.0f %10.0f\n",
+                bucket, scalar_us.size(), sp.p50, sp.p95, sp.mean, dp.p50,
+                dp.p95, dp.mean);
+  }
+  bench::EmitBenchJson("fig6_7_search", metrics);
+}
+
 }  // namespace
 }  // namespace fairclique
 
 int main() {
   using namespace fairclique;
   SetLogLevel(LogLevel::kWarning);
-  std::printf(
-      "=== Fig. 6 / Fig. 7: MaxRFC vs MaxRFC+ub vs MaxRFC+ub+HeurRFC ===\n\n");
-  for (const DatasetSpec& spec : StandardDatasets()) {
-    RunDataset(spec);
+  const char* section = std::getenv("FAIRCLIQUE_BENCH_SECTION");
+  if (section == nullptr || std::strcmp(section, "kernel") != 0) {
+    std::printf(
+        "=== Fig. 6 / Fig. 7: MaxRFC vs MaxRFC+ub vs MaxRFC+ub+HeurRFC "
+        "===\n\n");
+    for (const DatasetSpec& spec : StandardDatasets()) {
+      RunDataset(spec);
+    }
   }
+  RunKernelLatencySection();
   return 0;
 }

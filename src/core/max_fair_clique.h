@@ -19,7 +19,8 @@ class QueryProgress;  // obs/progress.h; optional live-progress sink
 /// and produce identical answers (differentially tested); they differ only
 /// in candidate-set representation.
 enum class SearchEngine {
-  kAuto,    // Bitset for components up to ~4096 vertices, vectors beyond.
+  kAuto,    // Bitset while its adjacency arena fits the cache-sized memory
+            // budget (see BitsetArenaBudgetBytes), vectors beyond.
   kVector,  // Sorted candidate vectors; O(|C| + deg) child construction.
   kBitset,  // Word-parallel candidate bitsets; fastest on dense residues.
 };

@@ -1,10 +1,16 @@
 #include "core/prepared_graph.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <deque>
 #include <functional>
 #include <numeric>
 #include <thread>
 #include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "common/bitset.h"
 #include "common/logging.h"
@@ -267,9 +273,19 @@ class ComponentSearch {
 };
 
 // Word-parallel variant of ComponentSearch for dense components: candidate
-// sets are bitsets over ranks, child sets are built with three word ops per
-// word. Branch semantics, pruning rules and answers are identical to the
-// vector engine (asserted by differential tests).
+// sets are bitsets over ranks, child sets are built with word-parallel
+// kernels (runtime-dispatched scalar/AVX2/NEON, see common/bitset_simd.h).
+// Branch semantics, pruning rules and answers are identical to the vector
+// engine (asserted by differential tests).
+//
+// Layout: adjacency rows live in one contiguous cache-line-aligned
+// BitsetArena (rows padded to 64 bytes) rather than n separate heap
+// allocations, so the candidate∩row intersections of a branch walk dense
+// memory; the next pivot's row is prefetched while the current child
+// recurses. Child candidate sets come from a per-depth scratch pool (one
+// Bitset per recursion level, reused across siblings) instead of a fresh
+// allocation per node, and the child's per-attribute counts fall out of the
+// fused dual-count intersection in the same pass that builds it.
 class BitsetComponentSearch {
  public:
   BitsetComponentSearch(const AttributedGraph& comp,
@@ -284,15 +300,15 @@ class BitsetComponentSearch {
         stats_(stats),
         best_(best),
         floor_(floor),
-        rank_of_(rank_of) {
+        rank_of_(rank_of),
+        nbr_(n_, n_) {
     vertex_at_.resize(n_);
     for (VertexId v = 0; v < n_; ++v) vertex_at_[rank_of_[v]] = v;
-    nbr_.assign(n_, Bitset(n_));
     attr_bits_[0] = Bitset(n_);
     attr_bits_[1] = Bitset(n_);
     for (VertexId v = 0; v < n_; ++v) {
       uint32_t r = rank_of_[v];
-      for (VertexId w : g_.neighbors(v)) nbr_[r].Set(rank_of_[w]);
+      for (VertexId w : g_.neighbors(v)) nbr_.SetBit(r, rank_of_[w]);
       attr_bits_[AttrIndex(g_.attribute(v))].Set(r);
     }
   }
@@ -327,7 +343,12 @@ class BitsetComponentSearch {
     return std::max<int64_t>(2 * options_.params.k, Known() + 1);
   }
 
-  void Branch(Bitset cand, AttrCounts cand_cnt, int depth) {
+  // `cand` is the caller's scratch set for this depth; the callee may
+  // consume it destructively (pivots are cleared as the loop advances, and
+  // the delta-cap prune subtracts in place). Parents rebuild their scratch
+  // from their own `cand` each iteration, so nothing downstream reads it
+  // after the call.
+  void Branch(Bitset& cand, AttrCounts cand_cnt, int depth) {
     if (aborted_) return;
     stats_->nodes++;
     if (options_.node_limit != 0 && stats_->nodes > options_.node_limit) {
@@ -391,28 +412,46 @@ class BitsetComponentSearch {
       }
     }
     int64_t remaining = cand_size;
-    for (size_t u = cand.NextSetBit(0); u < cand.size();
-         u = cand.NextSetBit(u + 1), --remaining) {
+    Bitset& next = ScratchAt(depth);
+    for (size_t u = cand.NextSetBit(0); u < cand.size(); --remaining) {
       if (aborted_) return;
       if (static_cast<int64_t>(r_.size()) + remaining < Target()) {
         stats_->size_prunes++;
         break;  // Later children only get smaller.
       }
-      Bitset next = cand;
-      next &= nbr_[u];
-      next.ResetBelow(u + 1);
+      // "Rest" form of the ordered expansion: clearing the pivot makes
+      // cand = {bits > u still eligible} (every bit < u was a pivot
+      // already), so cand & nbr[u] equals the textbook
+      // (cand & nbr[u]).ResetBelow(u + 1) without the extra pass.
+      cand.Reset(u);
+      size_t u_next = cand.NextSetBit(u + 1);
+      // Pull the next pivot's adjacency row toward L1 while this child's
+      // subtree runs; by the time the loop comes back around it is resident.
+      if (u_next < cand.size()) nbr_.PrefetchRow(u_next);
+      simd::DualCount dc =
+          next.AssignIntersectDual(cand, nbr_.row(u), attr_bits_[0]);
       AttrCounts next_cnt;
-      next_cnt[Attribute::kA] =
-          static_cast<int64_t>(next.IntersectCount(attr_bits_[0]));
-      next_cnt[Attribute::kB] =
-          static_cast<int64_t>(next.IntersectCount(attr_bits_[1]));
+      next_cnt[Attribute::kA] = static_cast<int64_t>(dc.in_mask);
+      // Every vertex holds exactly one of the two attributes, so the B
+      // count is the complement within the intersection.
+      next_cnt[Attribute::kB] = static_cast<int64_t>(dc.total - dc.in_mask);
       Attribute au = g_.attribute(vertex_at_[u]);
       r_.push_back(static_cast<uint32_t>(u));
       r_cnt_[au]++;
-      Branch(std::move(next), next_cnt, depth + 1);
+      Branch(next, next_cnt, depth + 1);
       r_.pop_back();
       r_cnt_[au]--;
+      u = u_next;
     }
+  }
+
+  // One scratch Bitset per recursion depth, reused across every sibling at
+  // that depth. A deque keeps references stable while deeper levels append.
+  Bitset& ScratchAt(int depth) {
+    while (static_cast<size_t>(depth) >= scratch_.size()) {
+      scratch_.emplace_back(n_);
+    }
+    return scratch_[static_cast<size_t>(depth)];
   }
 
   int64_t UpperBoundOf(const Bitset& cand) {
@@ -435,16 +474,24 @@ class BitsetComponentSearch {
 
   const std::vector<uint32_t>& rank_of_;
   std::vector<VertexId> vertex_at_;
-  std::vector<Bitset> nbr_;
+  BitsetArena nbr_;
   Bitset attr_bits_[2];
+  // Per-depth child-set scratch, one Bitset per recursion level. A deque so
+  // references handed to recursive calls stay valid when deeper levels grow
+  // the pool.
+  std::deque<Bitset> scratch_;
   std::vector<uint32_t> r_;
   AttrCounts r_cnt_;
   std::function<VertexId(uint32_t)> map_;
 };
 
-// Threshold below which kAuto picks the bitset kernel: n^2/8 bytes of
-// adjacency bitsets stays under ~2 MB.
-constexpr VertexId kBitsetAutoThreshold = 4096;
+// Bytes the bitset engine's blocked adjacency arena takes for an n-vertex
+// component: n rows of n bits, each row padded to a whole cache line.
+uint64_t ArenaBytesFor(VertexId n) {
+  uint64_t words_per_row =
+      ((static_cast<uint64_t>(n) + 63) / 64 + 7) & ~uint64_t{7};
+  return static_cast<uint64_t>(n) * words_per_row * sizeof(uint64_t);
+}
 
 }  // namespace
 
@@ -466,10 +513,54 @@ bool PreparedGraph::Compatible(const SearchOptions& options) const {
              reductions.use_en_colorful_sup;
 }
 
+uint64_t BitsetArenaBudgetBytes() {
+  static const uint64_t budget = [] {
+    constexpr uint64_t kMiB = 1024 * 1024;
+    // Explicit override wins (benchmarks and tests pin the decision).
+    if (const char* env = std::getenv("FAIRCLIQUE_BITSET_BUDGET_BYTES")) {
+      char* end = nullptr;
+      unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && v > 0) return static_cast<uint64_t>(v);
+    }
+    // Otherwise size to the last-level cache: the arena should mostly live
+    // there during a branch. Clamped so exotic cache reports cannot make
+    // kAuto wildly aggressive or refuse components the old fixed threshold
+    // (4096 vertices = exactly 2 MiB of arena) accepted.
+    uint64_t cache = 0;
+#if defined(_SC_LEVEL3_CACHE_SIZE)
+    {
+      long v = sysconf(_SC_LEVEL3_CACHE_SIZE);
+      if (v > 0) cache = static_cast<uint64_t>(v);
+    }
+#endif
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+    if (cache == 0) {
+      long v = sysconf(_SC_LEVEL2_CACHE_SIZE);
+      if (v > 0) cache = static_cast<uint64_t>(v);
+    }
+#endif
+    if (cache == 0) return uint64_t{8} * kMiB;
+    return std::min(uint64_t{32} * kMiB, std::max(uint64_t{2} * kMiB, cache));
+  }();
+  return budget;
+}
+
+EngineDecision ResolveEngineDecision(SearchEngine engine,
+                                     VertexId component_vertices) {
+  EngineDecision d;
+  d.arena_bytes = ArenaBytesFor(component_vertices);
+  d.budget_bytes = BitsetArenaBudgetBytes();
+  if (engine != SearchEngine::kAuto) {
+    d.engine = engine;
+  } else {
+    d.engine = d.arena_bytes <= d.budget_bytes ? SearchEngine::kBitset
+                                               : SearchEngine::kVector;
+  }
+  return d;
+}
+
 SearchEngine ResolveEngine(SearchEngine engine, VertexId component_vertices) {
-  if (engine != SearchEngine::kAuto) return engine;
-  return component_vertices <= kBitsetAutoThreshold ? SearchEngine::kBitset
-                                                    : SearchEngine::kVector;
+  return ResolveEngineDecision(engine, component_vertices).engine;
 }
 
 const char* SearchEngineName(SearchEngine engine) {

@@ -114,10 +114,32 @@ struct ComponentBranchResult {
   bool aborted = false;
 };
 
-/// The branch kernel kAuto resolves to for a component of
-/// `component_vertices` vertices (an explicit engine choice passes
-/// through). Exposed so EXPLAIN plans can report the engine each component
-/// actually ran without duplicating the threshold.
+/// How kAuto chose (or an explicit choice was annotated) for one component:
+/// the engine, the bytes the bitset engine's blocked adjacency arena would
+/// occupy at this component size, and the memory budget the arena was
+/// compared against. Surfaced per component in EXPLAIN plans so dispatch
+/// regressions are visible per query.
+struct EngineDecision {
+  SearchEngine engine = SearchEngine::kVector;
+  uint64_t arena_bytes = 0;
+  uint64_t budget_bytes = 0;
+};
+
+/// The memory budget kAuto allows the bitset engine's adjacency arena:
+/// FAIRCLIQUE_BITSET_BUDGET_BYTES when set, otherwise the machine's
+/// last-level cache size clamped to [2 MiB, 32 MiB] (8 MiB when the size
+/// cannot be determined). The 2 MiB floor keeps every component the old
+/// fixed 4096-vertex threshold accepted on the bitset engine.
+uint64_t BitsetArenaBudgetBytes();
+
+/// Resolves the engine for a component of `component_vertices` vertices:
+/// kAuto picks the bitset engine whenever its arena fits the budget, an
+/// explicit engine choice passes through (with the arena/budget numbers
+/// still filled in for observability).
+EngineDecision ResolveEngineDecision(SearchEngine engine,
+                                     VertexId component_vertices);
+
+/// Shorthand for ResolveEngineDecision(...).engine.
 SearchEngine ResolveEngine(SearchEngine engine, VertexId component_vertices);
 
 /// Protocol/plan name of an engine: "auto" | "vector" | "bitset".

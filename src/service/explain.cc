@@ -55,6 +55,12 @@ std::string ExplainPlanJson(const ExplainPlan& plan) {
       .Field("seed_size", static_cast<long long>(plan.seed_size))
       .EndObject();
 
+  w.Key("kernel").BeginObject();
+  w.Field("simd", plan.simd_kernel)
+      .Field("bitset_budget_bytes",
+             static_cast<unsigned long long>(plan.bitset_budget_bytes))
+      .EndObject();
+
   w.Key("components").BeginArray();
   for (const ExplainComponent& comp : plan.components) {
     w.BeginObject()
@@ -63,7 +69,9 @@ std::string ExplainPlanJson(const ExplainPlan& plan) {
         .Field("edges", static_cast<unsigned long long>(comp.edges))
         .Field("searched", comp.searched);
     if (comp.searched) {
-      w.Field("engine", comp.engine);
+      w.Field("engine", comp.engine)
+          .Field("arena_bytes",
+                 static_cast<unsigned long long>(comp.arena_bytes));
       WriteStats(w, comp.stats);
       w.Field("search_micros",
               static_cast<long long>(comp.stats.search_micros))

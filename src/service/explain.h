@@ -33,6 +33,10 @@ struct ExplainComponent {
   /// Engine the branch kernel resolved to for this component ("vector" /
   /// "bitset"); meaningful only when searched.
   std::string engine;
+  /// Bytes of the blocked adjacency arena the bitset engine allocates at
+  /// this component size — the quantity the memory-aware kAuto rule
+  /// compared against the budget. Meaningful only when searched.
+  uint64_t arena_bytes = 0;
   /// The component's SearchStats (nodes + the full prune breakdown +
   /// search_micros); zeros when not searched or skipped by the live floor.
   SearchStats stats;
@@ -60,6 +64,12 @@ struct ExplainPlan {
   int64_t heuristic_size = 0;
   bool warm_start = false;
   int64_t seed_size = 0;          // incumbent size the Branch stage started at
+
+  // Kernel dispatch: the SIMD variant the word-parallel bitset ops ran with
+  // ("scalar" / "avx2" / "neon") and the memory budget the engine-selection
+  // rule allowed the bitset engine's adjacency arena.
+  std::string simd_kernel;
+  uint64_t bitset_budget_bytes = 0;
 
   // Branch stage.
   std::vector<ExplainComponent> components;

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/bitset_simd.h"
 #include "core/options_key.h"
 #include "dynamic/incremental_search.h"
 #include "obs/progress.h"
@@ -351,6 +352,8 @@ void QueryExecutor::BuildExplain(QueryState& qs, const SearchResult* sr) {
     plan.seed_size = !qs.seed.clique.vertices.empty()
                          ? static_cast<int64_t>(qs.seed.clique.size())
                          : sr->stats.heuristic_size;
+    plan.simd_kernel = simd::ActiveName();
+    plan.bitset_budget_bytes = BitsetArenaBudgetBytes();
     plan.components.reserve(prepared.components.size());
     size_t slot = 0;
     for (size_t i = 0; i < prepared.components.size(); ++i) {
@@ -363,8 +366,10 @@ void QueryExecutor::BuildExplain(QueryState& qs, const SearchResult* sr) {
       if (slot < qs.comp_indices.size() && qs.comp_indices[slot] == i) {
         const ComponentBranchResult& task = qs.results[slot];
         row.searched = true;
-        row.engine = SearchEngineName(
-            ResolveEngine(qs.effective.engine, cg.num_vertices()));
+        EngineDecision decision =
+            ResolveEngineDecision(qs.effective.engine, cg.num_vertices());
+        row.engine = SearchEngineName(decision.engine);
+        row.arena_bytes = decision.arena_bytes;
         row.stats = task.stats;
         row.aborted = task.aborted;
         row.best_size = static_cast<int64_t>(task.best.size());

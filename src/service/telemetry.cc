@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/bitset_simd.h"
+#include "core/prepared_graph.h"
 #include "graph/fingerprint.h"
 #include "obs/metrics.h"
 #include "service/wire.h"
@@ -99,6 +101,12 @@ std::string StatsJson(uint64_t id, const ServiceTelemetry& t) {
       .Field("peak_queue_depth", t.executor.peak_queue_depth)
       .Field("num_workers", t.executor.num_workers)
       .Field("active_workers", t.executor.active_workers)
+      .EndObject();
+  w.Key("kernel")
+      .BeginObject()
+      .Field("simd", simd::ActiveName())
+      .Field("bitset_budget_bytes",
+             static_cast<unsigned long long>(BitsetArenaBudgetBytes()))
       .EndObject();
   {
     obs::Slowlog& slowlog = obs::Slowlog::Default();

@@ -30,6 +30,7 @@
 #include "core/max_fair_clique.h"
 #include "core/prepared_graph.h"
 #include "datasets/datasets.h"
+#include "obs/event_journal.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "service/graph_registry.h"
@@ -281,6 +282,11 @@ int main() {
   json_metrics.emplace_back("cached_qps_obs_off", best_obs_off);
   json_metrics.emplace_back("cached_qps_obs_on", best_obs_on);
   json_metrics.emplace_back("instrumentation_overhead_pct", overhead_pct);
+  // The cached-hit path records exactly one journal event per serve, so
+  // this also documents how much ring the overhead run chews through.
+  json_metrics.emplace_back(
+      "journal_events_recorded",
+      static_cast<double>(obs::EventJournal::Default().recorded()));
 
   // ---------------------------------------------- progress-hook overhead
   // The live-progress hooks ride the branch kernels' existing 1024-node

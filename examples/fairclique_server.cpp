@@ -51,6 +51,11 @@
 //   {"cmd":"ps"}         live progress of in-flight searches, one JSON line
 //                        per query (nodes, incumbent vs upper bound,
 //                        components done/total), then an ack
+//   {"cmd":"health"}     ok/degraded verdict with reasons (stalled query,
+//                        stalled admission queue, high deadline-miss rate),
+//                        uptime, build identity, watchdog stats
+//   {"cmd":"journal","limit":64}  newest structured events from the
+//                                 in-memory event journal, as one JSON line
 //   {"cmd":"profile","action":"start","hz":200}  sampling profiler on
 //   {"cmd":"profile","action":"stop"}
 //   {"cmd":"profile","action":"dump"}  folded stacks ("frame;frame count"),
@@ -79,6 +84,8 @@
 // response serialization) live in src/service/wire.h with their own unit
 // tests; this file is only the command loop.
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -88,15 +95,19 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <utility>
 #include <vector>
 
 #include "core/fairclique.h"
 #include "datasets/datasets.h"
+#include "obs/crash_handler.h"
+#include "obs/event_journal.h"
 #include "obs/profiler.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "service/telemetry.h"
 #include "service/wire.h"
 
@@ -138,6 +149,10 @@ struct Server {
   uint64_t next_id = 1;
   std::vector<std::tuple<uint64_t, std::string, std::future<QueryResponse>>>
       pending;
+  /// Liveness watchdog; declared after `executor` so it stops (joining its
+  /// sweep thread, which samples the executor) before the executor
+  /// destructs. Created in main once the flags are parsed.
+  std::unique_ptr<obs::Watchdog> watchdog;
 
   Server(int workers, size_t cache_capacity, size_t prepared_capacity,
          size_t queue_capacity)
@@ -327,7 +342,62 @@ struct Server {
       t.storage = storage->counters();
       t.has_storage = true;
     }
+    if (watchdog != nullptr) {
+      t.watchdog = watchdog->stats();
+      t.has_watchdog = true;
+    }
     return t;
+  }
+
+  void StartWatchdog(const obs::WatchdogOptions& options) {
+    watchdog = std::make_unique<obs::Watchdog>(options);
+    watchdog->SetExecutorSampler([this] {
+      ExecutorMetrics m = executor.metrics();
+      obs::WatchdogExecutorSample sample;
+      sample.served = m.served;
+      sample.deadline_misses = m.deadline_misses;
+      sample.queue_depth = m.queue_depth;
+      return sample;
+    });
+    watchdog->Start();
+  }
+
+  void HandleHealth(uint64_t id) {
+    std::printf("%s\n", HealthJson(id, GatherTelemetry()).c_str());
+  }
+
+  void HandleJournal(uint64_t id, const JsonObject& obj) {
+    size_t limit = static_cast<size_t>(GetNumber(obj, "limit", 64));
+    obs::EventJournal& journal = obs::EventJournal::Default();
+    JsonWriter w;
+    w.BeginObject()
+        .Field("ok", true)
+        .Field("id", static_cast<unsigned long long>(id))
+        .Field("recorded",
+               static_cast<unsigned long long>(journal.recorded()));
+    w.Key("events").Raw(journal.Json(limit));
+    w.EndObject();
+    PrintLine(w);
+  }
+
+  /// Deliberate crash, for exercising the crash handler end to end (the CI
+  /// crash-forensics smoke). Gated on FAIRCLIQUE_CRASH_TEST=1 so a stray
+  /// command in a production workload cannot take the server down.
+  /// wait_inflight polls until at least one query is mid-Branch (<= 10 s),
+  /// so the postmortem provably captures an in-flight query.
+  void HandleCrash(uint64_t id, const JsonObject& obj) {
+    const char* enabled = std::getenv("FAIRCLIQUE_CRASH_TEST");
+    if (enabled == nullptr || std::string(enabled) != "1") {
+      return PrintError(id, "crash: set FAIRCLIQUE_CRASH_TEST=1 to enable");
+    }
+    if (GetBool(obj, "wait_inflight", false)) {
+      for (int i = 0; i < 1000; ++i) {
+        if (obs::ProgressRegistry::Default().size() > 0) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    std::fflush(stdout);
+    std::raise(SIGSEGV);
   }
 
   void HandleStats(uint64_t id) {
@@ -656,6 +726,9 @@ struct Server {
     else if (cmd == "slowlog") HandleSlowlog(id, obj);
     else if (cmd == "trace") HandleTrace(id, obj);
     else if (cmd == "ps") HandlePs(id);
+    else if (cmd == "health") HandleHealth(id);
+    else if (cmd == "journal") HandleJournal(id, obj);
+    else if (cmd == "crash") HandleCrash(id, obj);
     else if (cmd == "profile") HandleProfile(id, obj);
     else if (cmd == "evict") HandleEvict(id, obj);
     else if (cmd == "quit") return false;
@@ -671,13 +744,20 @@ int Usage() {
                "[--prepared N] [--queue N]\n"
                "                         [--data-dir PATH] [--wal-compact N] "
                "[--wal-group-window USEC]\n"
-               "                         [--slowlog N] [commands.jsonl]\n"
+               "                         [--slowlog N] [--journal N] "
+               "[--log-level LEVEL]\n"
+               "                         [--watchdog-interval-ms N] "
+               "[--watchdog-stall-ms N]\n"
+               "                         [--no-watchdog] [commands.jsonl]\n"
                "reads JSON-lines commands from the file or stdin; with "
                "--data-dir the service\n"
-               "is durable (FCG2 snapshots + group-committed update WAL) and "
+               "is durable (FCG2 snapshots + group-committed update WAL), "
                "recovers its state\n"
-               "on startup; --wal-group-window trades append latency for "
-               "larger commit groups\n");
+               "on startup, and installs a crash handler that writes a "
+               "postmortem (crash-<pid>.json)\n"
+               "into the data dir on a fatal signal; --journal sizes the "
+               "per-thread event rings;\n"
+               "--log-level is debug|info|warning|error (default warning)\n");
   return 2;
 }
 
@@ -691,6 +771,8 @@ int main(int argc, char** argv) {
   size_t queue_capacity = 256;
   size_t wal_compact = 64;
   int64_t wal_group_window = 0;
+  obs::WatchdogOptions watchdog_options;
+  bool watchdog_enabled = true;
   std::string data_dir;
   std::string script;
   for (int i = 1; i < argc; ++i) {
@@ -712,6 +794,24 @@ int main(int argc, char** argv) {
       // Re-caps the process-wide slowlog before any query runs.
       obs::Slowlog::Default().Reset(
           static_cast<size_t>(std::atoll(argv[++i])));
+    } else if (arg == "--journal" && i + 1 < argc) {
+      // Re-sizes the per-thread event rings before anything records.
+      obs::EventJournal::Default().ResizeForStartup(
+          static_cast<size_t>(std::atoll(argv[++i])));
+    } else if (arg == "--log-level" && i + 1 < argc) {
+      LogLevel level;
+      if (!ParseLogLevel(argv[++i], &level)) {
+        std::fprintf(stderr, "bad --log-level '%s' (want debug|info|"
+                             "warning|error)\n", argv[i]);
+        return Usage();
+      }
+      SetLogLevel(level);
+    } else if (arg == "--watchdog-interval-ms" && i + 1 < argc) {
+      watchdog_options.interval_micros = std::atoll(argv[++i]) * 1000;
+    } else if (arg == "--watchdog-stall-ms" && i + 1 < argc) {
+      watchdog_options.stall_after_micros = std::atoll(argv[++i]) * 1000;
+    } else if (arg == "--no-watchdog") {
+      watchdog_enabled = false;
     } else if (arg == "--help" || arg == "-h" || arg[0] == '-') {
       return Usage();
     } else {
@@ -728,7 +828,16 @@ int main(int argc, char** argv) {
                    status.ToString().c_str());
       return 1;
     }
+    // Crash forensics need somewhere durable to write; the data dir is the
+    // natural home (postmortems sit next to the state they describe).
+    obs::CrashHandlerOptions crash_options;
+    crash_options.dir = data_dir;
+    if (!obs::InstallCrashHandler(crash_options)) {
+      std::fprintf(stderr, "crash handler not installed (cannot open %s)\n",
+                   data_dir.c_str());
+    }
   }
+  if (watchdog_enabled) server.StartWatchdog(watchdog_options);
   std::ifstream file;
   if (!script.empty()) {
     file.open(script);

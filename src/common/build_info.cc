@@ -1,0 +1,39 @@
+#include "common/build_info.h"
+
+#include <chrono>
+
+#ifndef FAIRCLIQUE_BUILD_VERSION
+#define FAIRCLIQUE_BUILD_VERSION "unversioned"
+#endif
+#ifndef FAIRCLIQUE_BUILD_TYPE
+#define FAIRCLIQUE_BUILD_TYPE "unspecified"
+#endif
+
+namespace fairclique {
+namespace {
+/// Captured at static initialization, i.e. before main() runs.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+}  // namespace
+
+const char* BuildVersion() { return FAIRCLIQUE_BUILD_VERSION; }
+
+const char* BuildType() { return FAIRCLIQUE_BUILD_TYPE; }
+
+const char* BuildCompiler() {
+#ifdef __VERSION__
+  return __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+int64_t ProcessUptimeMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - g_process_start)
+      .count();
+}
+
+int64_t ProcessUptimeSeconds() { return ProcessUptimeMicros() / 1000000; }
+
+}  // namespace fairclique

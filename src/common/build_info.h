@@ -1,0 +1,31 @@
+#ifndef FAIRCLIQUE_COMMON_BUILD_INFO_H_
+#define FAIRCLIQUE_COMMON_BUILD_INFO_H_
+
+/// Compile-time provenance and process uptime, surfaced by `stats`,
+/// `metrics` (the fc_build_info gauge), `health`, and crash postmortems.
+/// The version string is `git describe` captured by CMake at configure
+/// time; the build type comes from CMAKE_BUILD_TYPE. All accessors return
+/// pointers to static storage and are async-signal-safe.
+
+#include <cstdint>
+
+namespace fairclique {
+
+/// git describe --always --dirty at configure time, or "unversioned" when
+/// the source tree was not a git checkout.
+const char* BuildVersion();
+
+/// CMake build type ("Release", "Debug", ...), or "unspecified".
+const char* BuildType();
+
+/// Compiler identification (__VERSION__).
+const char* BuildCompiler();
+
+/// Microseconds since this process's static initialization — effectively
+/// process start for anything that links this library.
+int64_t ProcessUptimeMicros();
+int64_t ProcessUptimeSeconds();
+
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_COMMON_BUILD_INFO_H_

@@ -8,6 +8,7 @@ namespace fairclique {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<bool> g_log_suppressed{false};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -27,6 +28,23 @@ LogLevel GetLogLevel() {
 
 void SetLogLevel(LogLevel level) {
   g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  if (name == "debug") *out = LogLevel::kDebug;
+  else if (name == "info") *out = LogLevel::kInfo;
+  else if (name == "warning" || name == "warn") *out = LogLevel::kWarning;
+  else if (name == "error") *out = LogLevel::kError;
+  else return false;
+  return true;
+}
+
+void SetLogSuppressed(bool suppressed) {
+  g_log_suppressed.store(suppressed, std::memory_order_relaxed);
+}
+
+bool LogSuppressed() {
+  return g_log_suppressed.load(std::memory_order_relaxed);
 }
 
 namespace internal {
@@ -56,7 +74,8 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= GetLogLevel() || level_ == LogLevel::kFatal) {
+  if (!LogSuppressed() &&
+      (level_ >= GetLogLevel() || level_ == LogLevel::kFatal)) {
     // One fwrite of the complete line (newline included): POSIX stdio locks
     // per call, so concurrent threads' messages never interleave
     // mid-line — which the old fprintf("%s\n") already guaranteed, but only

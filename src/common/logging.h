@@ -22,6 +22,19 @@ enum class LogLevel : int {
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Parses "debug" / "info" / "warning" (or "warn") / "error" into `out`.
+/// Returns false (leaving `out` untouched) on anything else. Backs the
+/// server's --log-level flag.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
+
+/// Emergency mute: while suppressed, every non-fatal message is dropped
+/// before reaching stderr (fatal still aborts, silently). The crash handler
+/// sets this from inside a fatal-signal handler — an atomic store is
+/// async-signal-safe where stdio is not — so its postmortem breadcrumb is
+/// the only line other threads can no longer garble.
+void SetLogSuppressed(bool suppressed);
+bool LogSuppressed();
+
 namespace internal {
 
 /// Stream-style log sink: collects the message and emits it on destruction.

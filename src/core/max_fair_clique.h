@@ -2,6 +2,7 @@
 #define FAIRCLIQUE_CORE_MAX_FAIR_CLIQUE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "bounds/upper_bounds.h"
@@ -96,6 +97,14 @@ struct SearchOptions {
   /// observational — never consulted by the search — and, like warm_start,
   /// excluded from CanonicalOptionsKey. Not owned.
   obs::QueryProgress* progress = nullptr;
+
+  /// Test/ops hook invoked at the same 1024-node cadence, before the
+  /// progress publish and deadline check. The watchdog tests use it to
+  /// freeze a search deterministically mid-Branch (a blocking tick stops
+  /// both node publishing and the deadline check — exactly the "wedged
+  /// kernel" failure mode the watchdog exists to catch). Like `progress`,
+  /// observational only and excluded from CanonicalOptionsKey. Not owned.
+  const std::function<void()>* branch_tick = nullptr;
 };
 
 /// Why a search stopped before proving optimality. Ordered by precedence:

@@ -139,6 +139,7 @@ class ComponentSearch {
     if ((stats_->nodes & 0x3ff) == 0) {
       // The deadline-check cadence doubles as the live-progress cadence:
       // one predictable branch per kilonode either way.
+      if (options_.branch_tick != nullptr) (*options_.branch_tick)();
       if (options_.progress != nullptr) options_.progress->AddNodes(1024);
       if (deadline_.Expired()) {
         stats_->stop_reason = StopReason::kTimeLimit;
@@ -359,6 +360,7 @@ class BitsetComponentSearch {
     if ((stats_->nodes & 0x3ff) == 0) {
       // The deadline-check cadence doubles as the live-progress cadence:
       // one predictable branch per kilonode either way.
+      if (options_.branch_tick != nullptr) (*options_.branch_tick)();
       if (options_.progress != nullptr) options_.progress->AddNodes(1024);
       if (deadline_.Expired()) {
         stats_->stop_reason = StopReason::kTimeLimit;

@@ -1,0 +1,304 @@
+#include "obs/event_journal.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace fairclique {
+namespace obs {
+namespace {
+
+/// Round-robin shard assignment at first record from each thread. The
+/// journal keeps its own assignment (rather than reusing the metrics
+/// shards) so its shard count can differ and so a thread's ordinal can be
+/// stamped into events for per-thread-order tests.
+uint32_t JournalShard() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % EventJournal::kShards;
+  return shard;
+}
+
+int64_t WallMicros() {
+  struct timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000 + ts.tv_nsec / 1000;
+}
+
+// ------------------------------------------------------------------
+// Async-signal-safe append helpers: every function writes into buf at
+// pos, bounded by cap, and returns the new pos. No allocation, no
+// locale-dependent formatting.
+
+size_t AppendRaw(char* buf, size_t cap, size_t pos, const char* s) {
+  while (*s != '\0' && pos < cap) buf[pos++] = *s++;
+  return pos;
+}
+
+size_t AppendDec(char* buf, size_t cap, size_t pos, uint64_t v) {
+  char tmp[20];
+  size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0 && pos < cap) buf[pos++] = tmp[--n];
+  return pos;
+}
+
+size_t AppendDecSigned(char* buf, size_t cap, size_t pos, int64_t v) {
+  if (v < 0) {
+    if (pos < cap) buf[pos++] = '-';
+    return AppendDec(buf, cap, pos, static_cast<uint64_t>(-v));
+  }
+  return AppendDec(buf, cap, pos, static_cast<uint64_t>(v));
+}
+
+/// Label bytes with anything JSON-hostile flattened to '?'. Crash-path
+/// output favours robustness over fidelity; the non-signal Json() path
+/// does real escaping.
+size_t AppendLabelSafe(char* buf, size_t cap, size_t pos, const char* label) {
+  for (const char* p = label; *p != '\0' && pos < cap; ++p) {
+    char ch = *p;
+    if (ch == '"' || ch == '\\' || static_cast<unsigned char>(ch) < 0x20) {
+      ch = '?';
+    }
+    buf[pos++] = ch;
+  }
+  return pos;
+}
+
+size_t AppendEvent(char* buf, size_t cap, size_t pos, const Event& e) {
+  pos = AppendRaw(buf, cap, pos, "{\"seq\":");
+  pos = AppendDec(buf, cap, pos, e.seq);
+  pos = AppendRaw(buf, cap, pos, ",\"t_micros\":");
+  pos = AppendDecSigned(buf, cap, pos, e.micros);
+  pos = AppendRaw(buf, cap, pos, ",\"thread\":");
+  pos = AppendDec(buf, cap, pos, e.thread);
+  pos = AppendRaw(buf, cap, pos, ",\"type\":\"");
+  pos = AppendRaw(buf, cap, pos, EventTypeName(e.type));
+  pos = AppendRaw(buf, cap, pos, "\",\"a\":");
+  pos = AppendDec(buf, cap, pos, e.a);
+  pos = AppendRaw(buf, cap, pos, ",\"b\":");
+  pos = AppendDec(buf, cap, pos, e.b);
+  pos = AppendRaw(buf, cap, pos, ",\"c\":");
+  pos = AppendDec(buf, cap, pos, e.c);
+  if (e.label[0] != '\0') {
+    pos = AppendRaw(buf, cap, pos, ",\"label\":\"");
+    pos = AppendLabelSafe(buf, cap, pos, e.label);
+    pos = AppendRaw(buf, cap, pos, "\"");
+  }
+  pos = AppendRaw(buf, cap, pos, "}");
+  return pos;
+}
+
+void EscapeJson(const char* s, std::string* out) {
+  for (const char* p = s; *p != '\0'; ++p) {
+    char ch = *p;
+    if (ch == '"' || ch == '\\') {
+      out->push_back('\\');
+      out->push_back(ch);
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      static const char kHex[] = "0123456789abcdef";
+      out->append("\\u00");
+      out->push_back(kHex[(ch >> 4) & 0xf]);
+      out->push_back(kHex[ch & 0xf]);
+    } else {
+      out->push_back(ch);
+    }
+  }
+}
+
+}  // namespace
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kQueryAdmit: return "query_admit";
+    case EventType::kQueryReject: return "query_reject";
+    case EventType::kQueryExpire: return "query_expire";
+    case EventType::kQueryStart: return "query_start";
+    case EventType::kQueryFinish: return "query_finish";
+    case EventType::kTaskBegin: return "task_begin";
+    case EventType::kTaskEnd: return "task_end";
+    case EventType::kWalAppend: return "wal_append";
+    case EventType::kWalFsync: return "wal_fsync";
+    case EventType::kWalGroupCommit: return "wal_group_commit";
+    case EventType::kSnapshotWrite: return "snapshot_write";
+    case EventType::kEpochReplace: return "epoch_replace";
+    case EventType::kGraphLoad: return "graph_load";
+    case EventType::kGraphEvict: return "graph_evict";
+    case EventType::kRecoveryStep: return "recovery_step";
+    case EventType::kCacheEvict: return "cache_evict";
+    case EventType::kEngineDecision: return "engine_decision";
+    case EventType::kWatchdogStall: return "watchdog_stall";
+    case EventType::kWatchdogFsync: return "watchdog_fsync_stall";
+    case EventType::kWatchdogQueue: return "watchdog_queue_stall";
+    case EventType::kCrashSignal: return "crash_signal";
+    case EventType::kMaxEventType: break;
+  }
+  return "unknown";
+}
+
+EventJournal& EventJournal::Default() {
+  static EventJournal* journal = new EventJournal();
+  return *journal;
+}
+
+EventJournal::EventJournal(size_t capacity_per_shard)
+    : capacity_(capacity_per_shard == 0 ? 1 : capacity_per_shard) {
+  for (Shard& shard : shards_) shard.slots.reset(new Slot[capacity_]);
+}
+
+void EventJournal::ResizeForStartup(size_t capacity_per_shard) {
+  capacity_ = capacity_per_shard == 0 ? 1 : capacity_per_shard;
+  next_seq_.store(1, std::memory_order_relaxed);
+  for (Shard& shard : shards_) {
+    shard.cursor.store(0, std::memory_order_relaxed);
+    shard.slots.reset(new Slot[capacity_]);
+  }
+}
+
+void EventJournal::Record(EventType type, uint64_t a, uint64_t b, uint64_t c,
+                          const char* label) {
+  if (!Enabled()) return;
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  const uint32_t shard_idx = JournalShard();
+  Shard& shard = shards_[shard_idx];
+  const uint64_t ordinal =
+      shard.cursor.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = shard.slots[ordinal % capacity_];
+  // Invalidate first so a drainer racing the overwrite sees "empty", then
+  // publish the new seq last with release.
+  slot.seq.store(0, std::memory_order_release);
+  slot.micros.store(WallMicros(), std::memory_order_relaxed);
+  slot.thread.store(shard_idx, std::memory_order_relaxed);
+  slot.type.store(static_cast<uint8_t>(type), std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.c.store(c, std::memory_order_relaxed);
+  size_t i = 0;
+  if (label != nullptr) {
+    for (; i < kLabelBytes - 1 && label[i] != '\0'; ++i) {
+      slot.label[i].store(label[i], std::memory_order_relaxed);
+    }
+  }
+  slot.label[i].store('\0', std::memory_order_relaxed);
+  slot.seq.store(seq, std::memory_order_release);
+}
+
+bool EventJournal::ReadSlot(const Slot& slot, Event* out) {
+  const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+  if (seq == 0) return false;
+  out->seq = seq;
+  out->micros = slot.micros.load(std::memory_order_relaxed);
+  out->thread = slot.thread.load(std::memory_order_relaxed);
+  uint8_t type = slot.type.load(std::memory_order_relaxed);
+  out->type = type < static_cast<uint8_t>(EventType::kMaxEventType)
+                  ? static_cast<EventType>(type)
+                  : EventType::kMaxEventType;
+  out->a = slot.a.load(std::memory_order_relaxed);
+  out->b = slot.b.load(std::memory_order_relaxed);
+  out->c = slot.c.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kLabelBytes; ++i) {
+    out->label[i] = slot.label[i].load(std::memory_order_relaxed);
+  }
+  out->label[kLabelBytes - 1] = '\0';
+  // If a writer reclaimed the slot while we were reading, the payload may
+  // be torn — detectable because seq moved (or was zeroed).
+  return slot.seq.load(std::memory_order_acquire) == seq;
+}
+
+std::vector<Event> EventJournal::Snapshot(size_t last_n) const {
+  std::vector<Event> out;
+  out.reserve(kShards * capacity_);
+  Event e;
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (ReadSlot(shard.slots[i], &e)) out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& x, const Event& y) { return x.seq < y.seq; });
+  if (last_n > 0 && out.size() > last_n) {
+    out.erase(out.begin(), out.end() - static_cast<ptrdiff_t>(last_n));
+  }
+  return out;
+}
+
+std::string EventJournal::Json(size_t last_n) const {
+  std::vector<Event> events = Snapshot(last_n);
+  std::string out = "[";
+  char buf[192];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (i > 0) out.push_back(',');
+    size_t pos = 0;
+    pos = AppendRaw(buf, sizeof(buf), pos, "{\"seq\":");
+    pos = AppendDec(buf, sizeof(buf), pos, e.seq);
+    pos = AppendRaw(buf, sizeof(buf), pos, ",\"t_micros\":");
+    pos = AppendDecSigned(buf, sizeof(buf), pos, e.micros);
+    pos = AppendRaw(buf, sizeof(buf), pos, ",\"thread\":");
+    pos = AppendDec(buf, sizeof(buf), pos, e.thread);
+    pos = AppendRaw(buf, sizeof(buf), pos, ",\"type\":\"");
+    pos = AppendRaw(buf, sizeof(buf), pos, EventTypeName(e.type));
+    pos = AppendRaw(buf, sizeof(buf), pos, "\",\"a\":");
+    pos = AppendDec(buf, sizeof(buf), pos, e.a);
+    pos = AppendRaw(buf, sizeof(buf), pos, ",\"b\":");
+    pos = AppendDec(buf, sizeof(buf), pos, e.b);
+    pos = AppendRaw(buf, sizeof(buf), pos, ",\"c\":");
+    pos = AppendDec(buf, sizeof(buf), pos, e.c);
+    out.append(buf, pos);
+    if (e.label[0] != '\0') {
+      out.append(",\"label\":\"");
+      EscapeJson(e.label, &out);
+      out.push_back('"');
+    }
+    out.push_back('}');
+  }
+  out.push_back(']');
+  return out;
+}
+
+size_t EventJournal::RenderLastTo(char* buf, size_t cap, size_t last_n) const {
+  if (cap == 0) return 0;
+  if (last_n > kCrashRenderMax) last_n = kCrashRenderMax;
+  // Fixed-size selection of the newest `last_n` events, kept sorted
+  // ascending by seq. O(slots * last_n) worst case — acceptable on the
+  // crash path, and no allocation.
+  static_assert(EventJournal::kCrashRenderMax <= 128, "stack budget");
+  Event picked[kCrashRenderMax];
+  size_t count = 0;
+  Event e;
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (!ReadSlot(shard.slots[i], &e)) continue;
+      if (count == last_n) {
+        if (last_n == 0 || e.seq <= picked[0].seq) continue;
+        // Evict the oldest (slot 0), then insert in order below.
+        std::memmove(&picked[0], &picked[1], (last_n - 1) * sizeof(Event));
+        --count;
+      }
+      size_t at = count;
+      while (at > 0 && picked[at - 1].seq > e.seq) {
+        picked[at] = picked[at - 1];
+        --at;
+      }
+      picked[at] = e;
+      ++count;
+    }
+  }
+  size_t pos = 0;
+  pos = AppendRaw(buf, cap, pos, "[");
+  for (size_t i = 0; i < count; ++i) {
+    if (i > 0) pos = AppendRaw(buf, cap, pos, ",");
+    pos = AppendEvent(buf, cap, pos, picked[i]);
+  }
+  pos = AppendRaw(buf, cap, pos, "]");
+  return pos;
+}
+
+}  // namespace obs
+}  // namespace fairclique

@@ -1,0 +1,160 @@
+#ifndef FAIRCLIQUE_OBS_EVENT_JOURNAL_H_
+#define FAIRCLIQUE_OBS_EVENT_JOURNAL_H_
+
+/// Black-box flight recorder: a process-wide, fixed-capacity,
+/// per-thread-sharded ring buffer of structured binary events. Every layer
+/// of the service drops breadcrumbs here — query admission and completion,
+/// component task begin/end, WAL appends and fsyncs, epoch replaces, cache
+/// evictions, engine decisions, recovery steps — so that when the process
+/// wedges or dies the last few thousand things it did can be reconstructed.
+///
+/// Recording is zero-allocation and lock-free: a global relaxed fetch_add
+/// hands out the sequence number (total order across threads), the
+/// recording thread's shard hands out a slot, and the slot's fields are
+/// plain relaxed atomic stores with the sequence published last (release)
+/// so a concurrent drainer never observes a half-written event. Cost is a
+/// few tens of nanoseconds per event; `obs::SetEnabled(false)` reduces it
+/// to one relaxed load.
+///
+/// Draining (`Snapshot`, `Json`) allocates and sorts and is meant for the
+/// `journal` server command and tests. `RenderLastTo` is the
+/// async-signal-safe variant the crash handler uses: no allocation, no
+/// locks, no formatted I/O — it walks the rings into a caller-provided
+/// buffer from inside a fatal-signal handler.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fairclique {
+namespace obs {
+
+enum class EventType : uint8_t {
+  kQueryAdmit = 0,    // a = queue depth after admit; label = graph
+  kQueryReject,       // a = queue depth at rejection; label = graph
+  kQueryExpire,       // a = trace id (expired in queue); label = graph
+  kQueryStart,        // a = trace id, b = components, c = seed size
+  kQueryFinish,       // a = trace id, b = result size, c = run micros
+  kTaskBegin,         // a = trace id, b = component slot, c = vertices
+  kTaskEnd,           // a = trace id, b = component slot, c = branch nodes
+  kWalAppend,         // a = record version, b = bytes; label = graph
+  kWalFsync,          // a = fsync micros, b = bytes synced
+  kWalGroupCommit,    // a = frames in group, b = bytes, c = commit micros
+  kSnapshotWrite,     // a = graph version, b = bytes; label = graph
+  kEpochReplace,      // a = new version, b = delta edges; label = graph
+  kGraphLoad,         // a = version, b = vertices, c = edges; label = graph
+  kGraphEvict,        // a = last version; label = graph
+  kRecoveryStep,      // a = version reached, b = WAL records replayed
+  kCacheEvict,        // a = entries evicted, b = 0 result / 1 prepared
+  kEngineDecision,    // a = trace id, b = arena bytes; label = engine
+  kWatchdogStall,     // a = trace id, b = nodes, c = stalled micros
+  kWatchdogFsync,     // a = mean fsync micros over the sweep window
+  kWatchdogQueue,     // a = queue depth, b = sweeps without a serve
+  kCrashSignal,       // a = signal number
+  kMaxEventType,      // sentinel, not recordable
+};
+
+/// Stable lowercase name for JSON output ("query_admit", "wal_fsync", ...).
+/// Returns a pointer into static storage — async-signal-safe.
+const char* EventTypeName(EventType type);
+
+/// One drained journal entry. `seq` is the global total order (1-based,
+/// gapless at record time; drained views may have holes where slots were
+/// overwritten). `label` is a short context string (graph name, engine
+/// name), truncated to fit the fixed slot.
+struct Event {
+  uint64_t seq = 0;
+  int64_t micros = 0;  // wall-clock microseconds since the Unix epoch
+  uint32_t thread = 0;  // recording thread's journal shard ordinal
+  EventType type = EventType::kMaxEventType;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+  char label[24] = {0};
+};
+
+class EventJournal {
+ public:
+  /// Events retained per shard by default (16 shards => 16384 events,
+  /// ~1.5 MiB). The `--journal` server flag resizes the default journal at
+  /// startup.
+  static constexpr size_t kDefaultCapacity = 1024;
+  static constexpr size_t kShards = 16;
+  static constexpr size_t kLabelBytes = 24;
+
+  /// The process-wide journal (never destroyed).
+  static EventJournal& Default();
+
+  explicit EventJournal(size_t capacity_per_shard = kDefaultCapacity);
+
+  /// Records one event. Zero allocation, lock-free, ~50 ns; a near-no-op
+  /// when obs::SetEnabled(false). `label` may be null; longer labels are
+  /// truncated to kLabelBytes-1.
+  void Record(EventType type, uint64_t a = 0, uint64_t b = 0, uint64_t c = 0,
+              const char* label = nullptr);
+
+  /// Events still resident in the rings, oldest first (sorted by seq). If
+  /// `last_n` > 0, only the newest `last_n` are returned. Safe to call
+  /// while recorders run: an event being overwritten mid-read is detected
+  /// via its sequence word and dropped.
+  std::vector<Event> Snapshot(size_t last_n = 0) const;
+
+  /// Snapshot rendered as a JSON array of event objects, oldest first.
+  std::string Json(size_t last_n = 0) const;
+
+  /// Async-signal-safe drain for the crash handler: renders the newest
+  /// `last_n` events (capped at kCrashRenderMax) as a JSON array into
+  /// `buf`, returns bytes written (no NUL). No allocation, no locks.
+  static constexpr size_t kCrashRenderMax = 128;
+  size_t RenderLastTo(char* buf, size_t cap, size_t last_n) const;
+
+  /// Total events ever recorded (including ones already overwritten).
+  uint64_t recorded() const {
+    return next_seq_.load(std::memory_order_relaxed) - 1;
+  }
+
+  size_t capacity_per_shard() const { return capacity_; }
+
+  /// Replaces the rings with fresh ones of the given per-shard capacity.
+  /// NOT thread-safe: call only at process startup (the server does, from
+  /// the --journal flag) or in single-threaded tests, never while
+  /// recorders or the crash handler may touch the journal.
+  void ResizeForStartup(size_t capacity_per_shard);
+
+ private:
+  /// One ring slot. Fields are individually atomic (relaxed) so a racing
+  /// drainer is data-race-free; `seq` is the publication word: 0 while a
+  /// writer is mid-update, the event's sequence number (release) once the
+  /// payload is complete. A reader re-checks `seq` after reading the
+  /// payload and discards the slot if it moved.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<int64_t> micros{0};
+    std::atomic<uint32_t> thread{0};
+    std::atomic<uint8_t> type{0};
+    std::atomic<uint64_t> a{0};
+    std::atomic<uint64_t> b{0};
+    std::atomic<uint64_t> c{0};
+    std::atomic<char> label[kLabelBytes];
+  };
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> cursor{0};  // next slot ordinal in this shard
+    std::unique_ptr<Slot[]> slots;
+  };
+
+  /// Reads one slot race-safely. Returns false if the slot is empty or a
+  /// writer overwrote it mid-read.
+  static bool ReadSlot(const Slot& slot, Event* out);
+
+  size_t capacity_;
+  std::atomic<uint64_t> next_seq_{1};
+  Shard shards_[kShards];
+};
+
+}  // namespace obs
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_OBS_EVENT_JOURNAL_H_

@@ -126,6 +126,19 @@ void MetricsSnapshot::AddGauge(const std::string& name,
   metrics.push_back(std::move(m));
 }
 
+void MetricsSnapshot::AddLabeledGauge(const std::string& name,
+                                      const std::string& help,
+                                      const std::string& labels,
+                                      int64_t value) {
+  MetricSnapshot m;
+  m.name = name;
+  m.help = help;
+  m.labels = labels;
+  m.kind = MetricSnapshot::Kind::kGauge;
+  m.gauge_value = value;
+  metrics.push_back(std::move(m));
+}
+
 namespace {
 
 /// HELP text escaping per the exposition format: backslash and newline.
@@ -155,13 +168,13 @@ std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
         out += "# TYPE " + m.name + " counter\n";
         std::snprintf(buf, sizeof(buf), "%llu",
                       static_cast<unsigned long long>(m.counter_value));
-        out += m.name + " " + buf + "\n";
+        out += m.name + m.labels + " " + buf + "\n";
         break;
       case MetricSnapshot::Kind::kGauge:
         out += "# TYPE " + m.name + " gauge\n";
         std::snprintf(buf, sizeof(buf), "%lld",
                       static_cast<long long>(m.gauge_value));
-        out += m.name + " " + buf + "\n";
+        out += m.name + m.labels + " " + buf + "\n";
         break;
       case MetricSnapshot::Kind::kHistogram: {
         out += "# TYPE " + m.name + " histogram\n";

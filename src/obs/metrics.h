@@ -121,6 +121,11 @@ struct MetricSnapshot {
   enum class Kind { kCounter, kGauge, kHistogram };
   std::string name;
   std::string help;
+  /// Optional pre-rendered label set ('{key="value",...}'), appended
+  /// verbatim after the name in the exposition — used for info-style
+  /// metrics like fc_build_info whose value is constant 1 and whose
+  /// payload lives in the labels. Empty for ordinary metrics.
+  std::string labels;
   Kind kind = Kind::kCounter;
   uint64_t counter_value = 0;
   int64_t gauge_value = 0;
@@ -137,6 +142,10 @@ struct MetricsSnapshot {
                   uint64_t value);
   void AddGauge(const std::string& name, const std::string& help,
                 int64_t value);
+  /// Gauge carrying a pre-rendered '{key="value",...}' label set (see
+  /// MetricSnapshot::labels). Values must already be exposition-escaped.
+  void AddLabeledGauge(const std::string& name, const std::string& help,
+                       const std::string& labels, int64_t value);
 };
 
 /// Prometheus text exposition (version 0.0.4): # HELP / # TYPE preamble per

@@ -24,7 +24,30 @@ ProgressSnapshot QueryProgress::Snapshot() const {
   s.components_done = components_done_.load(std::memory_order_relaxed);
   s.components_total = components_total_;
   s.elapsed_micros = started_.ElapsedMicros();
+  s.deadline_micros = deadline_micros_.load(std::memory_order_relaxed);
   return s;
+}
+
+void QueryProgress::FillCrashRow(CrashQueryRow* row) const {
+  row->trace_id = trace_id_;
+  size_t n = graph_.size();
+  if (n > sizeof(row->graph) - 1) n = sizeof(row->graph) - 1;
+  for (size_t i = 0; i < n; ++i) row->graph[i] = graph_[i];
+  row->graph[n] = '\0';
+  row->nodes = nodes_.load(std::memory_order_relaxed);
+  row->incumbent_size = incumbent_.load(std::memory_order_relaxed);
+  row->upper_bound = upper_bound_.load(std::memory_order_relaxed);
+  row->components_done = components_done_.load(std::memory_order_relaxed);
+  row->components_total = components_total_;
+  row->elapsed_micros = started_.ElapsedMicros();
+}
+
+void ProgressRegistration::Reset() {
+  if (registry_ != nullptr && progress_ != nullptr) {
+    registry_->Unregister(progress_->trace_id());
+  }
+  registry_ = nullptr;
+  progress_.reset();
 }
 
 ProgressRegistry& ProgressRegistry::Default() {
@@ -40,6 +63,14 @@ std::shared_ptr<QueryProgress> ProgressRegistry::Register(
   std::lock_guard<std::mutex> lock(mu_);
   inflight_[trace_id] = progress;
   return progress;
+}
+
+ProgressRegistration ProgressRegistry::RegisterScoped(
+    uint64_t trace_id, std::string graph, std::string options,
+    uint64_t components_total) {
+  return ProgressRegistration(
+      this, Register(trace_id, std::move(graph), std::move(options),
+                     components_total));
 }
 
 void ProgressRegistry::Unregister(uint64_t trace_id) {
@@ -65,6 +96,23 @@ std::vector<ProgressSnapshot> ProgressRegistry::List() const {
 size_t ProgressRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return inflight_.size();
+}
+
+size_t ProgressRegistry::SnapshotForCrash(CrashQueryRow* rows, size_t cap,
+                                          bool* lock_acquired) const {
+  if (!mu_.try_lock()) {
+    *lock_acquired = false;
+    return 0;
+  }
+  *lock_acquired = true;
+  size_t count = 0;
+  for (const auto& [id, progress] : inflight_) {
+    if (count == cap) break;
+    progress->FillCrashRow(&rows[count]);
+    ++count;
+  }
+  mu_.unlock();
+  return count;
 }
 
 int64_t ProgressRegistry::MaxIncumbentGap() const {

@@ -43,6 +43,7 @@ struct ProgressSnapshot {
   uint64_t components_done = 0;
   uint64_t components_total = 0;
   int64_t elapsed_micros = 0;  // since the query entered the Branch stage
+  int64_t deadline_micros = 0;  // total budget; 0 = none
 };
 
 /// The mutable progress record the search publishes into. All mutators are
@@ -78,9 +79,23 @@ class QueryProgress {
     components_done_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Executor hook: the query's total budget (0 = none). Lets the watchdog
+  /// distinguish "slow but inside budget" from "past deadline and frozen".
+  void SetDeadlineMicros(int64_t micros) {
+    deadline_micros_.store(micros, std::memory_order_relaxed);
+  }
+  int64_t deadline_micros() const {
+    return deadline_micros_.load(std::memory_order_relaxed);
+  }
+
   uint64_t trace_id() const { return trace_id_; }
 
   ProgressSnapshot Snapshot() const;
+
+  /// Allocation-free snapshot for the crash handler. The identity strings
+  /// were set at construction and are only read here, so copying their
+  /// bytes is async-signal-safe.
+  void FillCrashRow(struct CrashQueryRow* row) const;
 
  private:
   const uint64_t trace_id_;
@@ -92,6 +107,63 @@ class QueryProgress {
   std::atomic<int64_t> incumbent_{0};
   std::atomic<int64_t> upper_bound_{0};
   std::atomic<uint64_t> components_done_{0};
+  std::atomic<int64_t> deadline_micros_{0};
+};
+
+class ProgressRegistry;
+
+/// Move-only RAII handle for a registry entry: unregisters in the
+/// destructor, so a submit path that throws (or any early return) can
+/// never leak a phantom in-flight query. Replaces the manual
+/// Register/Unregister pairing in the executor.
+class ProgressRegistration {
+ public:
+  ProgressRegistration() = default;
+  ProgressRegistration(ProgressRegistry* registry,
+                       std::shared_ptr<QueryProgress> progress)
+      : registry_(registry), progress_(std::move(progress)) {}
+  ProgressRegistration(ProgressRegistration&& other) noexcept
+      : registry_(other.registry_), progress_(std::move(other.progress_)) {
+    other.registry_ = nullptr;
+    other.progress_.reset();
+  }
+  ProgressRegistration& operator=(ProgressRegistration&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      registry_ = other.registry_;
+      progress_ = std::move(other.progress_);
+      other.registry_ = nullptr;
+      other.progress_.reset();
+    }
+    return *this;
+  }
+  ProgressRegistration(const ProgressRegistration&) = delete;
+  ProgressRegistration& operator=(const ProgressRegistration&) = delete;
+  ~ProgressRegistration() { Reset(); }
+
+  /// Unregisters now (idempotent).
+  void Reset();
+
+  QueryProgress* get() const { return progress_.get(); }
+  QueryProgress* operator->() const { return progress_.get(); }
+  explicit operator bool() const { return progress_ != nullptr; }
+
+ private:
+  ProgressRegistry* registry_ = nullptr;
+  std::shared_ptr<QueryProgress> progress_;
+};
+
+/// Fixed-width in-flight-query row for the crash handler: plain PODs only,
+/// filled without allocation.
+struct CrashQueryRow {
+  uint64_t trace_id = 0;
+  char graph[24] = {0};
+  uint64_t nodes = 0;
+  int64_t incumbent_size = 0;
+  int64_t upper_bound = 0;
+  uint64_t components_done = 0;
+  uint64_t components_total = 0;
+  int64_t elapsed_micros = 0;
 };
 
 /// Process-wide map of in-flight queries keyed by trace id. Register /
@@ -109,6 +181,13 @@ class ProgressRegistry {
                                           std::string options,
                                           uint64_t components_total);
 
+  /// Register wrapped in an RAII handle — the entry is removed when the
+  /// handle dies, however the owning scope exits. Preferred over the raw
+  /// Register/Unregister pair.
+  ProgressRegistration RegisterScoped(uint64_t trace_id, std::string graph,
+                                      std::string options,
+                                      uint64_t components_total);
+
   void Unregister(uint64_t trace_id);
 
   /// Snapshots of every in-flight query, ordered by trace id (submission
@@ -122,6 +201,13 @@ class ProgressRegistry {
   /// fc_search_incumbent_gap gauge: a gap stuck high means searches are far
   /// from proving optimality.
   int64_t MaxIncumbentGap() const;
+
+  /// Crash-handler drain: fills up to `cap` rows without allocating. Uses
+  /// try_lock — a mutex held by a thread the fatal signal interrupted must
+  /// not deadlock the postmortem — and reports via `lock_acquired` whether
+  /// the listing is trustworthy. Returns the number of rows filled.
+  size_t SnapshotForCrash(CrashQueryRow* rows, size_t cap,
+                          bool* lock_acquired) const;
 
  private:
   mutable std::mutex mu_;

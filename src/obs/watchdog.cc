@@ -1,0 +1,223 @@
+#include "obs/watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "obs/event_journal.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+
+namespace fairclique {
+namespace obs {
+namespace {
+
+Counter* SweepCounter() {
+  static Counter* c = MetricRegistry::Default().GetCounter(
+      "fc_watchdog_sweeps_total", "watchdog sweeps completed");
+  return c;
+}
+Counter* StalledQueryCounter() {
+  static Counter* c = MetricRegistry::Default().GetCounter(
+      "fc_watchdog_stalled_queries_total",
+      "queries flagged stuck (no progress advance)");
+  return c;
+}
+Counter* FsyncStallCounter() {
+  static Counter* c = MetricRegistry::Default().GetCounter(
+      "fc_watchdog_fsync_stalls_total",
+      "sweep windows whose mean WAL fsync latency exceeded the stall bound");
+  return c;
+}
+Counter* QueueStallCounter() {
+  static Counter* c = MetricRegistry::Default().GetCounter(
+      "fc_watchdog_queue_stalls_total",
+      "episodes of a backed-up admission queue with zero serves");
+  return c;
+}
+Gauge* StuckNowGauge() {
+  static Gauge* g = MetricRegistry::Default().GetGauge(
+      "fc_watchdog_stuck_queries", "queries currently flagged stuck");
+  return g;
+}
+
+}  // namespace
+
+Watchdog::Watchdog(const WatchdogOptions& options, ProgressRegistry* registry)
+    : options_(options),
+      registry_(registry != nullptr ? registry : &ProgressRegistry::Default()) {
+  // Intern the instruments now so they are on the scrape page from the
+  // first export, not the first incident.
+  SweepCounter();
+  StalledQueryCounter();
+  FsyncStallCounter();
+  QueueStallCounter();
+  StuckNowGauge();
+}
+
+Watchdog::~Watchdog() { Stop(); }
+
+void Watchdog::SetExecutorSampler(
+    std::function<WatchdogExecutorSample()> sampler) {
+  sampler_ = std::move(sampler);
+}
+
+void Watchdog::Start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread(&Watchdog::Loop, this);
+}
+
+void Watchdog::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::Loop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait_for(
+          lock, std::chrono::microseconds(options_.interval_micros),
+          [this] { return stop_.load(std::memory_order_relaxed); });
+      if (stop_.load(std::memory_order_relaxed)) return;
+    }
+    SweepOnce();
+  }
+}
+
+void Watchdog::SweepOnce() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.sweeps++;
+  SweepCounter()->Increment();
+
+  // --- stuck queries: deadline blown or no node advance for too long.
+  std::vector<ProgressSnapshot> inflight = registry_->List();
+  std::set<uint64_t> seen;
+  uint64_t stuck_now = 0;
+  for (const ProgressSnapshot& s : inflight) {
+    seen.insert(s.trace_id);
+    auto [it, inserted] = tracks_.emplace(s.trace_id, QueryTrack{});
+    QueryTrack& track = it->second;
+    if (inserted) {
+      track.nodes = s.nodes;
+      // A query first seen with zero published nodes has never advanced:
+      // measure its stall from Branch entry, so a long-frozen query is
+      // flagged on the very first sweep that sees it.
+      track.last_advance_elapsed = s.nodes == 0 ? 0 : s.elapsed_micros;
+    } else if (s.nodes != track.nodes) {
+      track.nodes = s.nodes;
+      track.last_advance_elapsed = s.elapsed_micros;
+      track.flagged = false;
+    }
+    const int64_t frozen_for = s.elapsed_micros - track.last_advance_elapsed;
+    // Stuck if frozen past the configured bound, or — the tighter check —
+    // past its own deadline with no advance for at least one sweep: a
+    // healthy search would have noticed the deadline at its next
+    // 1024-node progress tick.
+    const bool past_deadline = s.deadline_micros > 0 &&
+                               s.elapsed_micros > s.deadline_micros &&
+                               frozen_for >= options_.interval_micros;
+    const bool stuck = frozen_for >= options_.stall_after_micros ||
+                       past_deadline;
+    if (stuck) ++stuck_now;
+    if (stuck && !track.flagged) {
+      track.flagged = true;
+      stats_.stalled_queries++;
+      StalledQueryCounter()->Increment();
+      EventJournal::Default().Record(EventType::kWatchdogStall, s.trace_id,
+                                     s.nodes,
+                                     static_cast<uint64_t>(frozen_for),
+                                     s.graph.c_str());
+      // The one-shot diagnostic dump: everything an operator needs to
+      // decide whether to wait, evict the graph, or take a profile.
+      FC_LOG(kWarning) << "watchdog: query trace_id=" << s.trace_id
+                       << " graph=" << s.graph << " options=[" << s.options
+                       << "] appears stuck: no progress for "
+                       << frozen_for / 1000 << " ms (elapsed "
+                       << s.elapsed_micros / 1000 << " ms, nodes=" << s.nodes
+                       << ", incumbent=" << s.incumbent_size << ", bound="
+                       << s.upper_bound << ", components " << s.components_done
+                       << "/" << s.components_total << ")";
+    }
+  }
+  for (auto it = tracks_.begin(); it != tracks_.end();) {
+    it = seen.count(it->first) ? std::next(it) : tracks_.erase(it);
+  }
+  stats_.currently_stuck = stuck_now;
+  StuckNowGauge()->Set(static_cast<int64_t>(stuck_now));
+
+  // --- fsync stalls: mean WAL fsync latency over this sweep's window.
+  HistogramSnapshot fsync = WalFsyncHistogram()->Snapshot();
+  const uint64_t dcount = fsync.count - last_fsync_count_;
+  const int64_t dsum = fsync.sum - last_fsync_sum_;
+  last_fsync_count_ = fsync.count;
+  last_fsync_sum_ = fsync.sum;
+  if (dcount > 0) {
+    const int64_t mean = dsum / static_cast<int64_t>(dcount);
+    stats_.last_fsync_mean_micros = mean;
+    if (mean >= options_.fsync_stall_micros) {
+      stats_.fsync_stalls++;
+      FsyncStallCounter()->Increment();
+      EventJournal::Default().Record(EventType::kWatchdogFsync,
+                                     static_cast<uint64_t>(mean), dcount);
+      FC_LOG(kWarning) << "watchdog: WAL fsync stall: mean " << mean
+                       << " us over " << dcount << " fsyncs this sweep";
+    }
+  }
+
+  // --- admission-queue stalls and the rolling deadline-miss rate.
+  if (sampler_) {
+    WatchdogExecutorSample sample = sampler_();
+    if (have_exec_sample_) {
+      if (sample.queue_depth > 0 && sample.served == last_exec_.served) {
+        queue_frozen_sweeps_++;
+        if (queue_frozen_sweeps_ == options_.queue_stall_sweeps) {
+          stats_.queue_stalls++;
+          QueueStallCounter()->Increment();
+          EventJournal::Default().Record(EventType::kWatchdogQueue,
+                                         sample.queue_depth,
+                                         queue_frozen_sweeps_);
+          FC_LOG(kWarning) << "watchdog: admission queue stalled: depth "
+                           << sample.queue_depth << " with no serves for "
+                           << queue_frozen_sweeps_ << " sweeps";
+        }
+      } else {
+        queue_frozen_sweeps_ = 0;
+      }
+    }
+    stats_.queue_stalled_now =
+        queue_frozen_sweeps_ >= options_.queue_stall_sweeps;
+    have_exec_sample_ = true;
+    last_exec_ = sample;
+
+    miss_window_.push_back(sample);
+    while (miss_window_.size() > options_.miss_rate_window_sweeps &&
+           miss_window_.size() > 1) {
+      miss_window_.pop_front();
+    }
+    const WatchdogExecutorSample& oldest = miss_window_.front();
+    const uint64_t served_delta = sample.served - oldest.served;
+    const uint64_t miss_delta = sample.deadline_misses - oldest.deadline_misses;
+    stats_.deadline_miss_rate =
+        served_delta > 0
+            ? static_cast<double>(miss_delta) / static_cast<double>(served_delta)
+            : 0.0;
+  }
+  stats_.running = running_.load(std::memory_order_relaxed);
+}
+
+WatchdogStats Watchdog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WatchdogStats out = stats_;
+  out.running = running_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace obs
+}  // namespace fairclique

@@ -1,0 +1,125 @@
+#ifndef FAIRCLIQUE_OBS_WATCHDOG_H_
+#define FAIRCLIQUE_OBS_WATCHDOG_H_
+
+/// Liveness watchdog: a background thread that sweeps the process every
+/// interval and looks for the three ways this service silently wedges —
+/// a query past its deadline whose progress counter stopped advancing, a
+/// WAL fsync latency stall, and an admission queue that is backed up while
+/// nothing gets served. Each detection emits a journal event, bumps an
+/// fc_watchdog_* metric, and (for stuck queries) logs a one-shot
+/// diagnostic dump so the log has exactly one actionable line per episode
+/// instead of one per sweep. The health endpoint reads WatchdogStats for
+/// its ok/degraded verdict.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+
+namespace fairclique {
+namespace obs {
+
+class ProgressRegistry;
+
+struct WatchdogOptions {
+  /// Sweep cadence.
+  int64_t interval_micros = 1000000;
+  /// A query with no node-counter advance for this long (or past its
+  /// deadline with no advance since the previous sweep) is stuck.
+  int64_t stall_after_micros = 10000000;
+  /// Mean fsync latency over a sweep window above this is an fsync stall.
+  int64_t fsync_stall_micros = 1000000;
+  /// Consecutive sweeps with queued work but zero serves before the
+  /// admission queue is declared stalled.
+  uint64_t queue_stall_sweeps = 3;
+  /// Sweeps in the rolling deadline-miss-rate window.
+  size_t miss_rate_window_sweeps = 60;
+};
+
+/// Executor liveness sample, provided by the service layer via a callback
+/// (obs cannot depend on src/service).
+struct WatchdogExecutorSample {
+  uint64_t served = 0;
+  uint64_t deadline_misses = 0;
+  uint64_t queue_depth = 0;
+};
+
+struct WatchdogStats {
+  bool running = false;
+  uint64_t sweeps = 0;
+  uint64_t stalled_queries = 0;     // cumulative detections
+  uint64_t currently_stuck = 0;     // stuck right now
+  uint64_t fsync_stalls = 0;
+  uint64_t queue_stalls = 0;
+  bool queue_stalled_now = false;
+  int64_t last_fsync_mean_micros = 0;  // over the last sweep window
+  /// Deadline misses / serves over the rolling window (0 when idle).
+  double deadline_miss_rate = 0.0;
+};
+
+class Watchdog {
+ public:
+  /// `registry` defaults to ProgressRegistry::Default() when null.
+  explicit Watchdog(const WatchdogOptions& options,
+                    ProgressRegistry* registry = nullptr);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Executor metrics source; optional (queue/miss checks are skipped
+  /// without one). Set before Start.
+  void SetExecutorSampler(std::function<WatchdogExecutorSample()> sampler);
+
+  void Start();
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+  /// One synchronous sweep — the unit tests drive detection with this
+  /// instead of sleeping through intervals.
+  void SweepOnce();
+
+  WatchdogStats stats() const;
+
+ private:
+  struct QueryTrack {
+    uint64_t nodes = 0;
+    /// progress->elapsed at the last time the node counter moved.
+    int64_t last_advance_elapsed = 0;
+    bool flagged = false;
+  };
+
+  void Loop();
+
+  const WatchdogOptions options_;
+  ProgressRegistry* const registry_;
+  std::function<WatchdogExecutorSample()> sampler_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+
+  /// Sweep state: touched only from SweepOnce / the loop thread, guarded
+  /// anyway so tests can drive SweepOnce while stats() readers race.
+  mutable std::mutex mu_;
+  std::map<uint64_t, QueryTrack> tracks_;
+  uint64_t last_fsync_count_ = 0;
+  int64_t last_fsync_sum_ = 0;
+  bool have_exec_sample_ = false;
+  WatchdogExecutorSample last_exec_;
+  uint64_t queue_frozen_sweeps_ = 0;
+  std::deque<WatchdogExecutorSample> miss_window_;
+  WatchdogStats stats_;
+};
+
+}  // namespace obs
+}  // namespace fairclique
+
+#endif  // FAIRCLIQUE_OBS_WATCHDOG_H_

@@ -6,6 +6,8 @@
 
 #include "common/logging.h"
 #include "core/verifier.h"
+#include "obs/crash_handler.h"
+#include "obs/event_journal.h"
 #include "graph/binary_io.h"
 #include "graph/fingerprint.h"
 #include "graph/io.h"
@@ -151,6 +153,10 @@ Status GraphRegistry::AddEntry(const std::string& name,
     }
   }
   (persist ? loads_ : restores_).fetch_add(1, std::memory_order_relaxed);
+  obs::EventJournal::Default().Record(
+      obs::EventType::kGraphLoad, version, entry->graph->num_vertices(),
+      entry->graph->num_edges(), name.c_str());
+  obs::NoteGraphEpoch(name, version, entry->fingerprint);
   return Status::OK();
 }
 
@@ -207,6 +213,11 @@ Status GraphRegistry::Replace(const std::string& name,
   }
 
   replaces_.fetch_add(1, std::memory_order_relaxed);
+  obs::EventJournal::Default().Record(
+      obs::EventType::kEpochReplace, version,
+      summary != nullptr ? summary->added_edges.size() : 0, new_fp,
+      name.c_str());
+  obs::NoteGraphEpoch(name, version, new_fp);
   ReplaceReport out;
   out.old_fingerprint = old_fp;
   out.new_fingerprint = new_fp;
@@ -287,6 +298,9 @@ bool GraphRegistry::Evict(const std::string& name) {
     }
   }
   evictions_.fetch_add(1, std::memory_order_relaxed);
+  obs::EventJournal::Default().Record(obs::EventType::kGraphEvict, 0, 0, 0,
+                                      name.c_str());
+  obs::ForgetGraphEpoch(name);
   return true;
 }
 

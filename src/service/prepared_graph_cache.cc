@@ -1,5 +1,7 @@
 #include "service/prepared_graph_cache.h"
 
+#include "obs/event_journal.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <vector>
@@ -48,6 +50,7 @@ void PreparedGraphCache::PutLocked(const std::string& key, CacheEntry entry) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
     evictions_++;
+    obs::EventJournal::Default().Record(obs::EventType::kCacheEvict, 1, 1);
   }
 }
 

@@ -7,6 +7,7 @@
 #include "common/bitset_simd.h"
 #include "core/options_key.h"
 #include "dynamic/incremental_search.h"
+#include "obs/event_journal.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "service/explain.h"
@@ -61,10 +62,13 @@ struct QueryExecutor::QueryState {
   /// "deadline", not "time_limit".
   bool deadline_tightened = false;
 
-  /// Live-progress entry in the ProgressRegistry, keyed by trace_id;
-  /// registered at expansion, unregistered at completion. Null when
-  /// telemetry is off or nothing was selected to search.
-  std::shared_ptr<obs::QueryProgress> progress;
+  /// Live-progress entry in the ProgressRegistry, keyed by trace_id. Held
+  /// through an RAII handle: whenever this QueryState dies — normal
+  /// completion, an exception unwinding a worker, an abandoned submit —
+  /// the registry entry goes with it, so a phantom in-flight query can
+  /// never outlive its query. Empty when telemetry is off or nothing was
+  /// selected to search.
+  obs::ProgressRegistration progress;
   /// Per-slot completion flags (relaxed; advisory), used to recompute the
   /// progress upper bound: comp_indices ascends and prepared components are
   /// sorted largest-first, so the first undone slot is the largest
@@ -116,6 +120,8 @@ std::future<QueryResponse> QueryExecutor::Submit(QueryRequest request) {
   std::promise<QueryResponse> promise;
   std::future<QueryResponse> future = promise.get_future();
 
+  const char* graph_name =
+      request.graph != nullptr ? request.graph->name.c_str() : nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!stopping_ && queue_.size() < options_.queue_capacity) {
@@ -127,6 +133,8 @@ std::future<QueryResponse> QueryExecutor::Submit(QueryRequest request) {
       ++inflight_;
       peak_queue_depth_ = std::max(
           peak_queue_depth_, queue_.size() + component_queue_.size());
+      obs::EventJournal::Default().Record(obs::EventType::kQueryAdmit,
+                                          queue_.size(), 0, 0, graph_name);
       work_ready_.notify_one();
       return future;
     }
@@ -134,6 +142,9 @@ std::future<QueryResponse> QueryExecutor::Submit(QueryRequest request) {
 
   // Rejection path: satisfy the future immediately instead of blocking.
   rejected_.fetch_add(1, std::memory_order_relaxed);
+  obs::EventJournal::Default().Record(obs::EventType::kQueryReject,
+                                      options_.queue_capacity, 0, 0,
+                                      graph_name);
   QueryResponse response;
   response.status = Status::Aborted("queue full or executor shut down");
   promise.set_value(std::move(response));
@@ -177,6 +188,9 @@ bool QueryExecutor::PreSearch(QueryState& qs) {
       deadline_misses_.fetch_add(1, std::memory_order_relaxed);
       expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
       stopped_deadline_.fetch_add(1, std::memory_order_relaxed);
+      obs::EventJournal::Default().Record(obs::EventType::kQueryExpire,
+                                          qs.response.trace_id, 0, 0,
+                                          request.graph->name.c_str());
       return true;
     }
   }
@@ -461,20 +475,21 @@ QueryResponse QueryExecutor::Run(const QueryRequest& request) {
     branch_options.time_limit_seconds = RemainingTimeBudget(
         qs.effective.time_limit_seconds, qs.run_timer.ElapsedSeconds());
     if (qs.response.trace_id != 0) {
-      qs.progress = obs::ProgressRegistry::Default().Register(
+      qs.progress = obs::ProgressRegistry::Default().RegisterScoped(
           qs.response.trace_id, request.graph->name,
           CanonicalOptionsKey(request.options),
           qs.prepared->components.size());
+      if (qs.effective.time_limit_seconds > 0.0) {
+        qs.progress->SetDeadlineMicros(
+            static_cast<int64_t>(qs.effective.time_limit_seconds * 1e6));
+      }
       branch_options.progress = qs.progress.get();
     }
     std::vector<ComponentBranchResult> per_component;
     SearchResult sr = SearchPreparedGraph(
         *request.graph->graph, *qs.prepared, branch_options,
         request.explain ? &per_component : nullptr);
-    if (qs.progress != nullptr) {
-      obs::ProgressRegistry::Default().Unregister(qs.progress->trace_id());
-      qs.progress = nullptr;
-    }
+    qs.progress.Reset();
     if (request.explain) {
       // Adopt the per-component outcomes under the queued path's layout
       // (every component got a task here), so BuildExplain has one shape.
@@ -495,6 +510,17 @@ QueryResponse QueryExecutor::Run(const QueryRequest& request) {
   }
   served_.fetch_add(1, std::memory_order_relaxed);
   RecordTelemetry(qs);
+  // Journal only queries that did real work. A cache hit serves in well
+  // under a microsecond at millions of q/s: journaling each one would both
+  // blow the <5% cached-hit overhead budget and flush the entire ring in
+  // milliseconds, destroying the flight record's value exactly when it is
+  // needed. Hits remain visible through fc_executor_cache_hits_total.
+  if (!qs.response.cache_hit) {
+    obs::EventJournal::Default().Record(
+        obs::EventType::kQueryFinish, qs.response.trace_id,
+        qs.response.result != nullptr ? qs.response.result->clique.size() : 0,
+        static_cast<uint64_t>(qs.response.run_micros));
+  }
   return std::move(qs.response);
 }
 
@@ -529,9 +555,13 @@ void QueryExecutor::ExpandQuery(std::shared_ptr<QueryState> qs) {
     // Publish this query in the live-progress registry for the duration of
     // its Branch stage; the component tasks write through qs->effective.
     const int64_t seed_size = static_cast<int64_t>(qs->seed.clique.size());
-    qs->progress = obs::ProgressRegistry::Default().Register(
+    qs->progress = obs::ProgressRegistry::Default().RegisterScoped(
         qs->response.trace_id, qs->request.graph->name,
         CanonicalOptionsKey(qs->request.options), n);
+    if (qs->effective.time_limit_seconds > 0.0) {
+      qs->progress->SetDeadlineMicros(
+          static_cast<int64_t>(qs->effective.time_limit_seconds * 1e6));
+    }
     qs->effective.progress = qs->progress.get();
     qs->progress->NoteIncumbent(seed_size);
     qs->progress->SetUpperBound(std::max(
@@ -545,6 +575,19 @@ void QueryExecutor::ExpandQuery(std::shared_ptr<QueryState> qs) {
   }
   qs->remaining.store(n, std::memory_order_relaxed);
   component_tasks_.fetch_add(n, std::memory_order_relaxed);
+  obs::EventJournal::Default().Record(
+      obs::EventType::kQueryStart, qs->response.trace_id, n,
+      qs->seed.clique.size(), qs->request.graph->name.c_str());
+  {
+    // One engine-decision breadcrumb per query, for the largest selected
+    // component (comp_indices ascends over largest-first components).
+    const EngineDecision decision = ResolveEngineDecision(
+        qs->effective.engine,
+        qs->prepared->components[qs->comp_indices[0]]->graph.num_vertices());
+    obs::EventJournal::Default().Record(
+        obs::EventType::kEngineDecision, qs->response.trace_id,
+        decision.arena_bytes, 0, SearchEngineName(decision.engine));
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t slot = 0; slot < n; ++slot) {
@@ -562,10 +605,17 @@ void QueryExecutor::ExecuteComponentTask(const ComponentTask& task) {
     // Slot-owned; published to the finalizer by the acq_rel decrement below.
     qs.comp_start_micros[task.slot] = qs.queued.ElapsedMicros();
   }
+  obs::EventJournal::Default().Record(
+      obs::EventType::kTaskBegin, qs.response.trace_id, task.slot,
+      qs.prepared->components[qs.comp_indices[task.slot]]
+          ->graph.num_vertices());
   qs.results[task.slot] =
       BranchComponent(*qs.prepared, qs.comp_indices[task.slot], qs.effective,
                       qs.deadline, &qs.floor);
-  if (qs.progress != nullptr) {
+  obs::EventJournal::Default().Record(
+      obs::EventType::kTaskEnd, qs.response.trace_id, task.slot,
+      static_cast<uint64_t>(qs.results[task.slot].stats.nodes));
+  if (qs.progress) {
     qs.comp_done[task.slot].store(true, std::memory_order_relaxed);
     // The answer can't exceed the larger of the incumbent and the largest
     // component still searching: comp_indices ascends over largest-first
@@ -604,11 +654,8 @@ void QueryExecutor::FinalizeQuery(QueryState& qs) {
 }
 
 void QueryExecutor::CompleteQuery(QueryState& qs) {
-  if (qs.progress != nullptr) {
-    obs::ProgressRegistry::Default().Unregister(qs.progress->trace_id());
-    qs.progress = nullptr;
-    qs.effective.progress = nullptr;
-  }
+  qs.progress.Reset();
+  qs.effective.progress = nullptr;
   if (qs.request.explain && qs.response.plan_json.empty()) {
     BuildExplain(qs, nullptr);  // PreSearch answered without a search
   }
@@ -616,6 +663,11 @@ void QueryExecutor::CompleteQuery(QueryState& qs) {
   qs.response.queue_micros =
       qs.queued.ElapsedMicros() - qs.response.run_micros;
   RecordTelemetry(qs);
+  obs::EventJournal::Default().Record(
+      obs::EventType::kQueryFinish, qs.response.trace_id,
+      qs.response.result != nullptr ? qs.response.result->clique.size() : 0,
+      static_cast<uint64_t>(qs.response.run_micros),
+      qs.request.graph != nullptr ? qs.request.graph->name.c_str() : nullptr);
   qs.promise.set_value(std::move(qs.response));
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "core/options_key.h"
+#include "obs/event_journal.h"
 #include "core/verifier.h"
 #include "graph/fingerprint.h"
 #include "storage/format_util.h"
@@ -71,6 +72,7 @@ void ResultCache::PutLocked(const std::string& key, CacheEntry entry) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
     ++evictions_;
+    obs::EventJournal::Default().Record(obs::EventType::kCacheEvict, 1, 0);
   }
   lru_.emplace_front(key, std::move(entry));
   index_[key] = lru_.begin();

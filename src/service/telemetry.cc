@@ -4,18 +4,37 @@
 #include <utility>
 
 #include "common/bitset_simd.h"
+#include "common/build_info.h"
 #include "core/prepared_graph.h"
 #include "graph/fingerprint.h"
+#include "obs/event_journal.h"
 #include "obs/metrics.h"
 #include "service/wire.h"
 
 namespace fairclique {
 
+namespace {
+
+/// The build-identity sub-object shared by `stats` and `health`.
+void WriteBuildObject(wire::JsonWriter& w) {
+  w.Key("build")
+      .BeginObject()
+      .Field("version", BuildVersion())
+      .Field("build_type", BuildType())
+      .Field("compiler", BuildCompiler())
+      .Field("simd", simd::ActiveName())
+      .EndObject();
+}
+
+}  // namespace
+
 std::string StatsJson(uint64_t id, const ServiceTelemetry& t) {
   wire::JsonWriter w;
   w.BeginObject()
       .Field("ok", true)
-      .Field("id", static_cast<unsigned long long>(id));
+      .Field("id", static_cast<unsigned long long>(id))
+      .Field("uptime_seconds", ProcessUptimeSeconds());
+  WriteBuildObject(w);
   w.Key("graphs").BeginArray();
   for (const auto& entry : t.graphs) {
     w.BeginObject()
@@ -286,6 +305,21 @@ std::string PrometheusText(const ServiceTelemetry& t) {
                   static_cast<int64_t>(slowlog.capacity()));
   }
 
+  // Build identity as an info-style metric (constant 1, payload in the
+  // labels) plus process uptime, so dashboards can overlay deploys on any
+  // latency panel.
+  snap.AddLabeledGauge(
+      "fc_build_info", "Build identity (constant 1; see labels)",
+      std::string("{version=\"") + BuildVersion() + "\",build_type=\"" +
+          BuildType() + "\",simd=\"" + simd::ActiveName() + "\"}",
+      1);
+  snap.AddGauge("fc_uptime_seconds", "Seconds since process start",
+                ProcessUptimeSeconds());
+  snap.AddGauge(
+      "fc_journal_events_recorded",
+      "Structured events recorded into the in-memory journal since start",
+      static_cast<int64_t>(obs::EventJournal::Default().recorded()));
+
   {
     obs::ProgressRegistry& progress = obs::ProgressRegistry::Default();
     snap.AddGauge("fc_queries_inflight",
@@ -334,6 +368,62 @@ std::string PrometheusText(const ServiceTelemetry& t) {
               return a.name < b.name;
             });
   return obs::RenderPrometheus(snap);
+}
+
+std::string HealthJson(uint64_t id, const ServiceTelemetry& t) {
+  // Degraded verdicts come from the watchdog: a stuck query, a stalled
+  // admission queue, or a window where most answers blew their deadline.
+  std::vector<std::string> reasons;
+  if (t.has_watchdog) {
+    if (t.watchdog.currently_stuck > 0) reasons.push_back("stalled_query");
+    if (t.watchdog.queue_stalled_now) {
+      reasons.push_back("admission_queue_stalled");
+    }
+    if (t.watchdog.deadline_miss_rate > 0.5) {
+      reasons.push_back("high_deadline_miss_rate");
+    }
+  }
+
+  wire::JsonWriter w;
+  w.BeginObject()
+      .Field("ok", true)
+      .Field("id", static_cast<unsigned long long>(id))
+      .Field("status", reasons.empty() ? "ok" : "degraded");
+  w.Key("reasons").BeginArray();
+  for (const std::string& r : reasons) w.Value(r);
+  w.EndArray();
+  w.Field("uptime_seconds", ProcessUptimeSeconds());
+  WriteBuildObject(w);
+  w.Field("graphs", t.graphs.size())
+      .Field("inflight", obs::ProgressRegistry::Default().size())
+      .Field("queue_depth", t.executor.queue_depth)
+      .Field("served", static_cast<unsigned long long>(t.executor.served))
+      .Field("deadline_misses",
+             static_cast<unsigned long long>(t.executor.deadline_misses))
+      .Field("journal_events",
+             static_cast<unsigned long long>(
+                 obs::EventJournal::Default().recorded()));
+  if (t.has_watchdog) {
+    w.Key("watchdog")
+        .BeginObject()
+        .Field("running", t.watchdog.running)
+        .Field("sweeps", static_cast<unsigned long long>(t.watchdog.sweeps))
+        .Field("stalled_queries",
+               static_cast<unsigned long long>(t.watchdog.stalled_queries))
+        .Field("currently_stuck",
+               static_cast<unsigned long long>(t.watchdog.currently_stuck))
+        .Field("fsync_stalls",
+               static_cast<unsigned long long>(t.watchdog.fsync_stalls))
+        .Field("queue_stalls",
+               static_cast<unsigned long long>(t.watchdog.queue_stalls))
+        .Field("queue_stalled_now", t.watchdog.queue_stalled_now)
+        .Field("last_fsync_mean_micros",
+               static_cast<long long>(t.watchdog.last_fsync_mean_micros))
+        .Field("deadline_miss_rate", t.watchdog.deadline_miss_rate)
+        .EndObject();
+  }
+  w.EndObject();
+  return w.str();
 }
 
 std::string TraceJson(const obs::Trace& trace) {

@@ -17,6 +17,7 @@
 
 #include "obs/progress.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "service/graph_registry.h"
 #include "service/prepared_graph_cache.h"
 #include "service/query_executor.h"
@@ -35,6 +36,8 @@ struct ServiceTelemetry {
   ExecutorMetrics executor;
   storage::StorageCounters storage;
   bool has_storage = false;  // storage{} is meaningless when false
+  obs::WatchdogStats watchdog;
+  bool has_watchdog = false;  // watchdog{} is meaningless when false
 };
 
 /// The server's `stats` response line: registry contents + per-subsystem
@@ -47,6 +50,16 @@ std::string StatsJson(uint64_t id, const ServiceTelemetry& t);
 /// histograms (queue wait, run, prepare, branch, fsync) are interned before
 /// rendering, so they appear on the page even before their first sample.
 std::string PrometheusText(const ServiceTelemetry& t);
+
+/// The server's `health` response line: an ok/degraded verdict with the
+/// reasons behind a degraded call ("stalled_query",
+/// "admission_queue_stalled", "high_deadline_miss_rate"), plus uptime,
+/// build identity (version / build type / compiler / SIMD kernel), the
+/// in-flight query count, and — when the caller wired a watchdog — its
+/// stats sub-object. Designed for load-balancer checks: `"status"` is the
+/// one field a prober needs, everything else is for the human who gets
+/// paged when it says "degraded".
+std::string HealthJson(uint64_t id, const ServiceTelemetry& t);
 
 /// One trace as a JSON object (the `trace <id>` / `slowlog` responses):
 /// ids, serving flags, timings, and the span tree as a flat array with

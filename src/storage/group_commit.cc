@@ -6,6 +6,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/event_journal.h"
 #include "obs/metrics.h"
 #include "storage/io_util.h"
 
@@ -78,6 +79,8 @@ void GroupCommitWal::CommitGroupLocked(std::unique_lock<std::mutex>& lock) {
       }
       obs::WalGroupFramesHistogram()->Record(static_cast<int64_t>(frames));
       obs::WalBytesWrittenCounter()->Increment(batch.size());
+      obs::EventJournal::Default().Record(obs::EventType::kWalGroupCommit,
+                                          frames, batch.size());
     }
   }
   if (!status.ok() && sticky_error_.ok()) {

@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "common/timer.h"
+#include "obs/event_journal.h"
 #include "obs/metrics.h"
 
 namespace fairclique {
@@ -103,8 +104,13 @@ Status AppendAndSyncFd(int fd, const std::string& path,
                            std::strerror(errno));
   }
   // Every durable-append path (group commits and single-record fallbacks)
-  // funnels through this fsync, so one histogram covers them all.
-  obs::WalFsyncHistogram()->Record(fsync_timer.ElapsedMicros());
+  // funnels through this fsync, so one histogram (and one journal
+  // breadcrumb) covers them all.
+  const int64_t fsync_micros = fsync_timer.ElapsedMicros();
+  obs::WalFsyncHistogram()->Record(fsync_micros);
+  obs::EventJournal::Default().Record(obs::EventType::kWalFsync,
+                                      static_cast<uint64_t>(fsync_micros),
+                                      bytes.size());
   return Status::OK();
 }
 

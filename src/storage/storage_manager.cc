@@ -8,6 +8,8 @@
 
 #include "common/logging.h"
 #include "graph/fingerprint.h"
+#include "obs/crash_handler.h"
+#include "obs/event_journal.h"
 #include "storage/fcg2.h"
 #include "storage/format_util.h"
 #include "storage/io_util.h"
@@ -255,6 +257,8 @@ Status StorageManager::PersistStripeLocked(Stripe& stripe,
   // it, (3) only then do the superseded files disappear. A crash anywhere
   // leaves a manifest whose references all exist and validate.
   FAIRCLIQUE_RETURN_NOT_OK(SaveFcg2(g, FullPath(fresh.snapshot_file)));
+  obs::EventJournal::Default().Record(obs::EventType::kSnapshotWrite, version,
+                                      0, 0, name.c_str());
 
   const ManifestEntry old = stripe.entry;
   const bool had_old = stripe.registered;
@@ -402,6 +406,10 @@ Status StorageManager::AppendUpdateAsync(const std::string& name,
     ticket->ticket_ = stripe->writer->Enqueue(std::move(frame));
     ticket->pending_ = true;
     stripe->chain.emplace_back(summary.version, summary.fingerprint);
+    obs::EventJournal::Default().Record(obs::EventType::kWalAppend,
+                                        summary.version, ops.size(), 0,
+                                        name.c_str());
+    obs::NoteGraphWalRecords(name, stripe->chain.size());
     return Status::OK();
   }
 
@@ -411,6 +419,10 @@ Status StorageManager::AppendUpdateAsync(const std::string& name,
   if (status.ok()) {
     stripe->chain.emplace_back(summary.version, summary.fingerprint);
     wal_records_appended_->fetch_add(1, std::memory_order_relaxed);
+    obs::EventJournal::Default().Record(obs::EventType::kWalAppend,
+                                        summary.version, ops.size(), 0,
+                                        name.c_str());
+    obs::NoteGraphWalRecords(name, stripe->chain.size());
   } else {
     stripe->poisoned = true;  // the file may now end in a torn frame
   }
@@ -623,6 +635,9 @@ Status StorageManager::RecoverAll(std::vector<RecoveredGraph>* out,
           std::make_shared<const AttributedGraph>(std::move(snapshot));
     }
     recovered.wal_records_replayed = replayed;
+    obs::EventJournal::Default().Record(obs::EventType::kRecoveryStep,
+                                        recovered.version, replayed, 0,
+                                        entry.name.c_str());
 
     // Drop whatever the replay could not prove, so later appends continue
     // the durable chain from the state actually served.

@@ -1,0 +1,142 @@
+#include "obs/crash_handler.h"
+
+#include <gtest/gtest.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/event_journal.h"
+#include "obs/progress.h"
+#include "test_util.h"
+
+namespace fairclique {
+namespace obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Minimal structural JSON check: balanced braces/brackets outside strings,
+/// nothing after the closing root brace. The CI smoke runs a real JSON
+/// parser over a postmortem; this keeps the unit test dependency-free.
+bool LooksLikeBalancedJson(std::string s) {
+  while (!s.empty() && (s.back() == '\n' || s.back() == ' ')) s.pop_back();
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : s) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') depth++;
+    else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string && !s.empty() && s.front() == '{' &&
+         s.back() == '}';
+}
+
+/// Forks; the child installs the handler into `dir`, runs `scenario`, and
+/// raises `sig`. The parent asserts the child died by that signal and
+/// returns the postmortem's contents.
+std::string CrashInChild(const std::string& dir, int sig,
+                         void (*scenario)()) {
+  pid_t pid = fork();
+  if (pid == 0) {
+    CrashHandlerOptions options;
+    options.dir = dir;
+    if (!InstallCrashHandler(options)) _exit(42);
+    if (scenario != nullptr) scenario();
+    std::raise(sig);
+    _exit(43);  // unreachable: the re-raised signal kills the child
+  }
+  int status = 0;
+  EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFSIGNALED(status))
+      << "child exited instead of dying by signal; status=" << status;
+  if (WIFSIGNALED(status)) EXPECT_EQ(WTERMSIG(status), sig);
+  std::string path = dir + "/crash-" + std::to_string(pid) + ".json";
+  std::string body = ReadFile(path);
+  EXPECT_FALSE(body.empty()) << "no postmortem at " << path;
+  std::remove(path.c_str());
+  return body;
+}
+
+void SegvScenario() {
+  EventJournal::Default().Record(EventType::kQueryAdmit, 3, 0, 0, "dying");
+  ProgressRegistry::Default().Register(77, "doomed-graph", "k=2;d=1", 4);
+  NoteGraphEpoch("doomed-graph", 9, 0xDEADBEEF);
+  NoteGraphWalRecords("doomed-graph", 5);
+}
+
+TEST(CrashHandlerTest, PostmortemNamesSignalBacktraceJournalAndQuery) {
+  std::string dir = testing::TempDir();
+  std::string body = CrashInChild(dir, SIGSEGV, &SegvScenario);
+
+  EXPECT_TRUE(LooksLikeBalancedJson(body)) << body;
+  EXPECT_NE(body.find("\"signal\":\"SIGSEGV\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"signo\":11"), std::string::npos);
+  // Backtrace captured (glibc pre-warmed at install, so frames resolve
+  // even from the handler).
+  EXPECT_NE(body.find("\"backtrace\":[\"0x"), std::string::npos) << body;
+  // The journal breadcrumb recorded just before the crash, plus the
+  // handler's own crash_signal event.
+  EXPECT_NE(body.find("\"query_admit\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"crash_signal\""), std::string::npos) << body;
+  // The in-flight query, by id and graph.
+  EXPECT_NE(body.find("\"trace_id\":77"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"doomed-graph\""), std::string::npos) << body;
+  // The graph epoch table.
+  EXPECT_NE(body.find("\"version\":9"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"wal_records\":5"), std::string::npos) << body;
+}
+
+TEST(CrashHandlerTest, AbortGetsAPostmortemToo) {
+  std::string dir = testing::TempDir();
+  std::string body = CrashInChild(dir, SIGABRT, nullptr);
+  EXPECT_TRUE(LooksLikeBalancedJson(body)) << body;
+  EXPECT_NE(body.find("\"signal\":\"SIGABRT\""), std::string::npos);
+}
+
+TEST(CrashHandlerTest, InstallFailsClosedOnMissingDirectory) {
+  CrashHandlerOptions options;
+  options.dir = "/nonexistent/definitely/not/here";
+  EXPECT_FALSE(InstallCrashHandler(options));
+}
+
+TEST(CrashHandlerTest, ReinstallRepointsTheOutputDirectory) {
+  // Install twice (the parent process keeps the handlers hooked once);
+  // CrashFilePath must follow the latest directory.
+  std::string dir = testing::TempDir();
+  CrashHandlerOptions options;
+  options.dir = dir;
+  ASSERT_TRUE(InstallCrashHandler(options));
+  EXPECT_TRUE(CrashHandlerInstalled());
+  std::string first = CrashFilePath();
+  ASSERT_TRUE(InstallCrashHandler(options));
+  EXPECT_EQ(CrashFilePath(), first);
+  EXPECT_NE(first.find(dir), std::string::npos);
+  EXPECT_NE(first.find("crash-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fairclique

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <future>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -204,6 +205,54 @@ TEST(ProgressTest, ExecutorRegistersWhileSearchingAndCleansUp) {
   for (const ProgressSnapshot& row : ProgressRegistry::Default().List()) {
     EXPECT_NE(row.graph, "hard") << "progress record leaked after serving";
   }
+}
+
+TEST(ProgressTest, ScopedRegistrationUnregistersOnScopeExit) {
+  ProgressRegistry registry;
+  {
+    obs::ProgressRegistration scoped = registry.RegisterScoped(7, "g", "", 1);
+    ASSERT_TRUE(scoped);
+    EXPECT_EQ(scoped->trace_id(), 7u);
+    EXPECT_EQ(registry.size(), 1u);
+  }
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(ProgressTest, ScopedRegistrationSurvivesMoveAndReset) {
+  ProgressRegistry registry;
+  obs::ProgressRegistration a = registry.RegisterScoped(1, "g", "", 1);
+  obs::ProgressRegistration b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from is empty
+  EXPECT_TRUE(b);
+  EXPECT_EQ(registry.size(), 1u);
+  b.Reset();
+  EXPECT_FALSE(b);
+  EXPECT_EQ(registry.size(), 0u);
+  b.Reset();  // idempotent
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(ProgressTest, ScopedRegistrationUnwindsOnException) {
+  // The regression this guards: an aborted submit path that threw between
+  // Register and Unregister used to leak a phantom in-flight entry, which
+  // the watchdog would then flag as a permanently stuck query.
+  ProgressRegistry registry;
+  try {
+    obs::ProgressRegistration scoped =
+        registry.RegisterScoped(9, "doomed", "", 1);
+    ASSERT_EQ(registry.size(), 1u);
+    throw std::runtime_error("submit aborted");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(registry.size(), 0u)
+      << "aborted registration leaked a phantom in-flight entry";
+}
+
+TEST(ProgressTest, SnapshotCarriesDeadline) {
+  QueryProgress p(1, "g", "", 1);
+  EXPECT_EQ(p.Snapshot().deadline_micros, 0);
+  p.SetDeadlineMicros(2500000);
+  EXPECT_EQ(p.Snapshot().deadline_micros, 2500000);
 }
 
 }  // namespace

@@ -484,5 +484,76 @@ TEST(TelemetryTraceTest, TraceJsonSerializesFlagsAndSpanTree) {
             std::string::npos);
 }
 
+TEST(TelemetryHealthTest, HealthyServiceReportsOkWithContext) {
+  GraphRegistry registry;
+  RegisterGraph(registry, "g", MakeGraph("ab", {{0, 1}}));
+  QueryExecutor executor(ExecutorOptions{1, 4}, nullptr);
+
+  ServiceTelemetry t = Gather(registry, executor, nullptr);
+  std::string json = HealthJson(3, t);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"id\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"reasons\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"uptime_seconds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"build\":{\"version\":"), std::string::npos);
+  EXPECT_NE(json.find("\"graphs\":1"), std::string::npos);
+  // No watchdog attached -> no watchdog object.
+  EXPECT_EQ(json.find("\"watchdog\""), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(TelemetryHealthTest, WatchdogFindingsDegradeTheVerdict) {
+  GraphRegistry registry;
+  QueryExecutor executor(ExecutorOptions{1, 4}, nullptr);
+  ServiceTelemetry t = Gather(registry, executor, nullptr);
+  t.has_watchdog = true;
+  t.watchdog.running = true;
+  t.watchdog.currently_stuck = 2;
+  t.watchdog.queue_stalled_now = true;
+  t.watchdog.deadline_miss_rate = 0.75;
+
+  std::string json = HealthJson(4, t);
+  EXPECT_NE(json.find("\"status\":\"degraded\""), std::string::npos);
+  EXPECT_NE(json.find("\"stalled_query\""), std::string::npos);
+  EXPECT_NE(json.find("\"admission_queue_stalled\""), std::string::npos);
+  EXPECT_NE(json.find("\"high_deadline_miss_rate\""), std::string::npos);
+  EXPECT_NE(json.find("\"watchdog\":{\"running\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"currently_stuck\":2"), std::string::npos);
+
+  // A healthy watchdog keeps the verdict ok.
+  t.watchdog = obs::WatchdogStats{};
+  json = HealthJson(5, t);
+  EXPECT_NE(json.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"reasons\":[]"), std::string::npos);
+}
+
+TEST(TelemetryExportTest, StatsCarriesUptimeAndBuildIdentity) {
+  GraphRegistry registry;
+  QueryExecutor executor(ExecutorOptions{1, 4}, nullptr);
+  std::string json = StatsJson(1, Gather(registry, executor, nullptr));
+  EXPECT_NE(json.find("\"uptime_seconds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"build\":{\"version\":"), std::string::npos);
+  EXPECT_NE(json.find("\"build_type\":"), std::string::npos);
+  EXPECT_NE(json.find("\"compiler\":"), std::string::npos);
+}
+
+TEST(TelemetryExportTest, PrometheusCarriesBuildInfoAndWatchdogFamilies) {
+  GraphRegistry registry;
+  QueryExecutor executor(ExecutorOptions{1, 4}, nullptr);
+  // Constructing a watchdog interns its fc_watchdog_* instruments.
+  obs::Watchdog dog(obs::WatchdogOptions{});
+
+  std::string text = PrometheusText(Gather(registry, executor, nullptr));
+  EXPECT_TRUE(ValidExposition(text)) << text;
+  EXPECT_NE(text.find("fc_build_info{version=\""), std::string::npos);
+  EXPECT_NE(text.find("build_type=\""), std::string::npos);
+  EXPECT_NE(text.find("simd=\""), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fc_uptime_seconds gauge"), std::string::npos);
+  EXPECT_NE(text.find("fc_journal_events_recorded"), std::string::npos);
+  EXPECT_NE(text.find("fc_watchdog_sweeps_total"), std::string::npos);
+  EXPECT_NE(text.find("fc_watchdog_stuck_queries"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace fairclique

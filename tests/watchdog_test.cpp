@@ -1,0 +1,185 @@
+#include "obs/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "core/max_fair_clique.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "test_util.h"
+
+namespace fairclique {
+namespace obs {
+namespace {
+
+using testing_util::RandomAttributedGraph;
+
+TEST(WatchdogTest, StartStopIdempotent) {
+  Watchdog dog(WatchdogOptions{});
+  EXPECT_FALSE(dog.running());
+  dog.Start();
+  dog.Start();  // second Start is a no-op
+  EXPECT_TRUE(dog.running());
+  dog.Stop();
+  dog.Stop();
+  EXPECT_FALSE(dog.running());
+}
+
+TEST(WatchdogTest, FlagsDeliberatelyStalledSearchWithinOneSweep) {
+  // The acceptance scenario: a branch kernel wedged mid-search (frozen via
+  // the SearchOptions::branch_tick hook) must be flagged by the first sweep
+  // that runs after the stall bound elapses — and only once.
+  ProgressRegistry registry;
+  WatchdogOptions options;
+  options.interval_micros = 10000;      // 10 ms
+  options.stall_after_micros = 30000;   // 30 ms
+  Watchdog dog(options, &registry);
+
+  std::atomic<bool> release{false};
+  std::atomic<bool> frozen{false};
+  const std::function<void()> tick = [&] {
+    frozen.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+
+  auto progress = registry.Register(31, "wedged", "k=1;d=50", 1);
+  std::thread search([&] {
+    AttributedGraph g = RandomAttributedGraph(60, 0.8, 0xFEED);
+    SearchOptions so = BaselineOptions(1, 50);
+    so.branch_tick = &tick;
+    so.progress = progress.get();
+    FindMaximumFairClique(g, so);  // blocks in the kernel until released
+  });
+
+  // Wait until the kernel is provably inside the frozen tick, then let the
+  // stall bound elapse. The query has published zero nodes, so the first
+  // sweep measures its stall from Branch entry and flags it immediately.
+  while (!frozen.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  dog.SweepOnce();
+  WatchdogStats stats = dog.stats();
+  EXPECT_EQ(stats.stalled_queries, 1u) << "stuck query not flagged";
+  EXPECT_EQ(stats.currently_stuck, 1u);
+
+  // Still stuck on the next sweep, but the detection is one-shot.
+  dog.SweepOnce();
+  stats = dog.stats();
+  EXPECT_EQ(stats.stalled_queries, 1u);
+  EXPECT_EQ(stats.currently_stuck, 1u);
+
+  release.store(true, std::memory_order_release);
+  search.join();
+  registry.Unregister(31);
+  dog.SweepOnce();
+  EXPECT_EQ(dog.stats().currently_stuck, 0u);
+}
+
+TEST(WatchdogTest, DeadlineBlownWithNoAdvanceIsStuck) {
+  // The tighter criterion: a query past its own deadline that has not
+  // advanced since the previous sweep is stuck even though the generic
+  // stall bound has not elapsed — a live kernel would have noticed the
+  // deadline at its next progress tick.
+  ProgressRegistry registry;
+  WatchdogOptions options;
+  options.interval_micros = 1000;            // 1 ms
+  options.stall_after_micros = 60000000000;  // generic bound: out of reach
+  Watchdog dog(options, &registry);
+
+  auto progress = registry.Register(7, "late", "", 1);
+  progress->AddNodes(1024);
+  progress->SetDeadlineMicros(1);  // already blown
+
+  dog.SweepOnce();  // first sighting: establishes the advance baseline
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  dog.SweepOnce();  // no advance for >= one interval past the deadline
+  WatchdogStats stats = dog.stats();
+  EXPECT_EQ(stats.stalled_queries, 1u);
+  EXPECT_EQ(stats.currently_stuck, 1u);
+  registry.Unregister(7);
+}
+
+TEST(WatchdogTest, AdvancingQueryIsNeverFlagged) {
+  ProgressRegistry registry;
+  WatchdogOptions options;
+  options.interval_micros = 1000;
+  options.stall_after_micros = 2000;
+  Watchdog dog(options, &registry);
+
+  auto progress = registry.Register(5, "busy", "", 1);
+  progress->AddNodes(1024);
+  for (int i = 0; i < 5; ++i) {
+    dog.SweepOnce();
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    progress->AddNodes(1024);  // advances between sweeps
+    dog.SweepOnce();
+  }
+  EXPECT_EQ(dog.stats().stalled_queries, 0u);
+  registry.Unregister(5);
+}
+
+TEST(WatchdogTest, QueueStallNeedsConsecutiveFrozenSweeps) {
+  ProgressRegistry registry;
+  WatchdogOptions options;
+  options.queue_stall_sweeps = 3;
+  Watchdog dog(options, &registry);
+
+  WatchdogExecutorSample sample;
+  sample.queue_depth = 12;
+  sample.served = 100;
+  dog.SetExecutorSampler([&] { return sample; });
+
+  dog.SweepOnce();  // baseline sample
+  dog.SweepOnce();  // frozen x1
+  dog.SweepOnce();  // frozen x2
+  EXPECT_EQ(dog.stats().queue_stalls, 0u);
+  dog.SweepOnce();  // frozen x3 -> episode
+  WatchdogStats stats = dog.stats();
+  EXPECT_EQ(stats.queue_stalls, 1u);
+  EXPECT_TRUE(stats.queue_stalled_now);
+
+  sample.served = 101;  // a serve clears the episode
+  dog.SweepOnce();
+  stats = dog.stats();
+  EXPECT_EQ(stats.queue_stalls, 1u);
+  EXPECT_FALSE(stats.queue_stalled_now);
+}
+
+TEST(WatchdogTest, RollingDeadlineMissRate) {
+  ProgressRegistry registry;
+  Watchdog dog(WatchdogOptions{}, &registry);
+  WatchdogExecutorSample sample;
+  dog.SetExecutorSampler([&] { return sample; });
+
+  dog.SweepOnce();  // served=0, misses=0
+  sample.served = 10;
+  sample.deadline_misses = 4;
+  dog.SweepOnce();
+  EXPECT_DOUBLE_EQ(dog.stats().deadline_miss_rate, 0.4);
+}
+
+TEST(WatchdogTest, FsyncStallDetectedFromHistogramWindow) {
+  ProgressRegistry registry;
+  WatchdogOptions options;
+  options.fsync_stall_micros = 1000;
+  Watchdog dog(options, &registry);
+
+  dog.SweepOnce();  // baseline the histogram cursor
+  const uint64_t before = dog.stats().fsync_stalls;
+  WalFsyncHistogram()->Record(50000);  // one pathological 50 ms fsync
+  dog.SweepOnce();
+  WatchdogStats stats = dog.stats();
+  EXPECT_EQ(stats.fsync_stalls, before + 1);
+  EXPECT_GE(stats.last_fsync_mean_micros, options.fsync_stall_micros);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fairclique

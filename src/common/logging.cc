@@ -65,7 +65,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
       1000);
   std::tm tm_utc{};
   ::gmtime_r(&secs, &tm_utc);  // thread-safe, unlike std::gmtime
-  char stamp[40];
+  // Large enough for the worst case gcc's -Wformat-truncation computes
+  // (every %d at full int width), not just the expected 24 characters.
+  char stamp[96];
   std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
                 tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
                 tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis);

@@ -349,6 +349,11 @@ class BitsetComponentSearch {
   // the delta-cap prune subtracts in place). Parents rebuild their scratch
   // from their own `cand` each iteration, so nothing downstream reads it
   // after the call.
+  // fclint: hot-path-begin(branch_kernel)
+  // The branch-and-bound inner loop: no allocation expressions, no string
+  // building, no logging, no lock acquisition. (push_back into the
+  // pre-sized incumbent / prefix vectors is the one sanctioned container
+  // use.) tools/lint/fclint.py enforces this region.
   void Branch(Bitset& cand, AttrCounts cand_cnt, int depth) {
     if (aborted_) return;
     stats_->nodes++;
@@ -446,6 +451,7 @@ class BitsetComponentSearch {
       u = u_next;
     }
   }
+  // fclint: hot-path-end
 
   // One scratch Bitset per recursion depth, reused across every sibling at
   // that depth. A deque keeps references stable while deeper levels append.

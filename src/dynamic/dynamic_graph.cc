@@ -28,6 +28,9 @@ void SortedErase(std::vector<VertexId>* row, VertexId v) {
 
 DynamicGraph::DynamicGraph(const AttributedGraph& base, uint64_t base_version)
     : version_(base_version) {
+  // Nothing can contend before the constructor returns, but the guarded
+  // members are still written under mu_ — the analysis checks ctor bodies.
+  fc::MutexLock lock(mu_);
   const VertexId n = base.num_vertices();
   adj_.resize(n);
   attrs_.resize(n);
@@ -45,37 +48,37 @@ DynamicGraph::DynamicGraph(const AttributedGraph& base, uint64_t base_version)
 }
 
 uint64_t DynamicGraph::version() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   return version_;
 }
 
 std::shared_ptr<const AttributedGraph> DynamicGraph::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   return snapshot_;
 }
 
 uint64_t DynamicGraph::fingerprint() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   return fingerprint_;
 }
 
 VertexId DynamicGraph::num_vertices() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   return static_cast<VertexId>(adj_.size());
 }
 
 EdgeId DynamicGraph::num_edges() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   return num_edges_;
 }
 
 uint32_t DynamicGraph::degree(VertexId v) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   return static_cast<uint32_t>(adj_[v].size());
 }
 
 AttrCounts DynamicGraph::attr_neighbor_counts(VertexId v) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   return nbr_attr_[v];
 }
 
@@ -100,7 +103,7 @@ void DynamicGraph::Rebuild() {
 
 Status DynamicGraph::Apply(std::span<const UpdateOp> batch,
                            UpdateSummary* summary) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   const VertexId n = static_cast<VertexId>(adj_.size());
 
   // ---- Validation pass: sequential semantics over a staged view ----------

@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 
@@ -154,17 +154,19 @@ class DynamicGraph {
   }
 
  private:
-  bool HasEdgeLocked(VertexId u, VertexId v) const;
-  void Rebuild();  // materializes snapshot_ + fingerprint_ from adj_/attrs_
+  bool HasEdgeLocked(VertexId u, VertexId v) const REQUIRES(mu_);
+  /// Materializes snapshot_ + fingerprint_ from adj_/attrs_.
+  void Rebuild() REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::vector<VertexId>> adj_;  // sorted rows
-  std::vector<Attribute> attrs_;
-  std::vector<AttrCounts> nbr_attr_;  // per-attribute neighbor counts
-  EdgeId num_edges_ = 0;
-  uint64_t version_ = 0;
-  uint64_t fingerprint_ = 0;
-  std::shared_ptr<const AttributedGraph> snapshot_;
+  mutable fc::Mutex mu_;
+  std::vector<std::vector<VertexId>> adj_ GUARDED_BY(mu_);  // sorted rows
+  std::vector<Attribute> attrs_ GUARDED_BY(mu_);
+  /// Per-attribute neighbor counts.
+  std::vector<AttrCounts> nbr_attr_ GUARDED_BY(mu_);
+  EdgeId num_edges_ GUARDED_BY(mu_) = 0;
+  uint64_t version_ GUARDED_BY(mu_) = 0;
+  uint64_t fingerprint_ GUARDED_BY(mu_) = 0;
+  std::shared_ptr<const AttributedGraph> snapshot_ GUARDED_BY(mu_);
 };
 
 }  // namespace fairclique

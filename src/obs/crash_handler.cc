@@ -178,6 +178,10 @@ void RestoreAndReraise(int sig) {
   raise(sig);
 }
 
+// fclint: signal-safe-begin
+// Everything from here to the matching end marker runs inside a fatal
+// signal handler: no allocation, no stdio, no blocking lock acquisition.
+// tools/lint/fclint.py enforces the allowlist on every commit.
 void CrashSignalHandler(int sig, siginfo_t* info, void* /*ucontext*/) {
   // A crash inside the handler (or a second faulting thread) must not
   // recurse or interleave: first one in wins, everyone else re-raises.
@@ -311,6 +315,7 @@ void CrashSignalHandler(int sig, siginfo_t* info, void* /*ucontext*/) {
 
   RestoreAndReraise(sig);
 }
+// fclint: signal-safe-end
 
 }  // namespace
 

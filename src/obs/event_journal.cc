@@ -161,6 +161,9 @@ void EventJournal::ResizeForStartup(size_t capacity_per_shard) {
   }
 }
 
+// fclint: hot-path-begin(event_journal_record)
+// Record sits on every served query and inside the WAL commit path; it must
+// stay allocation-free and lock-free (tools/lint/fclint.py enforces this).
 void EventJournal::Record(EventType type, uint64_t a, uint64_t b, uint64_t c,
                           const char* label) {
   if (!Enabled()) return;
@@ -188,6 +191,7 @@ void EventJournal::Record(EventType type, uint64_t a, uint64_t b, uint64_t c,
   slot.label[i].store('\0', std::memory_order_relaxed);
   slot.seq.store(seq, std::memory_order_release);
 }
+// fclint: hot-path-end
 
 bool EventJournal::ReadSlot(const Slot& slot, Event* out) {
   const uint64_t seq = slot.seq.load(std::memory_order_acquire);

@@ -54,6 +54,7 @@ uint64_t Counter::Value() const {
   return total;
 }
 
+// fclint: hot-path-begin(histogram_record)
 void Histogram::Record(int64_t value) {
   if (!Enabled()) return;
   Shard& shard = shards_[internal::ThreadShard()];
@@ -64,6 +65,7 @@ void Histogram::Record(int64_t value) {
          !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
   }
 }
+// fclint: hot-path-end
 
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snap;
@@ -214,7 +216,7 @@ MetricRegistry& MetricRegistry::Default() {
 
 Counter* MetricRegistry::GetCounter(const std::string& name,
                                     const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   Entry& entry = metrics_[name];
   if (entry.counter == nullptr && entry.gauge == nullptr &&
       entry.histogram == nullptr) {
@@ -230,7 +232,7 @@ Counter* MetricRegistry::GetCounter(const std::string& name,
 
 Gauge* MetricRegistry::GetGauge(const std::string& name,
                                 const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   Entry& entry = metrics_[name];
   if (entry.counter == nullptr && entry.gauge == nullptr &&
       entry.histogram == nullptr) {
@@ -246,7 +248,7 @@ Gauge* MetricRegistry::GetGauge(const std::string& name,
 
 Histogram* MetricRegistry::GetHistogram(const std::string& name,
                                         const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   Entry& entry = metrics_[name];
   if (entry.counter == nullptr && entry.gauge == nullptr &&
       entry.histogram == nullptr) {
@@ -262,7 +264,7 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name,
 
 MetricsSnapshot MetricRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   snap.metrics.reserve(metrics_.size());
   for (const auto& [name, entry] : metrics_) {
     MetricSnapshot m;

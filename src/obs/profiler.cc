@@ -1,7 +1,8 @@
 #include "obs/profiler.h"
 
 #include <algorithm>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 #include "obs/metrics.h"
 
@@ -68,7 +69,7 @@ std::atomic<uint64_t> g_dropped{0};
 /// stray late signal exactly one relaxed load.
 std::atomic<bool> g_profiling{false};
 int g_hz = 0;
-std::mutex g_control_mu;  // serializes Start/Stop/Reset (never the handler)
+fc::Mutex g_control_mu;  // serializes Start/Stop/Reset (never the handler)
 
 uint64_t HashStack(const char* const* frames, uint32_t n) {
   // FNV-1a over the frame pointer values (tags are interned literals, so
@@ -176,7 +177,7 @@ Profiler& Profiler::Default() {
 }
 
 bool Profiler::Start(int hz) {
-  std::lock_guard<std::mutex> lock(g_control_mu);
+  fc::MutexLock lock(g_control_mu);
   if (g_profiling.load(std::memory_order_relaxed)) return false;
   if (hz > 0) {
 #ifdef FAIRCLIQUE_PROFILER_HAVE_SIGPROF
@@ -206,7 +207,7 @@ bool Profiler::Start(int hz) {
 }
 
 bool Profiler::Stop() {
-  std::lock_guard<std::mutex> lock(g_control_mu);
+  fc::MutexLock lock(g_control_mu);
   if (!g_profiling.load(std::memory_order_relaxed)) return false;
 #ifdef FAIRCLIQUE_PROFILER_HAVE_SIGPROF
   if (g_hz > 0) {
@@ -226,7 +227,7 @@ bool Profiler::running() const {
 }
 
 int Profiler::hz() const {
-  std::lock_guard<std::mutex> lock(g_control_mu);
+  fc::MutexLock lock(g_control_mu);
   return g_hz;
 }
 
@@ -271,7 +272,7 @@ std::string Profiler::DumpFolded() const {
 }
 
 bool Profiler::Reset() {
-  std::lock_guard<std::mutex> lock(g_control_mu);
+  fc::MutexLock lock(g_control_mu);
   if (g_profiling.load(std::memory_order_relaxed)) return false;
   for (TableSlot& slot : g_table) {
     slot.depth.store(0, std::memory_order_relaxed);

@@ -60,7 +60,7 @@ std::shared_ptr<QueryProgress> ProgressRegistry::Register(
     uint64_t components_total) {
   auto progress = std::make_shared<QueryProgress>(
       trace_id, std::move(graph), std::move(options), components_total);
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   inflight_[trace_id] = progress;
   return progress;
 }
@@ -74,14 +74,14 @@ ProgressRegistration ProgressRegistry::RegisterScoped(
 }
 
 void ProgressRegistry::Unregister(uint64_t trace_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   inflight_.erase(trace_id);
 }
 
 std::vector<ProgressSnapshot> ProgressRegistry::List() const {
   std::vector<std::shared_ptr<QueryProgress>> live;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fc::MutexLock lock(mu_);
     live.reserve(inflight_.size());
     for (const auto& [id, progress] : inflight_) live.push_back(progress);
   }
@@ -94,13 +94,13 @@ std::vector<ProgressSnapshot> ProgressRegistry::List() const {
 }
 
 size_t ProgressRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   return inflight_.size();
 }
 
 size_t ProgressRegistry::SnapshotForCrash(CrashQueryRow* rows, size_t cap,
                                           bool* lock_acquired) const {
-  if (!mu_.try_lock()) {
+  if (!mu_.TryLock()) {
     *lock_acquired = false;
     return 0;
   }
@@ -111,7 +111,7 @@ size_t ProgressRegistry::SnapshotForCrash(CrashQueryRow* rows, size_t cap,
     progress->FillCrashRow(&rows[count]);
     ++count;
   }
-  mu_.unlock();
+  mu_.Unlock();
   return count;
 }
 

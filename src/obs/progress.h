@@ -17,10 +17,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 
 namespace fairclique {
@@ -210,8 +210,8 @@ class ProgressRegistry {
                           bool* lock_acquired) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<uint64_t, std::shared_ptr<QueryProgress>> inflight_;
+  mutable fc::Mutex mu_;
+  std::map<uint64_t, std::shared_ptr<QueryProgress>> inflight_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

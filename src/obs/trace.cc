@@ -48,7 +48,7 @@ void Slowlog::UpdateFloorLocked() {
 
 void Slowlog::Record(std::shared_ptr<const Trace> trace) {
   if (trace == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   if (heap_.size() >= capacity_) {
     // Evict the fastest retained trace — strict >, so at a tie the
     // incumbent survives (it was slow first).
@@ -65,7 +65,7 @@ std::vector<std::shared_ptr<const Trace>> Slowlog::Slowest(
     size_t limit) const {
   std::vector<std::shared_ptr<const Trace>> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fc::MutexLock lock(mu_);
     out = heap_;
   }
   std::sort(out.begin(), out.end(),
@@ -81,7 +81,7 @@ std::vector<std::shared_ptr<const Trace>> Slowlog::Slowest(
 }
 
 std::shared_ptr<const Trace> Slowlog::Find(uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   for (const auto& trace : heap_) {
     if (trace->id == id) return trace;
   }
@@ -89,7 +89,7 @@ std::shared_ptr<const Trace> Slowlog::Find(uint64_t id) const {
 }
 
 void Slowlog::Reset(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   if (capacity > 0) capacity_ = capacity;
   heap_.clear();
   heap_.reserve(capacity_);
@@ -97,12 +97,12 @@ void Slowlog::Reset(size_t capacity) {
 }
 
 size_t Slowlog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   return heap_.size();
 }
 
 size_t Slowlog::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   return capacity_;
 }
 

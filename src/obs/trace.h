@@ -21,9 +21,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace fairclique {
 namespace obs {
@@ -111,13 +112,13 @@ class Slowlog {
   size_t capacity() const;
 
  private:
-  void UpdateFloorLocked();
+  void UpdateFloorLocked() REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  size_t capacity_;
+  mutable fc::Mutex mu_;
+  size_t capacity_ GUARDED_BY(mu_);
   /// Min-heap on run_micros: heap_[0] is the fastest retained trace, i.e.
   /// the eviction victim.
-  std::vector<std::shared_ptr<const Trace>> heap_;
+  std::vector<std::shared_ptr<const Trace>> heap_ GUARDED_BY(mu_);
   /// run_micros of heap_[0] when full, -1 while below capacity.
   std::atomic<int64_t> floor_micros_{-1};
 };

@@ -71,20 +71,28 @@ void Watchdog::Start() {
 void Watchdog::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    fc::MutexLock lock(wake_mu_);
     stop_.store(true, std::memory_order_relaxed);
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 
 void Watchdog::Loop() {
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(wake_mu_);
-      wake_cv_.wait_for(
-          lock, std::chrono::microseconds(options_.interval_micros),
-          [this] { return stop_.load(std::memory_order_relaxed); });
+      // Explicit predicate loop (not a wait_for-with-lambda): sleep out the
+      // interval, but leave as soon as Stop() flips the flag. Spurious or
+      // notified wakeups just re-check the clock.
+      fc::MutexLock lock(wake_mu_);
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(options_.interval_micros);
+      while (!stop_.load(std::memory_order_relaxed)) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) break;
+        wake_cv_.WaitFor(lock, deadline - now);
+      }
       if (stop_.load(std::memory_order_relaxed)) return;
     }
     SweepOnce();
@@ -92,7 +100,7 @@ void Watchdog::Loop() {
 }
 
 void Watchdog::SweepOnce() {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   stats_.sweeps++;
   SweepCounter()->Increment();
 
@@ -213,7 +221,7 @@ void Watchdog::SweepOnce() {
 }
 
 WatchdogStats Watchdog::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   WatchdogStats out = stats_;
   out.running = running_.load(std::memory_order_relaxed);
   return out;

@@ -12,14 +12,14 @@
 /// its ok/degraded verdict.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <set>
 #include <thread>
+
+#include "common/thread_annotations.h"
 
 namespace fairclique {
 namespace obs {
@@ -103,20 +103,20 @@ class Watchdog {
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
+  fc::Mutex wake_mu_;
+  fc::CondVar wake_cv_;
 
   /// Sweep state: touched only from SweepOnce / the loop thread, guarded
   /// anyway so tests can drive SweepOnce while stats() readers race.
-  mutable std::mutex mu_;
-  std::map<uint64_t, QueryTrack> tracks_;
-  uint64_t last_fsync_count_ = 0;
-  int64_t last_fsync_sum_ = 0;
-  bool have_exec_sample_ = false;
-  WatchdogExecutorSample last_exec_;
-  uint64_t queue_frozen_sweeps_ = 0;
-  std::deque<WatchdogExecutorSample> miss_window_;
-  WatchdogStats stats_;
+  mutable fc::Mutex mu_;
+  std::map<uint64_t, QueryTrack> tracks_ GUARDED_BY(mu_);
+  uint64_t last_fsync_count_ GUARDED_BY(mu_) = 0;
+  int64_t last_fsync_sum_ GUARDED_BY(mu_) = 0;
+  bool have_exec_sample_ GUARDED_BY(mu_) = false;
+  WatchdogExecutorSample last_exec_ GUARDED_BY(mu_);
+  uint64_t queue_frozen_sweeps_ GUARDED_BY(mu_) = 0;
+  std::deque<WatchdogExecutorSample> miss_window_ GUARDED_BY(mu_);
+  WatchdogStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

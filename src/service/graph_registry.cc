@@ -39,17 +39,17 @@ GraphFormat SniffFormat(const std::string& path) {
 }  // namespace
 
 void GraphRegistry::AttachCache(ResultCache* cache) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   cache_ = cache;
 }
 
 void GraphRegistry::AttachPreparedCache(PreparedGraphCache* cache) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   prepared_cache_ = cache;
 }
 
 void GraphRegistry::AttachStorage(storage::StorageManager* storage) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   storage_ = storage;
 }
 
@@ -65,7 +65,7 @@ Status GraphRegistry::Load(const std::string& name, const std::string& path,
                            const std::string& attribute_path,
                            GraphFormat format) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fc::MutexLock lock(mu_);
     if (graphs_.count(name) > 0) {
       return Status::InvalidArgument("graph '" + name +
                                      "' is already registered; evict first");
@@ -129,10 +129,10 @@ Status GraphRegistry::AddEntry(const std::string& name,
   // swap_mu_ serializes the (insert, persist) pair with Replace/Evict so
   // the write-through cannot interleave with a concurrent mutation of the
   // same name; reads only ever take mu_.
-  std::lock_guard<std::mutex> swap_lock(swap_mu_);
+  fc::MutexLock swap_lock(swap_mu_);
   storage::StorageManager* storage = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fc::MutexLock lock(mu_);
     auto [it, inserted] = graphs_.emplace(name, entry);
     (void)it;
     if (!inserted) {
@@ -147,7 +147,7 @@ Status GraphRegistry::AddEntry(const std::string& name,
     if (!status.ok()) {
       // Durability is part of the registration contract once storage is
       // attached: an unpersistable graph is not registered at all.
-      std::lock_guard<std::mutex> lock(mu_);
+      fc::MutexLock lock(mu_);
       graphs_.erase(name);
       return status;
     }
@@ -162,7 +162,7 @@ Status GraphRegistry::AddEntry(const std::string& name,
 
 std::shared_ptr<const RegisteredGraph> GraphRegistry::Get(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   auto it = graphs_.find(name);
   return it == graphs_.end() ? nullptr : it->second;
 }
@@ -191,9 +191,9 @@ Status GraphRegistry::Replace(const std::string& name,
   ResultCache* cache = nullptr;
   PreparedGraphCache* prepared_cache = nullptr;
   storage::StorageManager* storage = nullptr;
-  std::unique_lock<std::mutex> swap_lock(swap_mu_);
+  fc::MutexLock swap_lock(swap_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fc::MutexLock lock(mu_);
     auto it = graphs_.find(name);
     if (it == graphs_.end()) {
       return Status::NotFound("graph '" + name + "' is not registered");
@@ -253,7 +253,7 @@ Status GraphRegistry::Replace(const std::string& name,
   // reach storage out of order, but StorageManager::OnReplace ignores
   // epochs older than one it already handled, so the durable snapshot
   // never regresses.
-  swap_lock.unlock();
+  swap_lock.Unlock();
   if (storage != nullptr) {
     // The in-memory replace is already published (readers may be serving
     // it); a write-through failure is reported rather than rolled back, so
@@ -269,9 +269,9 @@ bool GraphRegistry::Evict(const std::string& name) {
   ResultCache* cache = nullptr;
   PreparedGraphCache* prepared_cache = nullptr;
   storage::StorageManager* storage = nullptr;
-  std::lock_guard<std::mutex> swap_lock(swap_mu_);
+  fc::MutexLock swap_lock(swap_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fc::MutexLock lock(mu_);
     auto it = graphs_.find(name);
     if (it == graphs_.end()) return false;
     fingerprint = it->second->fingerprint;
@@ -306,7 +306,7 @@ bool GraphRegistry::Evict(const std::string& name) {
 
 std::vector<std::shared_ptr<const RegisteredGraph>> GraphRegistry::List()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   std::vector<std::shared_ptr<const RegisteredGraph>> out;
   out.reserve(graphs_.size());
   for (const auto& [name, entry] : graphs_) out.push_back(entry);
@@ -314,7 +314,7 @@ std::vector<std::shared_ptr<const RegisteredGraph>> GraphRegistry::List()
 }
 
 size_t GraphRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   return graphs_.size();
 }
 
@@ -324,7 +324,7 @@ RegistryStats GraphRegistry::Stats() const {
   s.restores = restores_.load(std::memory_order_relaxed);
   s.replaces = replaces_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   s.graphs = graphs_.size();
   return s;
 }

@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "dynamic/dynamic_graph.h"
 #include "graph/graph.h"
 #include "service/prepared_graph_cache.h"
@@ -164,29 +164,34 @@ class GraphRegistry {
  private:
   /// True when any registered entry (excluding `except`) has `fingerprint`.
   bool FingerprintReferencedLocked(uint64_t fingerprint,
-                                   const std::string& except) const;
+                                   const std::string& except) const
+      REQUIRES(mu_);
 
   /// Shared insert path of Add/Restore; persists via write-through when
   /// `persist` (and storage attached), rolling the insert back on failure.
   Status AddEntry(const std::string& name,
                   std::shared_ptr<const AttributedGraph> graph,
-                  uint64_t version, const std::string& source, bool persist);
+                  uint64_t version, const std::string& source, bool persist)
+      EXCLUDES(swap_mu_, mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const RegisteredGraph>> graphs_;
+  mutable fc::Mutex mu_;
+  std::map<std::string, std::shared_ptr<const RegisteredGraph>> graphs_
+      GUARDED_BY(mu_);
   std::atomic<uint64_t> loads_{0};
   std::atomic<uint64_t> restores_{0};
   std::atomic<uint64_t> replaces_{0};
   std::atomic<uint64_t> evictions_{0};
-  ResultCache* cache_ = nullptr;                  // not owned; may be null
-  PreparedGraphCache* prepared_cache_ = nullptr;  // not owned; may be null
-  storage::StorageManager* storage_ = nullptr;    // not owned; may be null
+  ResultCache* cache_ GUARDED_BY(mu_) = nullptr;  // not owned; may be null
+  PreparedGraphCache* prepared_cache_ GUARDED_BY(mu_) =
+      nullptr;                                    // not owned; may be null
+  storage::StorageManager* storage_ GUARDED_BY(mu_) =
+      nullptr;                                    // not owned; may be null
   /// Serializes (map swap, cache migration) pairs end to end: without it
   /// two concurrent Replace calls could run their cache migrations in the
   /// opposite order of their map swaps, stranding entries under a stale
   /// fingerprint. Acquired before mu_ by Replace/Evict; Get/List/Add take
   /// only mu_, so reads never wait on a migration.
-  std::mutex swap_mu_;
+  fc::Mutex swap_mu_ ACQUIRED_BEFORE(mu_);
 };
 
 /// Outcome of a warm-file restore pass.

@@ -25,7 +25,7 @@ std::string PreparedGraphCache::MakeKey(uint64_t fingerprint, int k,
 
 std::shared_ptr<const PreparedGraph> PreparedGraphCache::Get(
     const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     misses_++;
@@ -62,13 +62,13 @@ std::shared_ptr<const PreparedGraph> PreparedGraphCache::GetOrPrepare(
   if (capacity_ == 0) {
     *built = true;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      fc::MutexLock lock(mu_);
       misses_++;
     }
     return build();
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    fc::MutexLock lock(mu_);
     while (true) {
       auto it = index_.find(key);
       if (it != index_.end()) {
@@ -79,7 +79,7 @@ std::shared_ptr<const PreparedGraph> PreparedGraphCache::GetOrPrepare(
       if (building_.count(key) == 0) break;
       // Another caller is reducing this key; share its plan instead of
       // burning a second reduction.
-      build_done_.wait(lock);
+      build_done_.Wait(lock);
     }
     misses_++;
     building_.insert(key);
@@ -93,20 +93,20 @@ std::shared_ptr<const PreparedGraph> PreparedGraphCache::GetOrPrepare(
     prepared = build();
   } catch (...) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      fc::MutexLock lock(mu_);
       building_.erase(key);
-      build_done_.notify_all();
+      build_done_.NotifyAll();
     }
     throw;
   }
   *built = true;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fc::MutexLock lock(mu_);
     building_.erase(key);
     if (prepared != nullptr) {
       PutLocked(key, CacheEntry{prepared, fingerprint});
     }
-    build_done_.notify_all();
+    build_done_.NotifyAll();
   }
   return prepared;
 }
@@ -115,12 +115,12 @@ void PreparedGraphCache::Put(const std::string& key,
                              std::shared_ptr<const PreparedGraph> prepared,
                              uint64_t fingerprint) {
   if (capacity_ == 0 || prepared == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   PutLocked(key, CacheEntry{std::move(prepared), fingerprint});
 }
 
 size_t PreparedGraphCache::InvalidateFingerprint(uint64_t fingerprint) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   size_t dropped = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->second.fingerprint == fingerprint) {
@@ -139,7 +139,7 @@ PreparedMigrationOutcome PreparedGraphCache::OnSnapshotReplace(
     uint64_t old_fp, uint64_t new_fp, const UpdateSummary& summary,
     bool keep_old_entries) {
   PreparedMigrationOutcome outcome;
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
 
   // Forwarding is only on the table for batches that cannot create a new
   // clique anywhere: no net-added edges, no attribute flips (appended
@@ -200,14 +200,14 @@ PreparedMigrationOutcome PreparedGraphCache::OnSnapshotReplace(
 }
 
 void PreparedGraphCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
   hits_ = misses_ = insertions_ = evictions_ = invalidated_ = forwarded_ = 0;
 }
 
 PreparedGraphCacheStats PreparedGraphCache::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   PreparedGraphCacheStats s;
   s.hits = hits_;
   s.misses = misses_;

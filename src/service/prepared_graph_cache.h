@@ -1,17 +1,16 @@
 #ifndef FAIRCLIQUE_SERVICE_PREPARED_GRAPH_CACHE_H_
 #define FAIRCLIQUE_SERVICE_PREPARED_GRAPH_CACHE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "common/thread_annotations.h"
 #include "core/prepared_graph.h"
 #include "dynamic/dynamic_graph.h"
 
@@ -120,22 +119,22 @@ class PreparedGraphCache {
   };
   using LruList = std::list<std::pair<std::string, CacheEntry>>;
 
-  void PutLocked(const std::string& key, CacheEntry entry);
+  void PutLocked(const std::string& key, CacheEntry entry) REQUIRES(mu_);
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable build_done_;
+  mutable fc::Mutex mu_;
+  fc::CondVar build_done_;
   /// Keys with a GetOrPrepare builder in flight; waiters block on
   /// build_done_ until their key leaves this set.
-  std::unordered_set<std::string> building_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<std::string, LruList::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t insertions_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t invalidated_ = 0;
-  uint64_t forwarded_ = 0;
+  std::unordered_set<std::string> building_ GUARDED_BY(mu_);
+  LruList lru_ GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_ GUARDED_BY(mu_);
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  uint64_t insertions_ GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
+  uint64_t invalidated_ GUARDED_BY(mu_) = 0;
+  uint64_t forwarded_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace fairclique

@@ -107,6 +107,9 @@ QueryExecutor::QueryExecutor(const ExecutorOptions& options, ResultCache* cache,
       prepare_hist_(obs::QueryPrepareHistogram()),
       branch_hist_(obs::QueryBranchHistogram()) {
   int workers = std::max(1, options_.num_workers);
+  // workers_ is guarded by shutdown_mu_; the analysis does not exempt
+  // constructor bodies, and locking here is free (nothing can contend yet).
+  fc::MutexLock lock(shutdown_mu_);
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -123,7 +126,7 @@ std::future<QueryResponse> QueryExecutor::Submit(QueryRequest request) {
   const char* graph_name =
       request.graph != nullptr ? request.graph->name.c_str() : nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fc::MutexLock lock(mu_);
     if (!stopping_ && queue_.size() < options_.queue_capacity) {
       accepted_.fetch_add(1, std::memory_order_relaxed);
       Pending pending;
@@ -135,7 +138,7 @@ std::future<QueryResponse> QueryExecutor::Submit(QueryRequest request) {
           peak_queue_depth_, queue_.size() + component_queue_.size());
       obs::EventJournal::Default().Record(obs::EventType::kQueryAdmit,
                                           queue_.size(), 0, 0, graph_name);
-      work_ready_.notify_one();
+      work_ready_.NotifyOne();
       return future;
     }
   }
@@ -589,13 +592,13 @@ void QueryExecutor::ExpandQuery(std::shared_ptr<QueryState> qs) {
         decision.arena_bytes, 0, SearchEngineName(decision.engine));
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fc::MutexLock lock(mu_);
     for (size_t slot = 0; slot < n; ++slot) {
       component_queue_.push_back(ComponentTask{qs, slot});
     }
     peak_queue_depth_ = std::max(
         peak_queue_depth_, queue_.size() + component_queue_.size());
-    work_ready_.notify_all();
+    work_ready_.NotifyAll();
   }
 }
 
@@ -670,15 +673,15 @@ void QueryExecutor::CompleteQuery(QueryState& qs) {
       qs.request.graph != nullptr ? qs.request.graph->name.c_str() : nullptr);
   qs.promise.set_value(std::move(qs.response));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fc::MutexLock lock(mu_);
     --inflight_;
-    if (inflight_ == 0) idle_.notify_all();
+    if (inflight_ == 0) idle_.NotifyAll();
   }
 }
 
 void QueryExecutor::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return inflight_ == 0; });
+  fc::MutexLock lock(mu_);
+  while (inflight_ != 0) idle_.Wait(lock);
 }
 
 void QueryExecutor::Shutdown() {
@@ -686,11 +689,11 @@ void QueryExecutor::Shutdown() {
   // racing an explicit Shutdown) blocks until the workers are actually
   // joined, rather than returning while they still run. Workers never call
   // Shutdown, so this cannot deadlock.
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  fc::MutexLock shutdown_lock(shutdown_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    fc::MutexLock lock(mu_);
     stopping_ = true;
-    work_ready_.notify_all();
+    work_ready_.NotifyAll();
   }
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
@@ -704,10 +707,10 @@ void QueryExecutor::WorkerLoop() {
     Pending pending;
     enum class Work { kNone, kComponent, kQuery } work = Work::kNone;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] {
-        return stopping_ || !component_queue_.empty() || !queue_.empty();
-      });
+      fc::MutexLock lock(mu_);
+      while (!stopping_ && component_queue_.empty() && queue_.empty()) {
+        work_ready_.Wait(lock);
+      }
       // Component tasks first: finishing in-flight queries beats admitting
       // new ones (and is what frees their memory).
       if (!component_queue_.empty()) {
@@ -761,7 +764,7 @@ ExecutorMetrics QueryExecutor::metrics() const {
   m.stopped_deadline = stopped_deadline_.load(std::memory_order_relaxed);
   m.num_workers = static_cast<size_t>(std::max(1, options_.num_workers));
   m.active_workers = active_workers_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   m.admission_queue_depth = queue_.size();
   m.component_queue_depth = component_queue_.size();
   m.queue_depth = m.admission_queue_depth + m.component_queue_depth;

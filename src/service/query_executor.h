@@ -2,16 +2,15 @@
 #define FAIRCLIQUE_SERVICE_QUERY_EXECUTOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 #include "core/max_fair_clique.h"
 #include "core/prepared_graph.h"
@@ -247,21 +246,43 @@ class QueryExecutor {
   ResultCache* const cache_;                   // not owned; may be null
   PreparedGraphCache* const prepared_cache_;   // not owned; may be null
 
-  mutable std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable idle_;
-  std::deque<Pending> queue_;
-  std::deque<ComponentTask> component_queue_;
+  // ------------------------------------------------------ lock ordering
+  //
+  // Proven acquisition order across the executor and everything a query
+  // touches while a worker holds one of these locks (checked by the clang
+  // -Wthread-safety CI job via the ACQUIRED_AFTER annotations below, and at
+  // runtime by the TSan job's deadlock detector):
+  //
+  //   level 0 (outermost)  shutdown_mu_        Shutdown serialization
+  //   level 1              mu_                 queues + in-flight accounting
+  //   leaves (never held together with mu_ or shutdown_mu_ by this class;
+  //   workers take them only while NOT holding mu_):
+  //     ResultCache::mu_, PreparedGraphCache::mu_,
+  //     GraphRegistry::{swap_mu_, mu_}, StorageManager::{map_mu_, stripe
+  //     mu, manifest_mu_}, obs::* registries
+  //
+  // Workers pop work under mu_, then RELEASE it before running the query
+  // pipeline, so no cache/registry/storage lock is ever acquired under
+  // mu_ — the only nesting in this file is shutdown_mu_ -> mu_.
+
+  /// Guards the two work queues and the in-flight accounting. Acquired
+  /// after shutdown_mu_ (Shutdown posts the stop flag under both), never
+  /// before it.
+  mutable fc::Mutex mu_ ACQUIRED_AFTER(shutdown_mu_);
+  fc::CondVar work_ready_;
+  fc::CondVar idle_;
+  std::deque<Pending> queue_ GUARDED_BY(mu_);
+  std::deque<ComponentTask> component_queue_ GUARDED_BY(mu_);
   /// Accepted queries not yet answered (queued, expanding, or branching).
-  size_t inflight_ = 0;
+  size_t inflight_ GUARDED_BY(mu_) = 0;
   /// High-water mark of queue_.size() + component_queue_.size(); bumped
   /// under mu_ wherever either queue grows.
-  size_t peak_queue_depth_ = 0;
-  bool stopping_ = false;
-  /// Serializes Shutdown end to end; workers_ is written only at
-  /// construction and under this mutex afterwards.
-  std::mutex shutdown_mu_;
-  std::vector<std::thread> workers_;
+  size_t peak_queue_depth_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  /// Serializes Shutdown end to end; workers_ is written under this mutex,
+  /// including at construction.
+  fc::Mutex shutdown_mu_;
+  std::vector<std::thread> workers_ GUARDED_BY(shutdown_mu_);
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> accepted_{0};

@@ -36,7 +36,7 @@ std::string ResultCache::MakeKey(uint64_t fingerprint,
 }
 
 std::shared_ptr<const SearchResult> ResultCache::Get(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -51,7 +51,7 @@ void ResultCache::Put(const std::string& key,
                       std::shared_ptr<const SearchResult> result,
                       std::optional<FairnessParams> params) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   PutLocked(key, CacheEntry{std::move(result), params});
   // A fresh exact answer supersedes any warm hint for the same key.
   auto hint = hints_.find(key);
@@ -80,7 +80,7 @@ void ResultCache::PutLocked(const std::string& key, CacheEntry entry) {
 }
 
 void ResultCache::PutHint(const std::string& key, WarmHint hint) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   PutHintLocked(key, std::move(hint));
 }
 
@@ -107,7 +107,7 @@ void ResultCache::PutHintLocked(const std::string& key, WarmHint hint) {
 }
 
 std::optional<WarmHint> ResultCache::TakeHint(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   auto it = hints_.find(key);
   if (it == hints_.end()) return std::nullopt;
   WarmHint hint = std::move(it->second);
@@ -119,7 +119,7 @@ std::optional<WarmHint> ResultCache::TakeHint(const std::string& key) {
 
 size_t ResultCache::InvalidateFingerprint(uint64_t fingerprint) {
   const std::string prefix = FingerprintHex(fingerprint) + "|";
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   size_t dropped = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->first.compare(0, prefix.size(), prefix) == 0) {
@@ -236,7 +236,7 @@ MigrationOutcome ResultCache::OnSnapshotReplace(uint64_t old_fp,
   if (old_fp == new_fp) return outcome;
   const std::string old_prefix = FingerprintHex(old_fp) + "|";
   const std::string new_prefix = FingerprintHex(new_fp) + "|";
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
 
   // Exact entries. Collect first: PutLocked mutates lru_/index_.
   std::vector<std::pair<std::string, CacheEntry>> exact;
@@ -288,7 +288,7 @@ MigrationOutcome ResultCache::OnSnapshotReplace(uint64_t old_fp,
 }
 
 void ResultCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
   hints_.clear();
@@ -298,7 +298,7 @@ void ResultCache::Clear() {
 }
 
 std::vector<storage::WarmEntry> ResultCache::ExportWarmEntries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   std::vector<storage::WarmEntry> out;
   out.reserve(lru_.size());
   for (const auto& [key, entry] : lru_) {
@@ -328,7 +328,7 @@ std::vector<storage::WarmEntry> ResultCache::ExportWarmEntries() const {
 }
 
 ResultCacheStats ResultCache::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  fc::MutexLock lock(mu_);
   ResultCacheStats stats;
   stats.hits = hits_;
   stats.misses = misses_;

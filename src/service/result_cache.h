@@ -4,13 +4,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/max_fair_clique.h"
 #include "dynamic/dynamic_graph.h"
 #include "storage/warm_file.h"
@@ -162,8 +162,8 @@ class ResultCache {
   };
   using LruList = std::list<std::pair<std::string, CacheEntry>>;
 
-  void PutLocked(const std::string& key, CacheEntry entry);
-  void PutHintLocked(const std::string& key, WarmHint hint);
+  void PutLocked(const std::string& key, CacheEntry entry) REQUIRES(mu_);
+  void PutHintLocked(const std::string& key, WarmHint hint) REQUIRES(mu_);
   /// Applies the migration rules to one clique; returns true when it
   /// survives (as an exact entry or hint under `new_key`).
   bool MigrateCliqueLocked(const std::string& new_key, const CliqueResult& q,
@@ -172,22 +172,23 @@ class ResultCache {
                            std::shared_ptr<const SearchResult> exact_result,
                            const AttributedGraph& snapshot,
                            const UpdateSummary& summary,
-                           MigrationOutcome* outcome);
+                           MigrationOutcome* outcome) REQUIRES(mu_);
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<std::string, LruList::iterator> index_;
-  std::unordered_map<std::string, WarmHint> hints_;
-  std::list<std::string> hint_order_;  // front = oldest, for FIFO eviction
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t insertions_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t invalidated_ = 0;
-  uint64_t republished_ = 0;
-  uint64_t hints_published_ = 0;
-  uint64_t hint_hits_ = 0;
+  mutable fc::Mutex mu_;
+  LruList lru_ GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, WarmHint> hints_ GUARDED_BY(mu_);
+  /// front = oldest, for FIFO eviction
+  std::list<std::string> hint_order_ GUARDED_BY(mu_);
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  uint64_t insertions_ GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
+  uint64_t invalidated_ GUARDED_BY(mu_) = 0;
+  uint64_t republished_ GUARDED_BY(mu_) = 0;
+  uint64_t hints_published_ GUARDED_BY(mu_) = 0;
+  uint64_t hint_hits_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace fairclique

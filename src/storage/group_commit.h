@@ -2,13 +2,12 @@
 #define FAIRCLIQUE_STORAGE_GROUP_COMMIT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace fairclique {
 namespace storage {
@@ -84,24 +83,34 @@ class GroupCommitWal {
 
  private:
   /// Leader body: drains the pending buffer, writes + fsyncs it, settles
-  /// the drained range. Called with `lock` held; releases it around the IO.
-  void CommitGroupLocked(std::unique_lock<std::mutex>& lock);
+  /// the drained range. Called with `lock` (which manages mu_) held;
+  /// releases it around the IO. Call sites are checked via REQUIRES; the
+  /// body itself is excluded from analysis (the definition carries
+  /// NO_THREAD_SAFETY_ANALYSIS) because the analysis cannot connect a
+  /// MutexLock passed by reference back to mu_ across the unlock/relock
+  /// around the IO.
+  void CommitGroupLocked(fc::MutexLock& lock) REQUIRES(mu_);
 
   const std::string path_;
   const int64_t group_window_micros_;
   const std::shared_ptr<std::atomic<uint64_t>> groups_counter_;  // may be null
 
-  mutable std::mutex mu_;
-  std::condition_variable settled_;
-  int fd_ = -1;
-  uint64_t next_seq_ = 0;      // last sequence number handed out
-  uint64_t settled_seq_ = 0;   // every seq <= this is durable or failed
-  uint64_t first_failed_seq_ = 0;  // 0 = no failure yet
-  Status sticky_error_;
-  bool leader_active_ = false;
-  std::string pending_;        // concatenated frames (settled_seq_, next_seq_]
-  uint64_t pending_frames_ = 0;
-  GroupCommitStats stats_;
+  mutable fc::Mutex mu_;
+  fc::CondVar settled_;
+  /// Opened by the first committing leader and then touched only by the
+  /// (single) active leader, including outside mu_ while the group's IO
+  /// runs — leader_active_ is the real guard; mu_ is what hands it over.
+  int fd_ GUARDED_BY(mu_) = -1;
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;  // last sequence number handed out
+  /// Every seq <= this is durable or failed.
+  uint64_t settled_seq_ GUARDED_BY(mu_) = 0;
+  uint64_t first_failed_seq_ GUARDED_BY(mu_) = 0;  // 0 = no failure yet
+  Status sticky_error_ GUARDED_BY(mu_);
+  bool leader_active_ GUARDED_BY(mu_) = false;
+  /// Concatenated frames (settled_seq_, next_seq_].
+  std::string pending_ GUARDED_BY(mu_);
+  uint64_t pending_frames_ GUARDED_BY(mu_) = 0;
+  GroupCommitStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace storage

@@ -5,13 +5,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "dynamic/dynamic_graph.h"
 #include "graph/graph.h"
 #include "storage/group_commit.h"
@@ -222,16 +222,15 @@ class StorageManager {
   std::shared_ptr<Stripe> GetStripe(const std::string& name) const;
   std::shared_ptr<Stripe> GetOrCreateStripe(const std::string& name);
 
-  /// Publishes `entry` as `name`'s manifest entry (or removes it when
-  /// `remove`), saving the MANIFEST under manifest_mu_ and mirroring the
-  /// result into the stripe. Caller holds the stripe's mu.
-  Status PublishEntryLocked(Stripe& stripe, const ManifestEntry& entry);
-  Status RemoveEntryLocked(Stripe& stripe);
-
+  /// Writes a fresh snapshot for the stripe and publishes it in the
+  /// manifest (under manifest_mu_). Caller holds the stripe's mu — Stripe
+  /// is incomplete here so the contract cannot be spelled
+  /// REQUIRES(stripe.mu); the body opens with stripe.mu.AssertHeld()
+  /// instead.
   Status PersistStripeLocked(Stripe& stripe, const std::string& name,
                              const AttributedGraph& g, uint64_t version,
                              uint64_t fingerprint, const std::string& source,
-                             bool is_compaction);
+                             bool is_compaction) EXCLUDES(manifest_mu_);
   void RemoveUnreferencedFiles();
 
   const std::string dir_;
@@ -241,19 +240,19 @@ class StorageManager {
   /// mu or manifest_mu_). Stripes are never erased — a forgotten name keeps
   /// an unregistered stripe so a concurrent re-register cannot race the
   /// map itself.
-  mutable std::mutex map_mu_;
-  std::map<std::string, std::shared_ptr<Stripe>> stripes_;
+  mutable fc::Mutex map_mu_;
+  std::map<std::string, std::shared_ptr<Stripe>> stripes_ GUARDED_BY(map_mu_);
 
   /// Guards the in-memory manifest mirror and serializes MANIFEST file
   /// writes. Acquired after a stripe's mu, never before.
-  std::mutex manifest_mu_;
-  Manifest manifest_;
+  fc::Mutex manifest_mu_;
+  Manifest manifest_ GUARDED_BY(manifest_mu_);
 
   /// Guards the warm-cache file (a single global artifact).
-  std::mutex warm_mu_;
+  fc::Mutex warm_mu_;
 
-  mutable std::mutex counters_mu_;
-  StorageCounters counters_;
+  mutable fc::Mutex counters_mu_;
+  StorageCounters counters_ GUARDED_BY(counters_mu_);
   /// Incremented by group-commit leaders (possibly after their stripe was
   /// compacted away, or even after this manager died while a ticket was
   /// still waiting), so it is shared with every writer, not a plain member.

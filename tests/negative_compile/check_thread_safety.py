@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Negative-compile driver for the clang thread-safety annotations.
+
+Compiles each fixture in this directory with
+`clang++ -fsyntax-only -Wthread-safety -Wthread-safety-beta -Werror`:
+
+  - ts_ok.cc is the positive control and MUST compile clean;
+  - every other ts_*.cc seeds one thread-safety bug and MUST fail with a
+    thread-safety diagnostic (any other failure -- a plain syntax error,
+    say -- does not count: the fixture has to fail for the right reason).
+
+gcc has no thread-safety analysis, so on machines without a suitable
+clang this script exits 77 (the CTest SKIP_RETURN_CODE): the annotations
+still compiled away under gcc via the regular build, and the clang leg of
+CI enforces the analysis itself.
+"""
+
+import glob
+import os
+import shutil
+import subprocess
+import sys
+
+SKIP = 77
+FLAGS = ["-std=c++20", "-fsyntax-only", "-Wthread-safety",
+         "-Wthread-safety-beta", "-Werror"]
+
+
+def find_clang():
+    """A clang++ that understands -Wthread-safety, or None."""
+    candidates = ["clang++"] + [f"clang++-{v}" for v in range(20, 11, -1)]
+    for name in candidates:
+        path = shutil.which(name)
+        if path is None:
+            continue
+        probe = subprocess.run(
+            [path, *FLAGS, "-x", "c++", "-"],
+            input="int main() { return 0; }",
+            capture_output=True, text=True)
+        if probe.returncode == 0:
+            return path
+    return None
+
+
+def main():
+    # --skip-ok: report "skipped" as success (for the `lint` make target,
+    # where exit 77 would read as a failure; CTest keeps the real 77).
+    skip_ok = "--skip-ok" in sys.argv
+    here = os.path.dirname(os.path.abspath(__file__))
+    src_dir = os.path.normpath(os.path.join(here, "..", "..", "src"))
+    clang = find_clang()
+    if clang is None:
+        print("no clang++ with -Wthread-safety found; skipping "
+              "(the clang CI job runs this analysis)")
+        return 0 if skip_ok else SKIP
+
+    failures = 0
+    for path in sorted(glob.glob(os.path.join(here, "ts_*.cc"))):
+        name = os.path.basename(path)
+        expect_fail = name != "ts_ok.cc"
+        result = subprocess.run([clang, *FLAGS, "-I", src_dir, path],
+                                capture_output=True, text=True)
+        if not expect_fail:
+            if result.returncode != 0:
+                failures += 1
+                print(f"FAIL {name}: positive control did not compile:\n"
+                      f"{result.stderr}")
+            else:
+                print(f"ok   {name}: compiles clean (positive control)")
+            continue
+        if result.returncode == 0:
+            failures += 1
+            print(f"FAIL {name}: expected a thread-safety error, "
+                  "compiled clean")
+        elif "-Wthread-safety" not in result.stderr:
+            failures += 1
+            print(f"FAIL {name}: failed, but not with a thread-safety "
+                  f"diagnostic:\n{result.stderr}")
+        else:
+            first = next((l for l in result.stderr.splitlines()
+                          if "error:" in l), "").strip()
+            print(f"ok   {name}: rejected as expected ({first})")
+
+    if failures:
+        print(f"negative-compile: {failures} fixture(s) misbehaved")
+        return 1
+    print("negative-compile: all fixtures behave")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

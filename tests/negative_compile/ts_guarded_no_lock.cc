@@ -1,0 +1,18 @@
+// MUST FAIL -Wthread-safety: writes a GUARDED_BY member without holding
+// its mutex.
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    balance_ += amount;  // no lock held
+  }
+
+ private:
+  fc::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

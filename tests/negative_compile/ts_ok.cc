@@ -1,0 +1,33 @@
+// Positive control: correctly annotated code that MUST pass
+// -Wthread-safety. If this fixture ever fails, the driver's failures on
+// the negative fixtures prove nothing.
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    fc::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int Balance() const {
+    fc::MutexLock lock(mu_);
+    return balance_;
+  }
+
+  void AuditLocked() REQUIRES(mu_) { ++audits_; }
+
+  void Audit() {
+    fc::MutexLock lock(mu_);
+    AuditLocked();
+  }
+
+ private:
+  mutable fc::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+  int audits_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

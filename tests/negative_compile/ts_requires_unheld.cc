@@ -1,0 +1,20 @@
+// MUST FAIL -Wthread-safety: calls a REQUIRES(mu_) method without the
+// lock.
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Account {
+ public:
+  void AuditLocked() REQUIRES(mu_) { ++audits_; }
+
+  void Audit() {
+    AuditLocked();  // mu_ not held
+  }
+
+ private:
+  fc::Mutex mu_;
+  int audits_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

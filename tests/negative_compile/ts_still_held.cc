@@ -1,0 +1,20 @@
+// MUST FAIL -Wthread-safety: acquires the raw capability and returns
+// without releasing it.
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Account {
+ public:
+  void Leak() {
+    mu_.Lock();
+    balance_ = 0;
+    // missing mu_.Unlock()
+  }
+
+ private:
+  fc::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -187,7 +187,7 @@ TEST_F(ProfilerTest, TimerSamplesLandInBusyScopes) {
     volatile uint64_t sink = 0;
     WallTimer bailout;
     while (!(sampled = p.samples() >= 5) && bailout.ElapsedSeconds() < 20.0) {
-      for (int i = 0; i < 4096; ++i) sink += i;
+      for (int i = 0; i < 4096; ++i) sink = sink + i;
     }
   }
   ASSERT_TRUE(p.Stop());

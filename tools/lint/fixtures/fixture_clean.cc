@@ -1,0 +1,25 @@
+// Clean fixture: annotated wrapper usage and a well-behaved hot path.
+#include <atomic>
+
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class GoodCounter {
+ public:
+  // fclint: hot-path-begin(good_counter)
+  void Increment() { value_.fetch_add(1, std::memory_order_relaxed); }
+  // fclint: hot-path-end
+
+  int Guarded() {
+    fc::MutexLock lock(mu_);
+    return guarded_;
+  }
+
+ private:
+  std::atomic<int> value_{0};
+  fc::Mutex mu_;
+  int guarded_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Seeded violation: allocation and lock acquisition inside a hot path.
+// expect: hot-path
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class BadRecorder {
+ public:
+  // fclint: hot-path-begin(bad_recorder)
+  void Record(int v) {
+    auto* copy = new int(v);  // allocation on the hot path
+    fc::MutexLock lock(mu_);  // blocking acquisition on the hot path
+    last_ = *copy;
+    delete copy;
+  }
+  // fclint: hot-path-end
+
+ private:
+  fc::Mutex mu_;
+  int last_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

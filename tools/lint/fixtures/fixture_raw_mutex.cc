@@ -1,0 +1,19 @@
+// Seeded violation: a raw std primitive outside the wrapper header.
+// expect: raw-primitive
+#include <mutex>
+
+namespace fixture {
+
+class BadCache {
+ public:
+  int Get() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return value_;
+  }
+
+ private:
+  std::mutex mu_;
+  int value_ = 0;
+};
+
+}  // namespace fixture

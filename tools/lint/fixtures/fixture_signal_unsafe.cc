@@ -1,0 +1,15 @@
+// Seeded violation: stdio and string building inside a signal handler.
+// expect: signal-safe
+#include <cstdio>
+#include <string>
+
+namespace fixture {
+
+// fclint: signal-safe-begin
+void BadHandler(int sig) {
+  std::string msg = std::to_string(sig);  // allocates
+  printf("crash: %s\n", msg.c_str());    // stdio in a signal handler
+}
+// fclint: signal-safe-end
+
+}  // namespace fixture

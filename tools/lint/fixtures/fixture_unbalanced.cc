@@ -1,0 +1,8 @@
+// Seeded violation: a region opened and never closed.
+// expect: markers
+namespace fixture {
+
+// fclint: hot-path-begin(never_closed)
+inline int Twice(int v) { return v * 2; }
+
+}  // namespace fixture
